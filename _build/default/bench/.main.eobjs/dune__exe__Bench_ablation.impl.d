@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Bench_util Bignum Crypto Dataset Domain Ehl List Paillier Prf Proto Relation Rng Scoring Sectopk Synthetic Topk

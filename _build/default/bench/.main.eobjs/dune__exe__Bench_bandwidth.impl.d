@@ -1,0 +1,1 @@
+bench/bench_bandwidth.ml: Bench_util Crypto Dataset Fun List Proto Relation Scoring Sectopk Synthetic Topk

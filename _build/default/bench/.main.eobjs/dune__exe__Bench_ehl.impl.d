@@ -1,0 +1,1 @@
+bench/bench_ehl.ml: Bench_util Crypto Dataset Ehl List Paillier Prf Relation Synthetic

@@ -1,0 +1,1 @@
+bench/bench_join.ml: Bench_util Crypto Dataset Join List Synthetic

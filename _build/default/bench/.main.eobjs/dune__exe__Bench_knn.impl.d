@@ -1,0 +1,1 @@
+bench/bench_knn.ml: Array Bench_util Crypto Dataset List Proto Relation Scoring Sectopk Sknn Synthetic Topk Unix

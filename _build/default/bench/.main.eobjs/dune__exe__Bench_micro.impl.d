@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Bench_util Benchmark Bignum Crypto Damgard_jurik Ehl Hashtbl List Measure Modular Nat Paillier Prf Rng Sha256 Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_query.ml: Bench_util Dataset Fun List Proto Relation Scoring Sectopk Topk

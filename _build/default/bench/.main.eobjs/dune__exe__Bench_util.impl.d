@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Crypto Dataset Format Paillier Proto Relation Rng Sectopk Synthetic Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_bandwidth Bench_ehl Bench_join Bench_knn Bench_micro Bench_query Bench_util Format List Sys Unix

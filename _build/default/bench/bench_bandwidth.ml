@@ -1,0 +1,74 @@
+(* Figure 13 and Table 3: communication accounting.
+
+   fig13a: per-depth bandwidth grows O(m^2) and is independent of k;
+   fig13b: total bandwidth grows with k through the halting depth;
+   tab3:   per-dataset totals converted to latency under the paper's
+           50 Mbps inter-cloud link model (k=20, m=4). *)
+
+open Dataset
+open Topk
+open Bench_util
+
+let fig13a () =
+  header "fig13a: bandwidth per depth varying m (Qry_F, k=5)";
+  row "%6s %16s %14s@." "m" "KB/depth" "msgs/depth";
+  let rel = Synthetic.paper_synthetic ~seed:"bench" ~rows:60 in
+  List.iter
+    (fun m ->
+      let ctx = fresh_ctx () in
+      let er, key = Sectopk.Scheme.encrypt ~s:ehl_s (Crypto.Rng.fork rng ~label:"enc") pub rel in
+      let tk = Sectopk.Scheme.token key ~m_total:(Relation.n_attrs rel)
+          (Scoring.sum_of (List.init m Fun.id)) ~k:5 in
+      let depths = 4 in
+      let _ =
+        Sectopk.Query.run ctx er tk
+          { Sectopk.Query.default_options with variant = Sectopk.Query.Full; max_depth = Some depths }
+      in
+      let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+      row "%6d %16.1f %14d@." m
+        (float_of_int (Proto.Channel.bytes_total ch) /. 1024. /. float_of_int depths)
+        (Proto.Channel.messages_total ch / depths))
+    [ 2; 3; 4; 6; 8 ]
+
+let fig13b () =
+  header "fig13b: total bandwidth varying k (Qry_F, m=4)";
+  row "%6s %16s %14s@." "k" "total MB" "halt depth";
+  (* correlated data: the run halts naturally, so deeper scans for larger
+     k drive the total bandwidth up, as in the paper *)
+  let rel = List.nth (eval_datasets ~rows:60) 3 in
+  List.iter
+    (fun k ->
+      let _, depth, bytes, _ =
+        run_query ~variant:Sectopk.Query.Full ~max_depth:40 rel
+          (Scoring.sum_of [ 0; 1; 2; 3 ]) ~k ()
+      in
+      row "%6d %16.2f %14d@." k (float_of_int bytes /. 1024. /. 1024.) depth)
+    [ 2; 5; 10; 20 ]
+
+let tab3 () =
+  header "tab3: bandwidth and 50 Mbps link latency per dataset (k=20, m=4, Qry_F)";
+  row "%12s %8s %16s %16s@." "dataset" "rows" "bandwidth (MB)" "latency (s)";
+  (* relative dataset sizes follow the paper's insurance < diabetes <
+     pamap < synthetic ordering (scaled) *)
+  List.iter2
+    (fun rel rows ->
+      ignore rows;
+      let m = min 4 (Relation.n_attrs rel) in
+      let ctx = fresh_ctx () in
+      let er, key = Sectopk.Scheme.encrypt ~s:ehl_s (Crypto.Rng.fork rng ~label:"enc") pub rel in
+      let tk = Sectopk.Scheme.token key ~m_total:(Relation.n_attrs rel)
+          (Scoring.sum_of (List.init m Fun.id)) ~k:20 in
+      let res =
+        Sectopk.Query.run ctx er tk
+          { Sectopk.Query.default_options with variant = Sectopk.Query.Full; max_depth = Some 40 }
+      in
+      ignore res;
+      let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+      row "%12s %8d %16.2f %16.3f@." (Relation.name rel) (Relation.n_rows rel)
+        (float_of_int (Proto.Channel.bytes_total ch) /. 1024. /. 1024.)
+        (Proto.Channel.latency_seconds ~rtt_ms:0. ~bandwidth_mbps:50. ch))
+    [ List.nth (eval_datasets ~rows:30) 0;
+      List.nth (eval_datasets ~rows:45) 1;
+      List.nth (eval_datasets ~rows:60) 2;
+      List.nth (eval_datasets ~rows:75) 3 ]
+    [ 30; 45; 60; 75 ]

@@ -1,0 +1,62 @@
+(* Figures 7 and 8: EHL vs EHL+ construction time and size.
+
+   Fig 7 sweeps the number of items (the paper: 0.1M..1M; here scaled);
+   Fig 8 fixes the four evaluation datasets. Both shapes to reproduce:
+   linear growth in n, EHL+ strictly cheaper in time and space. *)
+
+open Crypto
+open Dataset
+open Bench_util
+
+let encode_relation_ehl rel =
+  let params = Ehl.Ehl_bits.default_params in
+  let keys = Prf.gen_keys rng params.Ehl.Ehl_bits.s in
+  let n = Relation.n_rows rel and m = Relation.n_attrs rel in
+  let bytes = ref 0 in
+  let (), t =
+    time (fun () ->
+        for o = 0 to n - 1 do
+          let e = Ehl.Ehl_bits.encode rng pub ~keys ~params (Relation.object_id rel o) in
+          (* one encoding and one encrypted score per list entry *)
+          bytes := !bytes + (m * (Ehl.Ehl_bits.size_bytes pub e + Paillier.ciphertext_bytes pub))
+        done)
+  in
+  (t, !bytes)
+
+let encode_relation_ehlp rel =
+  let keys = Prf.gen_keys rng ehl_s in
+  let n = Relation.n_rows rel and m = Relation.n_attrs rel in
+  let bytes = ref 0 in
+  let (), t =
+    time (fun () ->
+        for o = 0 to n - 1 do
+          let e = Ehl.Ehl_plus.encode rng pub ~keys (Relation.object_id rel o) in
+          bytes := !bytes + (m * (Ehl.Ehl_plus.size_bytes pub e + Paillier.ciphertext_bytes pub))
+        done)
+  in
+  (t, !bytes)
+
+let fig7 () =
+  header "fig7: EHL vs EHL+ construction (time and size vs number of items)";
+  row "%8s %14s %14s %14s %14s@." "items" "EHL time(s)" "EHL+ time(s)" "EHL size(KB)" "EHL+ size(KB)";
+  List.iter
+    (fun n ->
+      let rel = Synthetic.generate ~seed:"fig7" ~name:"syn" ~rows:n ~attrs:10
+          (Synthetic.Uniform { lo = 0; hi = 1000 }) in
+      let t1, b1 = encode_relation_ehl rel in
+      let t2, b2 = encode_relation_ehlp rel in
+      row "%8d %14.2f %14.2f %14.1f %14.1f@." n t1 t2
+        (float_of_int b1 /. 1024.) (float_of_int b2 /. 1024.))
+    [ 100; 200; 400; 600; 800; 1000 ]
+
+let fig8 () =
+  header "fig8: encryption time and size on the four evaluation datasets";
+  row "%12s %8s %6s %14s %14s %14s %14s@." "dataset" "rows" "attrs" "EHL t(s)" "EHL+ t(s)"
+    "EHL KB" "EHL+ KB";
+  List.iter
+    (fun rel ->
+      let t1, b1 = encode_relation_ehl rel in
+      let t2, b2 = encode_relation_ehlp rel in
+      row "%12s %8d %6d %14.2f %14.2f %14.1f %14.1f@." (Relation.name rel) (Relation.n_rows rel)
+        (Relation.n_attrs rel) t1 t2 (float_of_int b1 /. 1024.) (float_of_int b2 /. 1024.))
+    (eval_datasets ~rows:400)

@@ -1,0 +1,51 @@
+(* Bechamel micro-benchmarks of the crypto substrate: the per-operation
+   costs every protocol-level number decomposes into. *)
+
+open Bignum
+open Crypto
+open Bench_util
+
+let djpub = Damgard_jurik.public_of_paillier pub
+
+let tests () =
+  let x = Rng.nat_below rng pub.Paillier.n in
+  let c = Paillier.encrypt rng pub x in
+  let e2 = Damgard_jurik.encrypt rng djpub x in
+  let keys = Prf.gen_keys rng ehl_s in
+  let ehl_a = Ehl.Ehl_plus.encode rng pub ~keys "a" in
+  let ehl_b = Ehl.Ehl_plus.encode rng pub ~keys "b" in
+  let open Bechamel in
+  Test.make_grouped ~name:"crypto"
+    [ Test.make ~name:"paillier_encrypt" (Staged.stage (fun () -> ignore (Paillier.encrypt rng pub x)));
+      Test.make ~name:"paillier_decrypt" (Staged.stage (fun () -> ignore (Paillier.decrypt sk c)));
+      Test.make ~name:"paillier_add" (Staged.stage (fun () -> ignore (Paillier.add pub c c)));
+      Test.make ~name:"dj_encrypt" (Staged.stage (fun () -> ignore (Damgard_jurik.encrypt rng djpub x)));
+      Test.make ~name:"dj_scalar_mul_ct"
+        (Staged.stage (fun () -> ignore (Damgard_jurik.scalar_mul_ct djpub e2 c)));
+      Test.make ~name:"ehl_plus_diff"
+        (Staged.stage (fun () -> ignore (Ehl.Ehl_plus.diff ~blind_bits rng pub ehl_a ehl_b)));
+      Test.make ~name:"sha256_1kb"
+        (Staged.stage (let buf = String.make 1024 'x' in fun () -> ignore (Sha256.digest buf)));
+      Test.make ~name:"modexp_n3_256b_exp"
+        (Staged.stage (fun () ->
+             ignore
+               (Modular.pow
+                  (Nat.rem x djpub.Damgard_jurik.n3)
+                  (Nat.mul pub.Paillier.n Nat.two)
+                  ~m:djpub.Damgard_jurik.n3)))
+    ]
+
+let run () =
+  header "micro: crypto substrate op costs (bechamel, ns/op via OLS)";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] (tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, v) ->
+         match Analyze.OLS.estimates v with
+         | Some [ ns ] -> row "%-30s %12.2f us/op@." name (ns /. 1000.)
+         | _ -> row "%-30s (no estimate)@." name)

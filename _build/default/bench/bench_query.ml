@@ -1,0 +1,108 @@
+(* Figures 9-12: secure query processing performance.
+
+   The paper reports average time per depth (total time / halting depth)
+   for the three variants. Shapes to reproduce:
+   - fig9  (Qry_F): grows roughly linearly in k and in m;
+   - fig10 (Qry_E): same shapes, 5-7x faster than Qry_F;
+   - fig11 (Qry_Ba): further improvement; a data-dependent best p exists;
+   - fig12: Qry_Ba < Qry_E < Qry_F at fixed (k, m, p).
+
+   Row counts and depth caps are scaled down (DESIGN.md); the depth cap
+   only kicks in when a run would exhaust the budget without halting. *)
+
+open Dataset
+open Topk
+open Bench_util
+
+let rows = 50
+let depth_cap = 35
+
+let datasets () = eval_datasets ~rows
+
+let scoring_of m = Scoring.sum_of (List.init m Fun.id)
+
+let vary_k ~variant ~label =
+  header label;
+  row "%12s" "k";
+  List.iter (fun k -> row "%11d " k) [ 2; 5; 10; 20 ];
+  row "@.";
+  List.iter
+    (fun rel ->
+      row "%12s" (Relation.name rel);
+      List.iter
+        (fun k ->
+          let per_depth, _, _, _ =
+            run_query ~variant ~max_depth:depth_cap rel (scoring_of 3) ~k ()
+          in
+          row "%10.3fs " per_depth)
+        [ 2; 5; 10; 20 ];
+      row "@.")
+    (datasets ())
+
+let vary_m ~variant ~label =
+  header label;
+  row "%12s" "m";
+  List.iter (fun m -> row "%11d " m) [ 2; 3; 4; 6; 8 ];
+  row "@.";
+  List.iter
+    (fun rel ->
+      row "%12s" (Relation.name rel);
+      List.iter
+        (fun m ->
+          let m = min m (Relation.n_attrs rel) in
+          let per_depth, _, _, _ =
+            run_query ~variant ~max_depth:depth_cap rel (scoring_of m) ~k:5 ()
+          in
+          row "%10.3fs " per_depth)
+        [ 2; 3; 4; 6; 8 ];
+      row "@.")
+    (datasets ())
+
+let fig9a () = vary_k ~variant:Sectopk.Query.Full ~label:"fig9a: Qry_F time/depth varying k (m=3)"
+let fig9b () = vary_m ~variant:Sectopk.Query.Full ~label:"fig9b: Qry_F time/depth varying m (k=5)"
+let fig10a () = vary_k ~variant:Sectopk.Query.Elim ~label:"fig10a: Qry_E time/depth varying k (m=3)"
+let fig10b () = vary_m ~variant:Sectopk.Query.Elim ~label:"fig10b: Qry_E time/depth varying m (k=5)"
+
+let fig11a () =
+  vary_k ~variant:(Sectopk.Query.Batched 10) ~label:"fig11a: Qry_Ba time/depth varying k (m=3, p=10)"
+
+let fig11b () =
+  vary_m ~variant:(Sectopk.Query.Batched 10) ~label:"fig11b: Qry_Ba time/depth varying m (k=5, p=10)"
+
+let fig11c () =
+  header "fig11c: Qry_Ba time/depth varying the batching parameter p (k=5, m=3)";
+  row "%12s" "p";
+  List.iter (fun p -> row "%11d " p) [ 5; 8; 10; 15; 20; 25 ];
+  row "@.";
+  List.iter
+    (fun rel ->
+      row "%12s" (Relation.name rel);
+      List.iter
+        (fun p ->
+          let per_depth, _, _, _ =
+            run_query ~variant:(Sectopk.Query.Batched p) ~max_depth:depth_cap rel (scoring_of 3)
+              ~k:5 ()
+          in
+          row "%10.3fs " per_depth)
+        [ 5; 8; 10; 15; 20; 25 ];
+      row "@.")
+    (datasets ())
+
+let fig12 () =
+  (* the [7]-style sorting network is the costly EncSort the paper batches;
+     running fig12 under it makes the Qry_Ba < Qry_E < Qry_F ordering
+     visible exactly as in the paper *)
+  header "fig12: variant comparison, time/depth (k=5, m=2, p=10, network EncSort)";
+  row "%12s %12s %12s %12s@." "dataset" "Qry_Ba" "Qry_E" "Qry_F";
+  List.iter
+    (fun rel ->
+      let go variant =
+        let t, _, _, _ =
+          run_query ~sort:Proto.Enc_sort.Network ~variant ~max_depth:depth_cap rel (scoring_of 2)
+            ~k:5 ()
+        in
+        t
+      in
+      row "%12s %11.3fs %11.3fs %11.3fs@." (Relation.name rel)
+        (go (Sectopk.Query.Batched 10)) (go Sectopk.Query.Elim) (go Sectopk.Query.Full))
+    (datasets ())

@@ -1,0 +1,63 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (Section 11 and Section 12.4.1) at simulator scale.
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --only fig9a -- one experiment
+     dune exec bench/main.exe -- --list       -- list experiment ids
+
+   Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [ ("fig7", "EHL vs EHL+ construction time/size vs n", Bench_ehl.fig7);
+    ("fig8", "encryption time/size on the 4 evaluation datasets", Bench_ehl.fig8);
+    ("fig9a", "Qry_F time per depth varying k", Bench_query.fig9a);
+    ("fig9b", "Qry_F time per depth varying m", Bench_query.fig9b);
+    ("fig10a", "Qry_E time per depth varying k", Bench_query.fig10a);
+    ("fig10b", "Qry_E time per depth varying m", Bench_query.fig10b);
+    ("fig11a", "Qry_Ba time per depth varying k", Bench_query.fig11a);
+    ("fig11b", "Qry_Ba time per depth varying m", Bench_query.fig11b);
+    ("fig11c", "Qry_Ba time per depth varying p", Bench_query.fig11c);
+    ("fig12", "variant comparison Qry_Ba / Qry_E / Qry_F", Bench_query.fig12);
+    ("fig13a", "bandwidth per depth varying m", Bench_bandwidth.fig13a);
+    ("fig13b", "total bandwidth varying k", Bench_bandwidth.fig13b);
+    ("tab3", "bandwidth and 50 Mbps latency per dataset", Bench_bandwidth.tab3);
+    ("fig14", "secure top-k join time varying m", Bench_join.fig14);
+    ("sec11.3", "SecTopK vs secure-kNN baseline", Bench_knn.sec11_3);
+    ("ext-rankjoin", "pre-sorted rank join vs cross-product join", Bench_join.ext_rankjoin);
+    ("micro", "bechamel micro-benchmarks of the crypto substrate", Bench_micro.run);
+    ("ablation", "design-choice ablations (sort strategy, halting, blinding)", Bench_ablation.run)
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then
+    List.iter (fun (id, descr, _) -> Format.printf "%-10s %s@." id descr) experiments
+  else begin
+    let only =
+      let rec find = function
+        | "--only" :: id :: _ -> Some id
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    let selected =
+      match only with
+      | None -> experiments
+      | Some id -> List.filter (fun (eid, _, _) -> eid = id) experiments
+    in
+    if selected = [] then begin
+      Format.eprintf "unknown experiment id; use --list@.";
+      exit 1
+    end;
+    Format.printf "SecTopK reproduction benchmarks (key=%d bits, noise=%d bits, blinding=%d bits)@."
+      Bench_util.key_bits Bench_util.rand_bits Bench_util.blind_bits;
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (id, _, f) ->
+        let t = Unix.gettimeofday () in
+        f ();
+        Format.printf "[%s done in %.1fs]@." id (Unix.gettimeofday () -. t))
+      selected;
+    Format.printf "@.All experiments done in %.1fs@." (Unix.gettimeofday () -. t0)
+  end

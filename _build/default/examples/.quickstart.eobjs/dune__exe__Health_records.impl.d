@@ -1,0 +1,1 @@
+examples/health_records.ml: Array Client Crypto Dataset Format List Paillier Proto Query Relation Rng Scheme Scoring Sectopk String Topk

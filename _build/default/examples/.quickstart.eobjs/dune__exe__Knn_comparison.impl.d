@@ -1,0 +1,1 @@
+examples/knn_comparison.ml: Array Client Crypto Dataset Format List Paillier Proto Query Relation Rng Scheme Scoring Sectopk Sknn String Synthetic Topk Unix

@@ -1,0 +1,1 @@
+examples/knn_comparison.mli:

@@ -1,0 +1,1 @@
+examples/oblivious_retrieval.ml: Array Client Crypto Dataset Format List Paillier Proto Query Relation Retrieval Rng Scheme Scoring Sectopk String Synthetic Topk

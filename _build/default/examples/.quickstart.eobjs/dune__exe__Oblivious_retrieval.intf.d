@@ -1,0 +1,1 @@
+examples/oblivious_retrieval.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client Crypto Dataset Format List Naive_topk Paillier Proto Query Relation Rng Scheme Scoring Sectopk String Topk

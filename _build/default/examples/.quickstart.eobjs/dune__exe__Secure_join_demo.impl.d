@@ -1,0 +1,1 @@
+examples/secure_join_demo.ml: Array Bignum Crypto Dataset Format Join List Nat Paillier Proto Relation Rng

@@ -1,0 +1,60 @@
+(* Retrieving the actual records after a top-k query — the paper's two
+   options (Section 4): direct slot access (cheap, leaks which encrypted
+   records queries return) versus Path ORAM (the access pattern reveals
+   nothing).
+
+   This example runs the same secure top-k query twice and fetches the
+   winning records through both channels, printing what the storage
+   server observed in each case.
+
+   Run with: dune exec examples/oblivious_retrieval.exe *)
+
+open Crypto
+open Dataset
+open Topk
+open Sectopk
+
+let () =
+  let rel =
+    Synthetic.generate ~seed:"retrieval" ~name:"records" ~rows:24 ~attrs:4
+      (Synthetic.Correlated { base = Synthetic.Uniform { lo = 100; hi = 999 }; noise = 10 })
+  in
+  let rng = Rng.create ~seed:"retrieval-keys" in
+  let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits:128 in
+  let er, key = Scheme.encrypt ~s:4 rng pub rel in
+  let store = Retrieval.setup rng rel in
+
+  let run_query () =
+    let ctx = Proto.Ctx.of_keys ~blind_bits:48 rng pub sk in
+    let tk = Scheme.token key ~m_total:4 (Scoring.sum_of [ 0; 1; 2; 3 ]) ~k:3 in
+    let res = Query.run ctx er tk { Query.default_options with variant = Query.Elim } in
+    Client.real_results ctx key ~ids:(List.init 24 (Relation.object_id rel)) res
+    |> List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1)))
+  in
+
+  let winners = run_query () in
+  Format.printf "top-3 object ids: %s@."
+    (String.concat ", " (List.map string_of_int winners));
+
+  (* the same client runs the query twice on different days; the top-3 and
+     hence the retrieved slots repeat *)
+  let fetch mode = List.map (fun oid -> Retrieval.fetch store ~mode oid) winners in
+  let _ = fetch Retrieval.Direct in
+  let _ = fetch Retrieval.Direct in
+  let records = fetch Retrieval.Oblivious in
+  let _ = fetch Retrieval.Oblivious in
+
+  Format.printf "@.retrieved records:@.";
+  List.iter2
+    (fun oid row ->
+      Format.printf "  o%-3d [%s]@." oid
+        (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+    winners records;
+
+  Format.printf "@.What the storage server saw:@.";
+  Format.printf "  direct mode   : slots %s  <- repeated queries are linkable@."
+    (String.concat ", " (List.map string_of_int (Retrieval.observed_direct store)));
+  Format.printf "  oblivious mode: ORAM paths %s  <- fresh uniform paths each time@."
+    (String.concat ", " (List.map string_of_int (Retrieval.observed_oblivious store)));
+  Format.printf "@.ORAM cost: %d bytes per fetch (vs one slot for direct)@."
+    (Retrieval.oblivious_bytes_per_fetch store)

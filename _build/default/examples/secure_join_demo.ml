@@ -1,0 +1,59 @@
+(* Secure top-k join (Section 12): joining two encrypted relations on an
+   equi-join condition and ranking the joined tuples, with neither cloud
+   learning values, join partners, or scores.
+
+   Query (Section 12.3 shape):
+     SELECT * FROM dept_visits d, lab_results l
+     WHERE d.patient = l.patient
+     ORDER BY d.severity + l.risk STOP AFTER 2
+
+   Run with: dune exec examples/secure_join_demo.exe *)
+
+open Bignum
+open Crypto
+open Dataset
+
+(* dept_visits(patient, severity); lab_results(patient, risk) *)
+let visits = [| [| 101; 7 |]; [| 102; 3 |]; [| 103; 9 |]; [| 104; 2 |] |]
+let labs = [| [| 103; 5 |]; [| 101; 4 |]; [| 105; 8 |]; [| 102; 1 |] |]
+
+let () =
+  let r1 = Relation.create ~name:"dept_visits" visits in
+  let r2 = Relation.create ~name:"lab_results" labs in
+  let rng = Rng.create ~seed:"join-demo" in
+  let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits:192 in
+
+  let (e1, e2), key = Join.Join_scheme.encrypt_pair ~s:4 rng pub r1 r2 in
+  Format.printf "Encrypted %s (%d tuples) and %s (%d tuples)@." (Relation.name r1)
+    (Array.length e1.Join.Join_scheme.tuples) (Relation.name r2)
+    (Array.length e2.Join.Join_scheme.tuples);
+
+  let token = Join.Join_scheme.token key ~m1:2 ~m2:2 ~join:(0, 0) ~score:(1, 1) ~k:2 in
+  let ctx = Proto.Ctx.of_keys ~blind_bits:48 rng pub sk in
+  let top = Join.Sec_join.top_k ctx e1 e2 token in
+
+  (* carried attributes sit at keyed-permutation positions; the client
+     resolves them with its key *)
+  let pat = Join.Join_scheme.attr_position key ~rel_tag:"R1" ~m:2 0 in
+  let sev = Join.Join_scheme.attr_position key ~rel_tag:"R1" ~m:2 1 in
+  let risk = 2 + Join.Join_scheme.attr_position key ~rel_tag:"R2" ~m:2 1 in
+  Format.printf "@.Top-2 joined tuples (decrypted by the client):@.";
+  List.iter
+    (fun (t : Join.Sec_join.joined) ->
+      let dec c = Nat.to_int (Paillier.decrypt sk c) in
+      let attrs = Array.map dec t.Join.Sec_join.attrs in
+      Format.printf "  patient %d: severity %d + risk %d = %d@." attrs.(pat) attrs.(sev)
+        attrs.(risk) (dec t.Join.Sec_join.score))
+    top;
+
+  Format.printf "@.Plaintext check — matching pairs and scores:@.";
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun l -> if v.(0) = l.(0) then Format.printf "  patient %d: %d@." v.(0) (v.(1) + l.(1)))
+        labs)
+    visits;
+
+  let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  Format.printf "@.Inter-cloud traffic: %d bytes; S2 learned only the match count@."
+    (Proto.Channel.bytes_total ch)

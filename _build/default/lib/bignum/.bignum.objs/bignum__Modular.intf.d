@@ -1,0 +1,1 @@
+lib/bignum/modular.mli: Bigint Nat

@@ -1,0 +1,74 @@
+let add a b ~m =
+  let s = Nat.add a b in
+  if Nat.compare s m >= 0 then Nat.sub s m else s
+
+let sub a b ~m = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a m) b
+let mul a b ~m = Nat.rem (Nat.mul a b) m
+
+let pow_binary b e ~m =
+  let b = ref (Nat.rem b m) and r = ref Nat.one in
+  let nbits = Nat.bit_length e in
+  for i = 0 to nbits - 1 do
+    if Nat.nth_bit e i then r := mul !r !b ~m;
+    if i < nbits - 1 then b := mul !b !b ~m
+  done;
+  !r
+
+(* Montgomery contexts are cached per modulus: the whole system works with
+   a handful of moduli (n, n^2, n^3 for two key pairs). The mutex keeps
+   the cache safe under parallel encryption (Scheme.encrypt ~domains). *)
+let mont_cache : (Nat.t, Montgomery.ctx option) Hashtbl.t = Hashtbl.create 8
+
+let mont_lock = Mutex.create ()
+
+let mont_ctx m =
+  Mutex.lock mont_lock;
+  let c =
+    match Hashtbl.find_opt mont_cache m with
+    | Some c -> c
+    | None ->
+      if Hashtbl.length mont_cache > 64 then Hashtbl.reset mont_cache;
+      let c = Montgomery.create m in
+      Hashtbl.add mont_cache m c;
+      c
+  in
+  Mutex.unlock mont_lock;
+  c
+
+let pow b e ~m =
+  if Nat.is_one m then Nat.zero
+  else begin
+    match mont_ctx m with
+    | Some ctx when Nat.bit_length e > 8 -> Montgomery.pow ctx b e
+    | _ -> pow_binary b e ~m
+  end
+
+let rec gcd a b = if Nat.is_zero b then a else gcd b (Nat.rem a b)
+
+let lcm a b =
+  if Nat.is_zero a || Nat.is_zero b then Nat.zero
+  else Nat.div (Nat.mul a b) (gcd a b)
+
+let egcd a b =
+  (* Iterative extended Euclid on signed integers. *)
+  let open Bigint in
+  let rec go r0 r1 s0 s1 t0 t1 =
+    if is_zero r1 then (to_nat r0, s0, t0)
+    else begin
+      let q = div_euclid r0 r1 in
+      go r1 (sub r0 (mul q r1)) s1 (sub s0 (mul q s1)) t1 (sub t0 (mul q t1))
+    end
+  in
+  go (of_nat a) (of_nat b) one zero zero one
+
+let inv a ~m =
+  let g, x, _ = egcd (Nat.rem a m) m in
+  if not (Nat.is_one g) then failwith "Modular.inv: not invertible";
+  Bigint.mod_nat x m
+
+let crt2 (r1, m1) (r2, m2) =
+  (* x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2) *)
+  let m1_inv = inv (Nat.rem m1 m2) ~m:m2 in
+  let d = sub (Nat.rem r2 m2) (Nat.rem r1 m2) ~m:m2 in
+  let k = mul d m1_inv ~m:m2 in
+  Nat.add r1 (Nat.mul m1 k)

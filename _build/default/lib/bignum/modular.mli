@@ -1,0 +1,33 @@
+(** Modular arithmetic over {!Nat} values.
+
+    All functions expect operands already reduced modulo [m] unless stated
+    otherwise; results are always in [[0, m)]. *)
+
+(** [add a b ~m] is [(a + b) mod m]. *)
+val add : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
+
+(** [sub a b ~m] is [(a - b) mod m]. *)
+val sub : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
+
+(** [mul a b ~m] is [(a * b) mod m]. *)
+val mul : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
+
+(** [pow b e ~m] is [b^e mod m] by square-and-multiply. *)
+val pow : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
+
+(** [inv a ~m] is the multiplicative inverse of [a] modulo [m]. Raises
+    [Failure] if [gcd a m <> 1]. Extended Euclid. *)
+val inv : Nat.t -> m:Nat.t -> Nat.t
+
+(** Greatest common divisor. *)
+val gcd : Nat.t -> Nat.t -> Nat.t
+
+(** Least common multiple. *)
+val lcm : Nat.t -> Nat.t -> Nat.t
+
+(** [egcd a b] returns [(g, x, y)] with [a*x + b*y = g = gcd a b]. *)
+val egcd : Nat.t -> Nat.t -> Nat.t * Bigint.t * Bigint.t
+
+(** [crt2 (r1, m1) (r2, m2)] solves [x = r1 mod m1], [x = r2 mod m2] for
+    coprime moduli; the result is in [[0, m1*m2)]. *)
+val crt2 : Nat.t * Nat.t -> Nat.t * Nat.t -> Nat.t

@@ -1,0 +1,168 @@
+(* CIOS Montgomery multiplication in base 2^26.
+
+   All limb products fit in 63-bit ints: a_i * b_j <= (2^26-1)^2 < 2^52,
+   and the running sums stay below 2^54. The working vector has k+2 limbs
+   as required by CIOS. *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type ctx = {
+  m : Nat.t;
+  n : int array; (* modulus limbs, length k *)
+  k : int;
+  n0' : int; (* -m^-1 mod 2^26 *)
+  r2 : int array; (* R^2 mod m, padded to k limbs *)
+  one_mont : int array; (* R mod m = to_mont 1 *)
+}
+
+let pad k a =
+  let r = Array.make k 0 in
+  Array.blit a 0 r 0 (Array.length a);
+  r
+
+(* x >= y as k-limb vectors *)
+let geq k x y =
+  let rec go i = if i < 0 then true else if x.(i) <> y.(i) then x.(i) > y.(i) else go (i - 1) in
+  go (k - 1)
+
+(* t <- mont(a, b) = a*b*R^-1 mod m; t, a, b are k-limb vectors (t distinct) *)
+let mont_mul ctx (t : int array) (a : int array) (b : int array) =
+  let k = ctx.k and n = ctx.n and n0' = ctx.n0' in
+  Array.fill t 0 (k + 2) 0;
+  for i = 0 to k - 1 do
+    let ai = a.(i) in
+    (* t += a_i * b *)
+    let c = ref 0 in
+    for j = 0 to k - 1 do
+      let s = t.(j) + (ai * b.(j)) + !c in
+      t.(j) <- s land mask;
+      c := s lsr base_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k) <- s land mask;
+    t.(k + 1) <- t.(k + 1) + (s lsr base_bits);
+    (* reduce one limb *)
+    let mu = (t.(0) * n0') land mask in
+    let c = ref ((t.(0) + (mu * n.(0))) lsr base_bits) in
+    for j = 1 to k - 1 do
+      let s = t.(j) + (mu * n.(j)) + !c in
+      t.(j - 1) <- s land mask;
+      c := s lsr base_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k - 1) <- s land mask;
+    t.(k) <- t.(k + 1) + (s lsr base_bits);
+    t.(k + 1) <- 0
+  done;
+  (* CIOS bounds give t < 2m with the overflow in t.(k); one conditional
+     subtraction of m (over k+1 limbs) normalizes *)
+  if t.(k) <> 0 || geq k t ctx.n then begin
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let d = t.(i) - ctx.n.(i) - !borrow in
+      if d < 0 then begin
+        t.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        t.(i) <- d;
+        borrow := 0
+      end
+    done;
+    t.(k) <- t.(k) - !borrow
+  end
+
+let create m =
+  if Nat.is_zero m || Nat.is_even m || Nat.compare m (Nat.of_int 3) < 0 then None
+  else begin
+    let n = Nat.limbs m in
+    let k = Array.length n in
+    (* n0' = -n^{-1} mod 2^26 by Newton-Hensel lifting *)
+    let n0 = n.(0) in
+    let inv = ref 1 in
+    for _ = 1 to 6 do
+      inv := !inv * (2 - (n0 * !inv)) land mask
+    done;
+    let n0' = base - (!inv land mask) land mask in
+    let n0' = n0' land mask in
+    let r2 = Nat.rem (Nat.shift_left Nat.one (2 * base_bits * k)) m in
+    let r1 = Nat.rem (Nat.shift_left Nat.one (base_bits * k)) m in
+    Some { m; n; k; n0'; r2 = pad k (Nat.limbs r2); one_mont = pad k (Nat.limbs r1) }
+  end
+
+let modulus ctx = ctx.m
+
+let of_limbs k (t : int array) =
+  (* first k limbs -> Nat, through the byte codec *)
+  let rec len i = if i > 0 && t.(i - 1) = 0 then len (i - 1) else i in
+  let l = len k in
+  let arr = Array.sub t 0 l in
+  let bits = l * base_bits in
+  let nbytes = (bits + 7) / 8 in
+  let bytes = Bytes.make nbytes '\000' in
+  for byte = 0 to nbytes - 1 do
+    let v = ref 0 in
+    for bit = 0 to 7 do
+      let pos = (8 * byte) + bit in
+      let limb = pos / base_bits and off = pos mod base_bits in
+      if limb < l && (arr.(limb) lsr off) land 1 = 1 then v := !v lor (1 lsl bit)
+    done;
+    Bytes.set bytes (nbytes - 1 - byte) (Char.chr !v)
+  done;
+  Nat.of_bytes (Bytes.to_string bytes)
+
+let mul ctx a b =
+  let k = ctx.k in
+  let a' = pad k (Nat.limbs (Nat.rem a ctx.m)) in
+  let b' = pad k (Nat.limbs (Nat.rem b ctx.m)) in
+  let am = Array.make (k + 2) 0 and bm = Array.make (k + 2) 0 in
+  mont_mul ctx am a' ctx.r2;
+  (* am = a*R; bm = mont(a*R, b) = a*b *)
+  mont_mul ctx bm (Array.sub am 0 k) b';
+  of_limbs k bm
+
+let pow ctx b e =
+  let k = ctx.k in
+  let b = Nat.rem b ctx.m in
+  if Nat.is_zero e then Nat.rem Nat.one ctx.m
+  else begin
+    let scratch = Array.make (k + 2) 0 in
+    let cur = Array.make (k + 2) 0 in
+    let swap_into dst src = Array.blit src 0 dst 0 k in
+    (* table of b^0..b^15 in Montgomery form *)
+    let table = Array.init 16 (fun _ -> Array.make (k + 2) 0) in
+    Array.blit ctx.one_mont 0 table.(0) 0 k;
+    mont_mul ctx scratch (pad k (Nat.limbs b)) ctx.r2;
+    swap_into table.(1) scratch;
+    for i = 2 to 15 do
+      mont_mul ctx scratch table.(i - 1) table.(1);
+      swap_into table.(i) scratch
+    done;
+    let nbits = Nat.bit_length e in
+    let nwin = (nbits + 3) / 4 in
+    Array.blit ctx.one_mont 0 cur 0 k;
+    for w = nwin - 1 downto 0 do
+      (* four squarings *)
+      if w <> nwin - 1 then
+        for _ = 1 to 4 do
+          mont_mul ctx scratch cur cur;
+          swap_into cur scratch
+        done;
+      let idx =
+        let base_bit = 4 * w in
+        let bit i = if Nat.nth_bit e (base_bit + i) then 1 lsl i else 0 in
+        bit 0 lor bit 1 lor bit 2 lor bit 3
+      in
+      if idx <> 0 then begin
+        mont_mul ctx scratch cur table.(idx);
+        swap_into cur scratch
+      end
+    done;
+    (* convert out of Montgomery form: multiply by 1 *)
+    let one = Array.make (k + 2) 0 in
+    one.(0) <- 1;
+    mont_mul ctx scratch cur one;
+    of_limbs k scratch
+  end

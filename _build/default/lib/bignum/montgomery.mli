@@ -1,0 +1,21 @@
+(** Montgomery-domain modular arithmetic for odd moduli.
+
+    Exponentiation is the dominant cost of the whole system (every
+    Paillier/DJ operation reduces to modexps over 2-3x key-width moduli),
+    so [Modular.pow] routes through this module: word-by-word CIOS
+    Montgomery multiplication (no per-step division) with 4-bit fixed
+    windows. *)
+
+type ctx
+
+(** [create m] precomputes the context for an odd modulus [m > 1];
+    [None] if [m] is even or too small. *)
+val create : Nat.t -> ctx option
+
+val modulus : ctx -> Nat.t
+
+(** [pow ctx b e] is [b^e mod m]. *)
+val pow : ctx -> Nat.t -> Nat.t -> Nat.t
+
+(** [mul ctx a b] is [a * b mod m] (operands already reduced). *)
+val mul : ctx -> Nat.t -> Nat.t -> Nat.t

@@ -1,0 +1,436 @@
+(* Arbitrary-precision naturals, base 2^26, little-endian limb arrays.
+
+   Invariant: the array has no most-significant zero limb, so the
+   representation of each value is unique and [compare] can go by length
+   first. Base 2^26 keeps every intermediate of schoolbook multiplication
+   and Knuth division inside a 63-bit native int:
+     limb * limb <= (2^26-1)^2 < 2^52, plus carries < 2^53. *)
+
+type t = int array
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero (x : t) = Array.length x = 0
+let is_one (x : t) = Array.length x = 1 && x.(0) = 1
+let is_even (x : t) = Array.length x = 0 || x.(0) land 1 = 0
+let limb_count (x : t) = Array.length x
+let limbs (x : t) = Array.copy x
+
+(* Strip most-significant zero limbs. *)
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n : t =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc v = if v = 0 then acc else count (acc + 1) (v lsr base_bits) in
+    let len = count 0 n in
+    let a = Array.make len 0 in
+    let v = ref n in
+    for i = 0 to len - 1 do
+      a.(i) <- !v land mask;
+      v := !v lsr base_bits
+    done;
+    a
+  end
+
+let bit_length_arr (x : t) =
+  let n = Array.length x in
+  if n = 0 then 0
+  else begin
+    let top = x.(n - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    ((n - 1) * base_bits) + bits top 0
+  end
+
+let to_int_opt (x : t) =
+  if bit_length_arr x > 62 then None
+  else begin
+    let acc = ref 0 in
+    for i = Array.length x - 1 downto 0 do
+      acc := (!acc lsl base_bits) lor x.(i)
+    done;
+    Some !acc
+  end
+
+let to_int x =
+  match to_int_opt x with
+  | Some v -> v
+  | None -> failwith "Nat.to_int: does not fit"
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      !carry
+      + (if i < la then a.(i) else 0)
+      + (if i < lb then b.(i) else 0)
+    in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: underflow";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  normalize r
+
+let succ x = add x one
+let pred x = sub x one
+
+let add_int (a : t) (n : int) =
+  if n < 0 then invalid_arg "Nat.add_int: negative" else add a (of_int n)
+
+(* Schoolbook multiplication; used directly below the Karatsuba cutoff. *)
+let mul_school (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let cur = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- cur land mask;
+          carry := cur lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let cur = r.(!k) + !carry in
+          r.(!k) <- cur land mask;
+          carry := cur lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+let karatsuba_cutoff = 24
+
+(* Split x into (low, high) at limb index k. *)
+let split_at (x : t) k : t * t =
+  let n = Array.length x in
+  if n <= k then (x, zero)
+  else (normalize (Array.sub x 0 k), Array.sub x k (n - k))
+
+let shift_limbs (x : t) k : t =
+  if is_zero x then zero
+  else begin
+    let n = Array.length x in
+    let r = Array.make (n + k) 0 in
+    Array.blit x 0 r k n;
+    r
+  end
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_cutoff || lb < karatsuba_cutoff then mul_school a b
+  else begin
+    let k = (if la > lb then la else lb) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let mul_int (a : t) (n : int) =
+  if n < 0 then invalid_arg "Nat.mul_int: negative"
+  else if n = 0 || is_zero a then zero
+  else if n < base then begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * n) + !carry in
+      r.(i) <- cur land mask;
+      carry := cur lsr base_bits
+    done;
+    let k = ref la in
+    while !carry <> 0 do
+      r.(!k) <- !carry land mask;
+      carry := !carry lsr base_bits;
+      incr k
+    done;
+    normalize r
+  end
+  else mul a (of_int n)
+
+let bit_length = bit_length_arr
+
+let nth_bit (x : t) i =
+  if i < 0 then invalid_arg "Nat.nth_bit";
+  let limb = i / base_bits and off = i mod base_bits in
+  limb < Array.length x && (x.(limb) lsr off) land 1 = 1
+
+let shift_left (x : t) s : t =
+  if s < 0 then invalid_arg "Nat.shift_left";
+  if is_zero x || s = 0 then x
+  else begin
+    let limb_shift = s / base_bits and bit_shift = s mod base_bits in
+    let n = Array.length x in
+    let r = Array.make (n + limb_shift + 1) 0 in
+    if bit_shift = 0 then Array.blit x 0 r limb_shift n
+    else begin
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let v = (x.(i) lsl bit_shift) lor !carry in
+        r.(i + limb_shift) <- v land mask;
+        carry := v lsr base_bits
+      done;
+      r.(n + limb_shift) <- !carry
+    end;
+    normalize r
+  end
+
+let shift_right (x : t) s : t =
+  if s < 0 then invalid_arg "Nat.shift_right";
+  if is_zero x || s = 0 then x
+  else begin
+    let limb_shift = s / base_bits and bit_shift = s mod base_bits in
+    let n = Array.length x in
+    if limb_shift >= n then zero
+    else begin
+      let m = n - limb_shift in
+      let r = Array.make m 0 in
+      if bit_shift = 0 then Array.blit x limb_shift r 0 m
+      else
+        for i = 0 to m - 1 do
+          let lo = x.(i + limb_shift) lsr bit_shift in
+          let hi =
+            if i + limb_shift + 1 < n then
+              (x.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land mask
+            else 0
+          in
+          r.(i) <- lo lor hi
+        done;
+      normalize r
+    end
+  end
+
+let divmod_int (a : t) (d : int) : t * int =
+  if d <= 0 || d >= base then invalid_arg "Nat.divmod_int: divisor out of range";
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+(* Knuth TAOCP vol. 2, Algorithm D (4.3.1). Divisor is normalized by a left
+   shift so its top limb has its high bit set, which bounds the qhat
+   estimate error to at most 2 and makes the add-back branch rare. *)
+let divmod_big (u0 : t) (v0 : t) : t * t =
+  let n = Array.length v0 in
+  let shift = base_bits - (bit_length v0 - (n - 1) * base_bits) in
+  let u = shift_left u0 shift and v = shift_left v0 shift in
+  let v = (v : int array) in
+  let lu = Array.length u in
+  let m = lu - n in
+  (* working copy of u with one extra high limb *)
+  let w = Array.make (lu + 1) 0 in
+  Array.blit u 0 w 0 lu;
+  let q = Array.make (m + 1) 0 in
+  let vn1 = v.(n - 1) and vn2 = if n >= 2 then v.(n - 2) else 0 in
+  for j = m downto 0 do
+    let top = (w.(j + n) lsl base_bits) lor w.(j + n - 1) in
+    let qhat = ref (top / vn1) and rhat = ref (top mod vn1) in
+    if !qhat >= base then begin
+      rhat := !rhat + (!qhat - (base - 1)) * vn1;
+      qhat := base - 1
+    end;
+    let continue = ref true in
+    while !continue && !rhat < base do
+      let lhs = !qhat * vn2 in
+      let rhs = (!rhat lsl base_bits) lor (if j + n - 2 >= 0 then w.(j + n - 2) else 0) in
+      if lhs > rhs then begin decr qhat; rhat := !rhat + vn1 end
+      else continue := false
+    done;
+    (* multiply and subtract: w[j..j+n] -= qhat * v *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = !qhat * v.(i) + !carry in
+      carry := p lsr base_bits;
+      let d = w.(i + j) - (p land mask) - !borrow in
+      if d < 0 then begin w.(i + j) <- d + base; borrow := 1 end
+      else begin w.(i + j) <- d; borrow := 0 end
+    done;
+    let d = w.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add back *)
+      w.(j + n) <- d + base;
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let s = w.(i + j) + v.(i) + !c in
+        w.(i + j) <- s land mask;
+        c := s lsr base_bits
+      done;
+      w.(j + n) <- (w.(j + n) + !c) land mask
+    end
+    else w.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = normalize (Array.sub w 0 n) in
+  (normalize q, shift_right r shift)
+
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_big a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow (b : t) (e : int) : t =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let to_bytes (x : t) : string =
+  let bits = bit_length x in
+  let nbytes = (bits + 7) / 8 in
+  let buf = Bytes.make nbytes '\000' in
+  for i = 0 to nbytes - 1 do
+    (* byte i counted from the least-significant end *)
+    let b = ref 0 in
+    for k = 0 to 7 do
+      if nth_bit x ((8 * i) + k) then b := !b lor (1 lsl k)
+    done;
+    Bytes.set buf (nbytes - 1 - i) (Char.chr !b)
+  done;
+  Bytes.to_string buf
+
+let of_bytes (s : string) : t =
+  let n = String.length s in
+  let nlimbs = ((8 * n) + base_bits - 1) / base_bits in
+  let a = Array.make nlimbs 0 in
+  for i = 0 to n - 1 do
+    (* byte at string index i is byte (n-1-i) from the LS end *)
+    let byte = Char.code s.[i] in
+    let bitpos = 8 * (n - 1 - i) in
+    let limb = bitpos / base_bits and off = bitpos mod base_bits in
+    a.(limb) <- a.(limb) lor ((byte lsl off) land mask);
+    if off > base_bits - 8 && limb + 1 < nlimbs then
+      a.(limb + 1) <- a.(limb + 1) lor (byte lsr (base_bits - off))
+  done;
+  normalize a
+
+let to_string (x : t) : string =
+  if is_zero x then "0"
+  else begin
+    let chunks = ref [] in
+    let v = ref x in
+    while not (is_zero !v) do
+      let q, r = divmod_int !v 10_000_000 in
+      chunks := r :: !chunks;
+      v := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%07d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string (s : string) : t =
+  let s = if String.length s > 0 && s.[0] = '+' then String.sub s 1 (String.length s - 1) else s in
+  if String.length s = 0 then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  let pending = ref 0 and pending_len = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '_' then ()
+      else if c < '0' || c > '9' then invalid_arg "Nat.of_string: bad digit"
+      else begin
+        pending := (!pending * 10) + (Char.code c - Char.code '0');
+        incr pending_len;
+        if !pending_len = 7 then begin
+          acc := add_int (mul_int !acc 10_000_000) !pending;
+          pending := 0;
+          pending_len := 0
+        end
+      end)
+    s;
+  if !pending_len > 0 then begin
+    let scale = int_of_float (10. ** float_of_int !pending_len) in
+    acc := add_int (mul_int !acc scale) !pending
+  end;
+  !acc
+
+let to_hex (x : t) : string =
+  if is_zero x then "0"
+  else begin
+    let b = to_bytes x in
+    let buf = Buffer.create (2 * String.length b) in
+    String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+    (* strip a single leading zero nibble if present *)
+    let s = Buffer.contents buf in
+    if String.length s > 1 && s.[0] = '0' then String.sub s 1 (String.length s - 1) else s
+  end
+
+let of_hex (s : string) : t =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Nat.of_hex: bad digit"
+  in
+  let acc = ref zero in
+  String.iter (fun c -> if c <> '_' then acc := add_int (shift_left !acc 4) (digit c)) s;
+  !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

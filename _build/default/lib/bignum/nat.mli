@@ -1,0 +1,84 @@
+(** Arbitrary-precision natural numbers.
+
+    Values are immutable little-endian limb vectors in base [2^26]. The base
+    is chosen so that a limb product plus carries fits in OCaml's 63-bit
+    native [int] ([2^52 + slack < 2^62]), which lets every inner loop run on
+    unboxed integers. All results are normalized (no most-significant zero
+    limbs); [zero] is the empty vector. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] converts a non-negative [int]. Raises [Invalid_argument] on
+    negative input. *)
+val of_int : int -> t
+
+(** [to_int x] converts back to [int]; raises [Failure] if [x >= 2^62]. *)
+val to_int : t -> int
+
+val to_int_opt : t -> int option
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+
+(** Total order; [compare a b] is negative, zero or positive as [a < b],
+    [a = b], [a > b]. *)
+val compare : t -> t -> int
+
+val add : t -> t -> t
+
+(** [sub a b] computes [a - b]. Raises [Invalid_argument] if [b > a]. *)
+val sub : t -> t -> t
+
+val succ : t -> t
+val pred : t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** [divmod a b] returns [(q, r)] with [a = q*b + r] and [0 <= r < b].
+    Raises [Division_by_zero] if [b] is zero. Knuth Algorithm D. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [divmod_int a b] is division by a small positive divisor [b < 2^26]. *)
+val divmod_int : t -> int -> t * int
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** Number of significant bits; [bit_length zero = 0]. *)
+val bit_length : t -> int
+
+(** [nth_bit x i] is bit [i] (little-endian); out-of-range bits are [false]. *)
+val nth_bit : t -> int -> bool
+
+(** [pow b e] is [b^e] for a small exponent [e >= 0]. *)
+val pow : t -> int -> t
+
+(** Big-endian byte serialization. [of_bytes (to_bytes x) = x];
+    [to_bytes zero = ""]. *)
+val to_bytes : t -> string
+
+val of_bytes : string -> t
+
+(** Decimal conversion. [of_string] accepts optional leading [+] and
+    underscores; raises [Invalid_argument] on malformed input. *)
+val to_string : t -> string
+
+val of_string : string -> t
+val to_hex : t -> string
+val of_hex : string -> t
+val pp : Format.formatter -> t -> unit
+
+(** Number of limbs (for cost accounting and tests). *)
+val limb_count : t -> int
+
+(** Base-2^26 limb, least significant first (for white-box tests). *)
+val limbs : t -> int array

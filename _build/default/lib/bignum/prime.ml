@@ -1,0 +1,77 @@
+let small_primes =
+  let sieve = Array.make 1000 true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to 999 do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j < 1000 do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  let acc = ref [] in
+  for i = 999 downto 2 do
+    if sieve.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let miller_rabin_round n d s a =
+  (* n odd > 3; n - 1 = 2^s * d with d odd; a in [2, n-2] *)
+  let n1 = Nat.pred n in
+  let x = ref (Modular.pow a d ~m:n) in
+  if Nat.is_one !x || Nat.equal !x n1 then true
+  else begin
+    let witness_of_compositeness = ref true in
+    (try
+       for _ = 1 to s - 1 do
+         x := Modular.mul !x !x ~m:n;
+         if Nat.equal !x n1 then begin
+           witness_of_compositeness := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    not !witness_of_compositeness
+  end
+
+let is_probable_prime ?(rounds = 24) ~rand_below n =
+  match Nat.to_int_opt n with
+  | Some v when v < 1_000_000 ->
+    if v < 2 then false
+    else begin
+      let rec check d = d * d > v || (v mod d <> 0 && check (d + 1)) in
+      check 2
+    end
+  | _ ->
+    if Nat.is_even n then false
+    else if List.exists (fun p -> let _, r = Nat.divmod_int n p in r = 0) small_primes then false
+    else begin
+      let n1 = Nat.pred n in
+      (* n - 1 = 2^s * d *)
+      let rec strip d s = if Nat.is_even d then strip (Nat.shift_right d 1) (s + 1) else (d, s) in
+      let d, s = strip n1 0 in
+      let n3 = Nat.sub n (Nat.of_int 3) in
+      let rec loop i =
+        if i = 0 then true
+        else begin
+          let a = Nat.add (rand_below n3) Nat.two in
+          miller_rabin_round n d s a && loop (i - 1)
+        end
+      in
+      loop rounds
+    end
+
+let gen_prime ?(rounds = 24) ~bits ~rand_below () =
+  if bits < 2 then invalid_arg "Prime.gen_prime: bits < 2";
+  let top = Nat.shift_left Nat.one (bits - 1) in
+  let rec loop () =
+    let r = rand_below top in
+    (* force top and bottom bits so the candidate is odd and exactly [bits] wide *)
+    let c = Nat.add top r in
+    let c = if Nat.is_even c then Nat.succ c else c in
+    if Nat.bit_length c = bits && is_probable_prime ~rounds ~rand_below c then c
+    else loop ()
+  in
+  loop ()

@@ -1,0 +1,16 @@
+(** Primality testing and prime generation.
+
+    Randomness is supplied by the caller as [rand_below : Nat.t -> Nat.t]
+    (uniform in [[0, bound)]), keeping this library independent of the
+    crypto substrate that provides the DRBG. *)
+
+(** Trial division by primes below 1000, then [rounds] Miller–Rabin
+    iterations (default 24, error probability <= 4^-24). *)
+val is_probable_prime : ?rounds:int -> rand_below:(Nat.t -> Nat.t) -> Nat.t -> bool
+
+(** [gen_prime ~bits ~rand_below] samples odd candidates with the top bit
+    set until one passes {!is_probable_prime}. [bits >= 2]. *)
+val gen_prime : ?rounds:int -> bits:int -> rand_below:(Nat.t -> Nat.t) -> unit -> Nat.t
+
+(** Primes below 1000, for trial division and tests. *)
+val small_primes : int list

@@ -1,0 +1,1 @@
+lib/crypto/damgard_jurik.ml: Bignum Hmac Modular Nat Option Paillier Rng

@@ -1,0 +1,1 @@
+lib/crypto/damgard_jurik.mli: Bignum Nat Paillier Rng

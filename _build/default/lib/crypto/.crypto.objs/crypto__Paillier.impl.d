@@ -1,0 +1,1 @@
+lib/crypto/paillier.ml: Bigint Bignum Modular Nat Prime Rng

@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Bignum Buffer Hmac List Nat Printf Rng

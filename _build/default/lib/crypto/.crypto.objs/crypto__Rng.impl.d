@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Array Bignum Char Drbg Hashtbl Modular Nat Printf String Sys Unix

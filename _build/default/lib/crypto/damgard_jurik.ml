@@ -1,0 +1,96 @@
+open Bignum
+
+type public = {
+  n : Nat.t;
+  n2 : Nat.t;
+  n3 : Nat.t;
+  h2 : Nat.t;
+  rand_bits : int option;
+}
+
+type secret = {
+  pub : public;
+  d : Nat.t; (* d = 1 mod n^2, d = 0 mod lambda *)
+}
+
+type ciphertext = Nat.t
+
+let public_of_paillier (ppub : Paillier.public) =
+  let n = ppub.Paillier.n in
+  let n2 = ppub.Paillier.n2 in
+  let n3 = Nat.mul n2 n in
+  (* nothing-up-my-sleeve n^2-th residue: derived from the modulus *)
+  let base =
+    let rec find ctr =
+      let cand =
+        Nat.succ (Nat.rem (Nat.of_bytes (Hmac.mac ~key:"dj-h2" (Nat.to_bytes n ^ string_of_int ctr))) (Nat.pred n))
+      in
+      if Nat.is_one (Modular.gcd cand n) then cand else find (ctr + 1)
+    in
+    find 0
+  in
+  let h2 = Modular.pow base n2 ~m:n3 in
+  { n; n2; n3; h2; rand_bits = ppub.Paillier.rand_bits }
+
+let of_paillier ppub psk =
+  let pub = public_of_paillier ppub in
+  let sk =
+    Option.map
+      (fun sk ->
+        let _, _, lambda = Paillier.secret_params sk in
+        let d = Modular.crt2 (Nat.one, pub.n2) (Nat.zero, lambda) in
+        { pub; d })
+      psk
+  in
+  (pub, sk)
+
+(* (1+n)^x mod n^3 = 1 + x*n + C(x,2)*n^2, truncating the binomial series
+   at the n^3 term. x*(x-1) is always even so the division is exact. *)
+let g_pow pub x =
+  let x = Nat.rem x pub.n2 in
+  let t1 = Nat.rem (Nat.mul x pub.n) pub.n3 in
+  let binom = Nat.shift_right (Nat.mul x (if Nat.is_zero x then Nat.zero else Nat.pred x)) 1 in
+  let t2 = Nat.rem (Nat.mul (Nat.rem binom pub.n) pub.n2) pub.n3 in
+  Modular.add (Modular.add Nat.one t1 ~m:pub.n3) t2 ~m:pub.n3
+
+let noise rng pub =
+  match pub.rand_bits with
+  | None -> Modular.pow (Rng.unit_mod rng pub.n) pub.n2 ~m:pub.n3
+  | Some b -> Modular.pow pub.h2 (Nat.succ (Rng.nat_bits rng b)) ~m:pub.n3
+
+let encrypt rng pub x = Modular.mul (g_pow pub x) (noise rng pub) ~m:pub.n3
+
+let trivial pub x = g_pow pub x
+
+let encrypt_layered rng pub inner = encrypt rng pub (Paillier.to_nat inner)
+
+let decrypt sk c =
+  let pub = sk.pub in
+  (* c^d = (1+n)^m mod n^3; recover m = m0 + n*m1 digit by digit. *)
+  let u = Modular.pow c sk.d ~m:pub.n3 in
+  let t = Nat.div (Nat.pred u) pub.n in
+  (* t = m + C(m,2)*n (mod n^2) *)
+  let t = Nat.rem t pub.n2 in
+  let m0 = Nat.rem t pub.n in
+  let binom = Nat.rem (Nat.shift_right (Nat.mul m0 (if Nat.is_zero m0 then Nat.zero else Nat.pred m0)) 1) pub.n in
+  let hi = Nat.div (Nat.sub t m0) pub.n in
+  let m1 = Modular.sub (Nat.rem hi pub.n) binom ~m:pub.n in
+  Nat.add m0 (Nat.mul pub.n m1)
+
+let decrypt_layered sk ppub c = Paillier.of_nat ppub (decrypt sk c)
+let add pub a b = Modular.mul a b ~m:pub.n3
+let scalar_mul pub c k = Modular.pow c (Nat.rem k pub.n2) ~m:pub.n3
+let scalar_mul_ct pub c inner = scalar_mul pub c (Paillier.to_nat inner)
+let neg pub c = Modular.pow c (Nat.pred pub.n2) ~m:pub.n3
+let sub pub a b = add pub a (neg pub b)
+
+let rerandomize rng pub c = Modular.mul c (noise rng pub) ~m:pub.n3
+
+let to_nat c = c
+
+let of_nat pub c =
+  if Nat.compare c pub.n3 >= 0 then invalid_arg "Damgard_jurik.of_nat: out of range";
+  c
+
+let ciphertext_bytes pub = (Nat.bit_length pub.n3 + 7) / 8
+let equal_ct = Nat.equal

@@ -1,0 +1,60 @@
+(** Damgård–Jurik generalised Paillier (PKC'01) with [s = 2].
+
+    Plaintext space [Z_{n^2}], ciphertext space [Z_{n^3}^*]. Because a
+    Paillier ciphertext is an element of [Z_{n^2}], a DJ ciphertext can
+    carry a Paillier ciphertext as its plaintext — the "layered"
+    encryption [E2(Enc(m))] the paper builds RecoverEnc, SecWorst, SecBest
+    and SecUpdate on. The single homomorphic property the construction
+    relies on (Section 3.3) is
+
+    [scalar_mul (enc2 x) y ~ enc2 (x * y mod n^2)]
+
+    so that [E2(Enc(a))^(Enc(b)) = E2(Enc(a) * Enc(b)) = E2(Enc(a+b))]. *)
+
+open Bignum
+
+type public = private {
+  n : Nat.t;
+  n2 : Nat.t;
+  n3 : Nat.t;
+  h2 : Nat.t;  (** fixed random n^2-th residue, base for shortened noise *)
+  rand_bits : int option;  (** inherited from the Paillier public key *)
+}
+type secret
+type ciphertext = private Nat.t
+
+(** Derive DJ keys from a Paillier key pair (same [n]). *)
+val of_paillier : Paillier.public -> Paillier.secret option -> public * secret option
+
+val public_of_paillier : Paillier.public -> public
+
+(** [encrypt rng pub x] encrypts [x mod n^2]: [(1+n)^x * r^(n^2) mod n^3]. *)
+val encrypt : Rng.t -> public -> Nat.t -> ciphertext
+
+(** Encrypt a Paillier ciphertext as the DJ plaintext (layered). *)
+val encrypt_layered : Rng.t -> public -> Paillier.ciphertext -> ciphertext
+
+val decrypt : secret -> ciphertext -> Nat.t
+
+(** Decrypt the outer DJ layer, recovering the inner Paillier ciphertext. *)
+val decrypt_layered : secret -> Paillier.public -> ciphertext -> Paillier.ciphertext
+
+val add : public -> ciphertext -> ciphertext -> ciphertext
+val scalar_mul : public -> ciphertext -> Nat.t -> ciphertext
+
+(** [scalar_mul_ct pub c inner] is [c ^ (inner as integer)] — the layered
+    homomorphism with a Paillier ciphertext as scalar. *)
+val scalar_mul_ct : public -> ciphertext -> Paillier.ciphertext -> ciphertext
+
+val neg : public -> ciphertext -> ciphertext
+val sub : public -> ciphertext -> ciphertext -> ciphertext
+val rerandomize : Rng.t -> public -> ciphertext -> ciphertext
+
+(** Deterministic encryption with unit randomness — for homomorphic
+    constants whose value is blinded downstream; NOT semantically secure
+    on its own. *)
+val trivial : public -> Bignum.Nat.t -> ciphertext
+val to_nat : ciphertext -> Nat.t
+val of_nat : public -> Nat.t -> ciphertext
+val ciphertext_bytes : public -> int
+val equal_ct : ciphertext -> ciphertext -> bool

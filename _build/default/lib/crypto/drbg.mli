@@ -1,0 +1,14 @@
+(** Deterministic random bit generator: HMAC-DRBG with SHA-256
+    (NIST SP 800-90A), without prediction-resistance reseeding. *)
+
+type t
+
+(** [create ~seed] instantiates from arbitrary entropy input. Distinct seeds
+    yield independent streams; the same seed reproduces the same stream. *)
+val create : seed:string -> t
+
+(** [generate t n] produces [n] pseudo-random bytes and advances the state. *)
+val generate : t -> int -> string
+
+(** Mix additional entropy into the state. *)
+val reseed : t -> string -> unit

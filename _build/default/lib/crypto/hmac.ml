@@ -1,0 +1,11 @@
+let xor_pad key byte =
+  let b = Bytes.make Sha256.block_size (Char.chr byte) in
+  String.iteri (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor byte))) key;
+  Bytes.to_string b
+
+let mac ~key msg =
+  let key = if String.length key > Sha256.block_size then Sha256.digest key else key in
+  let inner = Sha256.digest (xor_pad key 0x36 ^ msg) in
+  Sha256.digest (xor_pad key 0x5c ^ inner)
+
+let mac_hex ~key msg = Sha256.hex (mac ~key msg)

@@ -1,0 +1,6 @@
+(** HMAC-SHA-256 (RFC 2104 / FIPS 198-1). *)
+
+(** [mac ~key msg] is the 32-byte HMAC-SHA-256 tag. *)
+val mac : key:string -> string -> string
+
+val mac_hex : key:string -> string -> string

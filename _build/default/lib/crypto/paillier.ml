@@ -1,0 +1,94 @@
+open Bignum
+
+type public = {
+  n : Nat.t;
+  n2 : Nat.t;
+  key_bits : int;
+  h : Nat.t;
+  rand_bits : int option;
+}
+
+type secret = {
+  pub : public;
+  p : Nat.t;
+  q : Nat.t;
+  lambda : Nat.t;
+  mu : Nat.t;
+}
+
+type ciphertext = Nat.t
+
+let keygen ?rand_bits rng ~bits =
+  if bits < 16 then invalid_arg "Paillier.keygen: modulus too small";
+  let half = bits / 2 in
+  let rand_below = Rng.nat_below rng in
+  let rec gen () =
+    let p = Prime.gen_prime ~bits:half ~rand_below () in
+    let q = Prime.gen_prime ~bits:(bits - half) ~rand_below () in
+    if Nat.equal p q then gen ()
+    else begin
+      let n = Nat.mul p q in
+      let lambda = Modular.lcm (Nat.pred p) (Nat.pred q) in
+      (* require gcd(n, lambda) = 1 so that mu exists; holds for random
+         distinct primes but regenerate defensively *)
+      if Nat.bit_length n <> bits || not (Nat.is_one (Modular.gcd n lambda)) then gen ()
+      else (p, q, n, lambda)
+    end
+  in
+  let p, q, n, lambda = gen () in
+  let n2 = Nat.mul n n in
+  let mu = Modular.inv (Nat.rem lambda n) ~m:n in
+  let h = Modular.pow (Rng.unit_mod rng n) n ~m:n2 in
+  let pub = { n; n2; key_bits = bits; h; rand_bits } in
+  (pub, { pub; p; q; lambda; mu })
+
+let public_of_secret sk = sk.pub
+let secret_params sk = (sk.p, sk.q, sk.lambda)
+
+let with_rand_bits pub rb = { pub with rand_bits = rb }
+
+let noise rng pub =
+  match pub.rand_bits with
+  | None -> Modular.pow (Rng.unit_mod rng pub.n) pub.n ~m:pub.n2
+  | Some b -> Modular.pow pub.h (Nat.succ (Rng.nat_bits rng b)) ~m:pub.n2
+
+let encrypt rng pub m =
+  let m = Nat.rem m pub.n in
+  let gm = Nat.rem (Nat.succ (Nat.mul m pub.n)) pub.n2 in
+  Modular.mul gm (noise rng pub) ~m:pub.n2
+
+let encrypt_int rng pub m =
+  if m < 0 then invalid_arg "Paillier.encrypt_int: negative (use Nat encoding)";
+  encrypt rng pub (Nat.of_int m)
+
+let decrypt sk c =
+  let pub = sk.pub in
+  let u = Modular.pow c sk.lambda ~m:pub.n2 in
+  (* L(u) = (u - 1) / n *)
+  let l = Nat.div (Nat.pred u) pub.n in
+  Modular.mul l sk.mu ~m:pub.n
+
+let decrypt_signed sk c =
+  let m = decrypt sk c in
+  let half = Nat.shift_right sk.pub.n 1 in
+  if Nat.compare m half > 0 then Bigint.neg (Bigint.of_nat (Nat.sub sk.pub.n m))
+  else Bigint.of_nat m
+
+let add pub a b = Modular.mul a b ~m:pub.n2
+let scalar_mul pub c k = Modular.pow c (Nat.rem k pub.n) ~m:pub.n2
+let neg pub c = Modular.pow c (Nat.pred pub.n) ~m:pub.n2
+let sub pub a b = add pub a (neg pub b)
+
+let rerandomize rng pub c = Modular.mul c (noise rng pub) ~m:pub.n2
+
+let trivial pub m = Nat.rem (Nat.succ (Nat.mul (Nat.rem m pub.n) pub.n)) pub.n2
+let to_nat c = c
+
+let of_nat pub c =
+  if Nat.compare c pub.n2 >= 0 then invalid_arg "Paillier.of_nat: out of range";
+  c
+
+let ciphertext_bytes pub = (Nat.bit_length pub.n2 + 7) / 8
+let plaintext_bytes pub = (Nat.bit_length pub.n + 7) / 8
+let equal_ct = Nat.equal
+let pp_ct = Nat.pp

@@ -1,0 +1,22 @@
+open Bignum
+
+type key = string
+
+let gen_keys rng s = List.init s (fun _ -> Rng.bytes rng 32)
+
+let expand ~key msg nbytes =
+  let buf = Buffer.create nbytes in
+  let ctr = ref 0 in
+  while Buffer.length buf < nbytes do
+    Buffer.add_string buf (Hmac.mac ~key (Printf.sprintf "%d|" !ctr ^ msg));
+    incr ctr
+  done;
+  Buffer.sub buf 0 nbytes
+
+let to_nat_mod ~key msg ~m =
+  let width = (2 * Nat.bit_length m / 8) + 2 in
+  Nat.rem (Nat.of_bytes (expand ~key msg width)) m
+
+let to_index ~key msg ~buckets =
+  if buckets <= 0 then invalid_arg "Prf.to_index";
+  Nat.to_int (to_nat_mod ~key msg ~m:(Nat.of_int buckets))

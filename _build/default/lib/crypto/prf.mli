@@ -1,0 +1,17 @@
+(** Keyed pseudo-random functions built on HMAC-SHA-256, as used by the EHL
+    encodings (the paper instantiates its PRFs with HMAC-SHA-256). *)
+
+type key = string
+
+(** [gen_keys rng s] draws [s] independent 32-byte PRF keys. *)
+val gen_keys : Rng.t -> int -> key list
+
+(** [to_nat_mod ~key msg ~m] hashes [msg] under [key] into [Z_m] — the
+    EHL+ "securely hash the object into the group" step. The 256-bit HMAC
+    output is expanded (counter mode) to twice the modulus width before
+    reduction so the result is statistically close to uniform. *)
+val to_nat_mod : key:key -> string -> m:Bignum.Nat.t -> Bignum.Nat.t
+
+(** [to_index ~key msg ~buckets] hashes into [[0, buckets)] — the EHL
+    bit-list bucket choice. *)
+val to_index : key:key -> string -> buckets:int -> int

@@ -1,0 +1,65 @@
+open Bignum
+
+type t = Drbg.t
+
+let create ~seed = Drbg.create ~seed:("sectopk.rng:" ^ seed)
+
+let system () =
+  let entropy =
+    try
+      let ic = open_in_bin "/dev/urandom" in
+      let b = really_input_string ic 32 in
+      close_in ic;
+      b
+    with _ ->
+      Printf.sprintf "%d:%f:%d" (Unix.getpid ()) (Unix.gettimeofday ()) (Hashtbl.hash (Sys.getcwd ()))
+  in
+  Drbg.create ~seed:entropy
+
+let bytes t n = Drbg.generate t n
+
+let nat_bits t bits =
+  if bits <= 0 then Nat.zero
+  else begin
+    let nbytes = (bits + 7) / 8 in
+    let x = Nat.of_bytes (bytes t nbytes) in
+    Nat.shift_right x ((8 * nbytes) - bits)
+  end
+
+let nat_below t bound =
+  if Nat.is_zero bound then invalid_arg "Rng.nat_below: zero bound";
+  let bits = Nat.bit_length bound in
+  let rec go () =
+    let c = nat_bits t bits in
+    if Nat.compare c bound < 0 then c else go ()
+  in
+  go ()
+
+let unit_mod t n =
+  let rec go () =
+    let r = nat_below t n in
+    if (not (Nat.is_zero r)) && Nat.is_one (Modular.gcd r n) then r else go ()
+  in
+  go ()
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Rng.int_below: non-positive bound";
+  Nat.to_int (nat_below t (Nat.of_int bound))
+
+let bool t = Char.code (bytes t 1).[0] land 1 = 1
+
+let shuffle t arr =
+  let n = Array.length arr in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp;
+    let tp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tp
+  done;
+  perm
+
+let fork t ~label = Drbg.create ~seed:(bytes t 32 ^ "fork:" ^ label)

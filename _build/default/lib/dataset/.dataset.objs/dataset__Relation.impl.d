@@ -1,0 +1,1 @@
+lib/dataset/relation.ml: Array

@@ -1,0 +1,1 @@
+lib/dataset/sorted_lists.ml: Array Relation

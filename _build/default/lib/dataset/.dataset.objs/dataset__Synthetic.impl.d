@@ -1,0 +1,1 @@
+lib/dataset/synthetic.ml: Array Char Crypto Float Relation Rng String

@@ -1,0 +1,1 @@
+lib/dataset/uci_shape.ml: List Synthetic

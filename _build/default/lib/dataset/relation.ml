@@ -1,0 +1,28 @@
+type t = { name : string; attrs : int; rows : int array array }
+
+let create ~name rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Relation.create: empty";
+  let attrs = Array.length rows.(0) in
+  if attrs = 0 then invalid_arg "Relation.create: no attributes";
+  Array.iter
+    (fun r ->
+      if Array.length r <> attrs then invalid_arg "Relation.create: ragged rows";
+      Array.iter (fun v -> if v < 0 then invalid_arg "Relation.create: negative value") r)
+    rows;
+  { name; attrs; rows }
+
+let name t = t.name
+let n_rows t = Array.length t.rows
+let n_attrs t = t.attrs
+let value t ~row ~attr = t.rows.(row).(attr)
+let object_id _ i = "o" ^ string_of_int i
+let row t i = Array.copy t.rows.(i)
+
+let max_value t =
+  Array.fold_left (fun acc r -> Array.fold_left max acc r) 0 t.rows
+
+let fold_rows t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun i r -> acc := f !acc i r) t.rows;
+  !acc

@@ -1,0 +1,28 @@
+(** A database relation: [n] objects, each with [m] non-negative integer
+    attributes (the paper assumes numerical attributes; Section 3.1). *)
+
+type t
+
+(** [create ~name rows] where [rows.(i)] is object [i]'s attribute vector.
+    All rows must have equal, positive length; values must be
+    non-negative. *)
+val create : name:string -> int array array -> t
+
+val name : t -> string
+val n_rows : t -> int
+val n_attrs : t -> int
+
+(** [value t ~row ~attr]. *)
+val value : t -> row:int -> attr:int -> int
+
+(** Stable external identifier of object [row] ("o0", "o1", ...) — the
+    string hashed into EHL encodings. *)
+val object_id : t -> int -> string
+
+(** Row of an object. *)
+val row : t -> int -> int array
+
+(** Largest attribute value present (for score-domain sizing). *)
+val max_value : t -> int
+
+val fold_rows : t -> init:'a -> f:('a -> int -> int array -> 'a) -> 'a

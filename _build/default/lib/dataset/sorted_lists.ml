@@ -1,0 +1,20 @@
+type item = { oid : int; score : int }
+type t = { rel : Relation.t; lists : item array array }
+
+let of_relation rel =
+  let n = Relation.n_rows rel and m = Relation.n_attrs rel in
+  let lists =
+    Array.init m (fun attr ->
+        let l = Array.init n (fun oid -> { oid; score = Relation.value rel ~row:oid ~attr }) in
+        Array.sort
+          (fun a b -> if b.score <> a.score then compare b.score a.score else compare a.oid b.oid)
+          l;
+        l)
+  in
+  { rel; lists }
+
+let n_lists t = Array.length t.lists
+let depth t = Array.length t.lists.(0)
+let item t ~list ~depth = t.lists.(list).(depth)
+let list t i = Array.copy t.lists.(i)
+let relation t = t.rel

@@ -1,0 +1,20 @@
+(** Sorted-access view of a relation: one list per attribute, ordered by
+    descending local score — the input shape the NRA algorithm (and hence
+    SecTopK's Enc) consumes. Ties are broken by object id so the view is a
+    deterministic function of the relation. *)
+
+type item = { oid : int; score : int }
+
+type t
+
+val of_relation : Relation.t -> t
+val n_lists : t -> int
+val depth : t -> int
+
+(** [item t ~list ~depth] — the entry of list [list] at 0-based [depth]. *)
+val item : t -> list:int -> depth:int -> item
+
+(** Whole list [i], best-first. *)
+val list : t -> int -> item array
+
+val relation : t -> Relation.t

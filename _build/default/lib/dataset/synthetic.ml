@@ -1,0 +1,51 @@
+open Crypto
+
+type distribution =
+  | Uniform of { lo : int; hi : int }
+  | Gaussian of { mean : float; stddev : float; max_value : int }
+  | Zipf of { skew : float; max_value : int }
+  | Correlated of { base : distribution; noise : int }
+
+let uniform_float rng =
+  (* 53 uniformly random bits into [0,1) *)
+  let b = Rng.bytes rng 7 in
+  let acc = ref 0 in
+  String.iter (fun c -> acc := (!acc lsl 8) lor Char.code c) b;
+  float_of_int (!acc land ((1 lsl 53) - 1)) /. float_of_int (1 lsl 53)
+
+let gaussian_float rng =
+  (* Box-Muller *)
+  let u1 = max 1e-12 (uniform_float rng) and u2 = uniform_float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let rec draw rng = function
+  | Uniform { lo; hi } ->
+    if hi < lo then invalid_arg "Synthetic: hi < lo";
+    lo + Rng.int_below rng (hi - lo + 1)
+  | Gaussian { mean; stddev; max_value } ->
+    let v = int_of_float (Float.round (mean +. (stddev *. gaussian_float rng))) in
+    max 0 (min max_value v)
+  | Zipf { skew; max_value } ->
+    (* inverse-CDF sampling of a bounded Pareto-like rank *)
+    let u = max 1e-12 (uniform_float rng) in
+    let v = int_of_float (float_of_int max_value *. (u ** skew)) in
+    max 0 (min max_value v)
+  | Correlated { base; noise } ->
+    let b = draw rng base in
+    max 0 (b - noise + Rng.int_below rng ((2 * noise) + 1))
+
+let generate ~seed ~name ~rows ~attrs dist =
+  let rng = Rng.create ~seed:("synthetic:" ^ seed ^ ":" ^ name) in
+  let data =
+    Array.init rows (fun _ ->
+        match dist with
+        | Correlated { base; noise } ->
+          let b = draw rng base in
+          Array.init attrs (fun _ -> max 0 (b - noise + Rng.int_below rng ((2 * noise) + 1)))
+        | d -> Array.init attrs (fun _ -> draw rng d))
+  in
+  Relation.create ~name data
+
+let paper_synthetic ~seed ~rows =
+  generate ~seed ~name:"synthetic" ~rows ~attrs:10
+    (Gaussian { mean = 500.; stddev = 150.; max_value = 1000 })

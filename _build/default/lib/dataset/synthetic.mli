@@ -1,0 +1,21 @@
+(** Synthetic workload generators. All values are drawn from a seeded
+    {!Crypto.Rng} so a given configuration reproduces the same relation. *)
+
+type distribution =
+  | Uniform of { lo : int; hi : int }
+      (** Independent uniform values in [[lo, hi]]. *)
+  | Gaussian of { mean : float; stddev : float; max_value : int }
+      (** Truncated/rounded normal, clamped to [[0, max_value]] — the
+          paper's [synthetic] dataset uses Gaussian attributes. *)
+  | Zipf of { skew : float; max_value : int }
+      (** Zipf-ranked values: few large scores, long tail. *)
+  | Correlated of { base : distribution; noise : int }
+      (** All attributes equal a per-row draw from [base] plus uniform
+          noise in [[-noise, +noise]] (clamped at 0) — stresses NRA's
+          early-halt behaviour. *)
+
+val generate : seed:string -> name:string -> rows:int -> attrs:int -> distribution -> Relation.t
+
+(** The paper's [synthetic] dataset shape (Gaussian, 10 attributes),
+    scaled to [rows]. *)
+val paper_synthetic : seed:string -> rows:int -> Relation.t

@@ -1,0 +1,27 @@
+type spec = { name : string; full_rows : int; attrs : int }
+
+let insurance_spec = { name = "insurance"; full_rows = 5822; attrs = 13 }
+let diabetes_spec = { name = "diabetes"; full_rows = 101767; attrs = 10 }
+let pamap_spec = { name = "pamap"; full_rows = 376416; attrs = 15 }
+let all_specs = [ insurance_spec; diabetes_spec; pamap_spec ]
+
+(* Value model per dataset family:
+   - insurance: small categorical/ordinal ranges (0..40) with heavy ties,
+   - diabetes: counts and codes (0..120) with moderate ties,
+   - pamap: sensor readings, wide quasi-continuous range (0..5000). *)
+let distribution_of spec : Synthetic.distribution =
+  match spec.name with
+  | "insurance" -> Synthetic.Zipf { skew = 1.2; max_value = 40 }
+  | "diabetes" -> Synthetic.Gaussian { mean = 45.; stddev = 25.; max_value = 120 }
+  | "pamap" -> Synthetic.Gaussian { mean = 2400.; stddev = 900.; max_value = 5000 }
+  | _ -> Synthetic.Uniform { lo = 0; hi = 1000 }
+
+let load spec ~seed ~scale =
+  if scale <= 0. || scale > 1. then invalid_arg "Uci_shape.load: scale must be in (0,1]";
+  let rows = max 1 (int_of_float (ceil (scale *. float_of_int spec.full_rows))) in
+  Synthetic.generate ~seed ~name:spec.name ~rows ~attrs:spec.attrs (distribution_of spec)
+
+let evaluation_suite ~seed ~scale =
+  let uci = List.map (fun spec -> load spec ~seed ~scale) all_specs in
+  let syn_rows = max 1 (int_of_float (ceil (scale *. 1_000_000.))) in
+  uci @ [ Synthetic.paper_synthetic ~seed ~rows:syn_rows ]

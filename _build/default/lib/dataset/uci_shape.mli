@@ -1,0 +1,24 @@
+(** Simulacra of the paper's UCI evaluation datasets.
+
+    The raw UCI files are not available in this sealed environment, so each
+    generator reproduces the *shape* that drives SecTopK performance: row
+    count, attribute count, value ranges, and duplicate/skew structure
+    (see DESIGN.md, substitution table). [scale] in (0, 1] shrinks the row
+    count proportionally for affordable encrypted-query benchmarks. *)
+
+type spec = { name : string; full_rows : int; attrs : int }
+
+val insurance_spec : spec (* 5822 x 13  - COIL insurance benchmark *)
+val diabetes_spec : spec (* 101767 x 10 - hospital readmission records *)
+val pamap_spec : spec (* 376416 x 15 - physical activity monitoring *)
+
+val all_specs : spec list
+
+(** [load spec ~seed ~scale] materialises a synthetic relation with the
+    spec's schema and [ceil (scale * full_rows)] rows. *)
+val load : spec -> seed:string -> scale:float -> Relation.t
+
+(** The four evaluation datasets of Section 11 (the three UCI shapes plus
+    the Gaussian synthetic), at the given scale (synthetic full size = 1M
+    rows). *)
+val evaluation_suite : seed:string -> scale:float -> Relation.t list

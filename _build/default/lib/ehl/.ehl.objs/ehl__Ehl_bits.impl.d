@@ -1,0 +1,1 @@
+lib/ehl/ehl_bits.ml: Array Bignum Crypto List Nat Paillier Prf Rng

@@ -1,0 +1,1 @@
+lib/ehl/ehl_bits.mli: Crypto Paillier Prf Rng

@@ -1,0 +1,1 @@
+lib/ehl/ehl_plus.ml: Array Bignum Crypto List Nat Paillier Prf Rng

@@ -1,0 +1,1 @@
+lib/ehl/ehl_plus.mli: Crypto Paillier Prf Rng

@@ -1,0 +1,36 @@
+open Bignum
+open Crypto
+
+type params = { h : int; s : int }
+type t = Paillier.ciphertext array
+
+let default_params = { h = 23; s = 5 }
+
+let encode rng pub ~keys ~params id =
+  if List.length keys <> params.s then invalid_arg "Ehl_bits.encode: wrong number of keys";
+  let bits = Array.make params.h 0 in
+  List.iter (fun key -> bits.(Prf.to_index ~key id ~buckets:params.h) <- 1) keys;
+  Array.map (fun b -> Paillier.encrypt rng pub (Nat.of_int b)) bits
+
+let diff ?blind_bits rng pub (a : t) (b : t) =
+  if Array.length a <> Array.length b then invalid_arg "Ehl_bits.diff: length mismatch";
+  let blind () =
+    match blind_bits with
+    | None -> Rng.unit_mod rng pub.Paillier.n
+    | Some bits -> Nat.succ (Rng.nat_bits rng bits)
+  in
+  let acc = ref (Paillier.trivial pub Nat.zero) in
+  for i = 0 to Array.length a - 1 do
+    let d = Paillier.sub pub a.(i) b.(i) in
+    acc := Paillier.add pub !acc (Paillier.scalar_mul pub d (blind ()))
+  done;
+  !acc
+
+let rerandomize rng pub t = Array.map (Paillier.rerandomize rng pub) t
+let size_bytes pub t = Array.length t * Paillier.ciphertext_bytes pub
+let length = Array.length
+
+let false_positive_rate { h; s } =
+  (1. -. exp (-.float_of_int s /. float_of_int h)) ** float_of_int s
+
+let cells t = t

@@ -1,0 +1,49 @@
+(** Encrypted Hash List — the paper's Section 5 bit-list structure.
+
+    An object is hashed by [s] HMAC PRFs into a length-[h] bit list (a
+    Bloom-filter row), and every bit is Paillier-encrypted. The homomorphic
+    difference [diff] of two lists is an encryption of [0] when the objects
+    are (probably) equal and of a uniformly random group element otherwise
+    (Lemma 5.2). False-positive rate matches a Bloom filter:
+    [(1 - e^(-s/h))^s] per comparison.
+
+    The compact production variant is {!Ehl_plus}; this module exists to
+    reproduce the EHL-vs-EHL+ comparison (Fig. 7/8) and for completeness. *)
+
+open Crypto
+
+type params = { h : int; s : int }
+(** [h] — list length; [s] — number of PRFs. *)
+
+type t
+(** [h] Paillier ciphertexts, each encrypting a bit. *)
+
+val default_params : params
+(** The paper's experimental setting: [h = 23], [s = 5]. *)
+
+(** [encode rng pub ~keys ~params id] builds EHL(id). [keys] must have
+    exactly [params.s] elements. *)
+val encode : Rng.t -> Paillier.public -> keys:Prf.key list -> params:params -> string -> t
+
+(** The ⊖ operation (Equation 1): [diff rng pub a b] is [Enc(0)] if the
+    encoded objects are equal, otherwise an encryption of a (with high
+    probability non-zero) random element of [Z_n]. [blind_bits] bounds the
+    random exponents [r_i] (default: full [Z_n] width as in the paper;
+    benches may shrink it — see DESIGN.md). *)
+val diff : ?blind_bits:int -> Rng.t -> Paillier.public -> t -> t -> Paillier.ciphertext
+
+(** Re-encrypt every entry (fresh randomness, same bits). *)
+val rerandomize : Rng.t -> Paillier.public -> t -> t
+
+(** Serialized size in bytes. *)
+val size_bytes : Paillier.public -> t -> int
+
+(** Number of ciphertexts stored ([h]). *)
+val length : t -> int
+
+(** Analytic false-positive rate for one comparison given [params]
+    (Bloom-filter formula [(1 - e^(-s/h))^s]). *)
+val false_positive_rate : params -> float
+
+(** Internal ciphertexts, exposed for tests and size accounting. *)
+val cells : t -> Paillier.ciphertext array

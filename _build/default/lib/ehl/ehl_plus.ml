@@ -1,0 +1,39 @@
+open Bignum
+open Crypto
+
+type t = Paillier.ciphertext array
+
+let encode rng pub ~keys id =
+  keys
+  |> List.map (fun key -> Paillier.encrypt rng pub (Prf.to_nat_mod ~key id ~m:pub.Paillier.n))
+  |> Array.of_list
+
+let diff ?blind_bits rng pub (a : t) (b : t) =
+  if Array.length a <> Array.length b then invalid_arg "Ehl_plus.diff: length mismatch";
+  let blind () =
+    match blind_bits with
+    | None -> Rng.unit_mod rng pub.Paillier.n
+    | Some bits -> Nat.succ (Rng.nat_bits rng bits)
+  in
+  let acc = ref (Paillier.trivial pub Nat.zero) in
+  for i = 0 to Array.length a - 1 do
+    let d = Paillier.sub pub a.(i) b.(i) in
+    acc := Paillier.add pub !acc (Paillier.scalar_mul pub d (blind ()))
+  done;
+  !acc
+
+let mask pub (e : t) encs =
+  if Array.length e <> Array.length encs then invalid_arg "Ehl_plus.mask: length mismatch";
+  Array.mapi (fun i c -> Paillier.add pub c encs.(i)) e
+
+let rerandomize rng pub t = Array.map (Paillier.rerandomize rng pub) t
+let size_bytes pub t = Array.length t * Paillier.ciphertext_bytes pub
+let length = Array.length
+
+let false_positive_rate pub ~s ~rows =
+  let log2_n = float_of_int (Nat.bit_length pub.Paillier.n) in
+  let log2_fpr = (2. *. log (float_of_int rows) /. log 2.) -. (float_of_int s *. log2_n) in
+  2. ** log2_fpr
+
+let cells t = t
+let of_cells c = c

@@ -1,0 +1,1 @@
+lib/join/join_scheme.ml: Array Bignum Crypto Dataset Ehl List Paillier Prf Prp Relation Rng

@@ -1,0 +1,1 @@
+lib/join/join_scheme.mli: Crypto Dataset Ehl Paillier Prf Relation Rng

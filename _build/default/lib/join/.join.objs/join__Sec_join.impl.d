@@ -1,0 +1,1 @@
+lib/join/sec_join.ml: Array Bigint Bignum Channel Crypto Ctx Ehl Enc_compare Gadgets Join_scheme List Modular Nat Paillier Proto Rng Trace

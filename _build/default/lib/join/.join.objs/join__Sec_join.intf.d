@@ -1,0 +1,1 @@
+lib/join/sec_join.mli: Crypto Join_scheme Paillier Proto

@@ -1,0 +1,77 @@
+open Crypto
+open Dataset
+
+type secret_key = { prp_key : string; ehl_keys : Prf.key list; s : int }
+type enc_tuple = { cells : (Ehl.Ehl_plus.t * Paillier.ciphertext) array }
+type enc_relation = { tuples : enc_tuple array; m : int; rel_tag : string }
+
+let encrypt_one rng pub ~ehl_keys ~prp_key ~tag rel =
+  let m = Relation.n_attrs rel in
+  let prp = Prp.create ~key:(prp_key ^ ":" ^ tag) ~domain:m in
+  let tuples =
+    Array.init (Relation.n_rows rel) (fun row ->
+        let cells =
+          Array.init m (fun permuted ->
+              let attr = Prp.invert prp permuted in
+              let v = Relation.value rel ~row ~attr in
+              (* values are hashed as strings; equal values collide across
+                 relations, which is exactly the equi-join predicate *)
+              ( Ehl.Ehl_plus.encode rng pub ~keys:ehl_keys ("v" ^ string_of_int v),
+                Paillier.encrypt rng pub (Bignum.Nat.of_int v) ))
+        in
+        { cells })
+  in
+  { tuples; m; rel_tag = tag }
+
+let encrypt_pair ?(s = 4) rng pub r1 r2 =
+  let ehl_keys = Prf.gen_keys rng s in
+  let prp_key = Rng.bytes rng 32 in
+  let e1 = encrypt_one rng pub ~ehl_keys ~prp_key ~tag:"R1" r1 in
+  let e2 = encrypt_one rng pub ~ehl_keys ~prp_key ~tag:"R2" r2 in
+  ((e1, e2), { prp_key; ehl_keys; s })
+
+let sort_rows_desc rel ~attr =
+  let rows = Array.init (Relation.n_rows rel) (fun i -> Relation.row rel i) in
+  Array.sort (fun a b -> compare b.(attr) a.(attr)) rows;
+  Relation.create ~name:(Relation.name rel) rows
+
+let encrypt_pair_sorted ?(s = 4) rng pub ~score1 ~score2 r1 r2 =
+  let ehl_keys = Prf.gen_keys rng s in
+  let prp_key = Rng.bytes rng 32 in
+  let e1 = encrypt_one rng pub ~ehl_keys ~prp_key ~tag:"R1" (sort_rows_desc r1 ~attr:score1) in
+  let e2 = encrypt_one rng pub ~ehl_keys ~prp_key ~tag:"R2" (sort_rows_desc r2 ~attr:score2) in
+  ((e1, e2), { prp_key; ehl_keys; s })
+
+let encrypt_all ?(s = 4) rng pub rels =
+  if rels = [] then invalid_arg "Join_scheme.encrypt_all: no relations";
+  let ehl_keys = Prf.gen_keys rng s in
+  let prp_key = Rng.bytes rng 32 in
+  let encs =
+    List.mapi
+      (fun i rel -> encrypt_one rng pub ~ehl_keys ~prp_key ~tag:("R" ^ string_of_int (i + 1)) rel)
+      rels
+  in
+  (encs, { prp_key; ehl_keys; s })
+
+type token = {
+  join_left : int;
+  join_right : int;
+  score_left : int;
+  score_right : int;
+  k : int;
+}
+
+let token key ~m1 ~m2 ~join:(a, b) ~score:(c, d) ~k =
+  if k <= 0 then invalid_arg "Join_scheme.token: k <= 0";
+  let p1 = Prp.create ~key:(key.prp_key ^ ":R1") ~domain:m1 in
+  let p2 = Prp.create ~key:(key.prp_key ^ ":R2") ~domain:m2 in
+  {
+    join_left = Prp.apply p1 a;
+    join_right = Prp.apply p2 b;
+    score_left = Prp.apply p1 c;
+    score_right = Prp.apply p2 d;
+    k;
+  }
+
+let attr_position key ~rel_tag ~m attr =
+  Prp.apply (Prp.create ~key:(key.prp_key ^ ":" ^ rel_tag) ~domain:m) attr

@@ -1,0 +1,60 @@
+(** Encryption setup for top-k joins over multiple relations
+    (Section 12.2, Algorithm 10).
+
+    Unlike the single-relation scheme, every {e attribute value} gets an
+    EHL encoding (the equi-join condition compares attribute values, not
+    object ids), next to its Paillier encryption. Attribute positions are
+    shuffled per relation by a keyed PRP; the client's token maps the
+    queried attributes through it. *)
+
+open Crypto
+open Dataset
+
+type secret_key = { prp_key : string; ehl_keys : Prf.key list; s : int }
+
+type enc_tuple = { cells : (Ehl.Ehl_plus.t * Paillier.ciphertext) array }
+
+type enc_relation = { tuples : enc_tuple array; m : int; rel_tag : string }
+
+(** [encrypt_pair rng pub r1 r2] encrypts both relations under one key set
+    (Algorithm 10). *)
+val encrypt_pair :
+  ?s:int -> Rng.t -> Paillier.public -> Relation.t -> Relation.t ->
+  (enc_relation * enc_relation) * secret_key
+
+(** [encrypt_pair_sorted rng pub ~score1 ~score2 r1 r2] — like
+    {!encrypt_pair}, but each relation's tuples are stored in descending
+    order of its score attribute. This is the paper's future-work
+    optimization ("one can also pre-sort the attributes to be ranked and
+    save computations in the join processing"): {!Sec_join.top_k_sorted}
+    explores pair diagonals best-score-first and halts early. The sort
+    order of tuples is public by design, exactly like the sorted lists of
+    the single-relation scheme. *)
+val encrypt_pair_sorted :
+  ?s:int -> Rng.t -> Paillier.public -> score1:int -> score2:int -> Relation.t -> Relation.t ->
+  (enc_relation * enc_relation) * secret_key
+
+(** [encrypt_all rng pub rels] — the L-relation generalization the paper
+    sketches in Section 12 ("given a set of relations R1, ..., RL");
+    relations are tagged "R1".."RL". *)
+val encrypt_all :
+  ?s:int -> Rng.t -> Paillier.public -> Relation.t list -> enc_relation list * secret_key
+
+type token = {
+  join_left : int;  (** permuted index of R1's join attribute [t1] *)
+  join_right : int;  (** permuted index of R2's join attribute [t2] *)
+  score_left : int;  (** permuted index of R1's score attribute [t3] *)
+  score_right : int;  (** permuted index of R2's score attribute [t4] *)
+  k : int;
+}
+
+(** [token key ~m1 ~m2 ~join:(a, b) ~score:(c, d) ~k] — the client side of
+    Section 12.3 for query
+    [SELECT * FROM R1, R2 WHERE R1.a = R2.b ORDER BY R1.c + R2.d STOP AFTER k]. *)
+val token :
+  secret_key -> m1:int -> m2:int -> join:int * int -> score:int * int -> k:int -> token
+
+(** [attr_position key ~rel_tag ~m attr] — where attribute [attr] of the
+    relation tagged [rel_tag] ("R1"/"R2") sits after the keyed permutation;
+    how a client reads fields out of a returned joined tuple. *)
+val attr_position : secret_key -> rel_tag:string -> m:int -> int -> int

@@ -1,0 +1,390 @@
+open Bignum
+open Crypto
+open Proto
+
+type joined = { score : Paillier.ciphertext; attrs : Paillier.ciphertext array }
+
+let protocol = "SecJoin"
+
+let combine (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_scheme.enc_relation)
+    (tk : Join_scheme.token) =
+  let s1 = ctx.Ctx.s1 in
+  let pub = s1.Ctx.pub in
+  let pairs = ref [] in
+  Array.iter
+    (fun (t1 : Join_scheme.enc_tuple) ->
+      Array.iter (fun (t2 : Join_scheme.enc_tuple) -> pairs := (t1, t2) :: !pairs) e2.Join_scheme.tuples)
+    e1.Join_scheme.tuples;
+  let pairs = Array.of_list !pairs in
+  ignore (Rng.shuffle s1.Ctx.rng pairs);
+  (* one equality round over the whole grid: the join predicate bits *)
+  let diffs =
+    Array.to_list
+      (Array.map
+         (fun ((t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple)) ->
+           let ehl_l, _ = t1.Join_scheme.cells.(tk.Join_scheme.join_left) in
+           let ehl_r, _ = t2.Join_scheme.cells.(tk.Join_scheme.join_right) in
+           Ehl.Ehl_plus.diff ?blind_bits:s1.Ctx.blind_bits s1.Ctx.rng pub ehl_l ehl_r)
+         pairs)
+  in
+  let ts = Gadgets.equality_round ctx ~protocol diffs in
+  let zero = Gadgets.enc_zero s1 in
+  List.map2
+    (fun t ((t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple)) ->
+      let _, score_l = t1.Join_scheme.cells.(tk.Join_scheme.score_left) in
+      let _, score_r = t2.Join_scheme.cells.(tk.Join_scheme.score_right) in
+      (* s = t * (score_l + score_r + 1): the +1 keeps all-zero scores of
+         genuine matches alive through SecFilter *)
+      let total =
+        Paillier.add pub (Paillier.add pub score_l score_r) (Paillier.encrypt s1.Ctx.rng pub Nat.one)
+      in
+      let score = Gadgets.select_recover ctx ~protocol ~t ~if_one:total ~if_zero:zero in
+      let carried =
+        Array.append
+          (Array.map snd t1.Join_scheme.cells)
+          (Array.map snd t2.Join_scheme.cells)
+      in
+      let attrs =
+        Array.map
+          (fun x -> Gadgets.select_recover ctx ~protocol ~t ~if_one:x ~if_zero:zero)
+          carried
+      in
+      { score; attrs })
+    ts (Array.to_list pairs)
+
+let filter_protocol = "SecFilter"
+
+let filter (ctx : Ctx.t) tuples =
+  match tuples with
+  | [] -> []
+  | _ ->
+    let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+    let pub = s1.Ctx.pub in
+    let n = pub.Paillier.n in
+    let own = s1.Ctx.own_pub in
+    (* --- S1: multiplicative blind on scores (0 stays 0), additive blind
+       on attributes; randomness escrowed under S1's own key --- *)
+    let blinded =
+      List.map
+        (fun { score; attrs } ->
+          let r = Rng.unit_mod s1.Ctx.rng n in
+          let rs = Array.map (fun _ -> Rng.nat_below s1.Ctx.rng n) attrs in
+          let score' = Paillier.scalar_mul pub score r in
+          let attrs' =
+            Array.mapi (fun i x -> Paillier.add pub x (Paillier.encrypt s1.Ctx.rng pub rs.(i))) attrs
+          in
+          let r_inv = Modular.inv r ~m:n in
+          (* multiplicative escrows are kept one-per-party: combining them
+             homomorphically would overflow the escrow modulus *)
+          let pack =
+            ( [ Paillier.encrypt s1.Ctx.rng own r_inv ],
+              Array.map (fun v -> Paillier.encrypt s1.Ctx.rng own v) rs )
+          in
+          ({ score = score'; attrs = attrs' }, pack))
+        tuples
+    in
+    let arr = Array.of_list blinded in
+    ignore (Rng.shuffle s1.Ctx.rng arr);
+    let ct = Paillier.ciphertext_bytes pub and own_ct = Paillier.ciphertext_bytes own in
+    let tuple_bytes (t : joined) = ct * (1 + Array.length t.attrs) in
+    Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:filter_protocol
+      ~bytes:(Array.fold_left (fun acc (t, (ris, rs)) -> acc + tuple_bytes t + own_ct * (List.length ris + Array.length rs)) 0 arr);
+    (* --- S2: decrypt blinded scores; drop zeros; re-blind survivors --- *)
+    let survivors =
+      Array.to_list arr
+      |> List.filter (fun ((t : joined), _) -> not (Nat.is_zero (Paillier.decrypt s2.Ctx.sk t.score)))
+    in
+    Trace.record s2.Ctx.trace (Trace.Count { protocol = filter_protocol; value = List.length survivors });
+    let reblinded =
+      List.map
+        (fun ((t : joined), (r_packs, rs_pack)) ->
+          let g = Rng.unit_mod s2.Ctx.rng2 n in
+          let gs = Array.map (fun _ -> Rng.nat_below s2.Ctx.rng2 n) t.attrs in
+          let score' = Paillier.scalar_mul pub t.score g in
+          let attrs' =
+            Array.mapi (fun i x -> Paillier.add pub x (Paillier.encrypt s2.Ctx.rng2 pub gs.(i))) t.attrs
+          in
+          let g_inv = Modular.inv g ~m:n in
+          (* escrow update: append Enc_pk'(g^-1); R~ = R + G *)
+          let r_packs' = Paillier.encrypt s2.Ctx.rng2 own g_inv :: r_packs in
+          let rs_pack' =
+            Array.mapi (fun i c -> Paillier.add own c (Paillier.encrypt s2.Ctx.rng2 own gs.(i))) rs_pack
+          in
+          ({ score = score'; attrs = attrs' }, (r_packs', rs_pack')))
+        survivors
+    in
+    let out = Array.of_list reblinded in
+    ignore (Rng.shuffle s2.Ctx.rng2 out);
+    Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:filter_protocol
+      ~bytes:(Array.fold_left (fun acc (t, (ris, rs)) -> acc + tuple_bytes t + own_ct * (List.length ris + Array.length rs)) 0 out);
+    Channel.round_trip s1.Ctx.chan;
+    (* --- S1: strip both layers of blinding --- *)
+    Array.to_list out
+    |> List.map (fun ((t : joined), (r_packs, rs_pack)) ->
+           let r_total =
+             List.fold_left
+               (fun acc c -> Modular.mul acc (Nat.rem (Paillier.decrypt s1.Ctx.own_sk c) n) ~m:n)
+               Nat.one r_packs
+           in
+           let rs_total = Array.map (fun c -> Nat.rem (Paillier.decrypt s1.Ctx.own_sk c) n) rs_pack in
+           {
+             score = Paillier.scalar_mul pub t.score r_total;
+             attrs =
+               Array.mapi
+                 (fun i x -> Paillier.sub pub x (Paillier.encrypt s1.Ctx.rng pub rs_total.(i)))
+                 t.attrs;
+           })
+
+(* blinded descending sort by score through S2, as EncSort's one-round
+   strategy but over joined tuples *)
+let sort_desc (ctx : Ctx.t) tuples =
+  match tuples with
+  | [] | [ _ ] -> tuples
+  | _ ->
+    let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+    let pub = s1.Ctx.pub in
+    let rho = Gadgets.blind_scalar s1 in
+    let r = Rng.nat_bits s1.Ctx.rng 32 in
+    let arr = Array.of_list tuples in
+    ignore (Rng.shuffle s1.Ctx.rng arr);
+    let keyed =
+      Array.map
+        (fun t ->
+          ( Paillier.add pub (Paillier.scalar_mul pub t.score rho) (Paillier.encrypt s1.Ctx.rng pub r),
+            t ))
+        arr
+    in
+    let ct = Paillier.ciphertext_bytes pub in
+    Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:"EncSort"
+      ~bytes:(Array.fold_left (fun acc (_, t) -> acc + ct * (2 + Array.length t.attrs)) 0 keyed);
+    let decorated = Array.map (fun (k, t) -> (Paillier.decrypt_signed s2.Ctx.sk k, t)) keyed in
+    Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
+    Trace.record s2.Ctx.trace (Trace.Count { protocol = "EncSort"; value = Array.length decorated });
+    let out =
+      Array.map
+        (fun (_, t) ->
+          {
+            score = Paillier.rerandomize s2.Ctx.rng2 pub t.score;
+            attrs = Array.map (Paillier.rerandomize s2.Ctx.rng2 pub) t.attrs;
+          })
+        decorated
+    in
+    Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:"EncSort"
+      ~bytes:(Array.fold_left (fun acc t -> acc + ct * (1 + Array.length t.attrs)) 0 out);
+    Channel.round_trip s1.Ctx.chan;
+    Array.to_list out
+
+let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+
+let top_k ctx e1 e2 tk =
+  let combined = combine ctx e1 e2 tk in
+  let surviving = filter ctx combined in
+  (* remove the +1 score offset added by [combine] *)
+  let s1 = ctx.Ctx.s1 in
+  let unoffset =
+    List.map
+      (fun t ->
+        { t with score = Paillier.sub s1.Ctx.pub t.score (Paillier.encrypt s1.Ctx.rng s1.Ctx.pub Nat.one) })
+      surviving
+  in
+  take tk.Join_scheme.k (sort_desc ctx unoffset)
+
+(* ---------------- multi-way join (Section 12's L-relation sketch) ----
+
+   The predicate of an L-way chain equi-join is a conjunction of L-1
+   pairwise conditions; S1 evaluates the EHL difference of each condition
+   on every tuple combination of the cross product and S2 returns one
+   E2(verdict) per combination through [Gadgets.conjunction_round]. Scores
+   and carried attributes are then selected exactly as in the binary
+   operator. Cross products grow multiplicatively, so this is practical
+   for small L / scaled relations — the same nested-loop generality the
+   paper sketches. *)
+
+type multi_spec = {
+  chain : (int * int) list;
+      (* (attr of R_i, attr of R_{i+1}) - permuted indices, length L-1 *)
+  score_attrs : int list; (* one permuted score attribute per relation *)
+  k : int;
+}
+
+let spec_of_token key ~ms ~chain ~score_attrs ~k =
+  let pos i attr =
+    Join_scheme.attr_position key ~rel_tag:("R" ^ string_of_int (i + 1)) ~m:(List.nth ms i) attr
+  in
+  {
+    chain = List.mapi (fun i (a, b) -> (pos i a, pos (i + 1) b)) chain;
+    score_attrs = List.mapi pos score_attrs;
+    k;
+  }
+
+let cross_product (rels : Join_scheme.enc_relation list) =
+  List.fold_left
+    (fun acc (r : Join_scheme.enc_relation) ->
+      List.concat_map
+        (fun combo -> Array.to_list (Array.map (fun t -> t :: combo) r.Join_scheme.tuples))
+        acc)
+    [ [] ] rels
+  |> List.map List.rev
+
+let combine_multi (ctx : Ctx.t) rels (spec : multi_spec) =
+  let s1 = ctx.Ctx.s1 in
+  let pub = s1.Ctx.pub in
+  let combos = Array.of_list (cross_product rels) in
+  ignore (Rng.shuffle s1.Ctx.rng combos);
+  let groups =
+    Array.to_list
+      (Array.map
+         (fun combo ->
+           let arr = Array.of_list combo in
+           List.mapi
+             (fun i (al, ar) ->
+               let ehl_l, _ = arr.(i).Join_scheme.cells.(al) in
+               let ehl_r, _ = arr.(i + 1).Join_scheme.cells.(ar) in
+               Ehl.Ehl_plus.diff ?blind_bits:s1.Ctx.blind_bits s1.Ctx.rng pub ehl_l ehl_r)
+             spec.chain)
+         combos)
+  in
+  let ts = Gadgets.conjunction_round ctx ~protocol:"SecJoin" groups in
+  let zero = Gadgets.enc_zero s1 in
+  List.map2
+    (fun t combo ->
+      let arr = Array.of_list combo in
+      let total =
+        List.fold_left
+          (fun acc (i, sa) -> Paillier.add pub acc (snd arr.(i).Join_scheme.cells.(sa)))
+          (Paillier.encrypt s1.Ctx.rng pub Nat.one)
+          (List.mapi (fun i sa -> (i, sa)) spec.score_attrs)
+      in
+      let score = Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:total ~if_zero:zero in
+      let carried =
+        Array.concat (List.map (fun (tp : Join_scheme.enc_tuple) -> Array.map snd tp.Join_scheme.cells) combo)
+      in
+      let attrs =
+        Array.map
+          (fun x -> Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:x ~if_zero:zero)
+          carried
+      in
+      { score; attrs })
+    ts (Array.to_list combos)
+
+let top_k_multi ctx rels spec =
+  let combined = combine_multi ctx rels spec in
+  let surviving = filter ctx combined in
+  let s1 = ctx.Ctx.s1 in
+  let unoffset =
+    List.map
+      (fun t ->
+        { t with score = Paillier.sub s1.Ctx.pub t.score (Paillier.encrypt s1.Ctx.rng s1.Ctx.pub Nat.one) })
+      surviving
+  in
+  take spec.k (sort_desc ctx unoffset)
+
+(* ---------------- rank-join over pre-sorted relations ----------------
+
+   The paper's future-work optimization: with each relation stored in
+   descending score order, pairs are explored diagonal by diagonal
+   (all (i, j) with i + j = d), so the best possible score of any
+   unexplored pair is bounded by the maximum frontier sum — once the
+   current k-th matched score reaches that bound, the scan stops without
+   touching the remaining pairs. S1 additionally learns the halting
+   diagonal and the (blinded) order of frontier sums; see DESIGN.md. *)
+
+(* encrypted max by folding EncCompare; S1 learns the comparison bits of
+   the (score-domain) sums, the rank-leakage documented above *)
+let enc_max ctx = function
+  | [] -> invalid_arg "Sec_join.enc_max: empty"
+  | first :: rest ->
+    List.fold_left (fun acc c -> if Enc_compare.leq ctx acc c then c else acc) first rest
+
+let diagonal ~n1 ~n2 d =
+  let lo = max 0 (d - (n2 - 1)) and hi = min d (n1 - 1) in
+  if lo > hi then [] else List.init (hi - lo + 1) (fun t -> (lo + t, d - (lo + t)))
+
+let combine_pairs (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_scheme.enc_relation)
+    (tk : Join_scheme.token) pairs =
+  let s1 = ctx.Ctx.s1 in
+  let pub = s1.Ctx.pub in
+  let arr = Array.of_list pairs in
+  ignore (Rng.shuffle s1.Ctx.rng arr);
+  let tup1 i = e1.Join_scheme.tuples.(i) and tup2 j = e2.Join_scheme.tuples.(j) in
+  let diffs =
+    Array.to_list
+      (Array.map
+         (fun (i, j) ->
+           let ehl_l, _ = (tup1 i).Join_scheme.cells.(tk.Join_scheme.join_left) in
+           let ehl_r, _ = (tup2 j).Join_scheme.cells.(tk.Join_scheme.join_right) in
+           Ehl.Ehl_plus.diff ?blind_bits:s1.Ctx.blind_bits s1.Ctx.rng pub ehl_l ehl_r)
+         arr)
+  in
+  let ts = Gadgets.equality_round ctx ~protocol:"SecJoin" diffs in
+  let zero = Gadgets.enc_zero s1 in
+  List.map2
+    (fun t (i, j) ->
+      let _, score_l = (tup1 i).Join_scheme.cells.(tk.Join_scheme.score_left) in
+      let _, score_r = (tup2 j).Join_scheme.cells.(tk.Join_scheme.score_right) in
+      let total =
+        Paillier.add pub (Paillier.add pub score_l score_r) (Paillier.encrypt s1.Ctx.rng pub Nat.one)
+      in
+      let score = Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:total ~if_zero:zero in
+      let carried =
+        Array.append
+          (Array.map snd (tup1 i).Join_scheme.cells)
+          (Array.map snd (tup2 j).Join_scheme.cells)
+      in
+      let attrs =
+        Array.map
+          (fun x -> Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:x ~if_zero:zero)
+          carried
+      in
+      { score; attrs })
+    ts (Array.to_list arr)
+
+type sorted_stats = { pairs_explored : int; pairs_total : int; halted_early : bool }
+
+let top_k_sorted_stats (ctx : Ctx.t) e1 e2 (tk : Join_scheme.token) =
+  let s1 = ctx.Ctx.s1 in
+  let pub = s1.Ctx.pub in
+  let n1 = Array.length e1.Join_scheme.tuples and n2 = Array.length e2.Join_scheme.tuples in
+  let max_diag = n1 + n2 - 2 in
+  let matched = ref [] in
+  let explored = ref 0 in
+  let halted = ref false in
+  let d = ref 0 in
+  while (not !halted) && !d <= max_diag do
+    let pairs = diagonal ~n1 ~n2 !d in
+    explored := !explored + List.length pairs;
+    matched := combine_pairs ctx e1 e2 tk pairs @ !matched;
+    (* halting test: does the k-th matched score already dominate every
+       unexplored pair? *)
+    if !d < max_diag && List.length !matched >= tk.Join_scheme.k then begin
+      let frontier = diagonal ~n1 ~n2 (!d + 1) in
+      let frontier_sums =
+        List.map
+          (fun (i, j) ->
+            let _, sl = e1.Join_scheme.tuples.(i).Join_scheme.cells.(tk.Join_scheme.score_left) in
+            let _, sr = e2.Join_scheme.tuples.(j).Join_scheme.cells.(tk.Join_scheme.score_right) in
+            (* +1 matches the offset carried by matched scores *)
+            Paillier.add pub (Paillier.add pub sl sr) (Paillier.trivial pub Nat.one))
+          frontier
+      in
+      let bound = enc_max ctx frontier_sums in
+      let sorted = sort_desc ctx !matched in
+      matched := sorted;
+      let wk = (List.nth sorted (tk.Join_scheme.k - 1)).score in
+      (* halt when W_k is a real match (>= 1) and beats the bound *)
+      if Enc_compare.leq ctx (Paillier.trivial pub Nat.one) wk && Enc_compare.leq ctx bound wk
+      then halted := true
+    end;
+    incr d
+  done;
+  let surviving = filter ctx !matched in
+  let unoffset =
+    List.map
+      (fun t ->
+        { t with score = Paillier.sub pub t.score (Paillier.encrypt s1.Ctx.rng pub Nat.one) })
+      surviving
+  in
+  ( take tk.Join_scheme.k (sort_desc ctx unoffset),
+    { pairs_explored = !explored; pairs_total = n1 * n2; halted_early = !halted } )
+
+let top_k_sorted ctx e1 e2 tk = fst (top_k_sorted_stats ctx e1 e2 tk)

@@ -1,0 +1,1 @@
+lib/oram/path_oram.ml: Array Bytes Char Crypto Drbg List Printf Rng String

@@ -1,0 +1,178 @@
+open Crypto
+
+(* A server block: fixed-width ciphertext. The id and payload are
+   recovered client-side by decrypting with the per-block keystream. *)
+type cipher_block = string
+
+type block = { id : int; payload : string (* plaintext, block_bytes wide *) }
+
+type t = {
+  z : int;
+  capacity : int;
+  block_bytes : int;
+  levels : int; (* tree has 2^(levels-1) leaves, 2^levels - 1 buckets *)
+  leaves : int;
+  (* server state: ciphertext buckets, z slots each *)
+  buckets : cipher_block array array;
+  (* client state *)
+  position : int array; (* id -> leaf *)
+  mutable stash : block list;
+  rng : Rng.t;
+  key : string; (* client encryption key *)
+  mutable write_counter : int;
+  mutable accessed : int list; (* server-observed leaves, newest first *)
+}
+
+let dummy_id = -1
+
+(* ---- fixed-width block encryption: 4-byte id || payload, XORed with an
+   HMAC-DRBG keystream derived from (key, nonce); nonce stored in clear
+   ahead of the ciphertext. A fresh nonce per write makes rewritten
+   buckets unlinkable. ---- *)
+
+let keystream key nonce len = Drbg.generate (Drbg.create ~seed:(key ^ "|" ^ nonce)) len
+
+let encode_id id =
+  let b = Bytes.create 4 in
+  let v = if id = dummy_id then 0xFFFFFFFF else id in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (v land 0xff));
+  Bytes.to_string b
+
+let decode_id s =
+  let v =
+    (Char.code s.[0] lsl 24) lor (Char.code s.[1] lsl 16) lor (Char.code s.[2] lsl 8)
+    lor Char.code s.[3]
+  in
+  if v = 0xFFFFFFFF then dummy_id else v
+
+let xor_with a ks =
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code ks.[i]))
+
+let seal t (b : block option) : cipher_block =
+  t.write_counter <- t.write_counter + 1;
+  let nonce = string_of_int t.write_counter in
+  let plain =
+    match b with
+    | None -> encode_id dummy_id ^ String.make t.block_bytes '\000'
+    | Some { id; payload } -> encode_id id ^ payload
+  in
+  let ks = keystream t.key nonce (String.length plain) in
+  Printf.sprintf "%08x" t.write_counter ^ xor_with plain ks
+
+let open_block t (c : cipher_block) : block option =
+  let nonce = string_of_int (int_of_string ("0x" ^ String.sub c 0 8)) in
+  let body = String.sub c 8 (String.length c - 8) in
+  let plain = xor_with body (keystream t.key nonce (String.length body)) in
+  let id = decode_id (String.sub plain 0 4) in
+  if id = dummy_id then None else Some { id; payload = String.sub plain 4 (String.length plain - 4) }
+
+let create ?(z = 4) rng ~capacity ~block_bytes =
+  if capacity <= 0 then invalid_arg "Path_oram.create: capacity";
+  if block_bytes <= 0 then invalid_arg "Path_oram.create: block_bytes";
+  let rec lv l = if 1 lsl (l - 1) >= capacity then l else lv (l + 1) in
+  let levels = lv 1 in
+  let leaves = 1 lsl (levels - 1) in
+  let n_buckets = (2 * leaves) - 1 in
+  let t =
+    {
+      z;
+      capacity;
+      block_bytes;
+      levels;
+      leaves;
+      buckets = Array.make n_buckets [||];
+      position = Array.init capacity (fun _ -> 0);
+      stash = [];
+      rng = Rng.fork rng ~label:"path-oram";
+      key = Rng.bytes rng 32;
+      write_counter = 0;
+      accessed = [];
+    }
+  in
+  for i = 0 to capacity - 1 do
+    t.position.(i) <- Rng.int_below t.rng leaves
+  done;
+  (* initialize every bucket with encrypted dummies *)
+  for b = 0 to n_buckets - 1 do
+    t.buckets.(b) <- Array.init z (fun _ -> seal t None)
+  done;
+  t
+
+let capacity t = t.capacity
+let block_bytes t = t.block_bytes
+let levels t = t.levels
+
+(* bucket index of level l (root = 0) on the path to [leaf] *)
+let bucket_at t ~leaf ~level =
+  let node = ref 0 in
+  for l = 1 to level do
+    let bit = (leaf lsr (t.levels - 1 - l)) land 1 in
+    node := (2 * !node) + 1 + bit
+  done;
+  ignore t;
+  !node
+
+(* does the path to leaf_a pass through the level-l bucket of leaf_b's path? *)
+let same_prefix t a b level = bucket_at t ~leaf:a ~level = bucket_at t ~leaf:b ~level
+
+let pad t payload =
+  if String.length payload > t.block_bytes then invalid_arg "Path_oram: payload too long";
+  payload ^ String.make (t.block_bytes - String.length payload) '\000'
+
+let access t id ~write_payload =
+  if id < 0 || id >= t.capacity then invalid_arg "Path_oram: id out of range";
+  let x = t.position.(id) in
+  t.accessed <- x :: t.accessed;
+  t.position.(id) <- Rng.int_below t.rng t.leaves;
+  (* read the whole path into the stash *)
+  for level = 0 to t.levels - 1 do
+    let b = bucket_at t ~leaf:x ~level in
+    Array.iter
+      (fun c -> match open_block t c with Some blk -> t.stash <- blk :: t.stash | None -> ())
+      t.buckets.(b)
+  done;
+  (* fetch / update the target block *)
+  let found = List.find_opt (fun blk -> blk.id = id) t.stash in
+  let result =
+    match found with Some blk -> blk.payload | None -> String.make t.block_bytes '\000'
+  in
+  (match write_payload with
+  | Some p ->
+    t.stash <- { id; payload = pad t p } :: List.filter (fun blk -> blk.id <> id) t.stash
+  | None ->
+    (* keep the (possibly absent) block in the stash under its new leaf *)
+    if found = None then () else ());
+  (* evict: deepest level first, greedily pack stash blocks whose current
+     assigned leaf shares the bucket *)
+  for level = t.levels - 1 downto 0 do
+    let b = bucket_at t ~leaf:x ~level in
+    let eligible, rest =
+      List.partition (fun blk -> same_prefix t t.position.(blk.id) x level) t.stash
+    in
+    let into, back =
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | blk :: more -> if i = 0 then (List.rev acc, blk :: more) else split (i - 1) (blk :: acc) more
+      in
+      split t.z [] eligible
+    in
+    t.stash <- back @ rest;
+    t.buckets.(b) <-
+      Array.init t.z (fun i ->
+          match List.nth_opt into i with blk -> seal t blk)
+  done;
+  result
+
+let write t id payload = ignore (access t id ~write_payload:(Some payload))
+let read t id = access t id ~write_payload:None
+let paths_accessed t = List.rev t.accessed
+let stash_size t = List.length t.stash
+
+let server_bytes t =
+  Array.fold_left (fun acc bucket -> acc + Array.fold_left (fun a c -> a + String.length c) 0 bucket)
+    0 t.buckets
+
+let bytes_per_access t = 2 * t.levels * t.z * (8 + 4 + t.block_bytes)

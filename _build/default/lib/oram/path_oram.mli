@@ -1,0 +1,51 @@
+(** Path ORAM (Stefanov et al., CCS'13) — the oblivious storage the paper
+    names for result retrieval (Section 4: after SecQuery returns the
+    top-k ids, "the client retrieves the records using oblivious RAM
+    [which] does not even reveal the location of the actual encrypted
+    records").
+
+    A binary tree of [z]-slot buckets stores fixed-size encrypted blocks;
+    a client-side position map assigns every block a random leaf, re-drawn
+    on each access. One logical access reads and rewrites exactly one
+    root-to-leaf path, so the server observes a sequence of uniformly
+    random paths whatever the client touches — the access pattern leaks
+    nothing. Overflowing blocks wait in a client-side stash.
+
+    Blocks are encrypted with a fresh per-write keystream (HMAC-DRBG), so
+    the rewritten path is unlinkable to what was read. The server state
+    and the observed path sequence are exposed for the leakage tests. *)
+
+type t
+
+(** [create rng ~capacity ~block_bytes] — an ORAM for block ids
+    [0 .. capacity-1], each holding exactly [block_bytes] bytes
+    (shorter payloads are zero-padded). [z] is the bucket capacity
+    (default 4). *)
+val create : ?z:int -> Crypto.Rng.t -> capacity:int -> block_bytes:int -> t
+
+val capacity : t -> int
+val block_bytes : t -> int
+
+(** [write t id payload] stores [payload] (length <= [block_bytes]). *)
+val write : t -> int -> string -> unit
+
+(** [read t id] returns the stored payload (zero-padded to
+    [block_bytes]; empty-string blocks read back as zeros). *)
+val read : t -> int -> string
+
+(** {2 Server view (for tests and accounting)} *)
+
+(** Leaves of the paths accessed so far, oldest first. *)
+val paths_accessed : t -> int list
+
+(** Tree height (levels). *)
+val levels : t -> int
+
+(** Current client-side stash occupancy. *)
+val stash_size : t -> int
+
+(** Total server storage in bytes. *)
+val server_bytes : t -> int
+
+(** Bytes moved per access (one path down + one path up). *)
+val bytes_per_access : t -> int

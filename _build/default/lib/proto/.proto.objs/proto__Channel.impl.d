@@ -1,0 +1,1 @@
+lib/proto/channel.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/proto/ctx.ml: Bignum Channel Crypto Damgard_jurik Option Paillier Rng Trace

@@ -1,0 +1,1 @@
+lib/proto/ctx.mli: Bignum Channel Crypto Damgard_jurik Paillier Rng Trace

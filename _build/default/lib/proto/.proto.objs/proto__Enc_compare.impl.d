@@ -1,0 +1,1 @@
+lib/proto/enc_compare.ml: Array Bignum Bool Channel Crypto Ctx Gadgets List Nat Paillier Rng Trace

@@ -1,0 +1,1 @@
+lib/proto/enc_compare.mli: Crypto Ctx Paillier

@@ -1,0 +1,1 @@
+lib/proto/enc_item.ml: Array Crypto Ehl Paillier

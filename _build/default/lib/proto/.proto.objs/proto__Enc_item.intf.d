@@ -1,0 +1,1 @@
+lib/proto/enc_item.mli: Crypto Ehl Paillier Rng

@@ -1,0 +1,1 @@
+lib/proto/enc_sort.ml: Array Bigint Bignum Channel Crypto Ctx Ehl Enc_item Gadgets List Nat Paillier Rng Trace

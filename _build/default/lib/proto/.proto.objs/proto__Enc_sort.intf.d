@@ -1,0 +1,1 @@
+lib/proto/enc_sort.mli: Ctx Enc_item

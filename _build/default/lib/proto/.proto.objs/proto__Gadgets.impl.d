@@ -1,0 +1,1 @@
+lib/proto/gadgets.ml: Bignum Channel Crypto Ctx Damgard_jurik List Nat Paillier Rng Trace

@@ -1,0 +1,1 @@
+lib/proto/gadgets.mli: Bignum Crypto Ctx Damgard_jurik Nat Paillier

@@ -1,0 +1,1 @@
+lib/proto/sec_best.ml: Array Bignum Crypto Ctx Damgard_jurik Ehl Enc_item Gadgets List Paillier Rng

@@ -1,0 +1,1 @@
+lib/proto/sec_best.mli: Crypto Ctx Enc_item Paillier

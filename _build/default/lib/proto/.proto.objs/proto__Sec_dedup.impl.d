@@ -1,0 +1,1 @@
+lib/proto/sec_dedup.ml: Array Bignum Channel Crypto Ctx Ehl Enc_item Fun List Modular Nat Paillier Rng Trace

@@ -1,0 +1,1 @@
+lib/proto/sec_dedup.mli: Ctx Enc_item

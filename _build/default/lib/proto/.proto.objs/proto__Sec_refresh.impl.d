@@ -1,0 +1,1 @@
+lib/proto/sec_refresh.ml: Array Crypto Ctx Enc_item Gadgets List Paillier

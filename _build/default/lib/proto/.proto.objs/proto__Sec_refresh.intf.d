@@ -1,0 +1,1 @@
+lib/proto/sec_refresh.mli: Crypto Ctx Enc_item Paillier

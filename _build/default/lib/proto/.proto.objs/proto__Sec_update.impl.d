@@ -1,0 +1,1 @@
+lib/proto/sec_update.ml: Array Bignum Channel Crypto Ctx Damgard_jurik Ehl Enc_item Fun Gadgets List Nat Paillier Rng Sec_dedup Trace

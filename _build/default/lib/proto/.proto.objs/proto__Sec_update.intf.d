@@ -1,0 +1,1 @@
+lib/proto/sec_update.mli: Ctx Enc_item Sec_dedup

@@ -1,0 +1,1 @@
+lib/proto/sec_worst.ml: Array Crypto Ctx Ehl Enc_item Gadgets List Paillier Rng

@@ -1,0 +1,1 @@
+lib/proto/sec_worst.mli: Crypto Ctx Damgard_jurik Enc_item Paillier

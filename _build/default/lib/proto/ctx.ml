@@ -1,0 +1,51 @@
+open Crypto
+
+type s1 = {
+  pub : Paillier.public;
+  djpub : Damgard_jurik.public;
+  rng : Rng.t;
+  chan : Channel.t;
+  blind_bits : int option;
+  own_pub : Paillier.public;
+  own_sk : Paillier.secret;
+}
+
+type s2 = {
+  pub2 : Paillier.public;
+  djpub2 : Damgard_jurik.public;
+  sk : Paillier.secret;
+  djsk : Damgard_jurik.secret;
+  rng2 : Rng.t;
+  chan2 : Channel.t;
+  trace : Trace.t;
+}
+
+type t = { s1 : s1; s2 : s2 }
+
+let of_keys ?blind_bits rng pub sk =
+  let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk) in
+  let djsk = Option.get djsk_opt in
+  let chan = Channel.create () in
+  let s1_rng = Rng.fork rng ~label:"s1" in
+  let own_pub, own_sk = Paillier.keygen s1_rng ~bits:(pub.Paillier.key_bits + 16) in
+  {
+    s1 = { pub; djpub; rng = s1_rng; chan; blind_bits; own_pub; own_sk };
+    s2 =
+      {
+        pub2 = pub;
+        djpub2 = djpub;
+        sk;
+        djsk;
+        rng2 = Rng.fork rng ~label:"s2";
+        chan2 = chan;
+        trace = Trace.create ();
+      };
+  }
+
+let create ?blind_bits rng ~bits =
+  let pub, sk = Paillier.keygen rng ~bits in
+  of_keys ?blind_bits rng pub sk
+
+let paillier_ct_bytes t = Paillier.ciphertext_bytes t.s1.pub
+let dj_ct_bytes t = Damgard_jurik.ciphertext_bytes t.s1.djpub
+let sentinel_z (s1 : s1) = Bignum.Nat.pred s1.pub.Paillier.n

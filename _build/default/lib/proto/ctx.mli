@@ -1,0 +1,55 @@
+(** Execution context for the two-cloud protocols.
+
+    The two servers are distinct state records connected by one accounting
+    {!Channel}. S1 never holds the Paillier/DJ secret keys; every function
+    in this library that needs a decryption takes the [s2] record, and
+    everything S2 learns by decrypting is appended to its {!Trace}. Running
+    both parties in one process is an accounting-faithful simulation of the
+    paper's two-cloud deployment (see DESIGN.md). *)
+
+open Crypto
+
+type s1 = {
+  pub : Paillier.public;
+  djpub : Damgard_jurik.public;
+  rng : Rng.t;
+  chan : Channel.t;
+  blind_bits : int option;
+      (** Width of statistical-blinding exponents; [None] = full [Z_n]
+          exponents exactly as in the paper, [Some b] = faster [b]-bit
+          blinding for benchmarks. *)
+  own_pub : Paillier.public;
+      (** S1's personal key pair (the [(pk', sk')] of Algorithm 7), under
+          which S1 encrypts its blinding randomness so S2 can update it
+          homomorphically without reading it. Its modulus is wider than
+          the main one so blinding sums survive unreduced. *)
+  own_sk : Paillier.secret;
+}
+
+type s2 = {
+  pub2 : Paillier.public;
+  djpub2 : Damgard_jurik.public;
+  sk : Paillier.secret;
+  djsk : Damgard_jurik.secret;
+  rng2 : Rng.t;
+  chan2 : Channel.t;
+  trace : Trace.t;
+}
+
+type t = { s1 : s1; s2 : s2 }
+
+(** [create rng ~bits] generates a fresh key pair of modulus width [bits]
+    and wires both parties to one channel. *)
+val create : ?blind_bits:int -> Rng.t -> bits:int -> t
+
+(** Rebuild a context around existing keys (e.g. the data owner's). *)
+val of_keys : ?blind_bits:int -> Rng.t -> Paillier.public -> Paillier.secret -> t
+
+(** Serialized sizes used for channel accounting. *)
+val paillier_ct_bytes : t -> int
+
+val dj_ct_bytes : t -> int
+
+(** The sentinel "never in top-k" worst score [Z = n - 1] (= -1 in the
+    signed encoding), as in SecDedup. *)
+val sentinel_z : s1 -> Bignum.Nat.t

@@ -1,0 +1,118 @@
+open Crypto
+
+let protocol = "EncCompare"
+
+let leq (ctx : Ctx.t) a b =
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let coin = Rng.bool s1.rng in
+  let d = if coin then Paillier.sub s1.pub a b else Paillier.sub s1.pub b a in
+  let rho = Gadgets.blind_scalar s1 in
+  let v = Paillier.scalar_mul s1.pub d rho in
+  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
+    ~bytes:(Paillier.ciphertext_bytes s1.pub);
+  (* --- S2: sign of the blinded difference --- *)
+  let sign = Bignum.Bigint.sign (Paillier.decrypt_signed s2.sk v) in
+  Trace.record s2.trace (Trace.Comparison { protocol; ordering = sign });
+  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:1;
+  Channel.round_trip s1.chan;
+  (* --- S1: undo the coin --- *)
+  if coin then sign <= 0 (* d = a - b : a <= b iff d <= 0 *)
+  else sign >= 0 (* d = b - a : a <= b iff d >= 0 *)
+
+(* ---------------- DGK / Veugen bitwise comparison ---------------- *)
+
+let statistical_slack = 40
+
+let leq_dgk (ctx : Ctx.t) ~bits a b =
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let pub = s1.pub in
+  let open Bignum in
+  if bits + statistical_slack + 2 >= Nat.bit_length pub.Paillier.n then
+    invalid_arg "Enc_compare.leq_dgk: bits too large for the modulus";
+  let ct = Paillier.ciphertext_bytes pub in
+  (* d = 2^bits + b - a  (in [1, 2^(bits+1)) for inputs < 2^bits) *)
+  let d =
+    Paillier.add pub
+      (Paillier.trivial pub (Nat.shift_left Nat.one bits))
+      (Paillier.sub pub b a)
+  in
+  (* S1 blinds additively with bits+slack randomness and ships it *)
+  let r = Rng.nat_bits s1.rng (bits + statistical_slack) in
+  let z_ct = Paillier.add pub d (Paillier.encrypt s1.rng pub r) in
+  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:ct;
+  (* --- S2: decrypt z; reveal the low word bit-wise under encryption and
+     the (blinded) parity of the high word --- *)
+  let z = Paillier.decrypt s2.sk z_ct in
+  let z_bits = List.init bits (fun i -> if Nat.nth_bit z i then 1 else 0) in
+  let z_bit_cts = List.map (fun v -> Paillier.encrypt s2.rng2 pub (Nat.of_int v)) z_bits in
+  let z_high_parity = Nat.nth_bit z bits in
+  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:((bits * ct) + 1);
+  Channel.round_trip s1.chan;
+  (* --- S1: DGK zero-test for borrow = [z mod 2^bits < r mod 2^bits],
+     direction-masked by the coin s --- *)
+  let coin = Rng.bool s1.rng in
+  let s_term = if coin then 1 else -1 in
+  let r_bit i = if Nat.nth_bit r i then 1 else 0 in
+  let enc_const v =
+    if v >= 0 then Paillier.trivial pub (Nat.of_int v)
+    else Paillier.neg pub (Paillier.trivial pub (Nat.of_int (-v)))
+  in
+  let z_arr = Array.of_list z_bit_cts in
+  (* w_j = z_j XOR r_j, homomorphically (r_j is S1-known) *)
+  let w j =
+    if r_bit j = 0 then z_arr.(j) else Paillier.sub pub (enc_const 1) z_arr.(j)
+  in
+  let cs =
+    List.init bits (fun i ->
+        (* c_i = s + z_i - r_i + 3 * sum_{j>i} w_j *)
+        let tail = ref (enc_const 0) in
+        for j = i + 1 to bits - 1 do
+          tail := Paillier.add pub !tail (w j)
+        done;
+        let c =
+          Paillier.add pub
+            (Paillier.add pub z_arr.(i) (enc_const (s_term - r_bit i)))
+            (Paillier.scalar_mul pub !tail (Nat.of_int 3))
+        in
+        Paillier.scalar_mul pub c (Gadgets.blind_scalar s1))
+  in
+  let cs_arr = Array.of_list cs in
+  ignore (Rng.shuffle s1.rng cs_arr);
+  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:(bits * ct);
+  (* --- S2: does any c_i decrypt to zero? --- *)
+  let lambda =
+    Array.exists (fun c -> Nat.is_zero (Paillier.decrypt s2.sk c)) cs_arr
+  in
+  Trace.record s2.trace (Trace.Comparison { protocol = "EncCompareDGK"; ordering = Bool.to_int lambda });
+  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:1;
+  Channel.round_trip s1.chan;
+  (* --- S1: unmask the coin to obtain borrow = [z~ < r~] --- *)
+  let borrow =
+    if coin then lambda (* s = +1: lambda = [z~ < r~] directly *)
+    else begin
+      (* s = -1: lambda = [z~ > r~], so [z~ < r~] = not lambda AND z~ <> r~;
+         the equality corner is resolved with one extra blinded zero-test *)
+      let zt =
+        let acc = ref (enc_const 0) in
+        for j = 0 to bits - 1 do
+          acc := Paillier.add pub !acc (Paillier.scalar_mul pub z_arr.(j) (Nat.shift_left Nat.one j))
+        done;
+        !acc
+      in
+      let r_low = Nat.rem r (Nat.shift_left Nat.one bits) in
+      let diff = Paillier.sub pub zt (Paillier.trivial pub r_low) in
+      let blinded = Paillier.scalar_mul pub diff (Gadgets.blind_scalar s1) in
+      Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:ct;
+      let equal = Nat.is_zero (Paillier.decrypt s2.sk blinded) in
+      Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:1;
+      Channel.round_trip s1.chan;
+      (not lambda) && not equal
+    end
+  in
+  (* d_high = z_high - r_high - borrow; inputs < 2^bits make d_high a bit *)
+  let r_high_parity = Nat.nth_bit r bits in
+  let d_high =
+    (Bool.to_int z_high_parity - Bool.to_int r_high_parity - Bool.to_int borrow) land 1
+  in
+  (* f = (a <= b) iff d >= 2^bits iff d_high = 1 *)
+  d_high = 1

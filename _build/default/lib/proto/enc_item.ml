@@ -1,0 +1,25 @@
+open Crypto
+
+type entry = { ehl : Ehl.Ehl_plus.t; score : Paillier.ciphertext }
+
+type scored = {
+  ehl : Ehl.Ehl_plus.t;
+  worst : Paillier.ciphertext;
+  best : Paillier.ciphertext;
+  seen : Paillier.ciphertext array;
+}
+
+let entry_bytes pub (e : entry) =
+  Ehl.Ehl_plus.size_bytes pub e.ehl + Paillier.ciphertext_bytes pub
+
+let scored_bytes pub (s : scored) =
+  Ehl.Ehl_plus.size_bytes pub s.ehl
+  + ((2 + Array.length s.seen) * Paillier.ciphertext_bytes pub)
+
+let rerandomize_scored rng pub (s : scored) =
+  {
+    ehl = Ehl.Ehl_plus.rerandomize rng pub s.ehl;
+    worst = Paillier.rerandomize rng pub s.worst;
+    best = Paillier.rerandomize rng pub s.best;
+    seen = Array.map (Paillier.rerandomize rng pub) s.seen;
+  }

@@ -1,0 +1,28 @@
+(** Encrypted data items as held by S1.
+
+    An [entry] is one cell of an encrypted sorted list:
+    [E(I) = (EHL(o), Enc(x))] (Section 6). A [scored] item is an entry of
+    the running top-k list [T]:
+    [E(I) = (EHL(o), Enc(W), Enc(B))] (Section 8.1). *)
+
+open Crypto
+
+type entry = { ehl : Ehl.Ehl_plus.t; score : Paillier.ciphertext }
+
+type scored = {
+  ehl : Ehl.Ehl_plus.t;
+  worst : Paillier.ciphertext;
+  best : Paillier.ciphertext;
+  seen : Paillier.ciphertext array;
+      (** Encrypted 0/1 indicator per queried list: has this object
+          appeared in that list within the scanned prefix? Derived from
+          SecWorst's equality round and merged by SecUpdate; drives the
+          oblivious best-score refresh [B = W + sum of unseen bottoms]
+          (the per-depth upper-bound updates visible in Figure 3). *)
+}
+
+val entry_bytes : Paillier.public -> entry -> int
+val scored_bytes : Paillier.public -> scored -> int
+
+(** Fresh randomness on all components. *)
+val rerandomize_scored : Rng.t -> Paillier.public -> scored -> scored

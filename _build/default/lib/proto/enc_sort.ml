@@ -1,0 +1,128 @@
+open Bignum
+open Crypto
+
+type strategy = Network | Blinded
+
+let protocol = "EncSort"
+
+(* Affine key blinding rho*W + r with rho > 0: strictly monotone, so
+   comparing blinded keys compares the hidden worst scores. *)
+let blind_key (s1 : Ctx.s1) ~rho ~r w =
+  Paillier.add s1.pub (Paillier.scalar_mul s1.pub w rho) (Paillier.encrypt s1.rng s1.pub r)
+
+let additive_blind (s1 : Ctx.s1) =
+  match s1.blind_bits with
+  | None -> Rng.nat_below s1.rng (Nat.shift_right s1.pub.Paillier.n 2)
+  | Some bits -> Rng.nat_bits s1.rng bits
+
+let item_bytes (s1 : Ctx.s1) (it : Enc_item.scored) = Enc_item.scored_bytes s1.pub it
+
+(* ---------------- Blinded one-round strategy ---------------- *)
+
+let sort_blinded (ctx : Ctx.t) items =
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let rho = Gadgets.blind_scalar s1 and r = additive_blind s1 in
+  let arr = Array.of_list items in
+  ignore (Rng.shuffle s1.rng arr);
+  let keyed = Array.map (fun it -> (blind_key s1 ~rho ~r it.Enc_item.worst, it)) arr in
+  let ct = Paillier.ciphertext_bytes s1.pub in
+  let payload =
+    Array.fold_left (fun acc (_, it) -> acc + ct + item_bytes s1 it) 0 keyed
+  in
+  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:payload;
+  (* --- S2: decrypt blinded keys, sort descending, re-randomize --- *)
+  let decorated =
+    Array.map (fun (k, it) -> (Paillier.decrypt_signed s2.sk k, it)) keyed
+  in
+  Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
+  Trace.record s2.trace (Trace.Count { protocol; value = Array.length decorated });
+  let out =
+    Array.map (fun (_, it) -> Enc_item.rerandomize_scored s2.rng2 s2.pub2 it) decorated
+  in
+  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
+    ~bytes:(Array.fold_left (fun acc it -> acc + item_bytes s1 it) 0 out);
+  Channel.round_trip s1.chan;
+  Array.to_list out
+
+(* ---------------- Bitonic network strategy ---------------- *)
+
+let pad_item (s1 : Ctx.s1) ~cells ~m_seen =
+  let n = s1.pub.Paillier.n in
+  let minus2 = Nat.sub n Nat.two in
+  {
+    Enc_item.ehl =
+      Ehl.Ehl_plus.of_cells
+        (Array.init cells (fun _ -> Paillier.encrypt s1.rng s1.pub (Rng.nat_below s1.rng n)));
+    worst = Paillier.encrypt s1.rng s1.pub minus2;
+    best = Paillier.encrypt s1.rng s1.pub minus2;
+    seen = Array.init m_seen (fun _ -> Paillier.encrypt s1.rng s1.pub Nat.one);
+  }
+
+(* One compare-exchange gate through S2: the pair travels coin-swapped and
+   key-blinded; S2 returns it ordered (larger key first iff [descending]),
+   re-randomized. *)
+let gate (ctx : Ctx.t) arr i j ~descending =
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let rho = Gadgets.blind_scalar s1 and r = additive_blind s1 in
+  let coin = Rng.bool s1.rng in
+  let x, y = if coin then (arr.(j), arr.(i)) else (arr.(i), arr.(j)) in
+  let kx = blind_key s1 ~rho ~r x.Enc_item.worst and ky = blind_key s1 ~rho ~r y.Enc_item.worst in
+  let ct = Paillier.ciphertext_bytes s1.pub in
+  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
+    ~bytes:((2 * ct) + item_bytes s1 x + item_bytes s1 y);
+  (* --- S2 --- *)
+  let vx = Paillier.decrypt_signed s2.sk kx and vy = Paillier.decrypt_signed s2.sk ky in
+  let cmp = Bigint.compare vx vy in
+  Trace.record s2.trace (Trace.Comparison { protocol; ordering = compare cmp 0 });
+  let first, second =
+    if (cmp >= 0 && descending) || (cmp < 0 && not descending) then (x, y) else (y, x)
+  in
+  let first = Enc_item.rerandomize_scored s2.rng2 s2.pub2 first in
+  let second = Enc_item.rerandomize_scored s2.rng2 s2.pub2 second in
+  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
+    ~bytes:(item_bytes s1 first + item_bytes s1 second);
+  Channel.round_trip s1.chan;
+  (* --- S1 places the ordered pair --- *)
+  arr.(i) <- first;
+  arr.(j) <- second
+
+let sort_network (ctx : Ctx.t) items =
+  match items with
+  | [] | [ _ ] -> items
+  | first :: _ ->
+    let s1 = ctx.Ctx.s1 in
+    let l = List.length items in
+    let size =
+      let rec up p = if p >= l then p else up (2 * p) in
+      up 1
+    in
+    let cells = Ehl.Ehl_plus.length first.Enc_item.ehl in
+    let m_seen = Array.length first.Enc_item.seen in
+    let arr = Array.make size (List.hd items) in
+    List.iteri (fun i it -> arr.(i) <- it) items;
+    for i = l to size - 1 do
+      arr.(i) <- pad_item s1 ~cells ~m_seen
+    done;
+    let rec bitonic_sort lo n descending =
+      if n > 1 then begin
+        let half = n / 2 in
+        bitonic_sort lo half (not descending);
+        bitonic_sort (lo + half) half descending;
+        bitonic_merge lo n descending
+      end
+    and bitonic_merge lo n descending =
+      if n > 1 then begin
+        let half = n / 2 in
+        for i = lo to lo + half - 1 do
+          gate ctx arr i (i + half) ~descending
+        done;
+        bitonic_merge lo half descending;
+        bitonic_merge (lo + half) half descending
+      end
+    in
+    bitonic_sort 0 size true;
+    (* pads carry key -2 < every real or sentinel key: they end at the tail *)
+    Array.to_list (Array.sub arr 0 l)
+
+let sort ctx ~strategy items =
+  match strategy with Blinded -> sort_blinded ctx items | Network -> sort_network ctx items

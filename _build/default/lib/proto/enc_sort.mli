@@ -1,0 +1,25 @@
+(** EncSort — oblivious sorting of encrypted scored items by their worst
+    score, descending (the functionality of Baldimtsi–Ohrimenko [7],
+    Section 8). The signed encoding puts the SecDedup sentinel [Z = -1]
+    after every real (non-negative) score, exactly as in Figure 3.
+
+    Two strategies:
+
+    - [Network]: a bitonic sorting network; every compare-exchange gate
+      ships the pair through S2 under fresh affine key blinding and a
+      direction coin, so S2 sees only one randomised comparison per gate
+      ([O(l log^2 l)] gates — the asymptotics of [7]).
+    - [Blinded]: a single-round sort: all keys are blinded with one shared
+      affine map, the list is permuted, and S2 sorts it wholesale. [O(l)]
+      traffic, but S2 additionally learns the order statistics of the
+      blinded keys. This is the default inside the query benchmarks; see
+      DESIGN.md.
+
+    Either way every returned ciphertext is fresh (S2 re-randomizes), so
+    S1 cannot link output positions to input positions. *)
+
+type strategy = Network | Blinded
+
+(** [sort ctx ~strategy items] returns the items ordered by descending
+    worst score. *)
+val sort : Ctx.t -> strategy:strategy -> Enc_item.scored list -> Enc_item.scored list

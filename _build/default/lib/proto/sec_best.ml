@@ -1,0 +1,46 @@
+open Crypto
+
+let protocol = "SecBest"
+
+let per_list (ctx : Ctx.t) ~(target : Enc_item.entry) (seen, bottom) =
+  let s1 = ctx.Ctx.s1 in
+  let dj = s1.djpub in
+  let arr = Array.of_list seen in
+  ignore (Rng.shuffle s1.rng arr);
+  let permuted = Array.to_list arr in
+  let diffs =
+    List.map
+      (fun (e : Enc_item.entry) ->
+        Ehl.Ehl_plus.diff ?blind_bits:s1.blind_bits s1.rng s1.pub target.Enc_item.ehl e.Enc_item.ehl)
+      permuted
+  in
+  let ts = Gadgets.equality_round ctx ~protocol diffs in
+  (* E2(sum t_e * Enc(x_e)): at most one t_e is 1 within a list *)
+  let matched =
+    List.fold_left2
+      (fun acc t (e : Enc_item.entry) ->
+        let term = Damgard_jurik.scalar_mul_ct dj t e.Enc_item.score in
+        match acc with None -> Some term | Some a -> Some (Damgard_jurik.add dj a term))
+      None ts permuted
+  in
+  (* E2(1 - sum t_e) selects the bottom score when the object is unseen *)
+  let sum_t =
+    List.fold_left
+      (fun acc t -> match acc with None -> Some t | Some a -> Some (Damgard_jurik.add dj a t))
+      None ts
+  in
+  match (matched, sum_t) with
+  | None, None ->
+    (* empty list prefix: the bottom value is the only contribution *)
+    bottom
+  | Some matched, Some sum_t ->
+    let e2_one = Damgard_jurik.trivial dj Bignum.Nat.one in
+    let unseen = Damgard_jurik.sub dj e2_one sum_t in
+    let acc = Damgard_jurik.add dj matched (Damgard_jurik.scalar_mul_ct dj unseen bottom) in
+    Gadgets.recover_enc ctx ~protocol acc
+  | _ -> assert false
+
+let run (ctx : Ctx.t) ~target ~history =
+  let s1 = ctx.Ctx.s1 in
+  let per_list_scores = List.map (per_list ctx ~target) history in
+  List.fold_left (Paillier.add s1.pub) target.Enc_item.score per_list_scores

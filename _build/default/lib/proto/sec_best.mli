@@ -1,0 +1,22 @@
+(** SecBest (Protocol 8.2 / Algorithm 6): the encrypted global best score
+    of one item at the current depth.
+
+    For the target object [o] of list [i], the best score is
+    [x_i(o) + sum over every other queried list j] of either [x_j(o)] —
+    if [o] already appeared in list [j] within the scanned prefix — or
+    list [j]'s current bottom (last seen) score.
+
+    For each list the selection is exclusive (an object occurs at most once
+    per list), so the whole per-list term needs a single RecoverEnc:
+    [E2(sum_e t_e * Enc(x_e) + (1 - sum_e t_e) * Enc(bottom_j))]. *)
+
+open Crypto
+
+(** [run ctx ~target ~history] where [history] gives, for every other
+    queried list, the entries scanned so far (depths [0..d]) and that
+    list's current encrypted bottom score. *)
+val run :
+  Ctx.t ->
+  target:Enc_item.entry ->
+  history:(Enc_item.entry list * Paillier.ciphertext) list ->
+  Paillier.ciphertext

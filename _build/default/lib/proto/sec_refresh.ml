@@ -1,0 +1,29 @@
+open Crypto
+
+let protocol = "SecRefresh"
+
+let run (ctx : Ctx.t) ~items ~bottoms =
+  match items with
+  | [] -> []
+  | _ ->
+    let s1 = ctx.Ctx.s1 in
+    let m = Array.length bottoms in
+    (* one batched lift for all seen bits of all items *)
+    let flat =
+      List.concat_map (fun (it : Enc_item.scored) -> Array.to_list it.Enc_item.seen) items
+    in
+    let lifted = Array.of_list (Gadgets.lift ctx ~protocol flat) in
+    let zero = Gadgets.enc_zero s1 in
+    List.mapi
+      (fun idx (it : Enc_item.scored) ->
+        let best = ref it.Enc_item.worst in
+        for l = 0 to m - 1 do
+          let u = lifted.((idx * m) + l) in
+          (* add bottom_l only when the object has not been seen in list l *)
+          let adj =
+            Gadgets.select_recover ctx ~protocol ~t:u ~if_one:zero ~if_zero:bottoms.(l)
+          in
+          best := Paillier.add s1.pub !best adj
+        done;
+        { it with Enc_item.best = !best })
+      items

@@ -1,0 +1,138 @@
+open Bignum
+open Crypto
+
+let protocol = "SecUpdate"
+
+(* E2(sum of ts) — at most one t is 1 by the caller's invariant. *)
+let e2_sum dj ts =
+  match ts with
+  | [] -> invalid_arg "Sec_update.e2_sum: empty"
+  | t :: rest -> List.fold_left (Damgard_jurik.add dj) t rest
+
+let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let dj = s1.djpub in
+  match (t_list, gamma) with
+  | [], g -> g
+  | t, [] -> t
+  | _ ->
+    let olds = Array.of_list t_list in
+    let news = Array.of_list gamma in
+    ignore (Rng.shuffle s1.rng news);
+    let n_old = Array.length olds and n_new = Array.length news in
+    (* one equality round for the whole |gamma| x |T| grid *)
+    let diffs = ref [] in
+    for i = n_new - 1 downto 0 do
+      for j = n_old - 1 downto 0 do
+        let d =
+          Ehl.Ehl_plus.diff ?blind_bits:s1.blind_bits s1.rng s1.pub news.(i).Enc_item.ehl
+            olds.(j).Enc_item.ehl
+        in
+        diffs := d :: !diffs
+      done
+    done;
+    let ts = Array.of_list (Gadgets.equality_round ctx ~protocol !diffs) in
+    let t_of i j = ts.((i * n_old) + j) in
+    let zero = Gadgets.enc_zero s1 in
+    (* --- old entries: W'_j = W_j + sum_i t_ij * W_i ; B'_j refreshed --- *)
+    let updated_olds =
+      Array.mapi
+        (fun j (old : Enc_item.scored) ->
+          let col = List.init n_new (fun i -> t_of i j) in
+          let sum_t = e2_sum dj col in
+          let e2_one = Damgard_jurik.trivial dj Nat.one in
+          let no_match = Damgard_jurik.sub dj e2_one sum_t in
+          let w_terms =
+            List.init n_new (fun i ->
+                Damgard_jurik.scalar_mul_ct dj (t_of i j) news.(i).Enc_item.worst)
+          in
+          let w_sel =
+            List.fold_left (Damgard_jurik.add dj)
+              (Damgard_jurik.scalar_mul_ct dj no_match zero)
+              w_terms
+          in
+          let w_delta = Gadgets.recover_enc ctx ~protocol w_sel in
+          let b_terms =
+            List.init n_new (fun i ->
+                Damgard_jurik.scalar_mul_ct dj (t_of i j) news.(i).Enc_item.best)
+          in
+          let b_sel =
+            List.fold_left (Damgard_jurik.add dj)
+              (Damgard_jurik.scalar_mul_ct dj no_match old.Enc_item.best)
+              b_terms
+          in
+          (* seen-vector merge: u'_{j,l} = u_{j,l} + sum_i t_ij * u_{i,l}
+             (at most one i matches, so the inner selection is exclusive) *)
+          let seen' =
+            Array.mapi
+              (fun l u ->
+                let sel =
+                  List.fold_left (Damgard_jurik.add dj)
+                    (Damgard_jurik.scalar_mul_ct dj no_match zero)
+                    (List.init n_new (fun i ->
+                         Damgard_jurik.scalar_mul_ct dj (t_of i j) news.(i).Enc_item.seen.(l)))
+                in
+                Paillier.add s1.pub u (Gadgets.recover_enc ctx ~protocol sel))
+              old.Enc_item.seen
+          in
+          {
+            old with
+            Enc_item.worst = Paillier.add s1.pub old.Enc_item.worst w_delta;
+            best = Gadgets.recover_enc ctx ~protocol b_sel;
+            seen = seen';
+          })
+        olds
+    in
+    (* --- appended copies of new items --- *)
+    let matched_e2 =
+      Array.init n_new (fun i -> e2_sum dj (List.init n_old (fun j -> t_of i j)))
+    in
+    (match mode with
+    | Sec_dedup.Replace ->
+      (* obliviously rewrite matched copies into sentinel garbage *)
+      let z = Ctx.sentinel_z s1 in
+      let updated_news =
+        Array.mapi
+          (fun i (nw : Enc_item.scored) ->
+            let t = matched_e2.(i) in
+            let n = s1.pub.Paillier.n in
+            let cells =
+              Array.map
+                (fun cell ->
+                  let rand = Paillier.encrypt s1.rng s1.pub (Rng.nat_below s1.rng n) in
+                  Gadgets.select_recover ctx ~protocol ~t ~if_one:rand ~if_zero:cell)
+                (Ehl.Ehl_plus.cells nw.Enc_item.ehl)
+            in
+            let enc_z = Paillier.encrypt s1.rng s1.pub z in
+            let enc_one () = Paillier.encrypt s1.rng s1.pub Nat.one in
+            {
+              Enc_item.ehl = Ehl.Ehl_plus.of_cells cells;
+              worst = Gadgets.select_recover ctx ~protocol ~t ~if_one:enc_z ~if_zero:nw.Enc_item.worst;
+              best = Gadgets.select_recover ctx ~protocol ~t ~if_one:enc_z ~if_zero:nw.Enc_item.best;
+              (* sentinel copies get an all-ones seen vector so their best
+                 score stays -1 under the checkpoint refresh *)
+              seen =
+                Array.map
+                  (fun u -> Gadgets.select_recover ctx ~protocol ~t ~if_one:(enc_one ()) ~if_zero:u)
+                  nw.Enc_item.seen;
+            })
+          news
+      in
+      Array.to_list updated_olds @ Array.to_list updated_news
+    | Sec_dedup.Eliminate ->
+      (* S2 reveals which (permuted) appended items matched; they are
+         dropped — the SecDupElim leakage (UP^d) *)
+      let flags_ct = Array.map (Damgard_jurik.rerandomize s1.rng dj) matched_e2 in
+      Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:"SecDupElim"
+        ~bytes:(n_new * Damgard_jurik.ciphertext_bytes dj);
+      let flags = Array.map (fun c -> not (Nat.is_zero (Damgard_jurik.decrypt s2.djsk c))) flags_ct in
+      let kept = Array.length (Array.of_list (List.filter not (Array.to_list flags))) in
+      Trace.record s2.trace (Trace.Count { protocol = "SecDupElim"; value = kept });
+      Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:"SecDupElim" ~bytes:n_new;
+      Channel.round_trip s1.chan;
+      let fresh =
+        Array.to_list news
+        |> List.mapi (fun i nw -> if flags.(i) then None else Some nw)
+        |> List.filter_map Fun.id
+      in
+      Array.to_list updated_olds @ fresh)

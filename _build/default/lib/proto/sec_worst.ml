@@ -1,0 +1,35 @@
+open Crypto
+
+let protocol = "SecWorst"
+
+let run (ctx : Ctx.t) ~(target : Enc_item.entry) ~(others : Enc_item.entry list) =
+  let s1 = ctx.Ctx.s1 in
+  (* S1: random permutation over H hides pairwise relations from S2 *)
+  let arr = Array.of_list others in
+  let perm = Rng.shuffle s1.rng arr in
+  let permuted = Array.to_list arr in
+  let diffs =
+    List.map
+      (fun (o : Enc_item.entry) ->
+        Ehl.Ehl_plus.diff ?blind_bits:s1.blind_bits s1.rng s1.pub target.Enc_item.ehl o.Enc_item.ehl)
+      permuted
+  in
+  let ts = Gadgets.equality_round ctx ~protocol diffs in
+  (* x'_i = x_i if o_i = o else 0; recovered per item because several items
+     of the same depth can match the target simultaneously *)
+  let zero = Gadgets.enc_zero s1 in
+  let contributions =
+    List.map2
+      (fun t (o : Enc_item.entry) ->
+        Gadgets.select_recover ctx ~protocol ~t ~if_one:o.Enc_item.score ~if_zero:zero)
+      ts permuted
+  in
+  let worst = List.fold_left (Paillier.add s1.pub) target.Enc_item.score contributions in
+  (* undo S1's own permutation on the indicators: perm maps new -> old *)
+  match ts with
+  | [] -> (worst, [])
+  | first :: _ ->
+    let ts_arr = Array.of_list ts in
+    let unpermuted = Array.make (Array.length ts_arr) first in
+    Array.iteri (fun new_i old_i -> unpermuted.(old_i) <- ts_arr.(new_i)) perm;
+    (worst, Array.to_list unpermuted)

@@ -1,0 +1,20 @@
+(** SecWorst (Protocol 8.1 / Algorithm 4): the encrypted local worst score
+    of one item at the current depth.
+
+    S1 holds the target [E(I) = (EHL(o), Enc(x))] and the items [H] of the
+    other queried lists at the same depth; the output is
+    [Enc(x + sum of the scores of items in H encoding the same object)].
+    S2 only sees a randomly permuted equality bit pattern. *)
+
+open Crypto
+
+(** Returns the encrypted worst score together with the equality
+    indicators [E2(t_j)] against each element of [others] (in the
+    {e original} order of [others] — S1 undoes its own permutation).
+    SecQuery reuses the indicators to build the item's seen-vector
+    without a second equality round. *)
+val run :
+  Ctx.t ->
+  target:Enc_item.entry ->
+  others:Enc_item.entry list ->
+  Paillier.ciphertext * Damgard_jurik.ciphertext list

@@ -1,0 +1,1 @@
+lib/sectopk/client.ml: Array Bignum Crypto Ctx Ehl Enc_item List Option Paillier Proto Query Scheme

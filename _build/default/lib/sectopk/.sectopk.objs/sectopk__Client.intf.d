@@ -1,0 +1,1 @@
+lib/sectopk/client.mli: Proto Query Scheme

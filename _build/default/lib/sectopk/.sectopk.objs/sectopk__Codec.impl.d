@@ -1,0 +1,1 @@
+lib/sectopk/codec.ml: Array Bignum Buffer Char Crypto Ehl List Paillier Proto Scheme String

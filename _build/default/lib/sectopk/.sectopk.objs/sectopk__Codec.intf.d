@@ -1,0 +1,1 @@
+lib/sectopk/codec.mli: Crypto Paillier Scheme

@@ -1,0 +1,1 @@
+lib/sectopk/leakage.ml: Array List Proto Trace

@@ -1,0 +1,1 @@
+lib/sectopk/leakage.mli: Proto Scheme

@@ -1,0 +1,1 @@
+lib/sectopk/query.ml: Array Bignum Crypto Ctx Enc_compare Enc_item Enc_sort Gadgets List Option Paillier Proto Scheme Sec_best Sec_dedup Sec_refresh Sec_update Sec_worst Unix

@@ -1,0 +1,1 @@
+lib/sectopk/query.mli: Proto Scheme

@@ -1,0 +1,1 @@
+lib/sectopk/retrieval.ml: Array Buffer Char Crypto Dataset List Oram Relation String

@@ -1,0 +1,1 @@
+lib/sectopk/retrieval.mli: Crypto Dataset Relation

@@ -1,0 +1,1 @@
+lib/sectopk/scheme.ml: Array Atomic Bignum Crypto Dataset Domain Ehl Hashtbl List Option Paillier Prf Proto Prp Relation Rng Scoring Sorted_lists Topk

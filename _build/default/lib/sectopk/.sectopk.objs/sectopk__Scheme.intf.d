@@ -1,0 +1,1 @@
+lib/sectopk/scheme.mli: Bignum Crypto Dataset Ehl Paillier Prf Proto Relation Rng Scoring Topk

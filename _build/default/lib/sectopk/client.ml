@@ -1,0 +1,24 @@
+open Crypto
+open Proto
+
+type opened = { id : string option; worst : int; best : int }
+
+let to_int_signed sk c =
+  let v = Paillier.decrypt_signed sk c in
+  match Bignum.Nat.to_int_opt (Bignum.Bigint.to_nat v) with
+  | Some x -> if Bignum.Bigint.sign v < 0 then -x else x
+  | None -> invalid_arg "Client: score out of int range"
+
+let open_result (ctx : Ctx.t) key ~ids (r : Query.result) =
+  let sk = ctx.Ctx.s2.Ctx.sk in
+  let resolver = Scheme.make_resolver key ~pub:ctx.Ctx.s1.Ctx.pub ~ids in
+  List.map
+    (fun (it : Enc_item.scored) ->
+      let first_cell = (Ehl.Ehl_plus.cells it.Enc_item.ehl).(0) in
+      let id = resolver (Paillier.decrypt sk first_cell) in
+      { id; worst = to_int_signed sk it.Enc_item.worst; best = to_int_signed sk it.Enc_item.best })
+    r.Query.top
+
+let real_results ctx key ~ids r =
+  open_result ctx key ~ids r
+  |> List.filter_map (fun o -> Option.map (fun id -> (id, o.worst, o.best)) o.id)

@@ -1,0 +1,23 @@
+(** Serialization of the scheme's persistent artifacts: the encrypted
+    relation the data owner uploads to S1, the client key material, and
+    tokens. Fixed-width big-endian ciphertexts under a small tagged
+    header; [decode_*] validates sizes and ranges and raises
+    [Invalid_argument] on malformed input. *)
+
+open Crypto
+
+(** [encode_relation pub er] — the on-the-wire form of the encrypted DB. *)
+val encode_relation : Paillier.public -> Scheme.encrypted_relation -> string
+
+val decode_relation : Paillier.public -> string -> Scheme.encrypted_relation
+
+(** Client key material (the PRP key and the EHL PRF keys; Paillier keys
+    travel separately through the key-management channel). *)
+val encode_secret_key : Scheme.secret_key -> string
+
+val decode_secret_key : string -> Scheme.secret_key
+
+(** Query tokens, as sent from the client to S1. *)
+val encode_token : Scheme.token -> string
+
+val decode_token : string -> Scheme.token

@@ -1,0 +1,60 @@
+open Proto
+
+let query_pattern tokens =
+  let arr = Array.of_list tokens in
+  let n = Array.length arr in
+  Array.init n (fun i -> Array.init n (fun j -> j <= i && arr.(i) = arr.(j)))
+
+type profile = {
+  equality_rounds : int;
+  equality_bits : int list list;
+  dedup_matrices : (int * (int * int) list) list;
+  uniqueness_counts : int list;
+  comparisons : int;
+  sort_sizes : int list;
+}
+
+let of_trace trace =
+  let init =
+    {
+      equality_rounds = 0;
+      equality_bits = [];
+      dedup_matrices = [];
+      uniqueness_counts = [];
+      comparisons = 0;
+      sort_sizes = [];
+    }
+  in
+  let p =
+    List.fold_left
+      (fun p ev ->
+        match ev with
+        | Trace.Equality_bits { bits; _ } ->
+          let ones =
+            List.mapi (fun i b -> if b then i else -1) bits |> List.filter (fun i -> i >= 0)
+          in
+          { p with equality_rounds = p.equality_rounds + 1; equality_bits = ones :: p.equality_bits }
+        | Trace.Dedup_matrix { size; equal_pairs; _ } ->
+          { p with dedup_matrices = (size, equal_pairs) :: p.dedup_matrices }
+        | Trace.Count { protocol = "SecDupElim"; value } ->
+          { p with uniqueness_counts = value :: p.uniqueness_counts }
+        | Trace.Count { value; _ } -> { p with sort_sizes = value :: p.sort_sizes }
+        | Trace.Comparison _ -> { p with comparisons = p.comparisons + 1 })
+      init (Trace.events trace)
+  in
+  {
+    p with
+    equality_bits = List.rev p.equality_bits;
+    dedup_matrices = List.rev p.dedup_matrices;
+    uniqueness_counts = List.rev p.uniqueness_counts;
+    sort_sizes = List.rev p.sort_sizes;
+  }
+
+let same_shape a b =
+  a.equality_rounds = b.equality_rounds
+  && List.map List.length a.equality_bits = List.map List.length b.equality_bits
+  && List.map (fun (s, ps) -> (s, List.length ps)) a.dedup_matrices
+     = List.map (fun (s, ps) -> (s, List.length ps)) b.dedup_matrices
+  && a.uniqueness_counts = b.uniqueness_counts
+  && a.comparisons = b.comparisons
+  && a.sort_sizes = b.sort_sizes

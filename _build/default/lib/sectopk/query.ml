@@ -1,0 +1,158 @@
+open Crypto
+open Proto
+
+type variant = Full | Elim | Batched of int
+
+type options = {
+  variant : variant;
+  sort : Enc_sort.strategy;
+  halting : [ `All | `KthOnly ];
+  compare : [ `Sign | `Dgk of int ];
+  max_depth : int option;
+}
+
+let default_options =
+  { variant = Full; sort = Enc_sort.Blinded; halting = `All; compare = `Sign; max_depth = None }
+
+type result = {
+  top : Enc_item.scored list;
+  halting_depth : int;
+  halted : bool;
+  depth_seconds : float array;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function [] -> [] | _ :: rest as l -> if n = 0 then l else drop (n - 1) rest
+
+(* The NRA bound test over the sorted encrypted list (Algorithm 3 lines
+   10-12, completed with the unseen-object bound). *)
+let halting_test ctx ~halting ~compare ~k ~sorted ~unseen_bound =
+  let leq =
+    match compare with
+    | `Sign -> Enc_compare.leq ctx
+    | `Dgk bits ->
+      (* shift by +2 so the sentinel -1 lands at 1 >= 0 in the unsigned
+         domain the bitwise protocol works over *)
+      let pub = ctx.Ctx.s1.Ctx.pub in
+      let two = Paillier.trivial pub Bignum.Nat.two in
+      fun a b ->
+        Enc_compare.leq_dgk ctx ~bits (Paillier.add pub a two) (Paillier.add pub b two)
+  in
+  if List.length sorted < k then false
+  else begin
+    let wk = (List.nth sorted (k - 1)).Enc_item.worst in
+    let rest = drop k sorted in
+    let candidates_ok =
+      match halting with
+      | `KthOnly -> (
+        match rest with [] -> true | next :: _ -> leq next.Enc_item.best wk)
+      | `All -> List.for_all (fun (it : Enc_item.scored) -> leq it.Enc_item.best wk) rest
+    in
+    candidates_ok && leq unseen_bound wk
+  end
+
+let run (ctx : Ctx.t) er (tk : Scheme.token) options =
+  let s1 = ctx.Ctx.s1 in
+  let pub = s1.pub in
+  let k = tk.Scheme.k in
+  let attrs = Array.of_list tk.Scheme.attrs in
+  let m = Array.length attrs in
+  if m = 0 then invalid_arg "Query.run: empty token";
+  let n = Scheme.n_rows er in
+  let check_every = match options.variant with Batched p -> max 1 p | Full | Elim -> 1 in
+  let dedup_mode =
+    match options.variant with Full -> Sec_dedup.Replace | Elim | Batched _ -> Sec_dedup.Eliminate
+  in
+  let limit = match options.max_depth with None -> n | Some d -> min d n in
+  (* per queried list: entries seen so far (latest last) and bottom score *)
+  let history : Enc_item.entry list ref array = Array.make m (ref []) in
+  Array.iteri (fun i _ -> history.(i) <- ref []) history;
+  let bottoms : Paillier.ciphertext option array = Array.make m None in
+  let t_list = ref [] in
+  let timings = ref [] in
+  let weighted_entry li w depth =
+    let e = Scheme.entry er ~list:li ~depth in
+    if w = 1 then e
+    else { e with Enc_item.score = Paillier.scalar_mul pub e.Enc_item.score (Bignum.Nat.of_int w) }
+  in
+  let result = ref None in
+  let depth = ref 0 in
+  while !result = None && !depth < limit do
+    let d = !depth in
+    let t0 = Unix.gettimeofday () in
+    let row = Array.to_list (Array.map (fun (li, w) -> weighted_entry li w d) attrs) in
+    let row_arr = Array.of_list row in
+    (* SecBest sees history inclusive of the current depth *)
+    Array.iteri
+      (fun i e ->
+        history.(i) := e :: !(history.(i));
+        bottoms.(i) <- Some e.Enc_item.score)
+      row_arr;
+    let scored =
+      List.mapi
+        (fun i (target : Enc_item.entry) ->
+          let others = List.filteri (fun j _ -> j <> i) row in
+          let worst, eq_bits = Sec_worst.run ctx ~target ~others in
+          let hist =
+            List.filteri (fun j _ -> j <> i) (Array.to_list (Array.mapi (fun j _ -> j) row_arr))
+            |> List.map (fun j -> (!(history.(j)), Option.get bottoms.(j)))
+          in
+          let best = Sec_best.run ctx ~target ~history:hist in
+          (* seen vector: 1 for the item's own list; SecWorst's equality
+             indicators (recovered to Paillier form) for the others *)
+          let eq_arr = Array.of_list eq_bits in
+          let seen =
+            Array.init m (fun l ->
+                if l = i then Paillier.encrypt s1.Ctx.rng pub Bignum.Nat.one
+                else begin
+                  let e = if l < i then eq_arr.(l) else eq_arr.(l - 1) in
+                  Gadgets.select_recover ctx ~protocol:"SecWorst" ~t:e
+                    ~if_one:(Paillier.encrypt s1.Ctx.rng pub Bignum.Nat.one)
+                    ~if_zero:(Gadgets.enc_zero s1)
+                end)
+          in
+          { Enc_item.ehl = target.Enc_item.ehl; worst; best; seen })
+        row
+    in
+    let gamma = Sec_dedup.run ctx ~mode:dedup_mode scored in
+    t_list := Sec_update.run ctx ~mode:dedup_mode ~t_list:!t_list ~gamma;
+    (* checkpoint: refresh upper bounds, sort, halting test *)
+    let at_checkpoint = (d + 1) mod check_every = 0 || d = limit - 1 in
+    if at_checkpoint && List.length !t_list >= k then begin
+      let current_bottoms = Array.map Option.get bottoms in
+      t_list := Sec_refresh.run ctx ~items:!t_list ~bottoms:current_bottoms;
+      let sorted = Enc_sort.sort ctx ~strategy:options.sort !t_list in
+      t_list := sorted;
+      let unseen_bound =
+        Array.fold_left
+          (fun acc b -> Paillier.add pub acc (Option.get b))
+          (Gadgets.enc_zero s1) bottoms
+      in
+      let exhausted = d = n - 1 in
+      if
+        exhausted
+        || halting_test ctx ~halting:options.halting ~compare:options.compare ~k ~sorted
+             ~unseen_bound
+      then
+        result :=
+          Some
+            {
+              top = take k sorted;
+              halting_depth = d + 1;
+              halted = true;
+              depth_seconds = [||];
+            }
+    end;
+    timings := (Unix.gettimeofday () -. t0) :: !timings;
+    incr depth
+  done;
+  let depth_seconds = Array.of_list (List.rev !timings) in
+  match !result with
+  | Some r -> { r with depth_seconds }
+  | None ->
+    (* stopped by max_depth: report the current best-effort list *)
+    let sorted = Enc_sort.sort ctx ~strategy:options.sort !t_list in
+    { top = take k sorted; halting_depth = !depth; halted = false; depth_seconds }

@@ -1,0 +1,62 @@
+open Dataset
+
+type mode = Direct | Oblivious
+
+type t = {
+  rel_attrs : int;
+  slots : string array; (* Direct mode: encrypted record blobs, one per oid *)
+  oram : Oram.Path_oram.t;
+  key : string;
+  mutable direct_log : int list;
+}
+
+(* record codec: attributes as 4-byte big-endian words, XOR-sealed with a
+   per-record keystream (id-keyed, as the data owner would) *)
+let encode_record key oid row =
+  let buf = Buffer.create (4 * Array.length row) in
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+      Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+      Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+      Buffer.add_char buf (Char.chr (v land 0xff)))
+    row;
+  let plain = Buffer.contents buf in
+  let ks = Crypto.Drbg.generate (Crypto.Drbg.create ~seed:(key ^ "#" ^ string_of_int oid))
+      (String.length plain) in
+  String.init (String.length plain) (fun i -> Char.chr (Char.code plain.[i] lxor Char.code ks.[i]))
+
+let decode_record key oid attrs blob =
+  let ks = Crypto.Drbg.generate (Crypto.Drbg.create ~seed:(key ^ "#" ^ string_of_int oid))
+      (4 * attrs) in
+  Array.init attrs (fun a ->
+      let word i = Char.code blob.[(4 * a) + i] lxor Char.code ks.[(4 * a) + i] in
+      (word 0 lsl 24) lor (word 1 lsl 16) lor (word 2 lsl 8) lor word 3)
+
+let setup rng rel =
+  let n = Relation.n_rows rel and attrs = Relation.n_attrs rel in
+  let key = Crypto.Rng.bytes rng 32 in
+  let slots = Array.init n (fun oid -> encode_record key oid (Relation.row rel oid)) in
+  let oram = Oram.Path_oram.create rng ~capacity:n ~block_bytes:(4 * attrs) in
+  for oid = 0 to n - 1 do
+    Oram.Path_oram.write oram oid slots.(oid)
+  done;
+  { rel_attrs = attrs; slots; oram; key; direct_log = [] }
+
+let fetch t ~mode oid =
+  match mode with
+  | Direct ->
+    (* S1 sees the requested slot *)
+    t.direct_log <- oid :: t.direct_log;
+    decode_record t.key oid t.rel_attrs t.slots.(oid)
+  | Oblivious -> decode_record t.key oid t.rel_attrs (Oram.Path_oram.read t.oram oid)
+
+let observed_direct t = List.rev t.direct_log
+
+let observed_oblivious t =
+  (* skip the setup writes: one path per initial record write *)
+  let all = Oram.Path_oram.paths_accessed t.oram in
+  let rec drop n = function [] -> [] | _ :: r as l -> if n = 0 then l else drop (n - 1) r in
+  drop (Array.length t.slots) all
+
+let oblivious_bytes_per_fetch t = Oram.Path_oram.bytes_per_access t.oram

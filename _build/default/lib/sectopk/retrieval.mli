@@ -1,0 +1,35 @@
+(** Result-record retrieval — the final step the paper sketches in
+    Section 4. After SecQuery hands the client the top-k object ids, the
+    client fetches the actual encrypted records either
+
+    - [Direct]: by asking S1 for the record slots, which is cheap but lets
+      S1 observe which (encrypted) records different queries return — the
+      access-pattern leakage the paper notes, or
+    - [Oblivious]: through a Path ORAM holding the record payloads, so S1
+      sees only uniformly random tree paths ("completely secure", at
+      higher cost).
+
+    Records are serialized rows of the plaintext relation, encrypted
+    under the data owner's key material. *)
+
+open Dataset
+
+type t
+
+type mode = Direct | Oblivious
+
+(** [setup rng rel] builds the record store for both modes. *)
+val setup : Crypto.Rng.t -> Relation.t -> t
+
+(** [fetch t ~mode oid] returns the record (attribute vector) of object
+    [oid]. *)
+val fetch : t -> mode:mode -> int -> int array
+
+(** What S1 observed so far for each mode: [Direct] — the slot indices
+    requested, in order; [Oblivious] — the ORAM path leaves. *)
+val observed_direct : t -> int list
+
+val observed_oblivious : t -> int list
+
+(** ORAM transfer cost per oblivious fetch, in bytes. *)
+val oblivious_bytes_per_fetch : t -> int

@@ -1,0 +1,93 @@
+open Crypto
+open Dataset
+open Topk
+
+type secret_key = { prp_key : string; ehl_keys : Prf.key list; s : int }
+
+type encrypted_relation = {
+  lists : (Ehl.Ehl_plus.t * Paillier.ciphertext) array array;
+  n : int;
+  m : int;
+}
+
+(* run [jobs] indexed tasks across [domains] OCaml domains; each task gets
+   an rng forked deterministically from [rng] by its index *)
+let parallel_tasks rng ~domains ~jobs f =
+  let task_rng i = Rng.fork rng ~label:("par:" ^ string_of_int i) in
+  let rngs = Array.init jobs task_rng in
+  if domains <= 1 || jobs <= 1 then Array.init jobs (fun i -> f rngs.(i) i)
+  else begin
+    let results = Array.make jobs None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= jobs then continue := false else results.(i) <- Some (f rngs.(i) i)
+      done
+    in
+    let spawned = Array.init (min domains jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map Option.get results
+  end
+
+let encrypt ?(s = 5) ?(domains = 1) rng pub rel =
+  let sl = Sorted_lists.of_relation rel in
+  let m = Sorted_lists.n_lists sl and n = Sorted_lists.depth sl in
+  let ehl_keys = Prf.gen_keys rng s in
+  let prp_key = Rng.bytes rng 32 in
+  (* EHL encodings are per-object; share them across lists *)
+  let encodings =
+    parallel_tasks rng ~domains ~jobs:n (fun task_rng oid ->
+        Ehl.Ehl_plus.encode task_rng pub ~keys:ehl_keys (Relation.object_id rel oid))
+  in
+  let plain_lists =
+    parallel_tasks rng ~domains ~jobs:m (fun task_rng attr ->
+        Array.map
+          (fun (it : Sorted_lists.item) ->
+            ( Ehl.Ehl_plus.rerandomize task_rng pub encodings.(it.Sorted_lists.oid),
+              Paillier.encrypt task_rng pub (Bignum.Nat.of_int it.Sorted_lists.score) ))
+          (Sorted_lists.list sl attr))
+  in
+  let prp = Prp.create ~key:prp_key ~domain:m in
+  let lists = Array.init m (fun i -> plain_lists.(Prp.invert prp i)) in
+  ({ lists; n; m }, { prp_key; ehl_keys; s })
+
+let n_rows er = er.n
+let n_attrs er = er.m
+
+let entry er ~list ~depth =
+  let ehl, score = er.lists.(list).(depth) in
+  { Proto.Enc_item.ehl; score }
+
+let size_bytes pub er =
+  Array.fold_left
+    (fun acc l ->
+      Array.fold_left
+        (fun acc (ehl, _) -> acc + Ehl.Ehl_plus.size_bytes pub ehl + Paillier.ciphertext_bytes pub)
+        acc l)
+    0 er.lists
+
+let of_lists lists =
+  let m = Array.length lists in
+  if m = 0 then invalid_arg "Scheme.of_lists: no lists";
+  let n = Array.length lists.(0) in
+  if n = 0 then invalid_arg "Scheme.of_lists: empty lists";
+  Array.iter (fun l -> if Array.length l <> n then invalid_arg "Scheme.of_lists: ragged") lists;
+  { lists; n; m }
+
+type token = { attrs : (int * int) list; k : int }
+
+let token key ~m_total scoring ~k =
+  if k <= 0 then invalid_arg "Scheme.token: k <= 0";
+  let prp = Prp.create ~key:key.prp_key ~domain:m_total in
+  { attrs = List.map (fun (a, w) -> (Prp.apply prp a, w)) (Scoring.weights scoring); k }
+
+let make_resolver key ~pub ~ids =
+  let table = Hashtbl.create (List.length ids) in
+  let k1 = List.hd key.ehl_keys in
+  List.iter
+    (fun id -> Hashtbl.replace table (Prf.to_nat_mod ~key:k1 id ~m:pub.Paillier.n) id)
+    ids;
+  fun cell_value -> Hashtbl.find_opt table cell_value

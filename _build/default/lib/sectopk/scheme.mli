@@ -1,0 +1,59 @@
+(** The SecTopK scheme (Definition 4.1): [Enc] and [Token].
+
+    [encrypt] implements Algorithm 2: each attribute column is sorted
+    descending, every entry becomes [E(I) = (EHL+(o), Enc(x))], and the
+    lists are shuffled by a keyed pseudo-random permutation [P_K]. The
+    output reveals only [(n, M)] (Theorem 6.1). [token] implements the
+    client side of Section 7: mapping the query's attribute set through
+    [P_K] (plus the optional non-binary weights, which the server applies
+    homomorphically). *)
+
+open Crypto
+open Dataset
+open Topk
+
+type secret_key = {
+  prp_key : string;  (** [K], keying the list permutation [P_K]. *)
+  ehl_keys : Prf.key list;  (** [kappa_1 .. kappa_s]. *)
+  s : int;
+}
+
+type encrypted_relation
+(** The server-side [ER]: permuted encrypted sorted lists. *)
+
+(** [encrypt ?s ?domains rng pub rel] — the data-owner side of [Enc].
+    [s] is the number of EHL+ PRFs (default 5, as in the paper's
+    experiments). [domains > 1] parallelizes the per-item encryption over
+    that many OCaml domains (the paper: "the encryption for each item can
+    be fully parallelized ... we used 64 threads"); each domain draws from
+    its own forked DRBG, so results stay deterministic for a given seed
+    and domain count. *)
+val encrypt :
+  ?s:int -> ?domains:int -> Rng.t -> Paillier.public -> Relation.t -> encrypted_relation * secret_key
+
+val n_rows : encrypted_relation -> int
+val n_attrs : encrypted_relation -> int
+
+(** [entry er ~list ~depth] — sequential access for the server ([list] is
+    a {e permuted} index). *)
+val entry : encrypted_relation -> list:int -> depth:int -> Proto.Enc_item.entry
+
+(** Total serialized size in bytes (Fig. 7b/8b). *)
+val size_bytes : Paillier.public -> encrypted_relation -> int
+
+(** Rebuild a relation from raw permuted lists (deserialization);
+    [lists.(i).(d)] is list [i]'s entry at depth [d]. All lists must have
+    equal positive length. *)
+val of_lists : (Ehl.Ehl_plus.t * Paillier.ciphertext) array array -> encrypted_relation
+
+type token = { attrs : (int * int) list;  (** (permuted list index, weight) *) k : int }
+
+(** [token key ~m_total scoring ~k] — the client side of [Token]. *)
+val token : secret_key -> m_total:int -> Scoring.t -> k:int -> token
+
+(** [make_resolver key ~pub ~ids] builds the client-side dictionary that
+    maps a decrypted EHL+ first-cell value [HMAC(kappa_1, id) mod n] back
+    to the object id — how an authorized client resolves returned items.
+    SecDedup garbage items (random cells) resolve to [None]. *)
+val make_resolver :
+  secret_key -> pub:Paillier.public -> ids:string list -> Bignum.Nat.t -> string option

@@ -1,0 +1,1 @@
+lib/sknn/sknn.ml: Array Bignum Channel Crypto Ctx Dataset Fun Gadgets List Nat Paillier Proto Relation Rng Sbd Sm Smin Trace

@@ -1,0 +1,1 @@
+lib/sknn/sknn.mli: Crypto Dataset Paillier Proto Relation Rng Sbd Sm Smin

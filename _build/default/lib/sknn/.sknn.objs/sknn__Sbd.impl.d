@@ -1,0 +1,1 @@
+lib/sknn/sbd.ml: Array Bignum Channel Crypto Ctx Modular Nat Paillier Proto Rng

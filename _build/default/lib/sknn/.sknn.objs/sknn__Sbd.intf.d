@@ -1,0 +1,1 @@
+lib/sknn/sbd.mli: Crypto Paillier Proto

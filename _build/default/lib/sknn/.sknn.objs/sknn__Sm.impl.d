@@ -1,0 +1,1 @@
+lib/sknn/sm.ml: Bignum Channel Crypto Ctx Modular Paillier Proto Rng

@@ -1,0 +1,1 @@
+lib/sknn/sm.mli: Crypto Paillier Proto

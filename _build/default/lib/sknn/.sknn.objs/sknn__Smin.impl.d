@@ -1,0 +1,1 @@
+lib/sknn/smin.ml: Array Bignum Crypto Ctx Nat Paillier Proto Sbd Sm

@@ -1,0 +1,1 @@
+lib/sknn/smin.mli: Crypto Paillier Proto

@@ -1,0 +1,41 @@
+open Bignum
+open Crypto
+open Proto
+
+let protocol = "SBD"
+let statistical_slack = 40
+
+let decompose (ctx : Ctx.t) ~bits c =
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let pub = s1.Ctx.pub in
+  let n = pub.Paillier.n in
+  if bits + statistical_slack + 1 >= Nat.bit_length n then
+    invalid_arg "Sbd.decompose: bits too large for the modulus";
+  let ct = Paillier.ciphertext_bytes pub in
+  let half_inv = Modular.inv Nat.two ~m:n in
+  let cur = ref c in
+  Array.init bits (fun _ ->
+      (* S1: blind with an even-tracked random r *)
+      let r = Rng.nat_bits s1.Ctx.rng (bits + statistical_slack) in
+      let blinded = Paillier.add pub !cur (Paillier.encrypt s1.Ctx.rng pub r) in
+      Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:ct;
+      (* S2: decrypt, return Enc(lsb) *)
+      let y = Paillier.decrypt s2.Ctx.sk blinded in
+      let lsb = Paillier.encrypt s2.Ctx.rng2 pub (if Nat.is_even y then Nat.zero else Nat.one) in
+      Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:ct;
+      Channel.round_trip s1.Ctx.chan;
+      (* S1: x_0 = lsb(y) xor lsb(r); then cur <- (cur - x_0) / 2 *)
+      let bit =
+        if Nat.is_even r then lsb
+        else Paillier.sub pub (Paillier.trivial pub Nat.one) lsb
+      in
+      cur := Paillier.scalar_mul pub (Paillier.sub pub !cur bit) half_inv;
+      bit)
+
+let recompose (ctx : Ctx.t) bits_arr =
+  let pub = ctx.Ctx.s1.Ctx.pub in
+  let acc = ref (Paillier.trivial pub Nat.zero) in
+  Array.iteri
+    (fun i b -> acc := Paillier.add pub !acc (Paillier.scalar_mul pub b (Nat.shift_left Nat.one i)))
+    bits_arr;
+  !acc

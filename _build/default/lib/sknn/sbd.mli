@@ -1,0 +1,18 @@
+(** Secure Bit Decomposition (Samanthula–Jiang), the building block under
+    [21]'s comparison machinery: converts [Enc(x)] into encryptions of the
+    bits [Enc(x_0) .. Enc(x_(l-1))] without either server learning [x].
+
+    Per bit: S1 additively blinds [Enc(x)], S2 decrypts the blinded value
+    and returns the encryption of its least-significant bit, S1 strips the
+    (known) blinding parity homomorphically and divides the remainder by
+    two inside the ciphertext. [l] rounds for [l] bits. *)
+
+open Crypto
+
+(** [decompose ctx ~bits c] — bit encryptions, LSB first. Requires
+    [0 <= x < 2^bits] and [2^(bits + slack) < n]. *)
+val decompose :
+  Proto.Ctx.t -> bits:int -> Paillier.ciphertext -> Paillier.ciphertext array
+
+(** Homomorphically recompose bits into [Enc(x)] (for tests / SMIN). *)
+val recompose : Proto.Ctx.t -> Paillier.ciphertext array -> Paillier.ciphertext

@@ -1,0 +1,140 @@
+open Bignum
+open Crypto
+open Proto
+
+type enc_db = { records : Paillier.ciphertext array array; m : int }
+
+let protocol = "SkNN"
+
+let encrypt_db rng pub rel =
+  let open Dataset in
+  let m = Relation.n_attrs rel in
+  let records =
+    Array.init (Relation.n_rows rel) (fun row ->
+        Array.init m (fun attr ->
+            Paillier.encrypt rng pub (Nat.of_int (Relation.value rel ~row ~attr))))
+  in
+  { records; m }
+
+let n_records db = Array.length db.records
+let size_bytes pub db = Array.length db.records * db.m * Paillier.ciphertext_bytes pub
+
+let secure_multiply = Sm.secure_multiply
+
+let query (ctx : Ctx.t) db ~point ~k =
+  if Array.length point <> db.m then invalid_arg "Sknn.query: dimension mismatch";
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let pub = s1.Ctx.pub in
+  let enc_q = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng pub (Nat.of_int v)) point in
+  (* O(n*m) secure multiplications: d_j = sum_i (x_ji - q_i)^2 *)
+  let distances =
+    Array.map
+      (fun record ->
+        let acc = ref (Paillier.encrypt s1.Ctx.rng pub Nat.zero) in
+        Array.iteri
+          (fun i x ->
+            let diff = Paillier.sub pub x enc_q.(i) in
+            acc := Paillier.add pub !acc (secure_multiply ctx diff diff))
+          record;
+        !acc)
+      db.records
+  in
+  (* nearest-k selection through a blinded sort at S2 *)
+  let rho = Gadgets.blind_scalar s1 in
+  let keyed = Array.mapi (fun j d -> (j, Paillier.scalar_mul pub d rho)) distances in
+  let ct = Paillier.ciphertext_bytes pub in
+  Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:protocol
+    ~bytes:(Array.length keyed * ct);
+  let decorated = Array.map (fun (j, c) -> (j, Paillier.decrypt s2.Ctx.sk c)) keyed in
+  Array.sort (fun (_, a) (_, b) -> Nat.compare a b) decorated;
+  Trace.record s2.Ctx.trace (Trace.Count { protocol; value = Array.length decorated });
+  Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
+    ~bytes:(Array.length decorated * 4);
+  Channel.round_trip s1.Ctx.chan;
+  Array.to_list (Array.sub decorated 0 (min k (Array.length decorated))) |> List.map fst
+
+(* distance phase shared by both selection strategies *)
+let distances (ctx : Ctx.t) db ~point =
+  let s1 = ctx.Ctx.s1 in
+  let pub = s1.Ctx.pub in
+  let enc_q = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng pub (Nat.of_int v)) point in
+  Array.map
+    (fun record ->
+      let acc = ref (Paillier.encrypt s1.Ctx.rng pub Nat.zero) in
+      Array.iteri
+        (fun i x ->
+          let diff = Paillier.sub pub x enc_q.(i) in
+          acc := Paillier.add pub !acc (secure_multiply ctx diff diff))
+        record;
+      !acc)
+    db.records
+
+let query_smin (ctx : Ctx.t) db ~point ~k ~bits =
+  if Array.length point <> db.m then invalid_arg "Sknn.query_smin: dimension mismatch";
+  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let pub = s1.Ctx.pub in
+  let ds = distances ctx db ~point in
+  let n = Array.length ds in
+  (* SBD every distance once; each SMIN_k pass then runs [21]'s bitwise
+     machinery over the decomposed candidates *)
+  let dec_bits = Array.map (fun d -> Sbd.decompose ctx ~bits d) ds in
+  let packed = Array.map (fun b -> Sbd.recompose ctx b) dec_bits in
+  let active = Array.make n true in
+  let results = ref [] in
+  let max_dist = Nat.pred (Nat.shift_left Nat.one bits) in
+  for _ = 1 to min k n do
+    (* fold SMIN over the active candidates *)
+    let cur = ref None in
+    for i = 0 to n - 1 do
+      if active.(i) then
+        match !cur with
+        | None -> cur := Some (dec_bits.(i), packed.(i))
+        | Some (cb, cp) ->
+          let m = Smin.min_pair_bits ctx cb dec_bits.(i) ~u_packed:cp ~v_packed:packed.(i) in
+          cur := Some (Sbd.decompose ctx ~bits m, m)
+    done;
+    match !cur with
+    | None -> ()
+    | Some (_, min_packed) ->
+      (* locate the winning index: S1 blinds the differences and permutes;
+         S2 reports which (permuted) slot is zero. [21] likewise reveals
+         which encrypted records form the answer at this point. *)
+      let idxs = Array.of_list (List.filter (fun i -> active.(i)) (List.init n Fun.id)) in
+      let perm = Rng.shuffle s1.Ctx.rng idxs in
+      ignore perm;
+      let blinded =
+        Array.map
+          (fun i ->
+            Paillier.scalar_mul pub (Paillier.sub pub ds.(i) min_packed)
+              (Gadgets.blind_scalar s1))
+          idxs
+      in
+      let ct = Paillier.ciphertext_bytes pub in
+      Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:protocol
+        ~bytes:(Array.length blinded * ct);
+      let zero_slot = ref None in
+      Array.iteri
+        (fun slot c ->
+          if !zero_slot = None && Nat.is_zero (Paillier.decrypt s2.Ctx.sk c) then
+            zero_slot := Some slot)
+        blinded;
+      Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:4;
+      Channel.round_trip s1.Ctx.chan;
+      (match !zero_slot with
+      | Some slot ->
+        let winner = idxs.(slot) in
+        active.(winner) <- false;
+        results := winner :: !results;
+        (* retire the winner: its distance becomes the domain maximum *)
+        dec_bits.(winner) <- Array.init bits (fun i ->
+            Paillier.encrypt s1.Ctx.rng pub
+              (if Nat.nth_bit max_dist i then Nat.one else Nat.zero));
+        packed.(winner) <- Paillier.encrypt s1.Ctx.rng pub max_dist;
+        ds.(winner) <- packed.(winner)
+      | None -> ())
+  done;
+  List.rev !results
+
+module Sm = Sm
+module Sbd = Sbd
+module Smin = Smin

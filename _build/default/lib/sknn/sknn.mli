@@ -1,0 +1,51 @@
+(** The secure-kNN comparison baseline of Section 11.3 — a two-cloud kNN
+    protocol in the style of Elmehdwi, Samanthula and Jiang (ICDE'14),
+    reproduced at the complexity the paper cites: for every query the
+    servers touch {e all} [n] records with [O(n * m)] secure
+    multiplications and [O(n * m)] ciphertext traffic, which is what makes
+    it orders of magnitude slower than SecTopK's sorted-access scheme.
+
+    The building block is the standard two-party secure multiplication
+    (SM): S1 additively blinds both operands, S2 decrypts and multiplies,
+    and S1 strips the cross terms homomorphically. Distances are squared
+    Euclidean ([sum (x_i - q_i)^2]); the k nearest records are selected
+    through a blinded sort. See DESIGN.md for the deviations from [21]
+    (which only make the baseline {e faster}, strengthening the paper's
+    comparison). *)
+
+open Crypto
+open Dataset
+
+type enc_db
+
+(** Per-record attribute encryption of the whole relation. *)
+val encrypt_db : Rng.t -> Paillier.public -> Relation.t -> enc_db
+
+val n_records : enc_db -> int
+
+(** Serialized size in bytes. *)
+val size_bytes : Paillier.public -> enc_db -> int
+
+(** [secure_multiply ctx a b] — the SM sub-protocol:
+    [Enc(a) x Enc(b) -> Enc(a*b)] with one round through S2. *)
+val secure_multiply :
+  Proto.Ctx.t -> Paillier.ciphertext -> Paillier.ciphertext -> Paillier.ciphertext
+
+(** [query ctx db ~point ~k] returns the indices of the [k] records
+    nearest to [point] (squared Euclidean), nearest first. Selection is
+    a single blinded sort — cheaper than [21]'s SMIN, so only the
+    distance phase is cost-faithful. *)
+val query : Proto.Ctx.t -> enc_db -> point:int array -> k:int -> int list
+
+(** [query_smin ctx db ~point ~k ~bits] — same answers via [21]'s actual
+    selection machinery: every distance is bit-decomposed ({!Sbd}) and the
+    k minima are extracted with the bitwise secure-minimum ({!Smin}),
+    [O(n * k * bits)] secure multiplications in total. Distances must fit
+    in [bits]. This is the baseline the sec11.3 benchmark times. *)
+val query_smin : Proto.Ctx.t -> enc_db -> point:int array -> k:int -> bits:int -> int list
+
+(** The [21] protocol stack, re-exported. *)
+module Sm = Sm
+
+module Sbd = Sbd
+module Smin = Smin

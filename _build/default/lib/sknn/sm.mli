@@ -1,0 +1,9 @@
+(** The secure multiplication (SM) sub-protocol of [21]:
+    [Enc(a) x Enc(b) -> Enc(a*b)] with one round through S2. S1 blinds
+    both operands additively; S2 decrypts and multiplies; S1 strips the
+    cross terms homomorphically. *)
+
+open Crypto
+
+val secure_multiply :
+  Proto.Ctx.t -> Paillier.ciphertext -> Paillier.ciphertext -> Paillier.ciphertext

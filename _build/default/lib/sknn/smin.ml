@@ -1,0 +1,67 @@
+open Bignum
+open Crypto
+open Proto
+
+let enc_one pub = Paillier.trivial pub Nat.one
+
+(* Enc(a XOR b) for encrypted bits: a + b - 2ab (one SM) *)
+let xor_bit ctx a b =
+  let pub = ctx.Ctx.s1.Ctx.pub in
+  let ab = Sm.secure_multiply ctx a b in
+  Paillier.sub pub (Paillier.add pub a b) (Paillier.scalar_mul pub ab Nat.two)
+
+(* Enc(a OR b) = a + b - ab (one SM) *)
+let or_bit ctx a b =
+  let pub = ctx.Ctx.s1.Ctx.pub in
+  Paillier.sub pub (Paillier.add pub a b) (Sm.secure_multiply ctx a b)
+
+let greater_bit ctx (u : Paillier.ciphertext array) (v : Paillier.ciphertext array) =
+  if Array.length u <> Array.length v then invalid_arg "Smin.greater_bit: length mismatch";
+  let pub = ctx.Ctx.s1.Ctx.pub in
+  let l = Array.length u in
+  (* e_i = u_i xor v_i *)
+  let e = Array.init l (fun i -> xor_bit ctx u.(i) v.(i)) in
+  (* f_i = OR of e_(l-1) .. e_i ; g_i = e_i AND NOT f_(i+1) marks the
+     highest differing bit *)
+  let acc = ref (Paillier.trivial pub Nat.zero) in
+  let g = Array.make l (enc_one pub) in
+  for i = l - 1 downto 0 do
+    let not_f = Paillier.sub pub (enc_one pub) !acc in
+    g.(i) <- Sm.secure_multiply ctx e.(i) not_f;
+    acc := or_bit ctx !acc e.(i)
+  done;
+  (* [u > v] = sum_i g_i * u_i  (at the highest differing bit, u wins iff
+     its bit is 1) *)
+  let result = ref (Paillier.trivial pub Nat.zero) in
+  for i = 0 to l - 1 do
+    result := Paillier.add pub !result (Sm.secure_multiply ctx g.(i) u.(i))
+  done;
+  !result
+
+let min_pair_bits ctx (u_bits : Paillier.ciphertext array) (v_bits : Paillier.ciphertext array)
+    ~u_packed ~v_packed =
+  let pub = ctx.Ctx.s1.Ctx.pub in
+  (* b = [u > v]; min = b*v + (1-b)*u *)
+  let b = greater_bit ctx u_bits v_bits in
+  let not_b = Paillier.sub pub (enc_one pub) b in
+  Paillier.add pub (Sm.secure_multiply ctx b v_packed) (Sm.secure_multiply ctx not_b u_packed)
+
+let min_pair ctx ~bits u v =
+  let ub = Sbd.decompose ctx ~bits u and vb = Sbd.decompose ctx ~bits v in
+  min_pair_bits ctx ub vb ~u_packed:u ~v_packed:v
+
+let min_of ctx (candidates : Paillier.ciphertext array array) =
+  match Array.length candidates with
+  | 0 -> invalid_arg "Smin.min_of: empty"
+  | _ ->
+    let packed = Array.map (fun bits -> Sbd.recompose ctx bits) candidates in
+    let cur_bits = ref candidates.(0) and cur_packed = ref packed.(0) in
+    for i = 1 to Array.length candidates - 1 do
+      let m =
+        min_pair_bits ctx !cur_bits candidates.(i) ~u_packed:!cur_packed ~v_packed:packed.(i)
+      in
+      (* re-decompose the running minimum for the next round *)
+      cur_packed := m;
+      cur_bits := Sbd.decompose ctx ~bits:(Array.length candidates.(0)) m
+    done;
+    !cur_bits

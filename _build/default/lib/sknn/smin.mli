@@ -1,0 +1,38 @@
+(** The bitwise secure comparison and secure-minimum machinery of the
+    Elmehdwi–Samanthula–Jiang kNN protocol [21], built on {!Sm.secure_multiply}
+    and {!Sbd}.
+
+    [greater_bit] computes [Enc([u > v])] from bit decompositions with
+    neither server learning the outcome: XOR the bit strings (one SM per
+    bit), prefix-OR to isolate the first difference (one SM per bit), and
+    select the winning side's bit (one SM per bit) — the O(l)
+    secure-multiplication structure of [21]'s SC/SMIN.
+
+    [min_pair] then selects [Enc(min(u, v))] with two more SMs. [argmin]
+    folds it over a candidate set. *)
+
+open Crypto
+
+(** [Enc(1)] iff [u > v], from LSB-first bit encryptions of equal length. *)
+val greater_bit :
+  Proto.Ctx.t -> Paillier.ciphertext array -> Paillier.ciphertext array -> Paillier.ciphertext
+
+(** [min_pair_bits ctx u_bits v_bits ~u_packed ~v_packed] —
+    [Enc(min(u, v))] given both bit decompositions and packed forms. *)
+val min_pair_bits :
+  Proto.Ctx.t ->
+  Paillier.ciphertext array ->
+  Paillier.ciphertext array ->
+  u_packed:Paillier.ciphertext ->
+  v_packed:Paillier.ciphertext ->
+  Paillier.ciphertext
+
+(** [min_pair ctx ~bits u v] — [Enc(min(u, v))] from the packed values
+    ([u], [v] are decomposed internally). *)
+val min_pair :
+  Proto.Ctx.t -> bits:int -> Paillier.ciphertext -> Paillier.ciphertext -> Paillier.ciphertext
+
+(** [min_of ctx ~bits cs] — [Enc(min cs)] by folding {!min_pair} over the
+    (pre-decomposed) candidates. *)
+val min_of :
+  Proto.Ctx.t -> Paillier.ciphertext array array -> Paillier.ciphertext array

@@ -1,0 +1,1 @@
+lib/topk/naive_topk.ml: Array Dataset Relation Scoring

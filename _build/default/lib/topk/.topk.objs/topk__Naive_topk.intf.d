@@ -1,0 +1,1 @@
+lib/topk/naive_topk.mli: Dataset Scoring

@@ -1,0 +1,1 @@
+lib/topk/nra.ml: Array Dataset Hashtbl List Naive_topk Relation Scoring Sorted_lists

@@ -1,0 +1,1 @@
+lib/topk/nra.mli: Dataset Scoring

@@ -1,0 +1,1 @@
+lib/topk/scoring.ml: Dataset List Relation

@@ -1,0 +1,1 @@
+lib/topk/scoring.mli: Dataset Relation

@@ -1,0 +1,1 @@
+lib/topk/ta.ml: Array Dataset Hashtbl List Scoring Sorted_lists

@@ -1,0 +1,1 @@
+lib/topk/ta.mli: Dataset Scoring

@@ -1,0 +1,17 @@
+open Dataset
+
+let all_scored rel scoring =
+  let n = Relation.n_rows rel in
+  let scored = Array.init n (fun oid -> (oid, Scoring.score scoring rel oid)) in
+  Array.sort (fun (o1, s1) (o2, s2) -> if s2 <> s1 then compare s2 s1 else compare o1 o2) scored;
+  scored
+
+let run rel scoring ~k =
+  if k <= 0 then invalid_arg "Naive_topk.run: k <= 0";
+  let scored = all_scored rel scoring in
+  Array.to_list (Array.sub scored 0 (min k (Array.length scored)))
+
+let kth_score rel scoring ~k =
+  let scored = all_scored rel scoring in
+  let idx = min k (Array.length scored) - 1 in
+  snd scored.(idx)

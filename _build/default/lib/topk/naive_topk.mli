@@ -1,0 +1,10 @@
+(** Exact top-k by full scan — the correctness oracle for NRA and for the
+    secure protocols. *)
+
+(** [run rel scoring ~k] returns the top-[k] [(oid, score)] pairs, sorted
+    by descending score, ties broken by ascending oid. *)
+val run : Dataset.Relation.t -> Scoring.t -> k:int -> (int * int) list
+
+(** The k-th highest score (the admission threshold): any correct top-k
+    answer contains only objects whose score is >= this value. *)
+val kth_score : Dataset.Relation.t -> Scoring.t -> k:int -> int

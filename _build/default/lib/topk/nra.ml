@@ -1,0 +1,98 @@
+open Dataset
+
+type result = { oid : int; worst : int; best : int }
+type stats = { halting_depth : int; distinct_seen : int; exhausted : bool }
+
+let run ?(check_every = 1) lists scoring ~k =
+  if k <= 0 then invalid_arg "Nra.run: k <= 0";
+  if check_every <= 0 then invalid_arg "Nra.run: check_every <= 0";
+  let attrs = Array.of_list (Scoring.attrs scoring) in
+  let m = Array.length attrs in
+  let n = Sorted_lists.depth lists in
+  (* seen: oid -> weighted local scores, None for not-yet-seen lists *)
+  let seen : (int, int option array) Hashtbl.t = Hashtbl.create 64 in
+  let bottoms = Array.make m max_int in
+  let access depth =
+    for j = 0 to m - 1 do
+      let it = Sorted_lists.item lists ~list:attrs.(j) ~depth in
+      let w = Scoring.local scoring ~attr:attrs.(j) it.Sorted_lists.score in
+      bottoms.(j) <- w;
+      let known =
+        match Hashtbl.find_opt seen it.Sorted_lists.oid with
+        | Some a -> a
+        | None ->
+          let a = Array.make m None in
+          Hashtbl.add seen it.Sorted_lists.oid a;
+          a
+      in
+      known.(j) <- Some w
+    done
+  in
+  let bounds known =
+    let worst = ref 0 and best = ref 0 in
+    for j = 0 to m - 1 do
+      match known.(j) with
+      | Some w ->
+        worst := !worst + w;
+        best := !best + w
+      | None -> best := !best + bottoms.(j)
+    done;
+    (!worst, !best)
+  in
+  let snapshot () =
+    let all =
+      Hashtbl.fold
+        (fun oid known acc ->
+          let worst, best = bounds known in
+          { oid; worst; best } :: acc)
+        seen []
+    in
+    List.sort
+      (fun a b -> if b.worst <> a.worst then compare b.worst a.worst else compare a.oid b.oid)
+      all
+  in
+  let can_halt () =
+    let all = snapshot () in
+    if List.length all < k then None
+    else begin
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | x :: rest -> if i = 0 then (List.rev acc, x :: rest) else split (i - 1) (x :: acc) rest
+      in
+      let topk, others = split k [] all in
+      let mk = (List.nth topk (k - 1)).worst in
+      let unseen_best = Array.fold_left (fun acc b -> acc + b) 0 bottoms in
+      let seen_all = Hashtbl.length seen = Relation.n_rows (Sorted_lists.relation lists) in
+      let others_ok = List.for_all (fun r -> r.best <= mk) others in
+      let unseen_ok = seen_all || unseen_best <= mk in
+      if others_ok && unseen_ok then Some topk else None
+    end
+  in
+  let rec go depth =
+    if depth >= n then begin
+      (* lists exhausted: all bounds are exact *)
+      let all = snapshot () in
+      let rec take i = function
+        | [] -> []
+        | x :: rest -> if i = 0 then [] else x :: take (i - 1) rest
+      in
+      (take k all, { halting_depth = n; distinct_seen = Hashtbl.length seen; exhausted = true })
+    end
+    else begin
+      access depth;
+      let at_checkpoint = (depth + 1) mod check_every = 0 || depth = n - 1 in
+      match if at_checkpoint then can_halt () else None with
+      | Some topk ->
+        ( topk,
+          { halting_depth = depth + 1; distinct_seen = Hashtbl.length seen; exhausted = false } )
+      | None -> go (depth + 1)
+    end
+  in
+  go 0
+
+let valid_answer rel scoring ~k oids =
+  let threshold = Naive_topk.kth_score rel scoring ~k in
+  let expected = min k (Relation.n_rows rel) in
+  List.length oids = expected
+  && List.length (List.sort_uniq compare oids) = expected
+  && List.for_all (fun oid -> Scoring.score scoring rel oid >= threshold) oids

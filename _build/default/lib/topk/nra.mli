@@ -1,0 +1,31 @@
+(** The No-Random-Access algorithm of Fagin, Lotem and Naor (PODS'01),
+    Algorithm 1 of the paper — the plaintext skeleton that SecQuery
+    executes obliviously.
+
+    Sorted access proceeds in parallel over one list per scoring
+    attribute, best-first. At each depth every seen object's score
+    interval [[W(o), B(o)]] is refreshed: the worst score assumes 0 for
+    unseen attributes (scores are non-negative), the best score assumes
+    the current bottom (last seen) value of each unseen list. The run
+    halts once k distinct objects have been seen and no other object —
+    seen or unseen — can beat the current k-th worst score. *)
+
+type result = { oid : int; worst : int; best : int }
+
+type stats = {
+  halting_depth : int;  (** number of depths consumed (1-based). *)
+  distinct_seen : int;  (** distinct objects accessed before halting. *)
+  exhausted : bool;  (** whether the lists ran out before the bound test fired. *)
+}
+
+(** [run ?check_every lists scoring ~k] runs NRA to completion.
+    [check_every] = [p] evaluates the halting condition only every [p]
+    depths (the plaintext analogue of the paper's batched SecQuery);
+    default 1. Returns the top-[k] results ordered by descending worst
+    score (ties by ascending oid). *)
+val run : ?check_every:int -> Dataset.Sorted_lists.t -> Scoring.t -> k:int -> result list * stats
+
+(** A top-k answer is NRA-correct iff every returned object's exact score
+    is at least the k-th highest exact score (NRA may return any such
+    object set; scores themselves are bounds, not exact values). *)
+val valid_answer : Dataset.Relation.t -> Scoring.t -> k:int -> int list -> bool

@@ -1,0 +1,28 @@
+open Dataset
+
+type t = (int * int) list (* (attr, weight), weight > 0 *)
+
+let create pairs =
+  if pairs = [] then invalid_arg "Scoring.create: empty";
+  let attrs = List.map fst pairs in
+  let sorted = List.sort_uniq compare attrs in
+  if List.length sorted <> List.length attrs then invalid_arg "Scoring.create: duplicate attribute";
+  if List.exists (fun (_, w) -> w < 0) pairs then invalid_arg "Scoring.create: negative weight";
+  if List.for_all (fun (_, w) -> w = 0) pairs then invalid_arg "Scoring.create: all-zero weights";
+  List.filter (fun (_, w) -> w > 0) pairs
+
+let sum_of attrs = create (List.map (fun a -> (a, 1)) attrs)
+let attrs t = List.map fst t
+let weights t = t
+let arity t = List.length t
+
+let score t rel oid =
+  List.fold_left (fun acc (attr, w) -> acc + (w * Relation.value rel ~row:oid ~attr)) 0 t
+
+let local t ~attr x =
+  match List.assoc_opt attr t with
+  | Some w -> w * x
+  | None -> invalid_arg "Scoring.local: attribute not in scoring function"
+
+let max_score t rel =
+  Relation.fold_rows rel ~init:0 ~f:(fun acc oid _ -> max acc (score t rel oid))

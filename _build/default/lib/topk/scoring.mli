@@ -1,0 +1,27 @@
+open Dataset
+(** Monotone linear scoring functions [F_W(o) = sum w_i * x_i(o)]
+    (paper Section 3.1): non-negative weights over a subset of the
+    relation's attributes. *)
+
+type t
+
+(** [create pairs] with [(attr, weight)] pairs; attributes must be
+    distinct, weights non-negative with at least one positive. *)
+val create : (int * int) list -> t
+
+(** Binary weights over the given attribute set — the form the protocol
+    presentation uses (Section 7). *)
+val sum_of : int list -> t
+
+val attrs : t -> int list
+val weights : t -> (int * int) list
+val arity : t -> int
+
+(** [score t rel oid] evaluates [F_W] on a plaintext relation. *)
+val score : t -> Relation.t -> int -> int
+
+(** Weighted local score of one attribute. *)
+val local : t -> attr:int -> int -> int
+
+(** Maximum possible [F_W] value on the relation (for sentinel sizing). *)
+val max_score : t -> Relation.t -> int

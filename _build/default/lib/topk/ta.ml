@@ -1,0 +1,47 @@
+open Dataset
+
+type result = { oid : int; score : int }
+type stats = { halting_depth : int; random_accesses : int }
+
+let run lists scoring ~k =
+  if k <= 0 then invalid_arg "Ta.run: k <= 0";
+  let rel = Sorted_lists.relation lists in
+  let attrs = Array.of_list (Scoring.attrs scoring) in
+  let m = Array.length attrs in
+  let n = Sorted_lists.depth lists in
+  let seen = Hashtbl.create 64 in
+  let random_accesses = ref 0 in
+  (* current top-k candidates as a sorted list (small k: a list is fine) *)
+  let top = ref [] in
+  let insert r =
+    top :=
+      List.filteri (fun i _ -> i < k)
+        (List.sort
+           (fun a b -> if b.score <> a.score then compare b.score a.score else compare a.oid b.oid)
+           (r :: !top))
+  in
+  let kth_score () =
+    if List.length !top < k then min_int else (List.nth !top (k - 1)).score
+  in
+  let bottoms = Array.make m max_int in
+  let rec go depth =
+    if depth >= n then ({ halting_depth = n; random_accesses = !random_accesses }, ())
+    else begin
+      for j = 0 to m - 1 do
+        let it = Sorted_lists.item lists ~list:attrs.(j) ~depth in
+        bottoms.(j) <- Scoring.local scoring ~attr:attrs.(j) it.Sorted_lists.score;
+        if not (Hashtbl.mem seen it.Sorted_lists.oid) then begin
+          Hashtbl.add seen it.Sorted_lists.oid ();
+          (* the random access: fetch the full record for the exact score *)
+          incr random_accesses;
+          insert { oid = it.Sorted_lists.oid; score = Scoring.score scoring rel it.Sorted_lists.oid }
+        end
+      done;
+      let threshold = Array.fold_left ( + ) 0 bottoms in
+      if kth_score () >= threshold then
+        ({ halting_depth = depth + 1; random_accesses = !random_accesses }, ())
+      else go (depth + 1)
+    end
+  in
+  let stats, () = go 0 in
+  (!top, stats)

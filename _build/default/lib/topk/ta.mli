@@ -1,0 +1,23 @@
+(** The Threshold Algorithm (Fagin–Lotem–Naor), the other classic optimal
+    top-k method — included as the foil for the paper's design choice:
+    TA performs a {e random access} for every newly seen object to learn
+    its exact score, which in the encrypted setting would hand the server
+    the association between list positions — exactly the access-pattern
+    leakage NRA avoids (Section 3.4: NRA "leaks minimal information to the
+    cloud server (... no need to access intermediate objects)").
+
+    [run] reports the number of random accesses performed so the
+    comparison can be made quantitative (see the plaintext-baseline
+    tests and DESIGN.md). *)
+
+type result = { oid : int; score : int (* exact *) }
+
+type stats = {
+  halting_depth : int;
+  random_accesses : int;  (** what an encrypted TA would leak, per item *)
+}
+
+(** [run lists scoring ~k] — TA over the sorted-access view, with random
+    access into the relation for exact scores. Returns the exact top-k
+    (descending score, ties by oid). *)
+val run : Dataset.Sorted_lists.t -> Scoring.t -> k:int -> result list * stats

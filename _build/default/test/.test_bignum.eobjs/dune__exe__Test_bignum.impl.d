@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bigint Bignum Bytes Char List Modular Montgomery Nat Option Prime Printf QCheck QCheck_alcotest String

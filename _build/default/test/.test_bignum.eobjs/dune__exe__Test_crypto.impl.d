@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bigint Bignum Char Crypto Damgard_jurik Drbg Fun Hmac List Modular Nat Option Paillier Prf Printf Prp QCheck QCheck_alcotest Rng Sha256 String

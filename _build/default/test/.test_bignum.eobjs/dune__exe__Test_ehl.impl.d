@@ -1,0 +1,1 @@
+test/test_ehl.ml: Alcotest Array Bignum Crypto Ehl Nat Paillier Prf Printf QCheck QCheck_alcotest Rng

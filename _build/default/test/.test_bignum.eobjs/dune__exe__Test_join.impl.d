@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Array Bignum Crypto Dataset Join List Nat Paillier Proto QCheck QCheck_alcotest Relation Rng Synthetic

@@ -1,0 +1,1 @@
+test/test_oram.ml: Alcotest Crypto Dataset Hashtbl List Oram Printf Relation Rng Sectopk String Synthetic

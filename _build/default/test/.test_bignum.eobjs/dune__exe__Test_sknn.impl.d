@@ -1,0 +1,1 @@
+test/test_sknn.ml: Alcotest Array Bignum Crypto Dataset List Nat Paillier Printf Proto QCheck QCheck_alcotest Relation Rng Sknn Synthetic

@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Array Dataset Fun List Naive_topk Nra QCheck QCheck_alcotest Relation Scoring Sorted_lists Synthetic Ta Topk Uci_shape

@@ -1,0 +1,311 @@
+(* Tests for the crypto substrate: FIPS/RFC test vectors for SHA-256 and
+   HMAC, determinism/uniformity checks for the DRBG and RNG, and the
+   homomorphic identities that the SecTopK protocols rely on for Paillier
+   and Damgård-Jurik. *)
+
+open Bignum
+open Crypto
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+(* One shared small key pair: keygen is the slow part, tests share it. *)
+let rng = Rng.create ~seed:"test_crypto"
+let pub, sk = Paillier.keygen rng ~bits:128
+let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk)
+let djsk = Option.get djsk_opt
+
+(* ---------------- SHA-256 ---------------- *)
+
+let test_sha256_vectors () =
+  let check msg expected = Alcotest.(check string) ("sha256 of " ^ msg) expected (Sha256.digest_hex msg) in
+  check "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  check (String.make 1000000 'a')
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+
+let test_sha256_streaming () =
+  (* updating in odd-sized chunks must match the one-shot digest *)
+  let msg = String.init 10_000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  let chunk = ref 1 in
+  while !pos < String.length msg do
+    let len = min !chunk (String.length msg - !pos) in
+    Sha256.update ctx (String.sub msg !pos len);
+    pos := !pos + len;
+    chunk := (!chunk * 7 mod 97) + 1
+  done;
+  Alcotest.(check string) "streaming = one-shot" (Sha256.digest_hex msg) (Sha256.hex (Sha256.finalize ctx))
+
+(* ---------------- HMAC (RFC 4231) ---------------- *)
+
+let test_hmac_vectors () =
+  let check name ~key msg expected = Alcotest.(check string) name expected (Hmac.mac_hex ~key msg) in
+  check "rfc4231 case 1" ~key:(String.make 20 '\x0b') "Hi There"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7";
+  check "rfc4231 case 2" ~key:"Jefe" "what do ya want for nothing?"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+  check "rfc4231 case 3" ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe";
+  (* key longer than a block *)
+  check "rfc4231 case 6" ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+
+(* ---------------- DRBG / RNG ---------------- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"seed" and b = Drbg.create ~seed:"seed" in
+  Alcotest.(check string) "same seed, same stream" (Drbg.generate a 100) (Drbg.generate b 100);
+  let c = Drbg.create ~seed:"other" in
+  Alcotest.(check bool) "different seeds differ" false (Drbg.generate c 100 = Drbg.generate (Drbg.create ~seed:"seed") 100)
+
+let test_drbg_no_repeat () =
+  let d = Drbg.create ~seed:"x" in
+  let a = Drbg.generate d 32 and b = Drbg.generate d 32 in
+  Alcotest.(check bool) "stream advances" false (a = b)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:"bounds" in
+  for _ = 1 to 200 do
+    let bound = 1 + Rng.int_below r 1000 in
+    let v = Rng.int_below r bound in
+    Alcotest.(check bool) "int_below in range" true (v >= 0 && v < bound)
+  done;
+  let m = Nat.of_string "123456789123456789" in
+  for _ = 1 to 50 do
+    let v = Rng.nat_below r m in
+    Alcotest.(check bool) "nat_below in range" true (Nat.compare v m < 0)
+  done
+
+let test_rng_unit_mod () =
+  let r = Rng.create ~seed:"unit" in
+  let n = Nat.of_int (15 * 77) in
+  for _ = 1 to 50 do
+    let u = Rng.unit_mod r n in
+    Alcotest.check nat "coprime" Nat.one (Modular.gcd u n)
+  done
+
+let test_rng_shuffle_perm () =
+  let r = Rng.create ~seed:"shuffle" in
+  let arr = Array.init 20 (fun i -> i) in
+  let orig = Array.copy arr in
+  let perm = Rng.shuffle r arr in
+  (* perm maps new index -> old index *)
+  Array.iteri (fun i p -> Alcotest.(check int) "perm consistent" orig.(p) arr.(i)) perm;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = orig)
+
+let test_rng_fork_independent () =
+  let r = Rng.create ~seed:"parent" in
+  let f1 = Rng.fork r ~label:"a" in
+  let x = Rng.bytes f1 16 in
+  let r' = Rng.create ~seed:"parent" in
+  let f1' = Rng.fork r' ~label:"a" in
+  Alcotest.(check string) "fork deterministic" x (Rng.bytes f1' 16)
+
+(* ---------------- PRF / PRP ---------------- *)
+
+let test_prf_stable_and_keyed () =
+  let m = Nat.of_string "1000003" in
+  let a = Prf.to_nat_mod ~key:"k1" "object-42" ~m in
+  let b = Prf.to_nat_mod ~key:"k1" "object-42" ~m in
+  let c = Prf.to_nat_mod ~key:"k2" "object-42" ~m in
+  Alcotest.check nat "deterministic" a b;
+  Alcotest.(check bool) "key matters" false (Nat.equal a c);
+  Alcotest.(check bool) "in range" true (Nat.compare a m < 0)
+
+let test_prf_to_index () =
+  for i = 0 to 100 do
+    let v = Prf.to_index ~key:"k" (string_of_int i) ~buckets:23 in
+    Alcotest.(check bool) "bucket range" true (v >= 0 && v < 23)
+  done
+
+let test_prp_bijection () =
+  let p = Prp.create ~key:"prp-key" ~domain:100 in
+  let seen = Array.make 100 false in
+  for i = 0 to 99 do
+    let v = Prp.apply p i in
+    Alcotest.(check bool) "in domain" true (v >= 0 && v < 100);
+    Alcotest.(check bool) "injective" false seen.(v);
+    seen.(v) <- true;
+    Alcotest.(check int) "invert" i (Prp.invert p v)
+  done;
+  let p2 = Prp.create ~key:"prp-key" ~domain:100 in
+  Alcotest.(check bool) "keyed deterministic" true
+    (List.for_all (fun i -> Prp.apply p i = Prp.apply p2 i) (List.init 100 Fun.id))
+
+(* ---------------- Paillier ---------------- *)
+
+let test_paillier_roundtrip () =
+  List.iter
+    (fun m ->
+      let m = Nat.of_int m in
+      Alcotest.check nat "dec(enc(m)) = m" m (Paillier.decrypt sk (Paillier.encrypt rng pub m)))
+    [ 0; 1; 42; 1_000_000_007 ];
+  (* a plaintext near n *)
+  let near = Nat.pred pub.Paillier.n in
+  Alcotest.check nat "near n" near (Paillier.decrypt sk (Paillier.encrypt rng pub near))
+
+let test_paillier_probabilistic () =
+  let c1 = Paillier.encrypt rng pub (Nat.of_int 5) in
+  let c2 = Paillier.encrypt rng pub (Nat.of_int 5) in
+  Alcotest.(check bool) "distinct ciphertexts" false (Paillier.equal_ct c1 c2)
+
+let test_paillier_homomorphic_add () =
+  let a = Nat.of_int 123456 and b = Nat.of_int 654321 in
+  let c = Paillier.add pub (Paillier.encrypt rng pub a) (Paillier.encrypt rng pub b) in
+  Alcotest.check nat "enc(a)*enc(b) = enc(a+b)" (Nat.add a b) (Paillier.decrypt sk c)
+
+let test_paillier_add_wraps () =
+  let n = pub.Paillier.n in
+  let a = Nat.pred n in
+  let c = Paillier.add pub (Paillier.encrypt rng pub a) (Paillier.encrypt rng pub Nat.two) in
+  Alcotest.check nat "wraps mod n" Nat.one (Paillier.decrypt sk c)
+
+let test_paillier_scalar_mul () =
+  let a = Nat.of_int 1111 in
+  let c = Paillier.scalar_mul pub (Paillier.encrypt rng pub a) (Nat.of_int 77) in
+  Alcotest.check nat "enc(a)^k = enc(ka)" (Nat.of_int (1111 * 77)) (Paillier.decrypt sk c)
+
+let test_paillier_neg_sub () =
+  let a = Nat.of_int 500 and b = Nat.of_int 123 in
+  let d = Paillier.sub pub (Paillier.encrypt rng pub a) (Paillier.encrypt rng pub b) in
+  Alcotest.check nat "sub" (Nat.of_int 377) (Paillier.decrypt sk d);
+  let neg = Paillier.neg pub (Paillier.encrypt rng pub b) in
+  Alcotest.(check string) "signed decode" "-123" (Bigint.to_string (Paillier.decrypt_signed sk neg))
+
+let test_paillier_rerandomize () =
+  let c = Paillier.encrypt rng pub (Nat.of_int 99) in
+  let c' = Paillier.rerandomize rng pub c in
+  Alcotest.(check bool) "fresh ciphertext" false (Paillier.equal_ct c c');
+  Alcotest.check nat "same plaintext" (Nat.of_int 99) (Paillier.decrypt sk c')
+
+let test_paillier_trivial () =
+  Alcotest.check nat "trivial decrypts" (Nat.of_int 7) (Paillier.decrypt sk (Paillier.trivial pub (Nat.of_int 7)))
+
+let prop_paillier_add =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"paillier additive homomorphism (random)"
+       QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+       (fun (a, b) ->
+         let c = Paillier.add pub (Paillier.encrypt_int rng pub a) (Paillier.encrypt_int rng pub b) in
+         Nat.to_int (Paillier.decrypt sk c) = a + b))
+
+let prop_paillier_scalar =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"paillier scalar homomorphism (random)"
+       QCheck.(pair (int_bound 100_000) (int_bound 1000))
+       (fun (a, k) ->
+         let c = Paillier.scalar_mul pub (Paillier.encrypt_int rng pub a) (Nat.of_int k) in
+         Nat.to_int (Paillier.decrypt sk c) = a * k))
+
+(* ---------------- Damgård-Jurik ---------------- *)
+
+let test_dj_roundtrip () =
+  List.iter
+    (fun m ->
+      let m = Nat.of_string m in
+      Alcotest.check nat ("dj roundtrip " ^ Nat.to_string m) m
+        (Damgard_jurik.decrypt djsk (Damgard_jurik.encrypt rng djpub m)))
+    [ "0"; "1"; "123456789" ];
+  (* plaintexts >= n exercise the second digit of the decryption *)
+  let big = Nat.pred djpub.Damgard_jurik.n2 in
+  Alcotest.check nat "dj near n^2" big (Damgard_jurik.decrypt djsk (Damgard_jurik.encrypt rng djpub big));
+  let mid = Nat.add djpub.Damgard_jurik.n (Nat.of_int 12345) in
+  Alcotest.check nat "dj n + k" mid (Damgard_jurik.decrypt djsk (Damgard_jurik.encrypt rng djpub mid))
+
+let test_dj_homomorphic () =
+  let a = Nat.of_int 11111 and b = Nat.of_int 22222 in
+  let c = Damgard_jurik.add djpub (Damgard_jurik.encrypt rng djpub a) (Damgard_jurik.encrypt rng djpub b) in
+  Alcotest.check nat "dj add" (Nat.add a b) (Damgard_jurik.decrypt djsk c);
+  let s = Damgard_jurik.scalar_mul djpub (Damgard_jurik.encrypt rng djpub a) (Nat.of_int 9) in
+  Alcotest.check nat "dj scalar" (Nat.of_int (11111 * 9)) (Damgard_jurik.decrypt djsk s)
+
+let test_dj_layered () =
+  (* E2(Enc(m1))^Enc(m2) = E2(Enc(m1+m2)) — the paper's Section 3.3 identity *)
+  let m1 = Nat.of_int 123 and m2 = Nat.of_int 456 in
+  let inner1 = Paillier.encrypt rng pub m1 in
+  let inner2 = Paillier.encrypt rng pub m2 in
+  let outer = Damgard_jurik.encrypt_layered rng djpub inner1 in
+  let combined = Damgard_jurik.scalar_mul_ct djpub outer inner2 in
+  let recovered = Damgard_jurik.decrypt_layered djsk pub combined in
+  Alcotest.check nat "inner decrypts to m1+m2" (Nat.of_int 579) (Paillier.decrypt sk recovered)
+
+let test_dj_layered_select () =
+  (* The select gadget used by SecWorst/SecBest:
+     E2(t)^Enc(x) * (E2(1) * E2(t)^-1)^Enc(0) = E2(t*Enc(x) + (1-t)*Enc(0)) *)
+  let x = Nat.of_int 777 in
+  let enc_x = Paillier.encrypt rng pub x in
+  let enc_0 = Paillier.encrypt rng pub Nat.zero in
+  let check_select t expected =
+    let e2_t = Damgard_jurik.encrypt rng djpub (Nat.of_int t) in
+    let e2_1 = Damgard_jurik.encrypt rng djpub Nat.one in
+    let one_minus_t = Damgard_jurik.add djpub e2_1 (Damgard_jurik.neg djpub e2_t) in
+    let sel =
+      Damgard_jurik.add djpub
+        (Damgard_jurik.scalar_mul_ct djpub e2_t enc_x)
+        (Damgard_jurik.scalar_mul_ct djpub one_minus_t enc_0)
+    in
+    let inner = Damgard_jurik.decrypt_layered djsk pub sel in
+    Alcotest.check nat (Printf.sprintf "select t=%d" t) expected (Paillier.decrypt sk inner)
+  in
+  check_select 1 x;
+  check_select 0 Nat.zero
+
+let test_dj_rerandomize () =
+  let c = Damgard_jurik.encrypt rng djpub (Nat.of_int 31337) in
+  let c' = Damgard_jurik.rerandomize rng djpub c in
+  Alcotest.(check bool) "fresh" false (Damgard_jurik.equal_ct c c');
+  Alcotest.check nat "same plaintext" (Nat.of_int 31337) (Damgard_jurik.decrypt djsk c')
+
+let test_ciphertext_sizes () =
+  Alcotest.(check bool) "paillier ct is 2x plaintext width" true
+    (Paillier.ciphertext_bytes pub >= 2 * Paillier.plaintext_bytes pub - 1);
+  Alcotest.(check bool) "dj ct is 3x plaintext width" true
+    (Damgard_jurik.ciphertext_bytes djpub > Paillier.ciphertext_bytes pub)
+
+let suite =
+  [ ( "sha256",
+      [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "streaming" `Quick test_sha256_streaming
+      ] );
+    ("hmac", [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors ]);
+    ( "drbg-rng",
+      [ Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+        Alcotest.test_case "stream advances" `Quick test_drbg_no_repeat;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "unit_mod coprime" `Quick test_rng_unit_mod;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_perm;
+        Alcotest.test_case "fork deterministic" `Quick test_rng_fork_independent
+      ] );
+    ( "prf-prp",
+      [ Alcotest.test_case "prf stable and keyed" `Quick test_prf_stable_and_keyed;
+        Alcotest.test_case "prf index range" `Quick test_prf_to_index;
+        Alcotest.test_case "prp bijection" `Quick test_prp_bijection
+      ] );
+    ( "paillier",
+      [ Alcotest.test_case "roundtrip" `Quick test_paillier_roundtrip;
+        Alcotest.test_case "probabilistic" `Quick test_paillier_probabilistic;
+        Alcotest.test_case "homomorphic add" `Quick test_paillier_homomorphic_add;
+        Alcotest.test_case "add wraps mod n" `Quick test_paillier_add_wraps;
+        Alcotest.test_case "scalar mul" `Quick test_paillier_scalar_mul;
+        Alcotest.test_case "neg and sub" `Quick test_paillier_neg_sub;
+        Alcotest.test_case "rerandomize" `Quick test_paillier_rerandomize;
+        Alcotest.test_case "trivial encryption" `Quick test_paillier_trivial;
+        prop_paillier_add;
+        prop_paillier_scalar
+      ] );
+    ( "damgard-jurik",
+      [ Alcotest.test_case "roundtrip" `Quick test_dj_roundtrip;
+        Alcotest.test_case "homomorphic" `Quick test_dj_homomorphic;
+        Alcotest.test_case "layered identity" `Quick test_dj_layered;
+        Alcotest.test_case "layered select gadget" `Quick test_dj_layered_select;
+        Alcotest.test_case "rerandomize" `Quick test_dj_rerandomize;
+        Alcotest.test_case "ciphertext sizes" `Quick test_ciphertext_sizes
+      ] )
+  ]
+
+let () = Alcotest.run "crypto" suite

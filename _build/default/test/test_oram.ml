@@ -1,0 +1,161 @@
+(* Tests for the Path ORAM substrate and the record-retrieval layer:
+   storage correctness under heavy random workloads, stash stability, and
+   the access-pattern obliviousness property that motivates it. *)
+
+open Crypto
+open Dataset
+
+let rng = Rng.create ~seed:"test_oram"
+
+let test_read_write_roundtrip () =
+  let o = Oram.Path_oram.create (Rng.fork rng ~label:"rt") ~capacity:16 ~block_bytes:8 in
+  Oram.Path_oram.write o 3 "hello";
+  Oram.Path_oram.write o 7 "world!";
+  Alcotest.(check string) "read 3" "hello\000\000\000" (Oram.Path_oram.read o 3);
+  Alcotest.(check string) "read 7" "world!\000\000" (Oram.Path_oram.read o 7);
+  (* unwritten blocks read as zeros *)
+  Alcotest.(check string) "read 0" (String.make 8 '\000') (Oram.Path_oram.read o 0)
+
+let test_overwrite () =
+  let o = Oram.Path_oram.create (Rng.fork rng ~label:"ow") ~capacity:8 ~block_bytes:4 in
+  Oram.Path_oram.write o 2 "aaaa";
+  Oram.Path_oram.write o 2 "bbbb";
+  Alcotest.(check string) "latest wins" "bbbb" (Oram.Path_oram.read o 2)
+
+let test_capacity_one () =
+  let o = Oram.Path_oram.create (Rng.fork rng ~label:"c1") ~capacity:1 ~block_bytes:4 in
+  Oram.Path_oram.write o 0 "solo";
+  Alcotest.(check string) "single block" "solo" (Oram.Path_oram.read o 0)
+
+let test_bounds () =
+  let o = Oram.Path_oram.create (Rng.fork rng ~label:"b") ~capacity:4 ~block_bytes:4 in
+  Alcotest.check_raises "id too big" (Invalid_argument "Path_oram: id out of range") (fun () ->
+      ignore (Oram.Path_oram.read o 4));
+  Alcotest.check_raises "payload too long" (Invalid_argument "Path_oram: payload too long")
+    (fun () -> Oram.Path_oram.write o 0 "toolong")
+
+let test_random_workload () =
+  (* a reference hashtable vs the ORAM under 600 mixed ops *)
+  let cap = 32 in
+  let o = Oram.Path_oram.create (Rng.fork rng ~label:"wl") ~capacity:cap ~block_bytes:6 in
+  let reference = Hashtbl.create cap in
+  let r = Rng.fork rng ~label:"ops" in
+  for step = 0 to 599 do
+    let id = Rng.int_below r cap in
+    if Rng.bool r then begin
+      let payload = Printf.sprintf "%06d" step in
+      Hashtbl.replace reference id payload;
+      Oram.Path_oram.write o id payload
+    end
+    else begin
+      let expected =
+        match Hashtbl.find_opt reference id with
+        | Some p -> p
+        | None -> String.make 6 '\000'
+      in
+      Alcotest.(check string) (Printf.sprintf "step %d id %d" step id) expected
+        (Oram.Path_oram.read o id)
+    end
+  done;
+  (* stash must stay small (Path ORAM's O(log n) w.h.p. bound) *)
+  Alcotest.(check bool) "stash bounded" true (Oram.Path_oram.stash_size o < 30)
+
+let test_paths_are_recorded () =
+  let o = Oram.Path_oram.create (Rng.fork rng ~label:"paths") ~capacity:16 ~block_bytes:4 in
+  Oram.Path_oram.write o 1 "x";
+  ignore (Oram.Path_oram.read o 1);
+  ignore (Oram.Path_oram.read o 1);
+  Alcotest.(check int) "3 accesses -> 3 paths" 3 (List.length (Oram.Path_oram.paths_accessed o))
+
+let test_access_pattern_oblivious () =
+  (* repeatedly reading the SAME block must produce fresh uniform leaves:
+     compare the leaf distribution against reading DIFFERENT blocks *)
+  let cap = 64 in
+  let runs = 400 in
+  let collect f =
+    let o = Oram.Path_oram.create (Rng.fork rng ~label:"obl") ~capacity:cap ~block_bytes:4 in
+    for i = 0 to cap - 1 do
+      Oram.Path_oram.write o i "d"
+    done;
+    for j = 0 to runs - 1 do
+      ignore (Oram.Path_oram.read o (f j))
+    done;
+    (* drop the setup-write paths *)
+    let rec drop n = function [] -> [] | _ :: r as l -> if n = 0 then l else drop (n - 1) r in
+    drop cap (Oram.Path_oram.paths_accessed o)
+  in
+  let same = collect (fun _ -> 5) in
+  let diff = collect (fun j -> j mod cap) in
+  let distinct l = List.length (List.sort_uniq compare l) in
+  (* both sequences must touch many distinct leaves (uniform re-mapping) *)
+  Alcotest.(check bool) "same-block reads spread over leaves" true (distinct same > 20);
+  Alcotest.(check bool) "distinct-block reads spread over leaves" true (distinct diff > 20);
+  (* no immediate repetition bias: consecutive same-block reads rarely hit
+     the same leaf (would happen 1/leaves of the time by chance) *)
+  let repeats l =
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go (if a = b then acc + 1 else acc) rest
+      | _ -> acc
+    in
+    go 0 l
+  in
+  Alcotest.(check bool) "no sticky leaves" true (repeats same < runs / 8)
+
+let test_server_sizes () =
+  let o = Oram.Path_oram.create (Rng.fork rng ~label:"sz") ~capacity:100 ~block_bytes:16 in
+  Alcotest.(check bool) "levels ~ log n" true (Oram.Path_oram.levels o >= 7);
+  Alcotest.(check bool) "server >= 4x data" true
+    (Oram.Path_oram.server_bytes o >= 100 * 16);
+  Alcotest.(check bool) "per-access cost positive" true (Oram.Path_oram.bytes_per_access o > 0)
+
+(* ---------------- retrieval layer ---------------- *)
+
+let rel =
+  Synthetic.generate ~seed:"retr" ~name:"records" ~rows:20 ~attrs:4
+    (Synthetic.Uniform { lo = 0; hi = 1000 })
+
+let test_retrieval_both_modes () =
+  let store = Sectopk.Retrieval.setup (Rng.fork rng ~label:"store") rel in
+  for oid = 0 to 19 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "direct %d" oid)
+      (Relation.row rel oid)
+      (Sectopk.Retrieval.fetch store ~mode:Sectopk.Retrieval.Direct oid);
+    Alcotest.(check (array int))
+      (Printf.sprintf "oblivious %d" oid)
+      (Relation.row rel oid)
+      (Sectopk.Retrieval.fetch store ~mode:Sectopk.Retrieval.Oblivious oid)
+  done
+
+let test_retrieval_leakage_difference () =
+  let store = Sectopk.Retrieval.setup (Rng.fork rng ~label:"leak") rel in
+  (* the same logical access sequence through both channels *)
+  let seq = [ 3; 3; 3; 7; 3 ] in
+  List.iter (fun oid -> ignore (Sectopk.Retrieval.fetch store ~mode:Sectopk.Retrieval.Direct oid)) seq;
+  List.iter (fun oid -> ignore (Sectopk.Retrieval.fetch store ~mode:Sectopk.Retrieval.Oblivious oid)) seq;
+  (* Direct: S1 sees the exact repeated ids *)
+  Alcotest.(check (list int)) "direct leaks the sequence" seq (Sectopk.Retrieval.observed_direct store);
+  (* Oblivious: S1 sees one path per access, and repetitions are not
+     mirrored (the triple read of oid 3 yields fresh random leaves) *)
+  let paths = Sectopk.Retrieval.observed_oblivious store in
+  Alcotest.(check int) "one path per access" (List.length seq) (List.length paths);
+  Alcotest.(check bool) "paths not constant" true (List.length (List.sort_uniq compare paths) > 1)
+
+let suite =
+  [ ( "path-oram",
+      [ Alcotest.test_case "roundtrip" `Quick test_read_write_roundtrip;
+        Alcotest.test_case "overwrite" `Quick test_overwrite;
+        Alcotest.test_case "capacity 1" `Quick test_capacity_one;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        Alcotest.test_case "random workload vs reference" `Quick test_random_workload;
+        Alcotest.test_case "paths recorded" `Quick test_paths_are_recorded;
+        Alcotest.test_case "access pattern oblivious" `Quick test_access_pattern_oblivious;
+        Alcotest.test_case "server sizes" `Quick test_server_sizes
+      ] );
+    ( "retrieval",
+      [ Alcotest.test_case "both modes correct" `Quick test_retrieval_both_modes;
+        Alcotest.test_case "leakage difference" `Quick test_retrieval_leakage_difference
+      ] )
+  ]
+
+let () = Alcotest.run "oram" suite

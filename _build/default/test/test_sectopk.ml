@@ -1,0 +1,434 @@
+(* End-to-end tests of the SecTopK scheme: Enc / Token / SecQuery in all
+   three variants against the plaintext NRA and the naive oracle, plus
+   leakage-profile checks. *)
+
+open Crypto
+open Dataset
+open Topk
+open Sectopk
+
+let rng = Rng.create ~seed:"test_sectopk"
+let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits:128
+
+let make_ctx () = Proto.Ctx.of_keys ~blind_bits:48 (Rng.fork rng ~label:"ctx") pub sk
+
+let ids_of rel = List.init (Relation.n_rows rel) (fun i -> Relation.object_id rel i)
+
+(* the paper's Figure 3 relation *)
+let fig3 =
+  Relation.create ~name:"fig3"
+    [| [| 10; 3; 2 |]; [| 8; 8; 0 |]; [| 5; 7; 6 |]; [| 3; 2; 8 |]; [| 1; 1; 1 |] |]
+
+let run_query ?(options = Query.default_options) rel scoring ~k =
+  let ctx = make_ctx () in
+  let er, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"enc") pub rel in
+  let tk = Scheme.token key ~m_total:(Relation.n_attrs rel) scoring ~k in
+  let res = Query.run ctx er tk options in
+  (ctx, key, res)
+
+let oracle_valid rel scoring ~k oids = Nra.valid_answer rel scoring ~k oids
+
+(* ---------------- scheme: Enc / Token ---------------- *)
+
+let test_encrypt_shape () =
+  let er, key = Scheme.encrypt ~s:4 rng pub fig3 in
+  Alcotest.(check int) "rows" 5 (Scheme.n_rows er);
+  Alcotest.(check int) "lists" 3 (Scheme.n_attrs er);
+  Alcotest.(check int) "ehl keys" 4 (List.length key.Scheme.ehl_keys);
+  Alcotest.(check bool) "size accounted" true (Scheme.size_bytes pub er > 0)
+
+let test_encrypt_lists_sorted () =
+  (* each permuted list must decrypt to a descending score sequence *)
+  let er, _ = Scheme.encrypt ~s:4 rng pub fig3 in
+  for li = 0 to 2 do
+    let scores =
+      List.init 5 (fun d ->
+          let e = Scheme.entry er ~list:li ~depth:d in
+          Bignum.Nat.to_int (Paillier.decrypt sk e.Proto.Enc_item.score))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "list %d descending" li)
+      true
+      (List.for_all2 ( >= ) (List.filteri (fun i _ -> i < 4) scores) (List.tl scores))
+  done
+
+let test_token_permutation () =
+  let _, key = Scheme.encrypt ~s:4 rng pub fig3 in
+  let tk = Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1; 2 ]) ~k:2 in
+  let lists = List.map fst tk.Scheme.attrs in
+  Alcotest.(check int) "k" 2 tk.Scheme.k;
+  Alcotest.(check (list int)) "all three lists, permuted" [ 0; 1; 2 ] (List.sort compare lists)
+
+let test_token_attribute_subset () =
+  (* querying attrs {0,2} must target exactly the permuted images of 0,2 *)
+  let _, key = Scheme.encrypt ~s:4 rng pub fig3 in
+  let prp = Prp.create ~key:key.Scheme.prp_key ~domain:3 in
+  let tk = Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 2 ]) ~k:1 in
+  Alcotest.(check (list int)) "permuted images"
+    (List.sort compare [ Prp.apply prp 0; Prp.apply prp 2 ])
+    (List.sort compare (List.map fst tk.Scheme.attrs))
+
+let test_parallel_encrypt () =
+  (* multi-domain encryption must produce a fully functional ER *)
+  let er, key = Scheme.encrypt ~s:4 ~domains:3 (Rng.fork rng ~label:"par") pub fig3 in
+  let tk = Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1; 2 ]) ~k:2 in
+  let ctx = make_ctx () in
+  let res = Query.run ctx er tk { Query.default_options with variant = Query.Elim } in
+  let ids = List.map (fun (id, _, _) -> id) (Client.real_results ctx key ~ids:(ids_of fig3) res) in
+  Alcotest.(check (list string)) "parallel-encrypted DB answers correctly" [ "o2"; "o1" ] ids
+
+let test_resolver () =
+  let _, key = Scheme.encrypt ~s:4 rng pub fig3 in
+  let resolver = Scheme.make_resolver key ~pub ~ids:(ids_of fig3) in
+  let h = Prf.to_nat_mod ~key:(List.hd key.Scheme.ehl_keys) "o3" ~m:pub.Paillier.n in
+  Alcotest.(check (option string)) "resolves" (Some "o3") (resolver h);
+  Alcotest.(check (option string)) "unknown -> None" None (resolver Bignum.Nat.one)
+
+(* ---------------- SecQuery on Figure 3 ---------------- *)
+
+let check_fig3_answer variant () =
+  let options = { Query.default_options with variant } in
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let ctx, key, res = run_query ~options fig3 f ~k:2 in
+  let reals = Client.real_results ctx key ~ids:(ids_of fig3) res in
+  (* top-2 = X3 (o2, score 18) and X2 (o1, score 16), per Figure 3c *)
+  let ids = List.map (fun (id, _, _) -> id) reals in
+  Alcotest.(check (list string)) "top-2 objects" [ "o2"; "o1" ] ids;
+  (* worst scores at halting = exact scores 18, 16 (Figure 3c) *)
+  let worsts = List.map (fun (_, w, _) -> w) reals in
+  Alcotest.(check (list int)) "worst scores" [ 18; 16 ] worsts;
+  Alcotest.(check bool) "halted by bound test" true res.Query.halted
+
+let test_fig3_full = check_fig3_answer Query.Full
+let test_fig3_elim = check_fig3_answer Query.Elim
+let test_fig3_batched = check_fig3_answer (Query.Batched 3)
+
+let test_fig3_halting_depth () =
+  (* the per-depth variants must stop at depth 3 exactly as Figure 3c *)
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let _, _, res = run_query ~options:{ Query.default_options with variant = Query.Elim } fig3 f ~k:2 in
+  Alcotest.(check int) "halting depth 3" 3 res.Query.halting_depth
+
+let test_fig3_network_sort () =
+  let options = { Query.default_options with variant = Query.Elim; sort = Proto.Enc_sort.Network } in
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let ctx, key, res = run_query ~options fig3 f ~k:2 in
+  let ids = List.map (fun (id, _, _) -> id) (Client.real_results ctx key ~ids:(ids_of fig3) res) in
+  Alcotest.(check (list string)) "network sort same answer" [ "o2"; "o1" ] ids
+
+let test_fig3_dgk_compare () =
+  (* the DGK bitwise comparison must reproduce answers and halting depth *)
+  let options = { Query.default_options with variant = Query.Elim; compare = `Dgk 16 } in
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let ctx, key, res = run_query ~options fig3 f ~k:2 in
+  let ids = List.map (fun (id, _, _) -> id) (Client.real_results ctx key ~ids:(ids_of fig3) res) in
+  Alcotest.(check (list string)) "same answer under DGK compare" [ "o2"; "o1" ] ids;
+  Alcotest.(check int) "same halting depth" 3 res.Query.halting_depth
+
+let test_fig3_kth_only () =
+  let options = { Query.default_options with variant = Query.Elim; halting = `KthOnly } in
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let ctx, key, res = run_query ~options fig3 f ~k:2 in
+  let ids = List.map (fun (id, _, _) -> id) (Client.real_results ctx key ~ids:(ids_of fig3) res) in
+  Alcotest.(check (list string)) "paper-literal halting, same answer here" [ "o2"; "o1" ] ids
+
+(* ---------------- SecQuery vs oracle on random data ---------------- *)
+
+let random_rel seed rows attrs hi =
+  Synthetic.generate ~seed ~name:"t" ~rows ~attrs (Synthetic.Uniform { lo = 0; hi })
+
+let secure_matches_oracle ?(variant = Query.Elim) seed ~rows ~attrs ~k ~m =
+  let rel = random_rel seed rows attrs 30 in
+  let f = Scoring.sum_of (List.init m Fun.id) in
+  let options = { Query.default_options with variant } in
+  let ctx, key, res = run_query ~options rel f ~k in
+  let reals = Client.real_results ctx key ~ids:(ids_of rel) res in
+  let oids = List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1))) reals in
+  oracle_valid rel f ~k oids
+
+let prop_secure_elim =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:6 ~name:"Qry_E matches oracle (random relations)"
+       QCheck.(pair (int_bound 10_000) (int_range 1 4))
+       (fun (seed, k) -> secure_matches_oracle (string_of_int seed) ~rows:12 ~attrs:3 ~k ~m:3))
+
+let prop_secure_full =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:4 ~name:"Qry_F matches oracle (random relations)"
+       QCheck.(pair (int_bound 10_000) (int_range 1 3))
+       (fun (seed, k) ->
+         secure_matches_oracle ~variant:Query.Full (string_of_int seed) ~rows:10 ~attrs:3 ~k ~m:3))
+
+let prop_secure_batched =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:4 ~name:"Qry_Ba matches oracle (random relations)"
+       QCheck.(pair (int_bound 10_000) (int_range 2 5))
+       (fun (seed, p) ->
+         secure_matches_oracle ~variant:(Query.Batched p) (string_of_int seed) ~rows:12 ~attrs:3
+           ~k:2 ~m:3))
+
+let test_weighted_query () =
+  let rel = random_rel "weighted" 10 3 20 in
+  let f = Scoring.create [ (0, 3); (2, 2) ] in
+  let ctx, key, res = run_query ~options:{ Query.default_options with variant = Query.Elim } rel f ~k:3 in
+  let reals = Client.real_results ctx key ~ids:(ids_of rel) res in
+  let oids = List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1))) reals in
+  Alcotest.(check bool) "weighted answer oracle-valid" true (oracle_valid rel f ~k:3 oids)
+
+let test_duplicate_heavy () =
+  (* many ties / duplicate values stress SecDedup and SecUpdate *)
+  let rel = Relation.create ~name:"dup"
+      [| [| 5; 5 |]; [| 5; 5 |]; [| 5; 5 |]; [| 4; 6 |]; [| 6; 4 |]; [| 1; 1 |] |] in
+  let f = Scoring.sum_of [ 0; 1 ] in
+  let ctx, key, res = run_query ~options:{ Query.default_options with variant = Query.Full } rel f ~k:3 in
+  let reals = Client.real_results ctx key ~ids:(ids_of rel) res in
+  let oids = List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1))) reals in
+  Alcotest.(check bool) "tie-heavy answer oracle-valid" true (oracle_valid rel f ~k:3 oids)
+
+let test_k_equals_n () =
+  let rel = random_rel "kn" 5 2 20 in
+  let f = Scoring.sum_of [ 0; 1 ] in
+  let ctx, key, res = run_query ~options:{ Query.default_options with variant = Query.Elim } rel f ~k:5 in
+  let reals = Client.real_results ctx key ~ids:(ids_of rel) res in
+  Alcotest.(check int) "all objects returned" 5 (List.length reals)
+
+let test_max_depth_cap () =
+  let rel = random_rel "cap" 30 3 30 in
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let options = { Query.default_options with variant = Query.Elim; max_depth = Some 2 } in
+  let _, _, res = run_query ~options rel f ~k:5 in
+  Alcotest.(check bool) "did not halt" false res.Query.halted;
+  Alcotest.(check int) "stopped at cap" 2 res.Query.halting_depth;
+  Alcotest.(check int) "per-depth timings recorded" 2 (Array.length res.Query.depth_seconds)
+
+let prop_halting_depth_matches_nra =
+  (* the strongest fidelity property: the oblivious execution consumes
+     exactly as many depths as plaintext NRA (the seen-vector best-score
+     refresh is what makes this exact rather than merely conservative) *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:5 ~name:"SecQuery halting depth = plaintext NRA depth"
+       QCheck.(pair (int_bound 10_000) (int_range 1 3))
+       (fun (seed, k) ->
+         let rel =
+           Synthetic.generate ~seed:(string_of_int seed) ~name:"hd" ~rows:14 ~attrs:3
+             (Synthetic.Correlated { base = Synthetic.Uniform { lo = 0; hi = 200 }; noise = 5 })
+         in
+         let f = Scoring.sum_of [ 0; 1; 2 ] in
+         let sl = Sorted_lists.of_relation rel in
+         let _, nra_stats = Nra.run sl f ~k in
+         let _, _, res =
+           run_query ~options:{ Query.default_options with variant = Query.Elim } rel f ~k
+         in
+         res.Query.halting_depth = nra_stats.Nra.halting_depth))
+
+let test_single_attribute_query () =
+  (* m = 1 degenerates SecWorst (no others) and SecBest (no history) *)
+  let rel = random_rel "m1" 12 3 25 in
+  let f = Scoring.sum_of [ 1 ] in
+  let ctx, key, res = run_query ~options:{ Query.default_options with variant = Query.Elim } rel f ~k:3 in
+  let reals = Client.real_results ctx key ~ids:(ids_of rel) res in
+  let oids = List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1))) reals in
+  Alcotest.(check bool) "m=1 oracle-valid" true (oracle_valid rel f ~k:3 oids);
+  (* with one list, NRA halts as soon as k rows are read *)
+  Alcotest.(check bool) "halts at ~k" true (res.Query.halting_depth <= 5)
+
+let test_adaptive_queries_same_db () =
+  (* two different tokens against one encrypted DB, then a repeat of the
+     first: all answers correct, and the query pattern records the repeat *)
+  let rel = random_rel "adaptive" 12 4 25 in
+  let er, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"enc-ad") pub rel in
+  let ask scoring k =
+    let ctx = make_ctx () in
+    let tk = Scheme.token key ~m_total:4 scoring ~k in
+    let res = Query.run ctx er tk { Query.default_options with variant = Query.Elim } in
+    let reals = Client.real_results ctx key ~ids:(ids_of rel) res in
+    ( tk,
+      List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1))) reals )
+  in
+  let f1 = Scoring.sum_of [ 0; 1 ] and f2 = Scoring.sum_of [ 2; 3 ] in
+  let t1, a1 = ask f1 2 in
+  let t2, a2 = ask f2 3 in
+  let t3, a3 = ask f1 2 in
+  Alcotest.(check bool) "q1 valid" true (oracle_valid rel f1 ~k:2 a1);
+  Alcotest.(check bool) "q2 valid" true (oracle_valid rel f2 ~k:3 a2);
+  Alcotest.(check (list int)) "repeat gives same answer" a1 a3;
+  let qp = Leakage.query_pattern [ t1; t2; t3 ] in
+  Alcotest.(check bool) "QP records the repeat" true qp.(2).(0);
+  Alcotest.(check bool) "QP distinguishes q2" false qp.(1).(0)
+
+let test_full_variant_hides_uniqueness () =
+  (* Qry_F reveals no uniqueness pattern: its trace must contain zero
+     SecDupElim counts, while Qry_E's contains one per depth *)
+  let rel = random_rel "upd" 10 3 6 (* small range -> duplicates likely *) in
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let trace_of variant =
+    let ctx, _, _ = run_query ~options:{ Query.default_options with variant } rel f ~k:2 in
+    Leakage.of_trace ctx.Proto.Ctx.s2.Proto.Ctx.trace
+  in
+  let p_full = trace_of Query.Full in
+  let p_elim = trace_of Query.Elim in
+  Alcotest.(check (list int)) "Qry_F leaks no UP" [] p_full.Leakage.uniqueness_counts;
+  Alcotest.(check bool) "Qry_E leaks UP" true (p_elim.Leakage.uniqueness_counts <> [])
+
+(* ---------------- bandwidth accounting ---------------- *)
+
+let test_bandwidth_recorded () =
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let ctx, _, _ = run_query ~options:{ Query.default_options with variant = Query.Elim } fig3 f ~k:2 in
+  let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  Alcotest.(check bool) "bytes flowed" true (Proto.Channel.bytes_total ch > 0);
+  Alcotest.(check bool) "rounds recorded" true (Proto.Channel.rounds_total ch > 0);
+  let labels = List.map fst (Proto.Channel.bytes_by_label ch) in
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " present") true (List.mem l labels))
+    [ "SecWorst"; "SecBest"; "SecUpdate"; "EncSort"; "EncCompare" ]
+
+(* ---------------- leakage ---------------- *)
+
+let test_query_pattern () =
+  let _, key = Scheme.encrypt ~s:4 rng pub fig3 in
+  let t1 = Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1 ]) ~k:2 in
+  let t2 = Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 2 ]) ~k:2 in
+  let qp = Leakage.query_pattern [ t1; t2; t1 ] in
+  Alcotest.(check bool) "diagonal" true (qp.(0).(0) && qp.(1).(1) && qp.(2).(2));
+  Alcotest.(check bool) "repeat detected" true qp.(2).(0);
+  Alcotest.(check bool) "distinct not flagged" false qp.(1).(0)
+
+let test_leakage_same_shape_for_isomorphic_dbs () =
+  (* two relations with identical duplicate structure but different values:
+     S2's view must have the same shape (the CQA simulation argument) *)
+  let rel_a = Relation.create ~name:"a" [| [| 9; 7 |]; [| 6; 5 |]; [| 3; 2 |] |] in
+  let rel_b = Relation.create ~name:"b" [| [| 90; 70 |]; [| 60; 50 |]; [| 30; 20 |] |] in
+  let f = Scoring.sum_of [ 0; 1 ] in
+  let profile rel =
+    let ctx = make_ctx () in
+    let er, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:("enc" ^ Relation.name rel)) pub rel in
+    let tk = Scheme.token key ~m_total:2 f ~k:2 in
+    let res = Query.run ctx er tk { Query.default_options with variant = Query.Elim } in
+    (Leakage.of_trace ctx.Proto.Ctx.s2.Proto.Ctx.trace, res.Query.halting_depth)
+  in
+  let pa, da = profile rel_a and pb, db = profile rel_b in
+  Alcotest.(check int) "same halting depth" da db;
+  Alcotest.(check bool) "same S2 view shape" true (Leakage.same_shape pa pb)
+
+let test_leakage_profile_contents () =
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let ctx, _, res = run_query ~options:{ Query.default_options with variant = Query.Elim } fig3 f ~k:2 in
+  let p = Leakage.of_trace ctx.Proto.Ctx.s2.Proto.Ctx.trace in
+  Alcotest.(check bool) "equality rounds happened" true (p.Leakage.equality_rounds > 0);
+  Alcotest.(check bool) "uniqueness pattern revealed (Qry_E)" true
+    (List.length p.Leakage.uniqueness_counts > 0);
+  Alcotest.(check bool) "halting depth matches trace era" true (res.Query.halting_depth = 3)
+
+(* ---------------- codec ---------------- *)
+
+let test_codec_relation_roundtrip () =
+  let er, _ = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"codec") pub fig3 in
+  let blob = Codec.encode_relation pub er in
+  let er' = Codec.decode_relation pub blob in
+  Alcotest.(check int) "rows" (Scheme.n_rows er) (Scheme.n_rows er');
+  Alcotest.(check int) "lists" (Scheme.n_attrs er) (Scheme.n_attrs er');
+  (* every ciphertext survives byte-identically *)
+  for list = 0 to 2 do
+    for depth = 0 to 4 do
+      let a = Scheme.entry er ~list ~depth and b = Scheme.entry er' ~list ~depth in
+      Alcotest.(check bool) "score ct equal" true
+        (Paillier.equal_ct a.Proto.Enc_item.score b.Proto.Enc_item.score);
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check bool) "ehl cell equal" true
+            (Paillier.equal_ct c (Ehl.Ehl_plus.cells b.Proto.Enc_item.ehl).(i)))
+        (Ehl.Ehl_plus.cells a.Proto.Enc_item.ehl)
+    done
+  done
+
+let test_codec_query_on_decoded () =
+  (* a query against the decoded relation must give the same answer *)
+  let er, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"codecq") pub fig3 in
+  let er' = Codec.decode_relation pub (Codec.encode_relation pub er) in
+  let f = Scoring.sum_of [ 0; 1; 2 ] in
+  let tk = Scheme.token key ~m_total:3 f ~k:2 in
+  let ctx = make_ctx () in
+  let res = Query.run ctx er' tk { Query.default_options with variant = Query.Elim } in
+  let ids = List.map (fun (id, _, _) -> id) (Client.real_results ctx key ~ids:(ids_of fig3) res) in
+  Alcotest.(check (list string)) "same top-2 from decoded DB" [ "o2"; "o1" ] ids
+
+let test_codec_key_roundtrip () =
+  let _, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"codeck") pub fig3 in
+  let key' = Codec.decode_secret_key (Codec.encode_secret_key key) in
+  Alcotest.(check string) "prp key" key.Scheme.prp_key key'.Scheme.prp_key;
+  Alcotest.(check int) "s" key.Scheme.s key'.Scheme.s;
+  Alcotest.(check (list string)) "ehl keys" key.Scheme.ehl_keys key'.Scheme.ehl_keys
+
+let test_codec_token_roundtrip () =
+  let _, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"codect") pub fig3 in
+  let tk = Scheme.token key ~m_total:3 (Scoring.create [ (0, 2); (2, 5) ]) ~k:7 in
+  let tk' = Codec.decode_token (Codec.encode_token tk) in
+  Alcotest.(check int) "k" tk.Scheme.k tk'.Scheme.k;
+  Alcotest.(check (list (pair int int))) "attrs" tk.Scheme.attrs tk'.Scheme.attrs
+
+let test_codec_rejects_garbage () =
+  let reject name f =
+    Alcotest.(check bool) name true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  reject "empty" (fun () -> Codec.decode_token "");
+  reject "bad magic" (fun () -> Codec.decode_token "NOPE\001");
+  reject "wrong kind" (fun () -> Codec.decode_token (Codec.encode_secret_key { Scheme.prp_key = "x"; ehl_keys = [ "a" ]; s = 1 }));
+  reject "truncated relation" (fun () ->
+      let er, _ = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"codecx") pub fig3 in
+      let blob = Codec.encode_relation pub er in
+      Codec.decode_relation pub (String.sub blob 0 (String.length blob - 3)));
+  reject "trailing bytes" (fun () ->
+      let _, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"codecy") pub fig3 in
+      let blob = Codec.encode_secret_key key in
+      Codec.decode_secret_key (blob ^ "z"))
+
+let suite =
+  [ ( "scheme",
+      [ Alcotest.test_case "encrypt shape" `Quick test_encrypt_shape;
+        Alcotest.test_case "lists sorted under encryption" `Quick test_encrypt_lists_sorted;
+        Alcotest.test_case "token permutation" `Quick test_token_permutation;
+        Alcotest.test_case "token attribute subset" `Quick test_token_attribute_subset;
+        Alcotest.test_case "id resolver" `Quick test_resolver;
+        Alcotest.test_case "parallel encryption" `Quick test_parallel_encrypt
+      ] );
+    ( "secquery-fig3",
+      [ Alcotest.test_case "Qry_F answers Figure 3" `Quick test_fig3_full;
+        Alcotest.test_case "Qry_E answers Figure 3" `Quick test_fig3_elim;
+        Alcotest.test_case "Qry_Ba answers Figure 3" `Quick test_fig3_batched;
+        Alcotest.test_case "halting depth = 3" `Quick test_fig3_halting_depth;
+        Alcotest.test_case "network sort variant" `Quick test_fig3_network_sort;
+        Alcotest.test_case "paper-literal halting" `Quick test_fig3_kth_only;
+        Alcotest.test_case "DGK comparison variant" `Quick test_fig3_dgk_compare
+      ] );
+    ( "secquery-random",
+      [ prop_secure_elim;
+        prop_secure_full;
+        prop_secure_batched;
+        Alcotest.test_case "weighted scoring" `Quick test_weighted_query;
+        Alcotest.test_case "duplicate-heavy relation" `Quick test_duplicate_heavy;
+        Alcotest.test_case "k = n" `Quick test_k_equals_n;
+        Alcotest.test_case "max_depth cap" `Quick test_max_depth_cap;
+        Alcotest.test_case "single-attribute query" `Quick test_single_attribute_query;
+        Alcotest.test_case "adaptive queries on one DB" `Quick test_adaptive_queries_same_db;
+        Alcotest.test_case "Qry_F hides uniqueness pattern" `Quick test_full_variant_hides_uniqueness;
+        prop_halting_depth_matches_nra
+      ] );
+    ("bandwidth", [ Alcotest.test_case "channel accounting" `Quick test_bandwidth_recorded ]);
+    ( "codec",
+      [ Alcotest.test_case "relation roundtrip" `Quick test_codec_relation_roundtrip;
+        Alcotest.test_case "query on decoded relation" `Quick test_codec_query_on_decoded;
+        Alcotest.test_case "secret key roundtrip" `Quick test_codec_key_roundtrip;
+        Alcotest.test_case "token roundtrip" `Quick test_codec_token_roundtrip;
+        Alcotest.test_case "rejects malformed input" `Quick test_codec_rejects_garbage
+      ] );
+    ( "leakage",
+      [ Alcotest.test_case "query pattern" `Quick test_query_pattern;
+        Alcotest.test_case "isomorphic DBs -> same S2 view shape" `Quick
+          test_leakage_same_shape_for_isomorphic_dbs;
+        Alcotest.test_case "profile contents" `Quick test_leakage_profile_contents
+      ] )
+  ]
+
+let () = Alcotest.run "sectopk" suite
