@@ -19,6 +19,8 @@ let tests () =
     [ Test.make ~name:"paillier_encrypt" (Staged.stage (fun () -> ignore (Paillier.encrypt rng pub x)));
       Test.make ~name:"paillier_decrypt" (Staged.stage (fun () -> ignore (Paillier.decrypt sk c)));
       Test.make ~name:"paillier_add" (Staged.stage (fun () -> ignore (Paillier.add pub c c)));
+      Test.make ~name:"paillier_rerandomize"
+        (Staged.stage (fun () -> ignore (Paillier.rerandomize rng pub c)));
       Test.make ~name:"dj_encrypt" (Staged.stage (fun () -> ignore (Damgard_jurik.encrypt rng djpub x)));
       Test.make ~name:"dj_scalar_mul_ct"
         (Staged.stage (fun () -> ignore (Damgard_jurik.scalar_mul_ct djpub e2 c)));
@@ -43,9 +45,16 @@ let run () =
   let raw = Benchmark.all cfg [ instance ] (tests ()) in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let results = Analyze.all ols instance raw in
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
-  |> List.sort compare
-  |> List.iter (fun (name, v) ->
-         match Analyze.OLS.estimates v with
-         | Some [ ns ] -> row "%-30s %12.2f us/op@." name (ns /. 1000.)
-         | _ -> row "%-30s (no estimate)@." name)
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+    |> List.filter_map (fun (name, v) ->
+           match Analyze.OLS.estimates v with
+           | Some [ ns ] ->
+             row "%-30s %12.2f us/op@." name (ns /. 1000.);
+             Some (name, ns /. 1e9, 0)
+           | _ ->
+             row "%-30s (no estimate)@." name;
+             None)
+  in
+  emit_json ~id:"micro" rows

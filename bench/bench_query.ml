@@ -94,15 +94,20 @@ let fig12 () =
      visible exactly as in the paper *)
   header "fig12: variant comparison, time/depth (k=5, m=2, p=10, network EncSort)";
   row "%12s %12s %12s %12s@." "dataset" "Qry_Ba" "Qry_E" "Qry_F";
+  let json_rows = ref [] in
   List.iter
     (fun rel ->
-      let go variant =
-        let t, _, _, _ =
+      let go tag variant =
+        let t, _, bytes, _ =
           run_query ~sort:Proto.Enc_sort.Network ~variant ~max_depth:depth_cap rel (scoring_of 2)
             ~k:5 ()
         in
+        json_rows := (Relation.name rel ^ "/" ^ tag, t, bytes) :: !json_rows;
         t
       in
-      row "%12s %11.3fs %11.3fs %11.3fs@." (Relation.name rel)
-        (go (Sectopk.Query.Batched 10)) (go Sectopk.Query.Elim) (go Sectopk.Query.Full))
-    (datasets ())
+      let ba = go "qry_ba" (Sectopk.Query.Batched 10) in
+      let e = go "qry_e" Sectopk.Query.Elim in
+      let f = go "qry_f" Sectopk.Query.Full in
+      row "%12s %11.3fs %11.3fs %11.3fs@." (Relation.name rel) ba e f)
+    (datasets ());
+  emit_json ~id:"fig12" (List.rev !json_rows)

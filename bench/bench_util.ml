@@ -40,6 +40,38 @@ let eval_datasets ~rows =
     gen "pamap" 15 (Synthetic.Gaussian { mean = 2400.; stddev = 900.; max_value = 5000 }) 150;
     gen "synthetic" 10 (Synthetic.Gaussian { mean = 500.; stddev = 150.; max_value = 1000 }) 30 ]
 
+(* --domains N: width of the query-side domain pool (results and traces
+   are identical for every setting; only wall-clock changes). *)
+let domains = ref 1
+
+(* --json DIR: also write every supporting experiment's numbers to
+   DIR/BENCH_<id>.json for machine comparison across commits. *)
+let json_dir : string option ref = ref None
+
+(* rows: (name, seconds, bytes) — bytes 0 when not applicable *)
+let emit_json ~id rows =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\n  \"id\": \"%s\",\n  \"params\": { \"key_bits\": %d, \"rand_bits\": %d, \
+          \"blind_bits\": %d, \"domains\": %d },\n  \"results\": [\n"
+         id key_bits rand_bits blind_bits !domains);
+    List.iteri
+      (fun i (name, seconds, bytes) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    { \"name\": \"%s\", \"seconds\": %.9f, \"bytes\": %d }%s\n"
+             name seconds bytes
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" id) in
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -56,7 +88,9 @@ let run_query ?(sort = Proto.Enc_sort.Blinded) ?max_depth ~variant rel scoring ~
   let ctx = fresh_ctx () in
   let er, key = Sectopk.Scheme.encrypt ~s:ehl_s (Rng.fork rng ~label:"enc") pub rel in
   let tk = Sectopk.Scheme.token key ~m_total:(Relation.n_attrs rel) scoring ~k in
-  let options = { Sectopk.Query.default_options with variant; sort; max_depth } in
+  let options =
+    { Sectopk.Query.default_options with variant; sort; max_depth; domains = !domains }
+  in
   let res = Sectopk.Query.run ctx er tk options in
   let per_depth = mean res.Sectopk.Query.depth_seconds in
   let bytes = Proto.Channel.bytes_total ctx.Proto.Ctx.s1.Proto.Ctx.chan in

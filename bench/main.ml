@@ -4,6 +4,8 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- --only fig9a -- one experiment
      dune exec bench/main.exe -- --list       -- list experiment ids
+     dune exec bench/main.exe -- --json DIR   -- also write BENCH_<id>.json
+     dune exec bench/main.exe -- --domains N  -- query-side domain pool width
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -33,14 +35,32 @@ let () =
   if List.mem "--list" args then
     List.iter (fun (id, descr, _) -> Format.printf "%-10s %s@." id descr) experiments
   else begin
-    let only =
+    let flag name =
       let rec find = function
-        | "--only" :: id :: _ -> Some id
+        | f :: v :: _ when f = name -> Some v
         | _ :: rest -> find rest
         | [] -> None
       in
       find args
     in
+    let only = flag "--only" in
+    (match flag "--domains" with
+    | Some n -> begin
+      match int_of_string_opt n with
+      | Some n -> Bench_util.domains := max 1 n
+      | None ->
+        Format.eprintf "--domains expects an integer, got %S@." n;
+        exit 2
+    end
+    | None -> ());
+    (match flag "--json" with
+    | Some dir ->
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+       with Sys_error e ->
+         Format.eprintf "--json: cannot create directory %s (%s)@." dir e;
+         exit 2);
+      Bench_util.json_dir := Some dir
+    | None -> ());
     let selected =
       match only with
       | None -> experiments

@@ -1,0 +1,29 @@
+(** Fixed-base windowed exponentiation.
+
+    Precomputes a comb table for one base modulo one odd modulus so that
+    subsequent exponentiations cost roughly one Montgomery multiplication
+    per nonzero 4-bit digit of the exponent. Built for Paillier/DJ noise
+    generation, where the fixed n-th residue [h] is raised to a fresh
+    short exponent on every encryption and re-randomization. *)
+
+type t
+
+(** [create ctx ~base ~max_bits] precomputes the comb for exponents up to
+    [max_bits] bits wide. Cost: ~[max_bits * 19 / 4] Montgomery
+    multiplications, paid once per (base, modulus) pair. *)
+val create : Montgomery.ctx -> base:Nat.t -> max_bits:int -> t
+
+(** [cached ~base ~m ~max_bits] is the process-wide comb for [base]
+    modulo [m], built on first use (and rebuilt if a wider [max_bits] is
+    requested later). [None] when [m] has no Montgomery context (even
+    modulus). Domain-safe; combs are immutable once built. *)
+val cached : base:Nat.t -> m:Nat.t -> max_bits:int -> t option
+
+(** Widest supported exponent, in bits. *)
+val max_bits : t -> int
+
+val modulus : t -> Nat.t
+
+(** [pow t e] is [base^e mod m]. Raises [Invalid_argument] if
+    [Nat.bit_length e > max_bits t]. *)
+val pow : t -> Nat.t -> Nat.t

@@ -3,20 +3,21 @@ let add a b ~m =
   if Nat.compare s m >= 0 then Nat.sub s m else s
 
 let sub a b ~m = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a m) b
-let mul a b ~m = Nat.rem (Nat.mul a b) m
+
+let mul_plain a b ~m = Nat.rem (Nat.mul a b) m
 
 let pow_binary b e ~m =
   let b = ref (Nat.rem b m) and r = ref Nat.one in
   let nbits = Nat.bit_length e in
   for i = 0 to nbits - 1 do
-    if Nat.nth_bit e i then r := mul !r !b ~m;
-    if i < nbits - 1 then b := mul !b !b ~m
+    if Nat.nth_bit e i then r := mul_plain !r !b ~m;
+    if i < nbits - 1 then b := mul_plain !b !b ~m
   done;
   !r
 
 (* Montgomery contexts are cached per modulus: the whole system works with
    a handful of moduli (n, n^2, n^3 for two key pairs). The mutex keeps
-   the cache safe under parallel encryption (Scheme.encrypt ~domains). *)
+   the cache safe under parallel protocol execution (Core.Pool). *)
 let mont_cache : (Nat.t, Montgomery.ctx option) Hashtbl.t = Hashtbl.create 8
 
 let mont_lock = Mutex.create ()
@@ -34,6 +35,13 @@ let mont_ctx m =
   in
   Mutex.unlock mont_lock;
   c
+
+(* Ciphertext adds ([Paillier.add]) funnel through here on every depth of
+   every protocol; the cached Montgomery context replaces the Knuth trial
+   division of [Nat.rem (Nat.mul a b) m] with two divisionless CIOS
+   passes. Even moduli (no context) keep the plain path. *)
+let mul a b ~m =
+  match mont_ctx m with Some ctx -> Montgomery.mul ctx a b | None -> mul_plain a b ~m
 
 let pow b e ~m =
   if Nat.is_one m then Nat.zero

@@ -9,11 +9,19 @@ val add : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
 (** [sub a b ~m] is [(a - b) mod m]. *)
 val sub : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
 
-(** [mul a b ~m] is [(a * b) mod m]. *)
+(** [mul a b ~m] is [(a * b) mod m] — through the cached Montgomery
+    context when [m] is odd (two divisionless CIOS passes), schoolbook
+    multiply-and-reduce otherwise. *)
 val mul : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
 
 (** [pow b e ~m] is [b^e mod m] by square-and-multiply. *)
 val pow : Nat.t -> Nat.t -> m:Nat.t -> Nat.t
+
+(** [mont_ctx m] is the process-wide cached Montgomery context for [m]
+    ([None] when [m] is even or too small). The cache is domain-safe;
+    callers chaining resident operations ({!Montgomery.residue},
+    {!Fixed_base}) fetch the context once through here. *)
+val mont_ctx : Nat.t -> Montgomery.ctx option
 
 (** [inv a ~m] is the multiplicative inverse of [a] modulo [m]. Raises
     [Failure] if [gcd a m <> 1]. Extended Euclid. *)

@@ -15,7 +15,13 @@ type ctx = {
   n0' : int; (* -m^-1 mod 2^26 *)
   r2 : int array; (* R^2 mod m, padded to k limbs *)
   one_mont : int array; (* R mod m = to_mont 1 *)
+  one_plain : int array; (* the k-limb vector 1, for conversion out *)
 }
+
+(* A value < m held in Montgomery form (a*R mod m) as a k+2-limb vector
+   whose top two limbs are zero — directly usable as a [mont_mul]
+   operand and target shape. Residues are tied to the ctx that made them. *)
+type residue = int array
 
 let pad k a =
   let r = Array.make k 0 in
@@ -89,44 +95,53 @@ let create m =
     let n0' = n0' land mask in
     let r2 = Nat.rem (Nat.shift_left Nat.one (2 * base_bits * k)) m in
     let r1 = Nat.rem (Nat.shift_left Nat.one (base_bits * k)) m in
-    Some { m; n; k; n0'; r2 = pad k (Nat.limbs r2); one_mont = pad k (Nat.limbs r1) }
+    let one_plain = Array.make k 0 in
+    one_plain.(0) <- 1;
+    Some
+      {
+        m;
+        n;
+        k;
+        n0';
+        r2 = pad k (Nat.limbs r2);
+        one_mont = pad k (Nat.limbs r1);
+        one_plain;
+      }
   end
 
 let modulus ctx = ctx.m
 
-let of_limbs k (t : int array) =
-  (* first k limbs -> Nat, through the byte codec *)
-  let rec len i = if i > 0 && t.(i - 1) = 0 then len (i - 1) else i in
-  let l = len k in
-  let arr = Array.sub t 0 l in
-  let bits = l * base_bits in
-  let nbytes = (bits + 7) / 8 in
-  let bytes = Bytes.make nbytes '\000' in
-  for byte = 0 to nbytes - 1 do
-    let v = ref 0 in
-    for bit = 0 to 7 do
-      let pos = (8 * byte) + bit in
-      let limb = pos / base_bits and off = pos mod base_bits in
-      if limb < l && (arr.(limb) lsr off) land 1 = 1 then v := !v lor (1 lsl bit)
-    done;
-    Bytes.set bytes (nbytes - 1 - byte) (Char.chr !v)
-  done;
-  Nat.of_bytes (Bytes.to_string bytes)
+(* First k limbs -> Nat; both sides use base-2^26 little-endian limbs. *)
+let of_limbs k (t : int array) = Nat.of_limbs (Array.sub t 0 k)
 
-let mul ctx a b =
-  let k = ctx.k in
-  let a' = pad k (Nat.limbs (Nat.rem a ctx.m)) in
-  let b' = pad k (Nat.limbs (Nat.rem b ctx.m)) in
-  let am = Array.make (k + 2) 0 and bm = Array.make (k + 2) 0 in
-  mont_mul ctx am a' ctx.r2;
-  (* am = a*R; bm = mont(a*R, b) = a*b *)
-  mont_mul ctx bm (Array.sub am 0 k) b';
-  of_limbs k bm
+(* ---------------- Montgomery-resident operations ----------------
 
-let pow ctx b e =
+   Chained products and exponentiations convert once on the way in, once
+   on the way out, and pay exactly one [mont_mul] (no division, no
+   re-padding) per intermediate operation. *)
+
+let reduced ctx a = if Nat.compare a ctx.m < 0 then a else Nat.rem a ctx.m
+
+let to_mont ctx a =
+  let t = Array.make (ctx.k + 2) 0 in
+  mont_mul ctx t (pad ctx.k (Nat.limbs (reduced ctx a))) ctx.r2;
+  t
+
+let from_mont ctx (r : residue) =
+  let t = Array.make (ctx.k + 2) 0 in
+  mont_mul ctx t r ctx.one_plain;
+  of_limbs ctx.k t
+
+let one_mont ctx : residue = pad (ctx.k + 2) ctx.one_mont
+
+let mul_resident ctx (a : residue) (b : residue) : residue =
+  let t = Array.make (ctx.k + 2) 0 in
+  mont_mul ctx t a b;
+  t
+
+let pow_resident ctx (b : residue) e : residue =
   let k = ctx.k in
-  let b = Nat.rem b ctx.m in
-  if Nat.is_zero e then Nat.rem Nat.one ctx.m
+  if Nat.is_zero e then one_mont ctx
   else begin
     let scratch = Array.make (k + 2) 0 in
     let cur = Array.make (k + 2) 0 in
@@ -134,8 +149,7 @@ let pow ctx b e =
     (* table of b^0..b^15 in Montgomery form *)
     let table = Array.init 16 (fun _ -> Array.make (k + 2) 0) in
     Array.blit ctx.one_mont 0 table.(0) 0 k;
-    mont_mul ctx scratch (pad k (Nat.limbs b)) ctx.r2;
-    swap_into table.(1) scratch;
+    Array.blit b 0 table.(1) 0 k;
     for i = 2 to 15 do
       mont_mul ctx scratch table.(i - 1) table.(1);
       swap_into table.(i) scratch
@@ -160,9 +174,20 @@ let pow ctx b e =
         swap_into cur scratch
       end
     done;
-    (* convert out of Montgomery form: multiply by 1 *)
-    let one = Array.make (k + 2) 0 in
-    one.(0) <- 1;
-    mont_mul ctx scratch cur one;
-    of_limbs k scratch
+    cur
   end
+
+(* a * b mod m in two mont_muls: mont(a, R^2) = aR, then mont(aR, b) = ab.
+   Operands already below m skip the trial division entirely. *)
+let mul ctx a b =
+  let k = ctx.k in
+  let a' = pad k (Nat.limbs (reduced ctx a)) in
+  let b' = pad k (Nat.limbs (reduced ctx b)) in
+  let am = Array.make (k + 2) 0 and bm = Array.make (k + 2) 0 in
+  mont_mul ctx am a' ctx.r2;
+  mont_mul ctx bm am b';
+  of_limbs k bm
+
+let pow ctx b e =
+  if Nat.is_zero e then Nat.rem Nat.one ctx.m
+  else from_mont ctx (pow_resident ctx (to_mont ctx b) e)

@@ -4,7 +4,13 @@
     Paillier/DJ operation reduces to modexps over 2-3x key-width moduli),
     so [Modular.pow] routes through this module: word-by-word CIOS
     Montgomery multiplication (no per-step division) with 4-bit fixed
-    windows. *)
+    windows.
+
+    The {!residue} type keeps chained operations inside the Montgomery
+    domain: convert once with [to_mont], combine with [mul_resident] /
+    [pow_resident] (one CIOS pass each, no division), and convert out once
+    with [from_mont]. The fixed-base combs ({!Fixed_base}) and the
+    crypto layer's hot loops are built on it. *)
 
 type ctx
 
@@ -14,8 +20,30 @@ val create : Nat.t -> ctx option
 
 val modulus : ctx -> Nat.t
 
+(** A value of [[0, m)] held in Montgomery form ([a*R mod m]). A residue
+    is only meaningful with the ctx that created it. *)
+type residue
+
+(** [to_mont ctx a] is the residue of [a mod m]. *)
+val to_mont : ctx -> Nat.t -> residue
+
+(** [from_mont ctx r] converts a residue back to a plain [Nat.t]. *)
+val from_mont : ctx -> residue -> Nat.t
+
+(** The residue of 1 ([R mod m]) — the multiplicative identity. *)
+val one_mont : ctx -> residue
+
+(** [mul_resident ctx a b] is the residue of the product — exactly one
+    Montgomery multiplication, no conversion or division. *)
+val mul_resident : ctx -> residue -> residue -> residue
+
+(** [pow_resident ctx b e] is the residue of [b^e mod m] (4-bit windows,
+    all intermediates resident). *)
+val pow_resident : ctx -> residue -> Nat.t -> residue
+
 (** [pow ctx b e] is [b^e mod m]. *)
 val pow : ctx -> Nat.t -> Nat.t -> Nat.t
 
-(** [mul ctx a b] is [a * b mod m] (operands already reduced). *)
+(** [mul ctx a b] is [a * b mod m]. Operands already in [[0, m)] skip
+    reduction. *)
 val mul : ctx -> Nat.t -> Nat.t -> Nat.t

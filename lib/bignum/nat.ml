@@ -13,6 +13,7 @@ let base = 1 lsl base_bits
 let mask = base - 1
 
 let zero : t = [||]
+
 let one : t = [| 1 |]
 let two : t = [| 2 |]
 
@@ -27,6 +28,8 @@ let normalize (a : int array) : t =
   let n = ref (Array.length a) in
   while !n > 0 && a.(!n - 1) = 0 do decr n done;
   if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_limbs (a : int array) : t = normalize (Array.copy a)
 
 let of_int n : t =
   if n < 0 then invalid_arg "Nat.of_int: negative";
@@ -405,8 +408,11 @@ let of_string (s : string) : t =
       end)
     s;
   if !pending_len > 0 then begin
-    let scale = int_of_float (10. ** float_of_int !pending_len) in
-    acc := add_int (mul_int !acc scale) !pending
+    let scale = ref 1 in
+    for _ = 1 to !pending_len do
+      scale := !scale * 10
+    done;
+    acc := add_int (mul_int !acc !scale) !pending
   end;
   !acc
 

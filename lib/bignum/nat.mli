@@ -82,3 +82,8 @@ val limb_count : t -> int
 
 (** Base-2^26 limb, least significant first (for white-box tests). *)
 val limbs : t -> int array
+
+(** [of_limbs a] builds a value from base-2^26 limbs, least significant
+    first. Trusts every element to be in [[0, 2^26)]; the fast
+    Montgomery <-> Nat bridge (both sides share the limb format). *)
+val of_limbs : int array -> t

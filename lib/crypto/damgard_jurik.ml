@@ -8,9 +8,21 @@ type public = {
   rand_bits : int option;
 }
 
+(* CRT exponentiation state: the order of Z_{p^3}^* is p^2*(p-1), so
+   c^d mod p^3 = c^(d mod p^2*(p-1)) mod p^3 — half-size modulus, and the
+   reduced exponent is half the width of d. *)
+type crt = {
+  p3 : Nat.t;
+  q3 : Nat.t;
+  dp : Nat.t;
+  dq : Nat.t;
+  p3_inv_q3 : Nat.t; (* (p^3)^-1 mod q^3, for Garner recombination *)
+}
+
 type secret = {
   pub : public;
   d : Nat.t; (* d = 1 mod n^2, d = 0 mod lambda *)
+  crt : crt option;
 }
 
 type ciphertext = Nat.t
@@ -37,9 +49,13 @@ let of_paillier ppub psk =
   let sk =
     Option.map
       (fun sk ->
-        let _, _, lambda = Paillier.secret_params sk in
+        let p, q, lambda = Paillier.secret_params sk in
         let d = Modular.crt2 (Nat.one, pub.n2) (Nat.zero, lambda) in
-        { pub; d })
+        let p3 = Nat.mul (Nat.mul p p) p and q3 = Nat.mul (Nat.mul q q) q in
+        let dp = Nat.rem d (Nat.mul (Nat.mul p p) (Nat.pred p)) in
+        let dq = Nat.rem d (Nat.mul (Nat.mul q q) (Nat.pred q)) in
+        let p3_inv_q3 = Modular.inv (Nat.rem p3 q3) ~m:q3 in
+        { pub; d; crt = Some { p3; q3; dp; dq; p3_inv_q3 } })
       psk
   in
   (pub, sk)
@@ -56,7 +72,12 @@ let g_pow pub x =
 let noise rng pub =
   match pub.rand_bits with
   | None -> Modular.pow (Rng.unit_mod rng pub.n) pub.n2 ~m:pub.n3
-  | Some b -> Modular.pow pub.h2 (Nat.succ (Rng.nat_bits rng b)) ~m:pub.n3
+  | Some b -> begin
+    let rho = Nat.succ (Rng.nat_bits rng b) in
+    match Fixed_base.cached ~base:pub.h2 ~m:pub.n3 ~max_bits:(b + 1) with
+    | Some fb -> Fixed_base.pow fb rho
+    | None -> Modular.pow pub.h2 rho ~m:pub.n3
+  end
 
 let encrypt rng pub x = Modular.mul (g_pow pub x) (noise rng pub) ~m:pub.n3
 
@@ -64,10 +85,21 @@ let trivial pub x = g_pow pub x
 
 let encrypt_layered rng pub inner = encrypt rng pub (Paillier.to_nat inner)
 
+(* c^d mod n^3, via the CRT halves when the factorization is known. *)
+let pow_d sk c =
+  match sk.crt with
+  | None -> Modular.pow c sk.d ~m:sk.pub.n3
+  | Some { p3; q3; dp; dq; p3_inv_q3 } ->
+    let up = Modular.pow (Nat.rem c p3) dp ~m:p3 in
+    let uq = Modular.pow (Nat.rem c q3) dq ~m:q3 in
+    (* Garner: u = up + p^3 * ((uq - up) * (p^3)^-1 mod q^3) *)
+    let k = Modular.mul (Modular.sub uq (Nat.rem up q3) ~m:q3) p3_inv_q3 ~m:q3 in
+    Nat.add up (Nat.mul p3 k)
+
 let decrypt sk c =
   let pub = sk.pub in
   (* c^d = (1+n)^m mod n^3; recover m = m0 + n*m1 digit by digit. *)
-  let u = Modular.pow c sk.d ~m:pub.n3 in
+  let u = pow_d sk c in
   let t = Nat.div (Nat.pred u) pub.n in
   (* t = m + C(m,2)*n (mod n^2) *)
   let t = Nat.rem t pub.n2 in

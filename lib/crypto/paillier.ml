@@ -14,6 +14,17 @@ type secret = {
   q : Nat.t;
   lambda : Nat.t;
   mu : Nat.t;
+  (* CRT decryption state: work mod p^2 and q^2 with half-size exponents
+     p-1 and q-1 instead of mod n^2 with lambda. [hp] is the inverse of
+     L_p((1+n)^(p-1) mod p^2) mod p, precomputed in closed form (the
+     binomial series truncates: (1+n)^(p-1) = 1 + (p-1)*n mod p^2). *)
+  p2 : Nat.t;
+  q2 : Nat.t;
+  pm1 : Nat.t;
+  qm1 : Nat.t;
+  hp : Nat.t;
+  hq : Nat.t;
+  p_inv_q : Nat.t; (* p^-1 mod q, for Garner recombination *)
 }
 
 type ciphertext = Nat.t
@@ -40,7 +51,13 @@ let keygen ?rand_bits rng ~bits =
   let mu = Modular.inv (Nat.rem lambda n) ~m:n in
   let h = Modular.pow (Rng.unit_mod rng n) n ~m:n2 in
   let pub = { n; n2; key_bits = bits; h; rand_bits } in
-  (pub, { pub; p; q; lambda; mu })
+  let pm1 = Nat.pred p and qm1 = Nat.pred q in
+  (* L_p((1+n)^(p-1) mod p^2) = (p-1)*q mod p, so hp = ((p-1)*q)^-1 mod p *)
+  let hp = Modular.inv (Nat.rem (Nat.mul pm1 q) p) ~m:p in
+  let hq = Modular.inv (Nat.rem (Nat.mul qm1 p) q) ~m:q in
+  let p_inv_q = Modular.inv (Nat.rem p q) ~m:q in
+  (pub,
+   { pub; p; q; lambda; mu; p2 = Nat.mul p p; q2 = Nat.mul q q; pm1; qm1; hp; hq; p_inv_q })
 
 let public_of_secret sk = sk.pub
 let secret_params sk = (sk.p, sk.q, sk.lambda)
@@ -50,7 +67,13 @@ let with_rand_bits pub rb = { pub with rand_bits = rb }
 let noise rng pub =
   match pub.rand_bits with
   | None -> Modular.pow (Rng.unit_mod rng pub.n) pub.n ~m:pub.n2
-  | Some b -> Modular.pow pub.h (Nat.succ (Rng.nat_bits rng b)) ~m:pub.n2
+  | Some b -> begin
+    (* rho = rand_bits-bit value + 1, so the comb needs b+1 bits *)
+    let rho = Nat.succ (Rng.nat_bits rng b) in
+    match Fixed_base.cached ~base:pub.h ~m:pub.n2 ~max_bits:(b + 1) with
+    | Some fb -> Fixed_base.pow fb rho
+    | None -> Modular.pow pub.h rho ~m:pub.n2
+  end
 
 let encrypt rng pub m =
   let m = Nat.rem m pub.n in
@@ -61,12 +84,22 @@ let encrypt_int rng pub m =
   if m < 0 then invalid_arg "Paillier.encrypt_int: negative (use Nat encoding)";
   encrypt rng pub (Nat.of_int m)
 
+(* CRT decryption: for c = (1+n)^m * r^n mod n^2,
+   c^(p-1) mod p^2 = (1+n)^(m*(p-1)) mod p^2 (the noise vanishes because
+   r^(p*(p-1)) = 1 mod p^2 and p | n), and the binomial series truncates
+   to 1 + m*(p-1)*n mod p^2, so L_p(c^(p-1)) * hp = m mod p. Half-size
+   moduli with half-size exponents, recombined by CRT — ~4x cheaper than
+   one lambda-exponentiation mod n^2. *)
 let decrypt sk c =
-  let pub = sk.pub in
-  let u = Modular.pow c sk.lambda ~m:pub.n2 in
-  (* L(u) = (u - 1) / n *)
-  let l = Nat.div (Nat.pred u) pub.n in
-  Modular.mul l sk.mu ~m:pub.n
+  let half p2 pm1 hp p =
+    let u = Modular.pow (Nat.rem c p2) pm1 ~m:p2 in
+    Modular.mul (Nat.div (Nat.pred u) p) hp ~m:p
+  in
+  let mp = half sk.p2 sk.pm1 sk.hp sk.p in
+  let mq = half sk.q2 sk.qm1 sk.hq sk.q in
+  (* Garner: m = mp + p * ((mq - mp) * p^-1 mod q) *)
+  let k = Modular.mul (Modular.sub mq (Nat.rem mp sk.q) ~m:sk.q) sk.p_inv_q ~m:sk.q in
+  Nat.add mp (Nat.mul sk.p k)
 
 let decrypt_signed sk c =
   let m = decrypt sk c in

@@ -17,40 +17,47 @@ let combine (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_scheme.enc_
     e1.Join_scheme.tuples;
   let pairs = Array.of_list !pairs in
   ignore (Rng.shuffle s1.Ctx.rng pairs);
-  (* one equality round over the whole grid: the join predicate bits *)
+  let jobs = Array.length pairs in
+  (* one equality round over the whole grid: the join predicate bits.
+     The blinded diffs are per-pair independent — fan them out. *)
   let diffs =
     Array.to_list
-      (Array.map
-         (fun ((t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple)) ->
+      (Ctx.parallel ctx ~jobs (fun sub idx ->
+           let (t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple) = pairs.(idx) in
+           let sub1 = sub.Ctx.s1 in
            let ehl_l, _ = t1.Join_scheme.cells.(tk.Join_scheme.join_left) in
            let ehl_r, _ = t2.Join_scheme.cells.(tk.Join_scheme.join_right) in
-           Ehl.Ehl_plus.diff ?blind_bits:s1.Ctx.blind_bits s1.Ctx.rng pub ehl_l ehl_r)
-         pairs)
+           Ehl.Ehl_plus.diff ?blind_bits:sub1.Ctx.blind_bits sub1.Ctx.rng pub ehl_l ehl_r))
   in
-  let ts = Gadgets.equality_round ctx ~protocol diffs in
+  let ts = Array.of_list (Gadgets.equality_round ctx ~protocol diffs) in
   let zero = Gadgets.enc_zero s1 in
-  List.map2
-    (fun t ((t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple)) ->
-      let _, score_l = t1.Join_scheme.cells.(tk.Join_scheme.score_left) in
-      let _, score_r = t2.Join_scheme.cells.(tk.Join_scheme.score_right) in
-      (* s = t * (score_l + score_r + 1): the +1 keeps all-zero scores of
-         genuine matches alive through SecFilter *)
-      let total =
-        Paillier.add pub (Paillier.add pub score_l score_r) (Paillier.encrypt s1.Ctx.rng pub Nat.one)
-      in
-      let score = Gadgets.select_recover ctx ~protocol ~t ~if_one:total ~if_zero:zero in
-      let carried =
-        Array.append
-          (Array.map snd t1.Join_scheme.cells)
-          (Array.map snd t2.Join_scheme.cells)
-      in
-      let attrs =
-        Array.map
-          (fun x -> Gadgets.select_recover ctx ~protocol ~t ~if_one:x ~if_zero:zero)
-          carried
-      in
-      { score; attrs })
-    ts (Array.to_list pairs)
+  (* tuple fan-out: every pair runs 1 + |attrs| select/recover rounds,
+     each a DJ exponentiation — the heaviest loop of the join *)
+  Array.to_list
+    (Ctx.parallel ctx ~jobs (fun sub idx ->
+         let t = ts.(idx) in
+         let (t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple) = pairs.(idx) in
+         let sub1 = sub.Ctx.s1 in
+         let _, score_l = t1.Join_scheme.cells.(tk.Join_scheme.score_left) in
+         let _, score_r = t2.Join_scheme.cells.(tk.Join_scheme.score_right) in
+         (* s = t * (score_l + score_r + 1): the +1 keeps all-zero scores
+            of genuine matches alive through SecFilter *)
+         let total =
+           Paillier.add pub (Paillier.add pub score_l score_r)
+             (Paillier.encrypt sub1.Ctx.rng pub Nat.one)
+         in
+         let score = Gadgets.select_recover sub ~protocol ~t ~if_one:total ~if_zero:zero in
+         let carried =
+           Array.append
+             (Array.map snd t1.Join_scheme.cells)
+             (Array.map snd t2.Join_scheme.cells)
+         in
+         let attrs =
+           Array.map
+             (fun x -> Gadgets.select_recover sub ~protocol ~t ~if_one:x ~if_zero:zero)
+             carried
+         in
+         { score; attrs }))
 
 let filter_protocol = "SecFilter"
 

@@ -25,6 +25,16 @@ let bytes_by_label t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_label []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
+let merge_into src ~into =
+  into.bytes <- into.bytes + src.bytes;
+  into.messages <- into.messages + src.messages;
+  into.rounds <- into.rounds + src.rounds;
+  Hashtbl.iter
+    (fun label bytes ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt into.by_label label) in
+      Hashtbl.replace into.by_label label (prev + bytes))
+    src.by_label
+
 let reset t =
   t.bytes <- 0;
   t.messages <- 0;

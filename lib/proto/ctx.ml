@@ -20,9 +20,9 @@ type s2 = {
   trace : Trace.t;
 }
 
-type t = { s1 : s1; s2 : s2 }
+type t = { s1 : s1; s2 : s2; domains : int }
 
-let of_keys ?blind_bits rng pub sk =
+let of_keys ?blind_bits ?(domains = 1) rng pub sk =
   let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk) in
   let djsk = Option.get djsk_opt in
   let chan = Channel.create () in
@@ -40,11 +40,42 @@ let of_keys ?blind_bits rng pub sk =
         chan2 = chan;
         trace = Trace.create ();
       };
+    domains;
   }
 
-let create ?blind_bits rng ~bits =
+let create ?blind_bits ?domains rng ~bits =
   let pub, sk = Paillier.keygen rng ~bits in
-  of_keys ?blind_bits rng pub sk
+  of_keys ?blind_bits ?domains rng pub sk
+
+let with_domains t domains = { t with domains }
+
+let parallel t ~jobs f =
+  (* Fork every sub-context up front, in index order: randomness and
+     accounting are then a pure function of (state, jobs), independent of
+     [t.domains] and of domain scheduling. *)
+  let subs = Array.make jobs t in
+  for i = 0 to jobs - 1 do
+    let label = "par:" ^ string_of_int i in
+    let chan = Channel.create () in
+    subs.(i) <-
+      {
+        s1 = { t.s1 with rng = Rng.fork t.s1.rng ~label; chan };
+        s2 =
+          {
+            t.s2 with
+            rng2 = Rng.fork t.s2.rng2 ~label;
+            chan2 = chan;
+            trace = Trace.create ();
+          };
+        domains = 1;
+      }
+  done;
+  let results = Core.Pool.run ~domains:t.domains ~jobs (fun i -> f subs.(i) i) in
+  for i = 0 to jobs - 1 do
+    Channel.merge_into subs.(i).s1.chan ~into:t.s1.chan;
+    Trace.append_into subs.(i).s2.trace ~into:t.s2.trace
+  done;
+  results
 
 let paillier_ct_bytes t = Paillier.ciphertext_bytes t.s1.pub
 let dj_ct_bytes t = Damgard_jurik.ciphertext_bytes t.s1.djpub

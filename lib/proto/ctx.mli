@@ -36,14 +36,33 @@ type s2 = {
   trace : Trace.t;
 }
 
-type t = { s1 : s1; s2 : s2 }
+type t = {
+  s1 : s1;
+  s2 : s2;
+  domains : int;  (** Width of the {!Core.Pool} used by {!parallel}. *)
+}
 
 (** [create rng ~bits] generates a fresh key pair of modulus width [bits]
-    and wires both parties to one channel. *)
-val create : ?blind_bits:int -> Rng.t -> bits:int -> t
+    and wires both parties to one channel. [domains] (default 1) sets the
+    parallelism of {!parallel}; it never affects results or traces. *)
+val create : ?blind_bits:int -> ?domains:int -> Rng.t -> bits:int -> t
 
 (** Rebuild a context around existing keys (e.g. the data owner's). *)
-val of_keys : ?blind_bits:int -> Rng.t -> Paillier.public -> Paillier.secret -> t
+val of_keys :
+  ?blind_bits:int -> ?domains:int -> Rng.t -> Paillier.public -> Paillier.secret -> t
+
+val with_domains : t -> int -> t
+
+(** [parallel t ~jobs f] evaluates [f sub i] for [i] in [0..jobs-1] on a
+    {!Core.Pool} of [t.domains] domains and returns results in index
+    order. Each [sub] shares the keys of [t] but carries its own
+    deterministically forked generators (forked from [s1.rng]/[s2.rng2]
+    by index, before any domain starts), a private channel and a private
+    trace; after the batch the channels and traces are merged back into
+    [t] in index order. Results, accounting and traces are therefore
+    byte-identical across any [domains] setting — parallelism is pure
+    mechanism. Sub-contexts must not escape [f]. *)
+val parallel : t -> jobs:int -> (t -> int -> 'a) -> 'a array
 
 (** Serialized sizes used for channel accounting. *)
 val paillier_ct_bytes : t -> int

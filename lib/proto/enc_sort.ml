@@ -24,20 +24,25 @@ let sort_blinded (ctx : Ctx.t) items =
   let rho = Gadgets.blind_scalar s1 and r = additive_blind s1 in
   let arr = Array.of_list items in
   ignore (Rng.shuffle s1.rng arr);
-  let keyed = Array.map (fun it -> (blind_key s1 ~rho ~r it.Enc_item.worst, it)) arr in
+  let jobs = Array.length arr in
+  (* Key blinding (S1) and blinded-key decryption (S2) are per-item
+     independent: fan both out on the pool. The sort itself is plaintext. *)
+  let decorated =
+    Ctx.parallel ctx ~jobs (fun sub i ->
+        let it = arr.(i) in
+        let k = blind_key sub.Ctx.s1 ~rho ~r it.Enc_item.worst in
+        (Paillier.decrypt_signed sub.Ctx.s2.sk k, it))
+  in
   let ct = Paillier.ciphertext_bytes s1.pub in
   let payload =
-    Array.fold_left (fun acc (_, it) -> acc + ct + item_bytes s1 it) 0 keyed
+    Array.fold_left (fun acc it -> acc + ct + item_bytes s1 it) 0 arr
   in
   Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:payload;
-  (* --- S2: decrypt blinded keys, sort descending, re-randomize --- *)
-  let decorated =
-    Array.map (fun (k, it) -> (Paillier.decrypt_signed s2.sk k, it)) keyed
-  in
   Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
   Trace.record s2.trace (Trace.Count { protocol; value = Array.length decorated });
   let out =
-    Array.map (fun (_, it) -> Enc_item.rerandomize_scored s2.rng2 s2.pub2 it) decorated
+    Ctx.parallel ctx ~jobs (fun sub i ->
+        Enc_item.rerandomize_scored sub.Ctx.s2.rng2 sub.Ctx.s2.pub2 (snd decorated.(i)))
   in
   Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
     ~bytes:(Array.fold_left (fun acc it -> acc + item_bytes s1 it) 0 out);
@@ -113,9 +118,10 @@ let sort_network (ctx : Ctx.t) items =
     and bitonic_merge lo n descending =
       if n > 1 then begin
         let half = n / 2 in
-        for i = lo to lo + half - 1 do
-          gate ctx arr i (i + half) ~descending
-        done;
+        (* the half gates of one merge stage touch disjoint index pairs *)
+        ignore
+          (Ctx.parallel ctx ~jobs:half (fun sub t ->
+               gate sub arr (lo + t) (lo + t + half) ~descending));
         bitonic_merge lo half descending;
         bitonic_merge (lo + half) half descending
       end

@@ -145,28 +145,35 @@ let run (ctx : Ctx.t) ~mode items =
     (* --- S1: permute, build the pairwise matrix on the permuted order,
        mask every item --- *)
     ignore (Rng.shuffle s1.rng arr);
-    let upper_diffs = ref [] in
-    for i = 0 to l - 1 do
-      for j = i + 1 to l - 1 do
-        let d =
-          Ehl.Ehl_plus.diff ?blind_bits:s1.blind_bits s1.rng s1.pub arr.(i).Enc_item.ehl
-            arr.(j).Enc_item.ehl
-        in
-        upper_diffs := ((i, j), d) :: !upper_diffs
-      done
-    done;
-    let upper_diffs = List.rev !upper_diffs in
+    let pair_idx =
+      let acc = ref [] in
+      for i = l - 1 downto 0 do
+        for j = l - 1 downto i + 1 do
+          acc := (i, j) :: !acc
+        done
+      done;
+      Array.of_list !acc
+    in
+    (* Each matrix entry is an independent blinded diff (S1) followed by
+       one decryption (S2): fan the l*(l-1)/2 pairs out on the pool. *)
+    let pair_eq =
+      Ctx.parallel ctx ~jobs:(Array.length pair_idx) (fun sub idx ->
+          let i, j = pair_idx.(idx) in
+          let sub1 = sub.Ctx.s1 in
+          let d =
+            Ehl.Ehl_plus.diff ?blind_bits:sub1.blind_bits sub1.rng sub1.pub
+              arr.(i).Enc_item.ehl arr.(j).Enc_item.ehl
+          in
+          Nat.is_zero (Paillier.decrypt sub.Ctx.s2.sk d))
+    in
     let masked = Array.map (mask_item s1) arr in
     let ct = Paillier.ciphertext_bytes s1.pub in
     let own_ct = Paillier.ciphertext_bytes s1.own_pub in
     let item_bytes = ((cells + 2 + m_seen) * ct) + ((cells + 2 + m_seen) * own_ct) in
     Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
-      ~bytes:((List.length upper_diffs * ct) + (l * item_bytes));
-    (* --- S2: decrypt the matrix, locate duplicates --- *)
+      ~bytes:((Array.length pair_idx * ct) + (l * item_bytes));
     let equal_pairs =
-      List.filter_map
-        (fun ((i, j), d) -> if Nat.is_zero (Paillier.decrypt s2.sk d) then Some (i, j) else None)
-        upper_diffs
+      Array.to_list pair_idx |> List.filteri (fun idx _ -> pair_eq.(idx))
     in
     Trace.record s2.trace (Trace.Dedup_matrix { protocol; size = l; equal_pairs });
     (* keep the highest index of every duplicate group, mark the rest *)

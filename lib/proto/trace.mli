@@ -28,3 +28,8 @@ val events : t -> event list
 val length : t -> int
 
 val clear : t -> unit
+
+(** [append_into src ~into] appends all of [src]'s events to [into] in
+    order. Sub-traces of parallel batches are appended in task-index
+    order, so the merged trace is identical to a serial run's. *)
+val append_into : t -> into:t -> unit

@@ -9,10 +9,18 @@ type options = {
   halting : [ `All | `KthOnly ];
   compare : [ `Sign | `Dgk of int ];
   max_depth : int option;
+  domains : int;
 }
 
 let default_options =
-  { variant = Full; sort = Enc_sort.Blinded; halting = `All; compare = `Sign; max_depth = None }
+  {
+    variant = Full;
+    sort = Enc_sort.Blinded;
+    halting = `All;
+    compare = `Sign;
+    max_depth = None;
+    domains = 1;
+  }
 
 type result = {
   top : Enc_item.scored list;
@@ -55,6 +63,7 @@ let halting_test ctx ~halting ~compare ~k ~sorted ~unseen_bound =
   end
 
 let run (ctx : Ctx.t) er (tk : Scheme.token) options =
+  let ctx = Ctx.with_domains ctx (max ctx.Ctx.domains options.domains) in
   let s1 = ctx.Ctx.s1 in
   let pub = s1.pub in
   let k = tk.Scheme.k in
@@ -91,31 +100,36 @@ let run (ctx : Ctx.t) er (tk : Scheme.token) options =
         history.(i) := e :: !(history.(i));
         bottoms.(i) <- Some e.Enc_item.score)
       row_arr;
+    (* The m per-list SecWorst/SecBest instances of one depth are
+       independent of each other — the paper's S1 runs them as separate
+       protocol sessions — so fan them out on the domain pool. *)
     let scored =
-      List.mapi
-        (fun i (target : Enc_item.entry) ->
-          let others = List.filteri (fun j _ -> j <> i) row in
-          let worst, eq_bits = Sec_worst.run ctx ~target ~others in
-          let hist =
-            List.filteri (fun j _ -> j <> i) (Array.to_list (Array.mapi (fun j _ -> j) row_arr))
-            |> List.map (fun j -> (!(history.(j)), Option.get bottoms.(j)))
-          in
-          let best = Sec_best.run ctx ~target ~history:hist in
-          (* seen vector: 1 for the item's own list; SecWorst's equality
-             indicators (recovered to Paillier form) for the others *)
-          let eq_arr = Array.of_list eq_bits in
-          let seen =
-            Array.init m (fun l ->
-                if l = i then Paillier.encrypt s1.Ctx.rng pub Bignum.Nat.one
-                else begin
-                  let e = if l < i then eq_arr.(l) else eq_arr.(l - 1) in
-                  Gadgets.select_recover ctx ~protocol:"SecWorst" ~t:e
-                    ~if_one:(Paillier.encrypt s1.Ctx.rng pub Bignum.Nat.one)
-                    ~if_zero:(Gadgets.enc_zero s1)
-                end)
-          in
-          { Enc_item.ehl = target.Enc_item.ehl; worst; best; seen })
-        row
+      Array.to_list
+        (Ctx.parallel ctx ~jobs:m (fun sub i ->
+             let target = row_arr.(i) in
+             let sub1 = sub.Ctx.s1 in
+             let others = List.filteri (fun j _ -> j <> i) row in
+             let worst, eq_bits = Sec_worst.run sub ~target ~others in
+             let hist =
+               List.filteri (fun j _ -> j <> i)
+                 (Array.to_list (Array.mapi (fun j _ -> j) row_arr))
+               |> List.map (fun j -> (!(history.(j)), Option.get bottoms.(j)))
+             in
+             let best = Sec_best.run sub ~target ~history:hist in
+             (* seen vector: 1 for the item's own list; SecWorst's equality
+                indicators (recovered to Paillier form) for the others *)
+             let eq_arr = Array.of_list eq_bits in
+             let seen =
+               Array.init m (fun l ->
+                   if l = i then Paillier.encrypt sub1.Ctx.rng pub Bignum.Nat.one
+                   else begin
+                     let e = if l < i then eq_arr.(l) else eq_arr.(l - 1) in
+                     Gadgets.select_recover sub ~protocol:"SecWorst" ~t:e
+                       ~if_one:(Paillier.encrypt sub1.Ctx.rng pub Bignum.Nat.one)
+                       ~if_zero:(Gadgets.enc_zero sub1)
+                   end)
+             in
+             { Enc_item.ehl = target.Enc_item.ehl; worst; best; seen }))
     in
     let gamma = Sec_dedup.run ctx ~mode:dedup_mode scored in
     t_list := Sec_update.run ctx ~mode:dedup_mode ~t_list:!t_list ~gamma;

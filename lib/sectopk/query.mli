@@ -29,6 +29,11 @@ type options = {
           protocol (scores must fit in [bits]; the sentinel [-1] is mapped
           into the unsigned domain by a homomorphic [+2] shift). *)
   max_depth : int option;  (** Cap on scanned depths (benchmarks). *)
+  domains : int;
+      (** Domain-pool width for the per-depth protocol fan-out (see
+          {!Proto.Ctx.parallel}); results and traces are identical for
+          every setting. Effective width is the max of this and the
+          context's own [domains]. *)
 }
 
 val default_options : options

@@ -10,28 +10,6 @@ type encrypted_relation = {
   m : int;
 }
 
-(* run [jobs] indexed tasks across [domains] OCaml domains; each task gets
-   an rng forked deterministically from [rng] by its index *)
-let parallel_tasks rng ~domains ~jobs f =
-  let task_rng i = Rng.fork rng ~label:("par:" ^ string_of_int i) in
-  let rngs = Array.init jobs task_rng in
-  if domains <= 1 || jobs <= 1 then Array.init jobs (fun i -> f rngs.(i) i)
-  else begin
-    let results = Array.make jobs None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= jobs then continue := false else results.(i) <- Some (f rngs.(i) i)
-      done
-    in
-    let spawned = Array.init (min domains jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.map Option.get results
-  end
-
 let encrypt ?(s = 5) ?(domains = 1) rng pub rel =
   let sl = Sorted_lists.of_relation rel in
   let m = Sorted_lists.n_lists sl and n = Sorted_lists.depth sl in
@@ -39,11 +17,11 @@ let encrypt ?(s = 5) ?(domains = 1) rng pub rel =
   let prp_key = Rng.bytes rng 32 in
   (* EHL encodings are per-object; share them across lists *)
   let encodings =
-    parallel_tasks rng ~domains ~jobs:n (fun task_rng oid ->
+    Core.Pool.map_rng rng ~domains ~jobs:n (fun task_rng oid ->
         Ehl.Ehl_plus.encode task_rng pub ~keys:ehl_keys (Relation.object_id rel oid))
   in
   let plain_lists =
-    parallel_tasks rng ~domains ~jobs:m (fun task_rng attr ->
+    Core.Pool.map_rng rng ~domains ~jobs:m (fun task_rng attr ->
         Array.map
           (fun (it : Sorted_lists.item) ->
             ( Ehl.Ehl_plus.rerandomize task_rng pub encodings.(it.Sorted_lists.oid),

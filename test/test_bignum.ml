@@ -338,6 +338,54 @@ let prop_montgomery_mul =
           Nat.equal (Montgomery.mul ctx a b) (Nat.rem (Nat.mul a b) m)
       end)
 
+let prop_residue_chain =
+  qtest ~count:150 "resident chain (to/pow/mul/from) = plain modular ops" arb_bits_pair
+    (fun (seed, bm, bb) ->
+      let rng = splitmix seed in
+      let m = gen_nat_of_bits rng (max 3 bm) in
+      let m = if Nat.is_even m then Nat.succ m else m in
+      if Nat.compare m (Nat.of_int 3) < 0 then QCheck.assume_fail ()
+      else begin
+        match Montgomery.create m with
+        | None -> QCheck.assume_fail ()
+        | Some ctx ->
+          let a = Nat.rem (gen_nat_of_bits rng (max 1 bm)) m in
+          let b = Nat.rem (gen_nat_of_bits rng (max 1 bb)) m in
+          let e = gen_nat_of_bits rng 64 in
+          Nat.equal (Montgomery.from_mont ctx (Montgomery.to_mont ctx a)) a
+          &&
+          let ra = Montgomery.to_mont ctx a and rb = Montgomery.to_mont ctx b in
+          let chain =
+            Montgomery.from_mont ctx
+              (Montgomery.mul_resident ctx (Montgomery.pow_resident ctx ra e) rb)
+          in
+          Nat.equal chain (Modular.mul (Modular.pow a e ~m) b ~m)
+      end)
+
+let prop_of_limbs =
+  qtest ~count:200 "Nat.of_limbs inverts Nat.limbs" arb_bits_pair (fun (seed, ba, _) ->
+      let rng = splitmix seed in
+      let a = gen_nat_of_bits rng ba in
+      Nat.equal a (Nat.of_limbs (Nat.limbs a)))
+
+let prop_fixed_base =
+  qtest ~count:100 "fixed-base comb pow = generic modular pow" arb_bits_pair
+    (fun (seed, bm, be) ->
+      let rng = splitmix seed in
+      let m = gen_nat_of_bits rng (max 4 bm) in
+      let m = if Nat.is_even m then Nat.succ m else m in
+      if Nat.compare m (Nat.of_int 3) < 0 then QCheck.assume_fail ()
+      else begin
+        match Modular.mont_ctx m with
+        | None -> QCheck.assume_fail ()
+        | Some ctx ->
+          let g = Nat.rem (gen_nat_of_bits rng (max 1 bm)) m in
+          let bits = max 1 (be / 3) in
+          let fb = Fixed_base.create ctx ~base:g ~max_bits:bits in
+          let e = gen_nat_of_bits rng bits in
+          Nat.equal (Fixed_base.pow fb e) (Modular.pow g e ~m)
+      end)
+
 let test_montgomery_edges () =
   let m = Nat.of_int 2145386377 (* odd *) in
   let ctx = Option.get (Montgomery.create m) in
@@ -438,7 +486,8 @@ let suite =
         prop_crt
       ] );
     ( "montgomery",
-      [ prop_montgomery_pow; prop_montgomery_mul;
+      [ prop_montgomery_pow; prop_montgomery_mul; prop_residue_chain; prop_of_limbs;
+        prop_fixed_base;
         Alcotest.test_case "edge cases" `Quick test_montgomery_edges
       ] );
     ( "prime",

@@ -261,6 +261,70 @@ let test_dj_rerandomize () =
   Alcotest.(check bool) "fresh" false (Damgard_jurik.equal_ct c c');
   Alcotest.check nat "same plaintext" (Nat.of_int 31337) (Damgard_jurik.decrypt djsk c')
 
+(* ---------------- CRT decryption vs textbook formulas ----------------
+
+   [Paillier.decrypt] and [Damgard_jurik.decrypt] run over the prime-power
+   factors with half-size exponents; these tests pin them to the direct
+   lambda/d exponentiation mod n^2 / n^3 they replace. *)
+
+let test_paillier_crt_matches_classic () =
+  let _, _, lambda = Paillier.secret_params sk in
+  let n = pub.Paillier.n and n2 = pub.Paillier.n2 in
+  let mu = Modular.inv (Nat.rem lambda n) ~m:n in
+  let classic c =
+    let u = Modular.pow (Paillier.to_nat c) lambda ~m:n2 in
+    Modular.mul (Nat.div (Nat.pred u) n) mu ~m:n
+  in
+  for i = 0 to 49 do
+    let m = Rng.nat_below rng n in
+    let c = Paillier.encrypt rng pub m in
+    Alcotest.check nat (Printf.sprintf "crt = classic #%d" i) (classic c) (Paillier.decrypt sk c)
+  done;
+  List.iter
+    (fun m ->
+      let c = Paillier.trivial pub m in
+      Alcotest.check nat "crt = classic on trivial cts" (classic c) (Paillier.decrypt sk c))
+    [ Nat.zero; Nat.one; Nat.pred n ]
+
+let test_paillier_shortened_noise_comb () =
+  (* shortened-noise keys draw noise from the fixed-base comb *)
+  let pub' = Paillier.with_rand_bits pub (Some 64) in
+  for _ = 1 to 20 do
+    let m = Rng.nat_below rng pub.Paillier.n in
+    let c = Paillier.encrypt rng pub' m in
+    Alcotest.check nat "comb-noise roundtrip" m (Paillier.decrypt sk c);
+    let c' = Paillier.rerandomize rng pub' c in
+    Alcotest.(check bool) "rerandomized fresh" false (Paillier.equal_ct c c');
+    Alcotest.check nat "rerandomize preserves" m (Paillier.decrypt sk c')
+  done
+
+let test_dj_crt_matches_classic () =
+  let _, _, lambda = Paillier.secret_params sk in
+  let n = djpub.Damgard_jurik.n
+  and n2 = djpub.Damgard_jurik.n2
+  and n3 = djpub.Damgard_jurik.n3 in
+  let d = Modular.crt2 (Nat.one, n2) (Nat.zero, lambda) in
+  let classic c =
+    let u = Modular.pow (Damgard_jurik.to_nat c) d ~m:n3 in
+    let t = Nat.rem (Nat.div (Nat.pred u) n) n2 in
+    let m0 = Nat.rem t n in
+    let binom =
+      Nat.rem
+        (Nat.shift_right (Nat.mul m0 (if Nat.is_zero m0 then Nat.zero else Nat.pred m0)) 1)
+        n
+    in
+    let hi = Nat.div (Nat.sub t m0) n in
+    let m1 = Modular.sub (Nat.rem hi n) binom ~m:n in
+    Nat.add m0 (Nat.mul n m1)
+  in
+  for i = 0 to 19 do
+    let m = Rng.nat_below rng n2 in
+    let c = Damgard_jurik.encrypt rng djpub m in
+    Alcotest.check nat
+      (Printf.sprintf "dj crt = classic #%d" i)
+      (classic c) (Damgard_jurik.decrypt djsk c)
+  done
+
 let test_ciphertext_sizes () =
   Alcotest.(check bool) "paillier ct is 2x plaintext width" true
     (Paillier.ciphertext_bytes pub >= 2 * Paillier.plaintext_bytes pub - 1);
@@ -295,6 +359,8 @@ let suite =
         Alcotest.test_case "neg and sub" `Quick test_paillier_neg_sub;
         Alcotest.test_case "rerandomize" `Quick test_paillier_rerandomize;
         Alcotest.test_case "trivial encryption" `Quick test_paillier_trivial;
+        Alcotest.test_case "CRT decrypt = classic" `Quick test_paillier_crt_matches_classic;
+        Alcotest.test_case "shortened-noise comb" `Quick test_paillier_shortened_noise_comb;
         prop_paillier_add;
         prop_paillier_scalar
       ] );
@@ -304,6 +370,7 @@ let suite =
         Alcotest.test_case "layered identity" `Quick test_dj_layered;
         Alcotest.test_case "layered select gadget" `Quick test_dj_layered_select;
         Alcotest.test_case "rerandomize" `Quick test_dj_rerandomize;
+        Alcotest.test_case "CRT decrypt = classic" `Quick test_dj_crt_matches_classic;
         Alcotest.test_case "ciphertext sizes" `Quick test_ciphertext_sizes
       ] )
   ]

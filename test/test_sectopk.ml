@@ -384,6 +384,48 @@ let test_codec_rejects_garbage () =
       let blob = Codec.encode_secret_key key in
       Codec.decode_secret_key (blob ^ "z"))
 
+(* ---------------- domain-pool determinism ---------------- *)
+
+let test_domains_deterministic () =
+  (* the domain pool must be invisible: a seeded query run with pool
+     widths 1 and 4 produces bit-identical ciphertext results, the same
+     S2 trace and the same channel accounting (Ctx.parallel forks all
+     randomness in index order before any domain starts) *)
+  let go domains =
+    let rng = Rng.create ~seed:"domains-det" in
+    let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits:128 in
+    let ctx = Proto.Ctx.of_keys ~blind_bits:48 ~domains (Rng.fork rng ~label:"ctx") pub sk in
+    let er, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"enc") pub fig3 in
+    let tk = Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1; 2 ]) ~k:2 in
+    let res = Query.run ctx er tk { Query.default_options with variant = Query.Elim } in
+    (ctx, res)
+  in
+  let ctx1, res1 = go 1 in
+  let ctx4, res4 = go 4 in
+  let nat_eq (a : Paillier.ciphertext) (b : Paillier.ciphertext) =
+    Bignum.Nat.equal (a :> Bignum.Nat.t) (b :> Bignum.Nat.t)
+  in
+  Alcotest.(check int) "halting depth" res1.Query.halting_depth res4.Query.halting_depth;
+  Alcotest.(check int) "top-k size" (List.length res1.Query.top) (List.length res4.Query.top);
+  Alcotest.(check bool) "ciphertexts bit-identical" true
+    (List.for_all2
+       (fun (a : Proto.Enc_item.scored) (b : Proto.Enc_item.scored) ->
+         nat_eq a.worst b.worst && nat_eq a.best b.best
+         && Array.for_all2 nat_eq a.seen b.seen
+         && a.ehl = b.ehl)
+       res1.Query.top res4.Query.top);
+  Alcotest.(check bool) "S2 traces identical" true
+    (Proto.Trace.events ctx1.Proto.Ctx.s2.trace = Proto.Trace.events ctx4.Proto.Ctx.s2.trace);
+  Alcotest.(check int) "bytes"
+    (Proto.Channel.bytes_total ctx1.Proto.Ctx.s1.chan)
+    (Proto.Channel.bytes_total ctx4.Proto.Ctx.s1.chan);
+  Alcotest.(check int) "messages"
+    (Proto.Channel.messages_total ctx1.Proto.Ctx.s1.chan)
+    (Proto.Channel.messages_total ctx4.Proto.Ctx.s1.chan);
+  Alcotest.(check int) "rounds"
+    (Proto.Channel.rounds_total ctx1.Proto.Ctx.s1.chan)
+    (Proto.Channel.rounds_total ctx4.Proto.Ctx.s1.chan)
+
 let suite =
   [ ( "scheme",
       [ Alcotest.test_case "encrypt shape" `Quick test_encrypt_shape;
@@ -413,6 +455,7 @@ let suite =
         Alcotest.test_case "single-attribute query" `Quick test_single_attribute_query;
         Alcotest.test_case "adaptive queries on one DB" `Quick test_adaptive_queries_same_db;
         Alcotest.test_case "Qry_F hides uniqueness pattern" `Quick test_full_variant_hides_uniqueness;
+        Alcotest.test_case "domain pool is deterministic" `Quick test_domains_deterministic;
         prop_halting_depth_matches_nra
       ] );
     ("bandwidth", [ Alcotest.test_case "channel accounting" `Quick test_bandwidth_recorded ]);
