@@ -23,9 +23,8 @@ let compare_at ~rows =
   in
   (* SecTopK *)
   let (per_depth, depth, st_bytes, _), st_time =
-    let t0 = Unix.gettimeofday () in
-    let r = run_query ~variant:Sectopk.Query.Elim ~max_depth:25 squared (Scoring.sum_of [ 0; 1; 2 ]) ~k:3 () in
-    (r, Unix.gettimeofday () -. t0)
+    time (fun () ->
+        run_query ~variant:Sectopk.Query.Elim ~max_depth:25 squared (Scoring.sum_of [ 0; 1; 2 ]) ~k:3 ())
   in
   ignore per_depth;
   (* kNN baseline with cost-faithful SMIN selection *)

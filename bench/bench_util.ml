@@ -44,6 +44,18 @@ let eval_datasets ~rows =
    are identical for every setting; only wall-clock changes). *)
 let domains = ref 1
 
+(* Harness-wide observability: main.ml enables Obs and installs this
+   collector around every experiment, so protocol entry points defer to
+   it ([Obs.with_default]) and op counts accumulate here. [mark] is taken
+   before each experiment; [emit_json] reports the delta. *)
+let collector = Obs.Collector.create ()
+
+let last_mark = ref (Obs.Metrics.snapshot (Obs.Collector.metrics collector))
+
+let mark () = last_mark := Obs.Metrics.snapshot (Obs.Collector.metrics collector)
+
+let ops_since_mark () = Obs.Metrics.sub (Obs.Collector.metrics collector) !last_mark
+
 (* --json DIR: also write every supporting experiment's numbers to
    DIR/BENCH_<id>.json for machine comparison across commits. *)
 let json_dir : string option ref = ref None
@@ -57,8 +69,16 @@ let emit_json ~id rows =
     Buffer.add_string buf
       (Printf.sprintf
          "{\n  \"id\": \"%s\",\n  \"params\": { \"key_bits\": %d, \"rand_bits\": %d, \
-          \"blind_bits\": %d, \"domains\": %d },\n  \"results\": [\n"
+          \"blind_bits\": %d, \"domains\": %d },\n"
          id key_bits rand_bits blind_bits !domains);
+    let ops = ops_since_mark () in
+    Buffer.add_string buf "  \"ops\": {";
+    List.iteri
+      (fun i (op, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s \"%s\": %d" (if i = 0 then "" else ",") (Obs.Metrics.name op) v))
+      (Obs.Metrics.to_alist ops);
+    Buffer.add_string buf " },\n  \"results\": [\n";
     List.iteri
       (fun i (name, seconds, bytes) ->
         Buffer.add_string buf
@@ -72,10 +92,7 @@ let emit_json ~id rows =
     output_string oc (Buffer.contents buf);
     close_out oc
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Obs.Timer.time
 
 let mean a = if Array.length a = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
 

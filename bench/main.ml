@@ -72,12 +72,18 @@ let () =
     end;
     Format.printf "SecTopK reproduction benchmarks (key=%d bits, noise=%d bits, blinding=%d bits)@."
       Bench_util.key_bits Bench_util.rand_bits Bench_util.blind_bits;
-    let t0 = Unix.gettimeofday () in
-    List.iter
-      (fun (id, _, f) ->
-        let t = Unix.gettimeofday () in
-        f ();
-        Format.printf "[%s done in %.1fs]@." id (Unix.gettimeofday () -. t))
-      selected;
-    Format.printf "@.All experiments done in %.1fs@." (Unix.gettimeofday () -. t0)
+    (* Count crypto ops for every experiment into the harness collector;
+       the per-experiment deltas land in the BENCH_*.json records. *)
+    Obs.set_enabled true;
+    let (), total =
+      Obs.Timer.time (fun () ->
+          Obs.with_collector Bench_util.collector (fun () ->
+              List.iter
+                (fun (id, _, f) ->
+                  Bench_util.mark ();
+                  let (), t = Obs.Timer.time f in
+                  Format.printf "[%s done in %.1fs]@." id t)
+                selected))
+    in
+    Format.printf "@.All experiments done in %.1fs@." total
   end

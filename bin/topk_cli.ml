@@ -51,43 +51,60 @@ let make_rel ~seed ~rows ~attrs ~dist =
 
 (* ---------------- demo ---------------- *)
 
-let demo rows attrs k m seed bits dist variant =
+let demo rows attrs k m seed bits dist variant domains metrics trace_out =
+  if metrics || trace_out <> None then Obs.set_enabled true;
   let rel = make_rel ~seed ~rows ~attrs ~dist in
   let rng = Rng.create ~seed in
   let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits in
-  let t0 = Unix.gettimeofday () in
-  let er, key = Sectopk.Scheme.encrypt ~s:4 rng pub rel in
-  Format.printf "encrypted %d x %d in %.2fs (%d KB)@." rows attrs
-    (Unix.gettimeofday () -. t0)
+  let (er, key), enc_s = Obs.Timer.time (fun () -> Sectopk.Scheme.encrypt ~s:4 rng pub rel) in
+  Format.printf "encrypted %d x %d in %.2fs (%d KB)@." rows attrs enc_s
     (Sectopk.Scheme.size_bytes pub er / 1024);
   let scoring = Scoring.sum_of (List.init (min m attrs) Fun.id) in
   let token = Sectopk.Scheme.token key ~m_total:attrs scoring ~k in
-  let ctx = Proto.Ctx.of_keys ~blind_bits:48 rng pub sk in
-  let t0 = Unix.gettimeofday () in
-  let res =
-    Sectopk.Query.run ctx er token
-      { Sectopk.Query.default_options with variant = variant_of_string variant }
+  let ctx = Proto.Ctx.of_keys ~blind_bits:48 ~domains rng pub sk in
+  let res, query_s =
+    Obs.Timer.time (fun () ->
+        Sectopk.Query.run ctx er token
+          { Sectopk.Query.default_options with variant = variant_of_string variant })
   in
-  Format.printf "query: %.2fs, halting depth %d/%d@." (Unix.gettimeofday () -. t0)
+  Format.printf "query: %.2fs, halting depth %d/%d@." query_s
     res.Sectopk.Query.halting_depth rows;
   let ids = List.init rows (Relation.object_id rel) in
-  List.iter
-    (fun (id, w, b) -> Format.printf "  %-6s score in [%d, %d]@." id w b)
-    (Sectopk.Client.real_results ctx key ~ids res);
+  let reals = Sectopk.Client.real_results ctx key ~ids res in
+  List.iter (fun (id, w, b) -> Format.printf "  %-6s score in [%d, %d]@." id w b) reals;
   let oids =
-    Sectopk.Client.real_results ctx key ~ids res
-    |> List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1)))
+    List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1))) reals
   in
   Format.printf "oracle-valid: %b@." (Nra.valid_answer rel scoring ~k oids);
   let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
   Format.printf "traffic: %d KB, %d rounds@."
     (Proto.Channel.bytes_total ch / 1024)
-    (Proto.Channel.rounds_total ch)
+    (Proto.Channel.rounds_total ch);
+  if metrics then begin
+    Format.printf "@.per-protocol observability (query only):@.";
+    Obs.Report.print ctx.Proto.Ctx.obs
+  end;
+  Option.iter
+    (fun file ->
+      Obs.Chrome.write ctx.Proto.Ctx.obs ~file;
+      Format.printf "chrome trace written to %s@." file)
+    trace_out
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Query-side domain pool width.")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the per-protocol op-count report.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of the query spans to $(docv).")
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a full secure top-k query end to end.")
     Term.(const demo $ rows_arg $ attrs_arg $ k_arg $ m_arg $ seed_arg $ bits_arg $ dist_arg
-          $ variant_arg)
+          $ variant_arg $ domains_arg $ metrics_arg $ trace_out_arg)
 
 (* ---------------- nra ---------------- *)
 

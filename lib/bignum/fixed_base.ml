@@ -71,6 +71,7 @@ let cached ~base ~m ~max_bits:wanted =
     Some fb
 
 let pow t e =
+  Obs.bump Obs.Metrics.Modexp;
   if Nat.bit_length e > t.max_bits then
     invalid_arg "Fixed_base.pow: exponent exceeds the precomputed width";
   if Nat.is_zero e then Nat.rem Nat.one (Montgomery.modulus t.ctx)

@@ -44,6 +44,7 @@ let mul a b ~m =
   match mont_ctx m with Some ctx -> Montgomery.mul ctx a b | None -> mul_plain a b ~m
 
 let pow b e ~m =
+  Obs.bump Obs.Metrics.Modexp;
   if Nat.is_one m then Nat.zero
   else begin
     match mont_ctx m with

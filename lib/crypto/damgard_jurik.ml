@@ -79,7 +79,9 @@ let noise rng pub =
     | None -> Modular.pow pub.h2 rho ~m:pub.n3
   end
 
-let encrypt rng pub x = Modular.mul (g_pow pub x) (noise rng pub) ~m:pub.n3
+let encrypt rng pub x =
+  Obs.bump Obs.Metrics.Dj_enc;
+  Modular.mul (g_pow pub x) (noise rng pub) ~m:pub.n3
 
 let trivial pub x = g_pow pub x
 
@@ -97,6 +99,7 @@ let pow_d sk c =
     Nat.add up (Nat.mul p3 k)
 
 let decrypt sk c =
+  Obs.bump Obs.Metrics.Dj_dec;
   let pub = sk.pub in
   (* c^d = (1+n)^m mod n^3; recover m = m0 + n*m1 digit by digit. *)
   let u = pow_d sk c in
@@ -111,12 +114,22 @@ let decrypt sk c =
 
 let decrypt_layered sk ppub c = Paillier.of_nat ppub (decrypt sk c)
 let add pub a b = Modular.mul a b ~m:pub.n3
-let scalar_mul pub c k = Modular.pow c (Nat.rem k pub.n2) ~m:pub.n3
+
+let scalar_mul pub c k =
+  Obs.bump Obs.Metrics.Dj_mul;
+  Modular.pow c (Nat.rem k pub.n2) ~m:pub.n3
+
 let scalar_mul_ct pub c inner = scalar_mul pub c (Paillier.to_nat inner)
-let neg pub c = Modular.pow c (Nat.pred pub.n2) ~m:pub.n3
+
+let neg pub c =
+  Obs.bump Obs.Metrics.Dj_mul;
+  Modular.pow c (Nat.pred pub.n2) ~m:pub.n3
+
 let sub pub a b = add pub a (neg pub b)
 
-let rerandomize rng pub c = Modular.mul c (noise rng pub) ~m:pub.n3
+let rerandomize rng pub c =
+  Obs.bump Obs.Metrics.Dj_rerand;
+  Modular.mul c (noise rng pub) ~m:pub.n3
 
 let to_nat c = c
 

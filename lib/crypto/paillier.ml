@@ -76,6 +76,7 @@ let noise rng pub =
   end
 
 let encrypt rng pub m =
+  Obs.bump Obs.Metrics.Paillier_enc;
   let m = Nat.rem m pub.n in
   let gm = Nat.rem (Nat.succ (Nat.mul m pub.n)) pub.n2 in
   Modular.mul gm (noise rng pub) ~m:pub.n2
@@ -91,6 +92,7 @@ let encrypt_int rng pub m =
    moduli with half-size exponents, recombined by CRT — ~4x cheaper than
    one lambda-exponentiation mod n^2. *)
 let decrypt sk c =
+  Obs.bump Obs.Metrics.Paillier_dec;
   let half p2 pm1 hp p =
     let u = Modular.pow (Nat.rem c p2) pm1 ~m:p2 in
     Modular.mul (Nat.div (Nat.pred u) p) hp ~m:p
@@ -108,11 +110,20 @@ let decrypt_signed sk c =
   else Bigint.of_nat m
 
 let add pub a b = Modular.mul a b ~m:pub.n2
-let scalar_mul pub c k = Modular.pow c (Nat.rem k pub.n) ~m:pub.n2
-let neg pub c = Modular.pow c (Nat.pred pub.n) ~m:pub.n2
+
+let scalar_mul pub c k =
+  Obs.bump Obs.Metrics.Paillier_mul;
+  Modular.pow c (Nat.rem k pub.n) ~m:pub.n2
+
+let neg pub c =
+  Obs.bump Obs.Metrics.Paillier_mul;
+  Modular.pow c (Nat.pred pub.n) ~m:pub.n2
+
 let sub pub a b = add pub a (neg pub b)
 
-let rerandomize rng pub c = Modular.mul c (noise rng pub) ~m:pub.n2
+let rerandomize rng pub c =
+  Obs.bump Obs.Metrics.Paillier_rerand;
+  Modular.mul c (noise rng pub) ~m:pub.n2
 
 let trivial pub m = Nat.rem (Nat.succ (Nat.mul (Nat.rem m pub.n) pub.n)) pub.n2
 let to_nat c = c

@@ -5,6 +5,7 @@ type key = string
 let gen_keys rng s = List.init s (fun _ -> Rng.bytes rng 32)
 
 let expand ~key msg nbytes =
+  Obs.bump Obs.Metrics.Prf_eval;
   let buf = Buffer.create nbytes in
   let ctr = ref 0 in
   while Buffer.length buf < nbytes do

@@ -8,6 +8,7 @@ let protocol = "SecJoin"
 
 let combine (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_scheme.enc_relation)
     (tk : Join_scheme.token) =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let pairs = ref [] in
@@ -62,6 +63,7 @@ let combine (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_scheme.enc_
 let filter_protocol = "SecFilter"
 
 let filter (ctx : Ctx.t) tuples =
+  Obs.span filter_protocol @@ fun () ->
   match tuples with
   | [] -> []
   | _ ->
@@ -145,6 +147,7 @@ let filter (ctx : Ctx.t) tuples =
 (* blinded descending sort by score through S2, as EncSort's one-round
    strategy but over joined tuples *)
 let sort_desc (ctx : Ctx.t) tuples =
+  Obs.span "EncSort" @@ fun () ->
   match tuples with
   | [] | [ _ ] -> tuples
   | _ ->
@@ -184,6 +187,8 @@ let sort_desc (ctx : Ctx.t) tuples =
 let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r
 
 let top_k ctx e1 e2 tk =
+  Obs.with_default ctx.Ctx.obs @@ fun () ->
+  Obs.span "SecJoinQuery" @@ fun () ->
   let combined = combine ctx e1 e2 tk in
   let surviving = filter ctx combined in
   (* remove the +1 score offset added by [combine] *)
@@ -234,6 +239,7 @@ let cross_product (rels : Join_scheme.enc_relation list) =
   |> List.map List.rev
 
 let combine_multi (ctx : Ctx.t) rels (spec : multi_spec) =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let combos = Array.of_list (cross_product rels) in
@@ -275,6 +281,8 @@ let combine_multi (ctx : Ctx.t) rels (spec : multi_spec) =
     ts (Array.to_list combos)
 
 let top_k_multi ctx rels spec =
+  Obs.with_default ctx.Ctx.obs @@ fun () ->
+  Obs.span "SecJoinQuery" @@ fun () ->
   let combined = combine_multi ctx rels spec in
   let surviving = filter ctx combined in
   let s1 = ctx.Ctx.s1 in
@@ -309,6 +317,7 @@ let diagonal ~n1 ~n2 d =
 
 let combine_pairs (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_scheme.enc_relation)
     (tk : Join_scheme.token) pairs =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let arr = Array.of_list pairs in
@@ -349,6 +358,8 @@ let combine_pairs (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_schem
 type sorted_stats = { pairs_explored : int; pairs_total : int; halted_early : bool }
 
 let top_k_sorted_stats (ctx : Ctx.t) e1 e2 (tk : Join_scheme.token) =
+  Obs.with_default ctx.Ctx.obs @@ fun () ->
+  Obs.span "SecJoinQuery" @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let n1 = Array.length e1.Join_scheme.tuples and n2 = Array.length e2.Join_scheme.tuples in

@@ -1,0 +1,476 @@
+(* Observability substrate: op counters, hierarchical timed spans, a
+   per-protocol report, Chrome trace-event export, and a closed-form cost
+   model for the paper's sub-protocols.
+
+   Design constraints:
+
+   - No dependency on the rest of the tree (only [unix]), so even
+     [lib/bignum] can bump counters.
+   - Hooks are free when disabled: [bump] is a flag test and a return.
+   - A "current collector" lives in domain-local storage; entry points
+     ([Query.run], [Sec_join.top_k], ...) install the context's collector,
+     and [Ctx.parallel] installs a fresh collector per task, merging them
+     back in task-index order.  Counters, bytes, rounds and the span tree
+     are therefore byte-identical for every [--domains] width; only wall
+     times differ, and the canonical rendering ([Report.render ~times:false])
+     excludes them. *)
+
+module Metrics = struct
+  type op =
+    | Paillier_enc
+    | Paillier_dec
+    | Paillier_mul
+    | Paillier_rerand
+    | Dj_enc
+    | Dj_dec
+    | Dj_mul
+    | Dj_rerand
+    | Modexp
+    | Prf_eval
+    | Bytes_sent
+    | Msgs
+    | Rounds
+
+  let n_ops = 13
+
+  let index = function
+    | Paillier_enc -> 0
+    | Paillier_dec -> 1
+    | Paillier_mul -> 2
+    | Paillier_rerand -> 3
+    | Dj_enc -> 4
+    | Dj_dec -> 5
+    | Dj_mul -> 6
+    | Dj_rerand -> 7
+    | Modexp -> 8
+    | Prf_eval -> 9
+    | Bytes_sent -> 10
+    | Msgs -> 11
+    | Rounds -> 12
+
+  let all =
+    [ Paillier_enc; Paillier_dec; Paillier_mul; Paillier_rerand;
+      Dj_enc; Dj_dec; Dj_mul; Dj_rerand;
+      Modexp; Prf_eval; Bytes_sent; Msgs; Rounds ]
+
+  let name = function
+    | Paillier_enc -> "paillier_encrypt"
+    | Paillier_dec -> "paillier_decrypt"
+    | Paillier_mul -> "paillier_scalar_mul"
+    | Paillier_rerand -> "paillier_rerand"
+    | Dj_enc -> "dj_encrypt"
+    | Dj_dec -> "dj_decrypt"
+    | Dj_mul -> "dj_scalar_mul"
+    | Dj_rerand -> "dj_rerand"
+    | Modexp -> "modexp"
+    | Prf_eval -> "prf"
+    | Bytes_sent -> "bytes"
+    | Msgs -> "messages"
+    | Rounds -> "rounds"
+
+  type t = int array
+
+  let create () : t = Array.make n_ops 0
+  let get (t : t) op = t.(index op)
+  let add (t : t) op n = t.(index op) <- t.(index op) + n
+  let snapshot (t : t) = Array.copy t
+  let sub (a : t) (b : t) : t = Array.init n_ops (fun i -> a.(i) - b.(i))
+  let merge_into (src : t) ~(into : t) =
+    for i = 0 to n_ops - 1 do
+      into.(i) <- into.(i) + src.(i)
+    done
+  let is_zero (t : t) = Array.for_all (fun c -> c = 0) t
+  let to_alist (t : t) = List.map (fun op -> (op, get t op)) all
+end
+
+module Span = struct
+  type t = {
+    sname : string;
+    mutable t0 : float;
+    mutable t1 : float;
+    (* inclusive op-count delta over the span, filled at exit *)
+    mutable ops : Metrics.t;
+    mutable rev_children : t list;
+  }
+
+  let name s = s.sname
+  let seconds s = s.t1 -. s.t0
+  let ops s = s.ops
+  let children s = List.rev s.rev_children
+end
+
+module Collector = struct
+  type t = {
+    metrics : Metrics.t;
+    mutable rev_roots : Span.t list;
+    (* open spans, innermost first, with the counter snapshot at entry *)
+    mutable stack : (Span.t * Metrics.t) list;
+  }
+
+  let create () = { metrics = Metrics.create (); rev_roots = []; stack = [] }
+  let metrics t = t.metrics
+  let roots t = List.rev t.rev_roots
+
+  let enter t name =
+    let sp =
+      { Span.sname = name; t0 = Unix.gettimeofday (); t1 = 0.;
+        ops = [||]; rev_children = [] }
+    in
+    (match t.stack with
+    | (parent, _) :: _ -> parent.Span.rev_children <- sp :: parent.Span.rev_children
+    | [] -> t.rev_roots <- sp :: t.rev_roots);
+    t.stack <- (sp, Metrics.snapshot t.metrics) :: t.stack
+
+  let exit t =
+    match t.stack with
+    | [] -> invalid_arg "Obs.Collector.exit: no open span"
+    | (sp, snap) :: rest ->
+      sp.Span.t1 <- Unix.gettimeofday ();
+      sp.Span.ops <- Metrics.sub t.metrics snap;
+      t.stack <- rest
+
+  (* Merge a finished collector into [into]: counters are summed and
+     [src]'s root spans become children of [into]'s innermost open span
+     (or roots).  Called in task-index order by [Ctx.parallel], so the
+     resulting tree is independent of the domain-pool width. *)
+  let merge_into src ~into =
+    if src.stack <> [] then invalid_arg "Obs.Collector.merge_into: open span in source";
+    Metrics.merge_into src.metrics ~into:into.metrics;
+    let adopt sp =
+      match into.stack with
+      | (parent, _) :: _ ->
+        parent.Span.rev_children <- sp :: parent.Span.rev_children
+      | [] -> into.rev_roots <- sp :: into.rev_roots
+    in
+    List.iter adopt (roots src)
+
+  let is_empty t =
+    Metrics.is_zero t.metrics && t.rev_roots = [] && t.stack = []
+end
+
+(* ---- global switch and current collector ------------------------------- *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "OBS_ENABLED" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let current_key : Collector.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get current_key
+
+let with_collector c f =
+  let prev = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some c);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key prev) f
+
+(* Install [c] only when no collector is already current: protocol entry
+   points use this so an outer harness (bench) can capture everything. *)
+let with_default c f =
+  match current () with Some _ -> f () | None -> with_collector c f
+
+let add op n =
+  if !enabled then
+    match current () with Some c -> Metrics.add c.Collector.metrics op n | None -> ()
+
+let bump op = add op 1
+
+let span name f =
+  if not !enabled then f ()
+  else
+    match current () with
+    | None -> f ()
+    | Some c ->
+      Collector.enter c name;
+      Fun.protect ~finally:(fun () -> Collector.exit c) f
+
+(* ---- timing ------------------------------------------------------------ *)
+
+module Timer = struct
+  let now () = Unix.gettimeofday ()
+
+  let time f =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+
+  (* mean seconds per call over [n] runs *)
+  let per_call ~n f =
+    let t0 = now () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (now () -. t0) /. float_of_int n
+end
+
+(* ---- pretty per-protocol report ---------------------------------------- *)
+
+module Report = struct
+  type row = {
+    rname : string;
+    mutable calls : int;
+    mutable wall : float;
+    rops : Metrics.t;
+  }
+
+  (* Aggregate spans by name, ordered by first pre-order appearance.
+     Only a span's *exclusive* contribution to each named row would be
+     ambiguous once protocols nest, so rows carry the inclusive delta of
+     every span with that name; nested same-name spans do not occur in
+     this codebase's hierarchy. *)
+  let rows c =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    let rec walk sp =
+      let r =
+        match Hashtbl.find_opt tbl sp.Span.sname with
+        | Some r -> r
+        | None ->
+          let r =
+            { rname = sp.Span.sname; calls = 0; wall = 0.; rops = Metrics.create () }
+          in
+          Hashtbl.add tbl sp.Span.sname r;
+          order := r :: !order;
+          r
+      in
+      r.calls <- r.calls + 1;
+      r.wall <- r.wall +. Span.seconds sp;
+      if sp.Span.ops <> [||] then Metrics.merge_into sp.Span.ops ~into:r.rops;
+      List.iter walk (Span.children sp)
+    in
+    List.iter walk (Collector.roots c);
+    List.rev !order
+
+  let render ?(times = true) c =
+    let b = Buffer.create 1024 in
+    let open Metrics in
+    let cols =
+      [ ("calls", fun r -> string_of_int r.calls);
+        ("P.enc", fun r -> string_of_int (get r.rops Paillier_enc));
+        ("P.dec", fun r -> string_of_int (get r.rops Paillier_dec));
+        ("P.mul", fun r -> string_of_int (get r.rops Paillier_mul));
+        ("P.rr", fun r -> string_of_int (get r.rops Paillier_rerand));
+        ("DJ.enc", fun r -> string_of_int (get r.rops Dj_enc));
+        ("DJ.dec", fun r -> string_of_int (get r.rops Dj_dec));
+        ("DJ.mul", fun r -> string_of_int (get r.rops Dj_mul));
+        ("bytes", fun r -> string_of_int (get r.rops Bytes_sent));
+        ("rounds", fun r -> string_of_int (get r.rops Rounds)) ]
+      @ (if times then [ ("wall(s)", fun r -> Printf.sprintf "%.3f" r.wall) ] else [])
+    in
+    let rows = rows c in
+    let name_w =
+      List.fold_left (fun w r -> max w (String.length r.rname)) (String.length "span") rows
+    in
+    let widths =
+      List.map
+        (fun (h, f) ->
+          List.fold_left (fun w r -> max w (String.length (f r))) (String.length h) rows)
+        cols
+    in
+    Buffer.add_string b (Printf.sprintf "%-*s" name_w "span");
+    List.iter2
+      (fun (h, _) w -> Buffer.add_string b (Printf.sprintf "  %*s" w h))
+      cols widths;
+    Buffer.add_char b '\n';
+    List.iter
+      (fun r ->
+        Buffer.add_string b (Printf.sprintf "%-*s" name_w r.rname);
+        List.iter2
+          (fun (_, f) w -> Buffer.add_string b (Printf.sprintf "  %*s" w (f r)))
+          cols widths;
+        Buffer.add_char b '\n')
+      rows;
+    let m = Collector.metrics c in
+    Buffer.add_string b "totals:";
+    List.iter
+      (fun op ->
+        let v = get m op in
+        if v <> 0 then Buffer.add_string b (Printf.sprintf " %s=%d" (name op) v))
+      all;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+
+  let print ?times c = print_string (render ?times c)
+end
+
+(* ---- Chrome trace-event export ----------------------------------------- *)
+
+module Chrome = struct
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Complete ("X") events, one per span, timestamps in microseconds
+     relative to the earliest root.  Spans merged from parallel tasks may
+     overlap in time on the single track; Perfetto renders them stacked. *)
+  let to_string c =
+    let roots = Collector.roots c in
+    let base =
+      List.fold_left (fun m sp -> min m sp.Span.t0) infinity roots
+    in
+    let base = if base = infinity then 0. else base in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    let first = ref true in
+    let rec emit sp =
+      if !first then first := false else Buffer.add_char b ',';
+      let us t = (t -. base) *. 1e6 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":1"
+           (escape sp.Span.sname) (us sp.Span.t0)
+           (us sp.Span.t1 -. us sp.Span.t0));
+      if sp.Span.ops <> [||] && not (Metrics.is_zero sp.Span.ops) then begin
+        Buffer.add_string b ",\"args\":{";
+        let firsta = ref true in
+        List.iter
+          (fun (op, v) ->
+            if v <> 0 then begin
+              if !firsta then firsta := false else Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "\"%s\":%d" (Metrics.name op) v)
+            end)
+          (Metrics.to_alist sp.Span.ops);
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}';
+      List.iter emit (Span.children sp)
+    in
+    List.iter emit roots;
+    Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+    Buffer.contents b
+
+  let write c ~file =
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string c))
+end
+
+(* ---- closed-form cost model -------------------------------------------- *)
+
+(* Expected op counts for the paper's sub-protocols (Algorithms 3-8),
+   parameterised by the EHL+ cell count [cells] (the paper's s), the seen
+   bit-vector width [seen] (one slot per source list, m), and the
+   serialized ciphertext sizes.  The tier-1 test in test/test_obs.ml
+   asserts these match measured counters *exactly* on small instances. *)
+module Cost_model = struct
+  type params = {
+    cells : int;  (* EHL+ cells per item, s *)
+    seen : int;  (* seen-vector width, m *)
+    ct : int;  (* Paillier ciphertext bytes (S2 keypair) *)
+    own_ct : int;  (* Paillier ciphertext bytes (S1's own keypair) *)
+    dj_ct : int;  (* Damgard-Jurik layer-2 ciphertext bytes *)
+  }
+
+  type counts = {
+    penc : int; pdec : int; pmul : int; prr : int;
+    djenc : int; djdec : int; djmul : int; djrr : int;
+    bytes : int; msgs : int; rounds : int;
+  }
+
+  let zero =
+    { penc = 0; pdec = 0; pmul = 0; prr = 0;
+      djenc = 0; djdec = 0; djmul = 0; djrr = 0;
+      bytes = 0; msgs = 0; rounds = 0 }
+
+  let to_alist c =
+    Metrics.
+      [ (Paillier_enc, c.penc); (Paillier_dec, c.pdec); (Paillier_mul, c.pmul);
+        (Paillier_rerand, c.prr); (Dj_enc, c.djenc); (Dj_dec, c.djdec);
+        (Dj_mul, c.djmul); (Dj_rerand, c.djrr); (Bytes_sent, c.bytes);
+        (Msgs, c.msgs); (Rounds, c.rounds) ]
+
+  (* EncCompare (blinded sign test): one homomorphic subtraction plus a
+     blinding scalar_mul on S1, one signed decryption on S2, one bit back. *)
+  let enc_compare p =
+    { zero with pmul = 2; pdec = 1; bytes = p.ct + 1; msgs = 2; rounds = 1 }
+
+  (* SecWorst (Alg. 4) against [others] candidate lists: an EHL+ diff
+     (2 scalar_muls per cell) and one equality round per other, then a
+     select+recover per contribution. *)
+  let sec_worst p ~others:j =
+    { zero with
+      penc = j;
+      pdec = j;
+      pmul = (2 * p.cells * j) + j;
+      djenc = j;
+      djdec = j;
+      djmul = 4 * j;
+      bytes = 2 * j * (p.ct + p.dj_ct);
+      msgs = 4 * j;
+      rounds = 1 + j }
+
+  (* SecBest (Alg. 5): per source list with [e] scanned-prefix entries,
+     e = 0 costs only the (empty) equality round-trip. *)
+  let sec_best p ~prefixes =
+    List.fold_left
+      (fun acc e ->
+        if e = 0 then { acc with rounds = acc.rounds + 1 }
+        else
+          { acc with
+            penc = acc.penc + 1;
+            pdec = acc.pdec + e;
+            pmul = acc.pmul + (2 * p.cells * e) + 1;
+            djenc = acc.djenc + e;
+            djdec = acc.djdec + 1;
+            djmul = acc.djmul + e + 3;
+            bytes = acc.bytes + ((e + 1) * (p.ct + p.dj_ct));
+            msgs = acc.msgs + (2 * e) + 2;
+            rounds = acc.rounds + 2 })
+      zero prefixes
+
+  (* SecDedup (Alg. 6/7) over [items] candidates of which [dups] are
+     non-keeper duplicates: pairwise EHL+ diffs and decryptions, masking
+     on S1, re-masking (and in Replace mode, replacement synthesis) on S2,
+     unmasking of the survivors on S1 (a homomorphic subtraction — one
+     [neg] exponentiation — per worst/best/seen slot). *)
+  let sec_dedup p ~mode ~items:l ~dups:d =
+    if l = 0 then zero
+    else begin
+      let pairs = l * (l - 1) / 2 in
+      let cell = p.cells + 2 + p.seen in
+      let item_b = cell * (p.ct + p.own_ct) in
+      let kept = l - d in
+      let out = match mode with `Replace -> l | `Eliminate -> kept in
+      { zero with
+        pmul = (2 * p.cells * pairs) + (out * (2 + p.seen));
+        pdec = pairs + (out * cell);
+        penc =
+          (2 * cell * l)
+          + (2 * cell * kept)
+          + (match mode with `Replace -> 2 * cell * d | `Eliminate -> 0)
+          + (out * cell);
+        bytes = (pairs * p.ct) + ((l + out) * item_b);
+        msgs = 2;
+        rounds = 1 }
+    end
+
+  (* EncSort, blinded strategy, over [items] scored candidates: blind +
+     encrypt + signed-decrypt per item, full re-randomization on return. *)
+  let enc_sort_blinded p ~items:l =
+    let cell = p.cells + 2 + p.seen in
+    { zero with
+      penc = l;
+      pdec = l;
+      pmul = l;
+      prr = l * cell;
+      bytes = (l * (cell + 1) * p.ct) + (l * cell * p.ct);
+      msgs = 2;
+      rounds = 1 }
+end

@@ -1,0 +1,157 @@
+(** Observability: op counters, hierarchical timed spans, reporting,
+    Chrome trace export, and the closed-form protocol cost model.
+
+    The subsystem is off by default (hooks cost one flag test); enable it
+    with {!set_enabled} or the [OBS_ENABLED=1] environment variable.
+    Counters and span trees are deterministic for every [--domains] width:
+    only wall-clock times vary, and {!Report.render} can exclude them. *)
+
+module Metrics : sig
+  type op =
+    | Paillier_enc
+    | Paillier_dec
+    | Paillier_mul
+    | Paillier_rerand
+    | Dj_enc
+    | Dj_dec
+    | Dj_mul
+    | Dj_rerand
+    | Modexp
+    | Prf_eval
+    | Bytes_sent
+    | Msgs
+    | Rounds
+
+  val all : op list
+  val name : op -> string
+
+  type t
+
+  val create : unit -> t
+  val get : t -> op -> int
+  val add : t -> op -> int -> unit
+  val snapshot : t -> t
+  val sub : t -> t -> t
+  val merge_into : t -> into:t -> unit
+  val is_zero : t -> bool
+  val to_alist : t -> (op * int) list
+end
+
+module Span : sig
+  type t
+
+  val name : t -> string
+  val seconds : t -> float
+  val ops : t -> Metrics.t
+  val children : t -> t list
+end
+
+module Collector : sig
+  type t
+
+  val create : unit -> t
+  val metrics : t -> Metrics.t
+  val roots : t -> Span.t list
+
+  val enter : t -> string -> unit
+  val exit : t -> unit
+
+  (** Sum [src]'s counters into [into] and graft [src]'s root spans under
+      [into]'s innermost open span (or its roots).  [src] must have no
+      open span.  Calling this in task-index order after a parallel
+      section keeps the merged tree width-independent. *)
+  val merge_into : t -> into:t -> unit
+
+  val is_empty : t -> bool
+end
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val current : unit -> Collector.t option
+
+(** [with_collector c f] makes [c] the current domain's collector for the
+    duration of [f] (restored afterwards, also on exceptions). *)
+val with_collector : Collector.t -> (unit -> 'a) -> 'a
+
+(** Like {!with_collector}, but a no-op when a collector is already
+    installed — used by protocol entry points so that an outer harness
+    keeps capturing. *)
+val with_default : Collector.t -> (unit -> 'a) -> 'a
+
+(** Increment an op counter on the current collector (no-op when disabled
+    or no collector is installed). *)
+val bump : Metrics.op -> unit
+
+val add : Metrics.op -> int -> unit
+
+(** [span name f] runs [f] inside a named timed span on the current
+    collector; records wall time and the inclusive op-count delta. *)
+val span : string -> (unit -> 'a) -> 'a
+
+module Timer : sig
+  val now : unit -> float
+
+  (** [time f] is [(f (), elapsed_seconds)]. *)
+  val time : (unit -> 'a) -> 'a * float
+
+  (** [per_call ~n f] is the mean wall time of one call to [f] over [n]
+      runs. *)
+  val per_call : n:int -> (unit -> 'a) -> float
+end
+
+module Report : sig
+  type row = {
+    rname : string;
+    mutable calls : int;
+    mutable wall : float;
+    rops : Metrics.t;
+  }
+
+  (** Spans aggregated by name, in order of first pre-order appearance. *)
+  val rows : Collector.t -> row list
+
+  (** Render the per-protocol table plus a totals line.  With
+      [~times:false] the output contains no wall-clock values and is
+      byte-identical across [--domains] widths. *)
+  val render : ?times:bool -> Collector.t -> string
+
+  val print : ?times:bool -> Collector.t -> unit
+end
+
+module Chrome : sig
+  (** Chrome trace-event JSON ([{"traceEvents":[...]}]); loadable in
+      Perfetto / chrome://tracing.  One complete ("X") event per span with
+      non-zero op counts in [args]. *)
+  val to_string : Collector.t -> string
+
+  val write : Collector.t -> file:string -> unit
+end
+
+module Cost_model : sig
+  type params = {
+    cells : int;  (** EHL+ cells per item (the paper's s) *)
+    seen : int;  (** seen-vector width (number of source lists, m) *)
+    ct : int;  (** Paillier ciphertext bytes under the S2 keypair *)
+    own_ct : int;  (** Paillier ciphertext bytes under S1's own keypair *)
+    dj_ct : int;  (** Damgard-Jurik layer-2 ciphertext bytes *)
+  }
+
+  type counts = {
+    penc : int; pdec : int; pmul : int; prr : int;
+    djenc : int; djdec : int; djmul : int; djrr : int;
+    bytes : int; msgs : int; rounds : int;
+  }
+
+  val zero : counts
+  val to_alist : counts -> (Metrics.op * int) list
+
+  val enc_compare : params -> counts
+  val sec_worst : params -> others:int -> counts
+  val sec_best : params -> prefixes:int list -> counts
+
+  val sec_dedup :
+    params -> mode:[ `Replace | `Eliminate ] -> items:int -> dups:int -> counts
+
+  val enc_sort_blinded : params -> items:int -> counts
+end

@@ -11,12 +11,16 @@ let create () = { bytes = 0; messages = 0; rounds = 0; by_label = Hashtbl.create
 
 let send t ~dir:_ ~label ~bytes =
   if bytes < 0 then invalid_arg "Channel.send: negative size";
+  Obs.add Obs.Metrics.Bytes_sent bytes;
+  Obs.bump Obs.Metrics.Msgs;
   t.bytes <- t.bytes + bytes;
   t.messages <- t.messages + 1;
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.by_label label) in
   Hashtbl.replace t.by_label label (prev + bytes)
 
-let round_trip t = t.rounds <- t.rounds + 1
+let round_trip t =
+  Obs.bump Obs.Metrics.Rounds;
+  t.rounds <- t.rounds + 1
 let bytes_total t = t.bytes
 let messages_total t = t.messages
 let rounds_total t = t.rounds

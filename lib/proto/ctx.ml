@@ -20,7 +20,7 @@ type s2 = {
   trace : Trace.t;
 }
 
-type t = { s1 : s1; s2 : s2; domains : int }
+type t = { s1 : s1; s2 : s2; domains : int; obs : Obs.Collector.t }
 
 let of_keys ?blind_bits ?(domains = 1) rng pub sk =
   let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk) in
@@ -41,6 +41,7 @@ let of_keys ?blind_bits ?(domains = 1) rng pub sk =
         trace = Trace.create ();
       };
     domains;
+    obs = Obs.Collector.create ();
   }
 
 let create ?blind_bits ?domains rng ~bits =
@@ -68,12 +69,22 @@ let parallel t ~jobs f =
             trace = Trace.create ();
           };
         domains = 1;
+        obs = Obs.Collector.create ();
       }
   done;
-  let results = Core.Pool.run ~domains:t.domains ~jobs (fun i -> f subs.(i) i) in
+  (* The observability sink is whatever collector is current on the
+     calling domain (the protocol entry point installed it); each task
+     runs against its sub-context's private collector, merged back below
+     in index order so counters and span trees are width-independent. *)
+  let sink = match Obs.current () with Some c -> c | None -> t.obs in
+  let results =
+    Core.Pool.run ~domains:t.domains ~jobs (fun i ->
+        Obs.with_collector subs.(i).obs (fun () -> f subs.(i) i))
+  in
   for i = 0 to jobs - 1 do
     Channel.merge_into subs.(i).s1.chan ~into:t.s1.chan;
-    Trace.append_into subs.(i).s2.trace ~into:t.s2.trace
+    Trace.append_into subs.(i).s2.trace ~into:t.s2.trace;
+    Obs.Collector.merge_into subs.(i).obs ~into:sink
   done;
   results
 

@@ -40,6 +40,12 @@ type t = {
   s1 : s1;
   s2 : s2;
   domains : int;  (** Width of the {!Core.Pool} used by {!parallel}. *)
+  obs : Obs.Collector.t;
+      (** Default observability sink for this context: protocol entry
+          points install it as the current collector unless an outer
+          harness already installed one. Counters, bytes/rounds and the
+          span tree collected here are byte-identical for every [domains]
+          width; only wall times differ. *)
 }
 
 (** [create rng ~bits] generates a fresh key pair of modulus width [bits]

@@ -3,6 +3,7 @@ open Crypto
 let protocol = "EncCompare"
 
 let leq (ctx : Ctx.t) a b =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
   let coin = Rng.bool s1.rng in
   let d = if coin then Paillier.sub s1.pub a b else Paillier.sub s1.pub b a in
@@ -24,6 +25,7 @@ let leq (ctx : Ctx.t) a b =
 let statistical_slack = 40
 
 let leq_dgk (ctx : Ctx.t) ~bits a b =
+  Obs.span "EncCompareDGK" @@ fun () ->
   let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
   let pub = s1.pub in
   let open Bignum in

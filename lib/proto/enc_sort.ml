@@ -131,4 +131,5 @@ let sort_network (ctx : Ctx.t) items =
     Array.to_list (Array.sub arr 0 l)
 
 let sort ctx ~strategy items =
+  Obs.span protocol @@ fun () ->
   match strategy with Blinded -> sort_blinded ctx items | Network -> sort_network ctx items

@@ -41,6 +41,7 @@ let per_list (ctx : Ctx.t) ~(target : Enc_item.entry) (seen, bottom) =
   | _ -> assert false
 
 let run (ctx : Ctx.t) ~target ~history =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let per_list_scores = List.map (per_list ctx ~target) history in
   List.fold_left (Paillier.add s1.pub) target.Enc_item.score per_list_scores

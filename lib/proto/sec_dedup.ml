@@ -134,6 +134,7 @@ let unmask_item (s1 : Ctx.s1) (it : Enc_item.scored) pack =
   }
 
 let run (ctx : Ctx.t) ~mode items =
+  Obs.span protocol @@ fun () ->
   match items with
   | [] -> []
   | first :: _ ->

@@ -3,6 +3,7 @@ open Crypto
 let protocol = "SecRefresh"
 
 let run (ctx : Ctx.t) ~items ~bottoms =
+  Obs.span protocol @@ fun () ->
   match items with
   | [] -> []
   | _ ->

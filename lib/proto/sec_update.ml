@@ -10,6 +10,7 @@ let e2_sum dj ts =
   | t :: rest -> List.fold_left (Damgard_jurik.add dj) t rest
 
 let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
   let dj = s1.djpub in
   match (t_list, gamma) with

@@ -3,6 +3,7 @@ open Crypto
 let protocol = "SecWorst"
 
 let run (ctx : Ctx.t) ~(target : Enc_item.entry) ~(others : Enc_item.entry list) =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   (* S1: random permutation over H hides pairwise relations from S2 *)
   let arr = Array.of_list others in

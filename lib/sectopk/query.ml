@@ -64,6 +64,10 @@ let halting_test ctx ~halting ~compare ~k ~sorted ~unseen_bound =
 
 let run (ctx : Ctx.t) er (tk : Scheme.token) options =
   let ctx = Ctx.with_domains ctx (max ctx.Ctx.domains options.domains) in
+  (* Collect per-query observability into the context's own collector
+     unless an outer harness (bench) already installed one. *)
+  Obs.with_default ctx.Ctx.obs @@ fun () ->
+  Obs.span "SecQuery" @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let pub = s1.pub in
   let k = tk.Scheme.k in
@@ -91,7 +95,10 @@ let run (ctx : Ctx.t) er (tk : Scheme.token) options =
   let depth = ref 0 in
   while !result = None && !depth < limit do
     let d = !depth in
-    let t0 = Unix.gettimeofday () in
+    let (), dt =
+      Obs.Timer.time @@ fun () ->
+      Obs.span ("depth:" ^ string_of_int d) @@ fun () ->
+
     let row = Array.to_list (Array.map (fun (li, w) -> weighted_entry li w d) attrs) in
     let row_arr = Array.of_list row in
     (* SecBest sees history inclusive of the current depth *)
@@ -159,8 +166,9 @@ let run (ctx : Ctx.t) er (tk : Scheme.token) options =
               halted = true;
               depth_seconds = [||];
             }
-    end;
-    timings := (Unix.gettimeofday () -. t0) :: !timings;
+    end
+    in
+    timings := dt :: !timings;
     incr depth
   done;
   let depth_seconds = Array.of_list (List.rev !timings) in

@@ -6,6 +6,7 @@ let protocol = "SBD"
 let statistical_slack = 40
 
 let decompose (ctx : Ctx.t) ~bits c =
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
   let pub = s1.Ctx.pub in
   let n = pub.Paillier.n in

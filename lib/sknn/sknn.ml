@@ -23,6 +23,8 @@ let secure_multiply = Sm.secure_multiply
 
 let query (ctx : Ctx.t) db ~point ~k =
   if Array.length point <> db.m then invalid_arg "Sknn.query: dimension mismatch";
+  Obs.with_default ctx.Ctx.obs @@ fun () ->
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
   let pub = s1.Ctx.pub in
   let enc_q = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng pub (Nat.of_int v)) point in
@@ -71,6 +73,8 @@ let distances (ctx : Ctx.t) db ~point =
 
 let query_smin (ctx : Ctx.t) db ~point ~k ~bits =
   if Array.length point <> db.m then invalid_arg "Sknn.query_smin: dimension mismatch";
+  Obs.with_default ctx.Ctx.obs @@ fun () ->
+  Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
   let pub = s1.Ctx.pub in
   let ds = distances ctx db ~point in

@@ -40,6 +40,7 @@ let greater_bit ctx (u : Paillier.ciphertext array) (v : Paillier.ciphertext arr
 
 let min_pair_bits ctx (u_bits : Paillier.ciphertext array) (v_bits : Paillier.ciphertext array)
     ~u_packed ~v_packed =
+  Obs.span "SMIN" @@ fun () ->
   let pub = ctx.Ctx.s1.Ctx.pub in
   (* b = [u > v]; min = b*v + (1-b)*u *)
   let b = greater_bit ctx u_bits v_bits in

@@ -1,0 +1,178 @@
+(* Observability tests: (a) metrics/span determinism across domain-pool
+   widths, (b) the closed-form Obs.Cost_model against measured counters
+   (exact equality), (c) disabled observability changes nothing. *)
+
+open Bignum
+open Crypto
+open Dataset
+open Topk
+open Proto
+
+let rng = Rng.create ~seed:"test_obs"
+let ctx = Ctx.create ~blind_bits:48 rng ~bits:128
+let s1 = ctx.Ctx.s1
+let pub = s1.Ctx.pub
+let keys = Prf.gen_keys rng 4
+
+let enc i = Paillier.encrypt rng pub (Nat.of_int i)
+
+let entry oid score = { Enc_item.ehl = Ehl.Ehl_plus.encode rng pub ~keys oid; score = enc score }
+
+let scored ?(seen = [| 1; 0 |]) oid worst best =
+  {
+    Enc_item.ehl = Ehl.Ehl_plus.encode rng pub ~keys oid;
+    worst = enc worst;
+    best = enc best;
+    seen = Array.map enc seen;
+  }
+
+let with_obs f =
+  let prev = Obs.is_enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled prev) f
+
+(* run [f] under a fresh collector with observability on; return counters *)
+let measure f =
+  let c = Obs.Collector.create () in
+  ignore (with_obs (fun () -> Obs.with_collector c f));
+  Obs.Collector.metrics c
+
+let params =
+  {
+    Obs.Cost_model.cells = 4;
+    seen = 2;
+    ct = Paillier.ciphertext_bytes pub;
+    own_ct = Paillier.ciphertext_bytes s1.Ctx.own_pub;
+    dj_ct = Damgard_jurik.ciphertext_bytes s1.Ctx.djpub;
+  }
+
+let check_model name model measured =
+  List.iter
+    (fun (op, expected) ->
+      Alcotest.(check int)
+        (name ^ ": " ^ Obs.Metrics.name op)
+        expected
+        (Obs.Metrics.get measured op))
+    (Obs.Cost_model.to_alist model)
+
+(* ---------------- cost model vs measured ---------------- *)
+
+let test_model_enc_compare () =
+  let a = enc 3 and b = enc 5 in
+  let m = measure (fun () -> ignore (Enc_compare.leq ctx a b)) in
+  check_model "enc_compare" (Obs.Cost_model.enc_compare params) m
+
+let test_model_sec_worst () =
+  let target = entry "o1" 10 in
+  let others = [ entry "o2" 8; entry "o3" 6 ] in
+  let m = measure (fun () -> ignore (Sec_worst.run ctx ~target ~others)) in
+  check_model "sec_worst" (Obs.Cost_model.sec_worst params ~others:2) m
+
+let test_model_sec_best () =
+  let target = entry "o1" 10 in
+  let history = [ ([ entry "o2" 8; entry "o4" 7 ], enc 7); ([], enc 5) ] in
+  let m = measure (fun () -> ignore (Sec_best.run ctx ~target ~history)) in
+  check_model "sec_best" (Obs.Cost_model.sec_best params ~prefixes:[ 2; 0 ]) m
+
+let test_model_sec_dedup () =
+  (* Replace mode: 4 items, one duplicated pair -> 1 non-keeper *)
+  let items = [ scored "o1" 5 9; scored "o2" 3 7; scored "o1" 4 8; scored "o3" 1 4 ] in
+  let m = measure (fun () -> ignore (Sec_dedup.run ctx ~mode:Sec_dedup.Replace items)) in
+  check_model "sec_dedup replace"
+    (Obs.Cost_model.sec_dedup params ~mode:`Replace ~items:4 ~dups:1)
+    m;
+  (* Eliminate mode: 4 items, a triple -> 2 non-keepers *)
+  let items = [ scored "o1" 5 9; scored "o2" 3 7; scored "o1" 4 8; scored "o1" 2 6 ] in
+  let m = measure (fun () -> ignore (Sec_dedup.run ctx ~mode:Sec_dedup.Eliminate items)) in
+  check_model "sec_dedup eliminate"
+    (Obs.Cost_model.sec_dedup params ~mode:`Eliminate ~items:4 ~dups:2)
+    m
+
+let test_model_enc_sort () =
+  let items = [ scored "o1" 1 4; scored "o2" 5 9; scored "o3" 3 7 ] in
+  let m =
+    measure (fun () -> ignore (Enc_sort.sort ctx ~strategy:Enc_sort.Blinded items))
+  in
+  check_model "enc_sort" (Obs.Cost_model.enc_sort_blinded params ~items:3) m
+
+(* ---------------- determinism across --domains ---------------- *)
+
+let fig3 =
+  Relation.create ~name:"fig3"
+    [| [| 10; 3; 2 |]; [| 8; 8; 0 |]; [| 5; 7; 6 |]; [| 3; 2; 8 |]; [| 1; 1; 1 |] |]
+
+let run_fig3 domains =
+  let rng = Rng.create ~seed:"obs-domains" in
+  let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits:128 in
+  let ctx = Ctx.of_keys ~blind_bits:48 ~domains (Rng.fork rng ~label:"ctx") pub sk in
+  let er, key = Sectopk.Scheme.encrypt ~s:4 (Rng.fork rng ~label:"enc") pub fig3 in
+  let tk =
+    Sectopk.Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1; 2 ]) ~k:2
+  in
+  let res =
+    Sectopk.Query.run ctx er tk
+      { Sectopk.Query.default_options with variant = Sectopk.Query.Elim }
+  in
+  (ctx, res)
+
+let test_domains_deterministic () =
+  (* counters, bytes/rounds and the span tree must be byte-identical for
+     any pool width; only wall times may differ, and the canonical
+     rendering excludes them *)
+  let (ctx1, _), (ctx4, _) = with_obs (fun () -> (run_fig3 1, run_fig3 4)) in
+  Alcotest.(check (list (pair string int)))
+    "op counters identical"
+    (List.map
+       (fun (op, v) -> (Obs.Metrics.name op, v))
+       (Obs.Metrics.to_alist (Obs.Collector.metrics ctx1.Ctx.obs)))
+    (List.map
+       (fun (op, v) -> (Obs.Metrics.name op, v))
+       (Obs.Metrics.to_alist (Obs.Collector.metrics ctx4.Ctx.obs)));
+  Alcotest.(check string)
+    "canonical report identical"
+    (Obs.Report.render ~times:false ctx1.Ctx.obs)
+    (Obs.Report.render ~times:false ctx4.Ctx.obs);
+  Alcotest.(check bool) "report non-trivial" true
+    (List.length (Obs.Report.rows ctx1.Ctx.obs) > 3)
+
+(* ---------------- disabled mode ---------------- *)
+
+let test_noop_mode () =
+  let prev = Obs.is_enabled () in
+  Obs.set_enabled false;
+  let ctx_off, res_off = run_fig3 1 in
+  let (ctx_on, res_on) = with_obs (fun () -> run_fig3 1) in
+  Obs.set_enabled prev;
+  (* same seeded query: identical results whether or not obs is recording *)
+  let nat_eq (a : Paillier.ciphertext) (b : Paillier.ciphertext) =
+    Nat.equal (a :> Nat.t) (b :> Nat.t)
+  in
+  Alcotest.(check int) "halting depth"
+    res_off.Sectopk.Query.halting_depth res_on.Sectopk.Query.halting_depth;
+  Alcotest.(check bool) "ciphertexts bit-identical" true
+    (List.for_all2
+       (fun (a : Enc_item.scored) (b : Enc_item.scored) ->
+         nat_eq a.worst b.worst && nat_eq a.best b.best
+         && Array.for_all2 nat_eq a.seen b.seen)
+       res_off.Sectopk.Query.top res_on.Sectopk.Query.top);
+  Alcotest.(check int) "bytes identical"
+    (Channel.bytes_total ctx_off.Ctx.s1.Ctx.chan)
+    (Channel.bytes_total ctx_on.Ctx.s1.Ctx.chan);
+  (* and the disabled run recorded nothing *)
+  Alcotest.(check bool) "disabled collector empty" true
+    (Obs.Collector.is_empty ctx_off.Ctx.obs);
+  Alcotest.(check bool) "enabled collector non-empty" false
+    (Obs.Collector.is_empty ctx_on.Ctx.obs)
+
+let suite =
+  [ ( "cost-model",
+      [ Alcotest.test_case "enc_compare" `Quick test_model_enc_compare;
+        Alcotest.test_case "sec_worst" `Quick test_model_sec_worst;
+        Alcotest.test_case "sec_best" `Quick test_model_sec_best;
+        Alcotest.test_case "sec_dedup" `Quick test_model_sec_dedup;
+        Alcotest.test_case "enc_sort" `Quick test_model_enc_sort ] );
+    ( "determinism",
+      [ Alcotest.test_case "domains 1 vs 4" `Slow test_domains_deterministic;
+        Alcotest.test_case "no-op mode" `Slow test_noop_mode ] ) ]
+
+let () = Alcotest.run "obs" suite

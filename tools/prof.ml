@@ -1,15 +1,20 @@
 (* Quick wall-clock profiler for the crypto substrate; the bechamel
-   micro-bench (bench/main.exe -- --only micro) is the rigorous version. *)
+   micro-bench (bench/main.exe -- --only micro) is the rigorous version.
+   Each primitive runs in an Obs span, so the closing report shows the
+   op/modexp counts behind every wall time. *)
 open Bignum
+
 let () =
+  Obs.set_enabled true;
+  let collector = Obs.Collector.create () in
   let rng = Crypto.Rng.create ~seed:"prof" in
   let pub, sk = Crypto.Paillier.keygen ~rand_bits:96 rng ~bits:192 in
   let djpub, djsk = Crypto.Damgard_jurik.of_paillier pub (Some sk) in
   let djsk = Option.get djsk in
   let time name n f =
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to n do ignore (f ()) done;
-    Printf.printf "%-28s %8.3f ms/op\n%!" name (1000. *. (Unix.gettimeofday () -. t0) /. float_of_int n)
+    Obs.with_collector collector (fun () ->
+        Obs.span name (fun () ->
+            Printf.printf "%-28s %8.3f ms/op\n%!" name (1000. *. Obs.Timer.per_call ~n f)))
   in
   let x = Crypto.Rng.nat_below rng pub.Crypto.Paillier.n in
   let c = Crypto.Paillier.encrypt rng pub x in
@@ -23,4 +28,6 @@ let () =
   time "paillier scalar_mul 48b" 500 (fun () -> Crypto.Paillier.scalar_mul pub c (Crypto.Rng.nat_bits rng 48));
   let n3 = djpub.Crypto.Damgard_jurik.n3 in
   let a = Crypto.Rng.nat_below rng n3 and b = Crypto.Rng.nat_below rng n3 in
-  time "modmul n3 (576b)" 20000 (fun () -> Modular.mul a b ~m:n3)
+  time "modmul n3 (576b)" 20000 (fun () -> Modular.mul a b ~m:n3);
+  print_newline ();
+  Obs.Report.print collector
