@@ -30,7 +30,7 @@ let sort_strategies () =
       let run strategy =
         let ctx = fresh_ctx () in
         let _, t = time (fun () -> Proto.Enc_sort.sort ctx ~strategy items) in
-        (t, Proto.Channel.bytes_total ctx.Proto.Ctx.s1.Proto.Ctx.chan)
+        (t, Proto.Channel.bytes_total (Proto.Ctx.channel ctx))
       in
       let tn, bn = run Proto.Enc_sort.Network in
       let tb, bb = run Proto.Enc_sort.Blinded in
@@ -70,7 +70,7 @@ let compare_protocols () =
     let (), t = time (fun () -> for _ = 1 to reps do ignore (f ctx a b) done) in
     row "%14s %16.1f %16d@." name
       (1e6 *. t /. float_of_int reps)
-      (Proto.Channel.bytes_total ctx.Proto.Ctx.s1.Proto.Ctx.chan / reps)
+      (Proto.Channel.bytes_total (Proto.Ctx.channel ctx) / reps)
   in
   run "blinded-sign" (fun ctx a b -> Proto.Enc_compare.leq ctx a b);
   run "dgk-16" (fun ctx a b -> Proto.Enc_compare.leq_dgk ctx ~bits:16 a b);

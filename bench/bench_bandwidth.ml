@@ -24,7 +24,7 @@ let fig13a () =
         Sectopk.Query.run ctx er tk
           { Sectopk.Query.default_options with variant = Sectopk.Query.Full; max_depth = Some depths }
       in
-      let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+      let ch = (Proto.Ctx.channel ctx) in
       row "%6d %16.1f %14d@." m
         (float_of_int (Proto.Channel.bytes_total ch) /. 1024. /. float_of_int depths)
         (Proto.Channel.messages_total ch / depths))
@@ -63,7 +63,7 @@ let tab3 () =
           { Sectopk.Query.default_options with variant = Sectopk.Query.Full; max_depth = Some 40 }
       in
       ignore res;
-      let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+      let ch = (Proto.Ctx.channel ctx) in
       row "%12s %8d %16.2f %16.3f@." (Relation.name rel) (Relation.n_rows rel)
         (float_of_int (Proto.Channel.bytes_total ch) /. 1024. /. 1024.)
         (Proto.Channel.latency_seconds ~rtt_ms:0. ~bandwidth_mbps:50. ch))

@@ -33,7 +33,7 @@ let compare_at ~rows =
   (* query point dominating the domain; squared distances fit in 17 bits *)
   let point = Array.make 3 200 in
   let _, knn_time = time (fun () -> Sknn.query_smin ctx db ~point ~k:3 ~bits:17) in
-  let knn_bytes = Proto.Channel.bytes_total ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  let knn_bytes = Proto.Channel.bytes_total (Proto.Ctx.channel ctx) in
   (st_time, depth, st_bytes, knn_time, knn_bytes)
 
 let sec11_3 () =

@@ -20,7 +20,13 @@ let ehl_s = 4
 let rng = Rng.create ~seed:"bench"
 let pub, sk = Paillier.keygen ~rand_bits rng ~bits:key_bits
 
-let fresh_ctx () = Proto.Ctx.of_keys ~blind_bits (Rng.fork rng ~label:"ctx") pub sk
+(* --transport inproc|loopback: which Ctx transport every benchmark
+   context uses (the codec/transport overhead axis; socket mode is
+   exercised by the CLI and tests, not the in-process harness). *)
+let transport = ref Proto.Ctx.Inproc
+
+let fresh_ctx () =
+  Proto.Ctx.of_keys ~blind_bits ~mode:!transport (Rng.fork rng ~label:"ctx") pub sk
 
 (* The four evaluation datasets of Section 11, scaled.
 
@@ -110,6 +116,6 @@ let run_query ?(sort = Proto.Enc_sort.Blinded) ?max_depth ~variant rel scoring ~
   in
   let res = Sectopk.Query.run ctx er tk options in
   let per_depth = mean res.Sectopk.Query.depth_seconds in
-  let bytes = Proto.Channel.bytes_total ctx.Proto.Ctx.s1.Proto.Ctx.chan in
-  let rounds = Proto.Channel.rounds_total ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  let bytes = Proto.Channel.bytes_total (Proto.Ctx.channel ctx) in
+  let rounds = Proto.Channel.rounds_total (Proto.Ctx.channel ctx) in
   (per_depth, res.Sectopk.Query.halting_depth, bytes, rounds)

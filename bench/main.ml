@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- --list       -- list experiment ids
      dune exec bench/main.exe -- --json DIR   -- also write BENCH_<id>.json
      dune exec bench/main.exe -- --domains N  -- query-side domain pool width
+     dune exec bench/main.exe -- --transport T - inproc (default) | loopback
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -52,6 +53,13 @@ let () =
         Format.eprintf "--domains expects an integer, got %S@." n;
         exit 2
     end
+    | None -> ());
+    (match flag "--transport" with
+    | Some "inproc" -> Bench_util.transport := Proto.Ctx.Inproc
+    | Some "loopback" -> Bench_util.transport := Proto.Ctx.Loopback
+    | Some other ->
+      Format.eprintf "--transport expects inproc or loopback, got %S@." other;
+      exit 2
     | None -> ());
     (match flag "--json" with
     | Some dir ->

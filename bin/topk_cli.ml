@@ -51,17 +51,46 @@ let make_rel ~seed ~rows ~attrs ~dist =
 
 (* ---------------- demo ---------------- *)
 
-let demo rows attrs k m seed bits dist variant domains metrics trace_out =
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg ("--s2 expects HOST:PORT, got " ^ s)
+  | Some i ->
+    let host = String.sub s 0 i
+    and port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    let host = if host = "" then "127.0.0.1" else host in
+    Unix.ADDR_INET ((Unix.gethostbyname host).Unix.h_addr_list.(0), port)
+
+(* The demo provisions both parties from the seed ([Ctx.provision]); a
+   socket-mode S2 — spawned child or a remote [serve-s2] daemon — replays
+   the same Hello and derives identical keys and randomness streams. *)
+let demo rows attrs k m seed bits dist variant domains transport s2_addr metrics trace_out =
   if metrics || trace_out <> None then Obs.set_enabled true;
   let rel = make_rel ~seed ~rows ~attrs ~dist in
-  let rng = Rng.create ~seed in
-  let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits in
-  let (er, key), enc_s = Obs.Timer.time (fun () -> Sectopk.Scheme.encrypt ~s:4 rng pub rel) in
+  let pub, sk, ctx_rng, data_rng = Proto.Ctx.provision ~seed ~key_bits:bits ~rand_bits:96 () in
+  let hello =
+    { Proto.Wire.seed; key_bits = bits; rand_bits = Some 96; obs = Obs.is_enabled () }
+  in
+  let mode, daemon_pid =
+    match (s2_addr, transport) with
+    | Some addr, _ ->
+      (Some (Proto.Ctx.Socket_fd (Proto.Transport.connect_tcp (parse_addr addr) hello)), None)
+    | None, Some "inproc" -> (Some Proto.Ctx.Inproc, None)
+    | None, Some "loopback" -> (Some Proto.Ctx.Loopback, None)
+    | None, Some "socket" ->
+      let fd, pid = Proto.Transport.spawn_daemon hello in
+      (Some (Proto.Ctx.Socket_fd fd), Some pid)
+    | None, Some other -> invalid_arg ("unknown transport: " ^ other)
+    | None, None -> (None, None) (* TRANSPORT env or inproc *)
+  in
+  let (er, key), enc_s =
+    Obs.Timer.time (fun () -> Sectopk.Scheme.encrypt ~s:4 data_rng pub rel)
+  in
   Format.printf "encrypted %d x %d in %.2fs (%d KB)@." rows attrs enc_s
     (Sectopk.Scheme.size_bytes pub er / 1024);
   let scoring = Scoring.sum_of (List.init (min m attrs) Fun.id) in
   let token = Sectopk.Scheme.token key ~m_total:attrs scoring ~k in
-  let ctx = Proto.Ctx.of_keys ~blind_bits:48 ~domains rng pub sk in
+  let ctx = Proto.Ctx.of_keys ~blind_bits:48 ~domains ?mode ctx_rng pub sk in
+  Format.printf "transport: %s@." (Proto.Ctx.transport_name ctx);
   let res, query_s =
     Obs.Timer.time (fun () ->
         Sectopk.Query.run ctx er token
@@ -70,28 +99,47 @@ let demo rows attrs k m seed bits dist variant domains metrics trace_out =
   Format.printf "query: %.2fs, halting depth %d/%d@." query_s
     res.Sectopk.Query.halting_depth rows;
   let ids = List.init rows (Relation.object_id rel) in
-  let reals = Sectopk.Client.real_results ctx key ~ids res in
+  let reals = Sectopk.Client.real_results ~sk ctx key ~ids res in
   List.iter (fun (id, w, b) -> Format.printf "  %-6s score in [%d, %d]@." id w b) reals;
   let oids =
     List.map (fun (id, _, _) -> int_of_string (String.sub id 1 (String.length id - 1))) reals
   in
   Format.printf "oracle-valid: %b@." (Nra.valid_answer rel scoring ~k oids);
-  let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  let ch = Proto.Ctx.channel ctx in
   Format.printf "traffic: %d KB, %d rounds@."
     (Proto.Channel.bytes_total ch / 1024)
     (Proto.Channel.rounds_total ch);
   if metrics then begin
     Format.printf "@.per-protocol observability (query only):@.";
-    Obs.Report.print ctx.Proto.Ctx.obs
+    Obs.Report.print ctx.Proto.Ctx.obs;
+    match Proto.Ctx.remote_stats ctx with
+    | [] -> ()
+    | stats ->
+      Format.printf "@.S2 daemon-side operation counters:@.";
+      List.iter (fun (name, v) -> Format.printf "  %-16s %d@." name v) stats
   end;
   Option.iter
     (fun file ->
       Obs.Chrome.write ctx.Proto.Ctx.obs ~file;
       Format.printf "chrome trace written to %s@." file)
-    trace_out
+    trace_out;
+  (match daemon_pid with
+  | Some pid -> Proto.Transport.stop_daemon (ctx.Proto.Ctx.transport) pid
+  | None -> Proto.Transport.shutdown ctx.Proto.Ctx.transport)
 
 let domains_arg =
   Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Query-side domain pool width.")
+
+let transport_arg =
+  Arg.(value & opt (some string) None
+       & info [ "transport" ]
+           ~doc:"Transport to S2: inproc | loopback | socket (spawns a child daemon). \
+                 Defaults to the TRANSPORT environment variable, else inproc.")
+
+let s2_arg =
+  Arg.(value & opt (some string) None
+       & info [ "s2" ] ~docv:"HOST:PORT"
+           ~doc:"Connect to a running 'serve-s2' daemon instead of hosting S2 locally.")
 
 let metrics_arg =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print the per-protocol op-count report.")
@@ -104,7 +152,44 @@ let trace_out_arg =
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a full secure top-k query end to end.")
     Term.(const demo $ rows_arg $ attrs_arg $ k_arg $ m_arg $ seed_arg $ bits_arg $ dist_arg
-          $ variant_arg $ domains_arg $ metrics_arg $ trace_out_arg)
+          $ variant_arg $ domains_arg $ transport_arg $ s2_arg $ metrics_arg $ trace_out_arg)
+
+(* ---------------- serve-s2 ---------------- *)
+
+let serve_s2 port once =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 8;
+  (match Unix.getsockname sock with
+  | Unix.ADDR_INET (_, p) -> Format.printf "S2 daemon listening on 127.0.0.1:%d@.%!" p
+  | _ -> ());
+  let rec loop () =
+    let fd, _peer = Unix.accept sock in
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    Format.printf "S2: connection accepted@.%!";
+    (try Proto.S2_server.serve_fd fd
+     with e -> Format.eprintf "S2: connection failed: %s@." (Printexc.to_string e));
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Format.printf "S2: connection closed@.%!";
+    if not once then loop ()
+  in
+  loop ();
+  Unix.close sock
+
+let port_arg =
+  Arg.(value & opt int 7787 & info [ "port" ] ~doc:"TCP port to listen on (0 = ephemeral).")
+
+let once_arg =
+  Arg.(value & flag & info [ "once" ] ~doc:"Serve a single connection, then exit.")
+
+let serve_s2_cmd =
+  Cmd.v
+    (Cmd.info "serve-s2"
+       ~doc:"Run the S2 key-holder daemon (the second cloud of the two-server model). \
+             Clients provision it with their seed via the Hello handshake; \
+             pair with 'demo --s2 HOST:PORT'.")
+    Term.(const serve_s2 $ port_arg $ once_arg)
 
 (* ---------------- nra ---------------- *)
 
@@ -167,4 +252,4 @@ let keysize_cmd =
 
 let () =
   let info = Cmd.info "topk_cli" ~doc:"SecTopK: top-k queries over encrypted databases." in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; nra_cmd; join_cmd; keysize_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; serve_s2_cmd; nra_cmd; join_cmd; keysize_cmd ]))

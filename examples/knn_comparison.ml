@@ -40,7 +40,7 @@ let () =
   let result, sectopk_time =
     time (fun () -> Query.run ctx1 er token { Query.default_options with variant = Query.Elim })
   in
-  let sectopk_bytes = Proto.Channel.bytes_total ctx1.Proto.Ctx.s1.Proto.Ctx.chan in
+  let sectopk_bytes = Proto.Channel.bytes_total (Proto.Ctx.channel ctx1) in
 
   (* --- secure kNN baseline: query the far corner, so nearest = largest
      sum of squares is wrong; instead query the origin-reflected point.
@@ -52,7 +52,7 @@ let () =
   let point = Array.make attrs big in
   (* squared distances fit in 15 bits for this domain *)
   let knn_ids, knn_time = time (fun () -> Sknn.query_smin ctx2 db ~point ~k ~bits:15) in
-  let knn_bytes = Proto.Channel.bytes_total ctx2.Proto.Ctx.s1.Proto.Ctx.chan in
+  let knn_bytes = Proto.Channel.bytes_total (Proto.Ctx.channel ctx2) in
 
   let ids = List.init rows (Relation.object_id rel) in
   let top_ids = List.map (fun (id, _, _) -> id) (Client.real_results ctx1 key ~ids result) in

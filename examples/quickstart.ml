@@ -49,7 +49,7 @@ let () =
   Format.printf "@.Plaintext oracle top-3:@.";
   List.iter (fun (oid, s) -> Format.printf "  o%d  score %d@." oid s) (Naive_topk.run rel scoring ~k:3);
 
-  let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  let ch = (Proto.Ctx.channel ctx) in
   Format.printf "@.Inter-cloud traffic: %d bytes in %d messages (%d rounds)@."
     (Proto.Channel.bytes_total ch) (Proto.Channel.messages_total ch)
     (Proto.Channel.rounds_total ch)

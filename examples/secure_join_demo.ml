@@ -54,6 +54,6 @@ let () =
         labs)
     visits;
 
-  let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  let ch = (Proto.Ctx.channel ctx) in
   Format.printf "@.Inter-cloud traffic: %d bytes; S2 learned only the match count@."
     (Proto.Channel.bytes_total ch)

@@ -67,7 +67,7 @@ let filter (ctx : Ctx.t) tuples =
   match tuples with
   | [] -> []
   | _ ->
-    let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+    let s1 = ctx.Ctx.s1 in
     let pub = s1.Ctx.pub in
     let n = pub.Paillier.n in
     let own = s1.Ctx.own_pub in
@@ -85,64 +85,40 @@ let filter (ctx : Ctx.t) tuples =
           let r_inv = Modular.inv r ~m:n in
           (* multiplicative escrows are kept one-per-party: combining them
              homomorphically would overflow the escrow modulus *)
-          let pack =
-            ( [ Paillier.encrypt s1.Ctx.rng own r_inv ],
-              Array.map (fun v -> Paillier.encrypt s1.Ctx.rng own v) rs )
-          in
-          ({ score = score'; attrs = attrs' }, pack))
+          {
+            Wire.score = score';
+            attrs = attrs';
+            r_escrow = [ Paillier.encrypt s1.Ctx.rng own r_inv ];
+            a_escrow = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng own v) rs;
+          })
         tuples
     in
     let arr = Array.of_list blinded in
     ignore (Rng.shuffle s1.Ctx.rng arr);
-    let ct = Paillier.ciphertext_bytes pub and own_ct = Paillier.ciphertext_bytes own in
-    let tuple_bytes (t : joined) = ct * (1 + Array.length t.attrs) in
-    Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:filter_protocol
-      ~bytes:(Array.fold_left (fun acc (t, (ris, rs)) -> acc + tuple_bytes t + own_ct * (List.length ris + Array.length rs)) 0 arr);
-    (* --- S2: decrypt blinded scores; drop zeros; re-blind survivors --- *)
-    let survivors =
-      Array.to_list arr
-      |> List.filter (fun ((t : joined), _) -> not (Nat.is_zero (Paillier.decrypt s2.Ctx.sk t.score)))
+    (* --- S2 (one round trip): decrypt blinded scores; drop zeros;
+       re-blind survivors and update the escrows --- *)
+    let out =
+      match Ctx.rpc ctx ~label:filter_protocol (Wire.Filter (Array.to_list arr)) with
+      | Wire.Tuples out -> out
+      | _ -> failwith "Sec_join.filter: unexpected response"
     in
-    Trace.record s2.Ctx.trace (Trace.Count { protocol = filter_protocol; value = List.length survivors });
-    let reblinded =
-      List.map
-        (fun ((t : joined), (r_packs, rs_pack)) ->
-          let g = Rng.unit_mod s2.Ctx.rng2 n in
-          let gs = Array.map (fun _ -> Rng.nat_below s2.Ctx.rng2 n) t.attrs in
-          let score' = Paillier.scalar_mul pub t.score g in
-          let attrs' =
-            Array.mapi (fun i x -> Paillier.add pub x (Paillier.encrypt s2.Ctx.rng2 pub gs.(i))) t.attrs
-          in
-          let g_inv = Modular.inv g ~m:n in
-          (* escrow update: append Enc_pk'(g^-1); R~ = R + G *)
-          let r_packs' = Paillier.encrypt s2.Ctx.rng2 own g_inv :: r_packs in
-          let rs_pack' =
-            Array.mapi (fun i c -> Paillier.add own c (Paillier.encrypt s2.Ctx.rng2 own gs.(i))) rs_pack
-          in
-          ({ score = score'; attrs = attrs' }, (r_packs', rs_pack')))
-        survivors
-    in
-    let out = Array.of_list reblinded in
-    ignore (Rng.shuffle s2.Ctx.rng2 out);
-    Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:filter_protocol
-      ~bytes:(Array.fold_left (fun acc (t, (ris, rs)) -> acc + tuple_bytes t + own_ct * (List.length ris + Array.length rs)) 0 out);
-    Channel.round_trip s1.Ctx.chan;
     (* --- S1: strip both layers of blinding --- *)
-    Array.to_list out
-    |> List.map (fun ((t : joined), (r_packs, rs_pack)) ->
-           let r_total =
-             List.fold_left
-               (fun acc c -> Modular.mul acc (Nat.rem (Paillier.decrypt s1.Ctx.own_sk c) n) ~m:n)
-               Nat.one r_packs
-           in
-           let rs_total = Array.map (fun c -> Nat.rem (Paillier.decrypt s1.Ctx.own_sk c) n) rs_pack in
-           {
-             score = Paillier.scalar_mul pub t.score r_total;
-             attrs =
-               Array.mapi
-                 (fun i x -> Paillier.sub pub x (Paillier.encrypt s1.Ctx.rng pub rs_total.(i)))
-                 t.attrs;
-           })
+    List.map
+      (fun (t : Wire.tuple) ->
+        let r_total =
+          List.fold_left
+            (fun acc c -> Modular.mul acc (Nat.rem (Paillier.decrypt s1.Ctx.own_sk c) n) ~m:n)
+            Nat.one t.Wire.r_escrow
+        in
+        let rs_total = Array.map (fun c -> Nat.rem (Paillier.decrypt s1.Ctx.own_sk c) n) t.Wire.a_escrow in
+        {
+          score = Paillier.scalar_mul pub t.Wire.score r_total;
+          attrs =
+            Array.mapi
+              (fun i x -> Paillier.sub pub x (Paillier.encrypt s1.Ctx.rng pub rs_total.(i)))
+              t.Wire.attrs;
+        })
+      out
 
 (* blinded descending sort by score through S2, as EncSort's one-round
    strategy but over joined tuples *)
@@ -151,7 +127,7 @@ let sort_desc (ctx : Ctx.t) tuples =
   match tuples with
   | [] | [ _ ] -> tuples
   | _ ->
-    let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+    let s1 = ctx.Ctx.s1 in
     let pub = s1.Ctx.pub in
     let rho = Gadgets.blind_scalar s1 in
     let r = Rng.nat_bits s1.Ctx.rng 32 in
@@ -161,28 +137,13 @@ let sort_desc (ctx : Ctx.t) tuples =
       Array.map
         (fun t ->
           ( Paillier.add pub (Paillier.scalar_mul pub t.score rho) (Paillier.encrypt s1.Ctx.rng pub r),
-            t ))
+            t.score,
+            t.attrs ))
         arr
     in
-    let ct = Paillier.ciphertext_bytes pub in
-    Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:"EncSort"
-      ~bytes:(Array.fold_left (fun acc (_, t) -> acc + ct * (2 + Array.length t.attrs)) 0 keyed);
-    let decorated = Array.map (fun (k, t) -> (Paillier.decrypt_signed s2.Ctx.sk k, t)) keyed in
-    Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
-    Trace.record s2.Ctx.trace (Trace.Count { protocol = "EncSort"; value = Array.length decorated });
-    let out =
-      Array.map
-        (fun (_, t) ->
-          {
-            score = Paillier.rerandomize s2.Ctx.rng2 pub t.score;
-            attrs = Array.map (Paillier.rerandomize s2.Ctx.rng2 pub) t.attrs;
-          })
-        decorated
-    in
-    Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:"EncSort"
-      ~bytes:(Array.fold_left (fun acc t -> acc + ct * (1 + Array.length t.attrs)) 0 out);
-    Channel.round_trip s1.Ctx.chan;
-    Array.to_list out
+    match Ctx.rpc ctx ~label:"EncSort" (Wire.Rank_tuples (Array.to_list keyed)) with
+    | Wire.Ranked out -> List.map (fun (score, attrs) -> { score; attrs }) out
+    | _ -> failwith "Sec_join.sort_desc: unexpected response"
 
 let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r
 

@@ -376,6 +376,8 @@ module Cost_model = struct
     ct : int;  (* Paillier ciphertext bytes (S2 keypair) *)
     own_ct : int;  (* Paillier ciphertext bytes (S1's own keypair) *)
     dj_ct : int;  (* Damgard-Jurik layer-2 ciphertext bytes *)
+    req_base : int;  (* Wire request header bytes, excluding the label *)
+    resp_base : int;  (* Wire response header bytes *)
   }
 
   type counts = {
@@ -396,15 +398,34 @@ module Cost_model = struct
         (Dj_mul, c.djmul); (Dj_rerand, c.djrr); (Bytes_sent, c.bytes);
         (Msgs, c.msgs); (Rounds, c.rounds) ]
 
+  (* Bytes are measured from the Wire frames an rpc actually ships: a
+     request costs [req_base + |label|] of header plus its payload, a
+     response costs [resp_base] plus its payload; collection payloads add
+     a 4-byte count prefix per list (wire.ml's closed forms). *)
+  let req p ~label payload = p.req_base + String.length label + payload
+  let resp p payload = p.resp_base + payload
+
+  (* Serialized scored item (count prefixes + fixed-width ciphertexts)
+     and its escrow pack under S1's own key. *)
+  let scored_b p = 8 + ((p.cells + 2 + p.seen) * p.ct)
+  let pack_b p = 8 + ((p.cells + 2 + p.seen) * p.own_ct)
+
   (* EncCompare (blinded sign test): one homomorphic subtraction plus a
-     blinding scalar_mul on S1, one signed decryption on S2, one bit back. *)
+     blinding scalar_mul on S1, one signed decryption on S2; the rpc ships
+     one ciphertext out and a sign byte back. *)
   let enc_compare p =
-    { zero with pmul = 2; pdec = 1; bytes = p.ct + 1; msgs = 2; rounds = 1 }
+    { zero with
+      pmul = 2;
+      pdec = 1;
+      bytes = req p ~label:"EncCompare" p.ct + resp p 1;
+      msgs = 2;
+      rounds = 1 }
 
   (* SecWorst (Alg. 4) against [others] candidate lists: an EHL+ diff
-     (2 scalar_muls per cell) and one equality round per other, then a
-     select+recover per contribution. *)
+     (2 scalar_muls per cell) per other batched into one equality round,
+     then a select+recover rpc per contribution. *)
   let sec_worst p ~others:j =
+    let label = "SecWorst" in
     { zero with
       penc = j;
       pdec = j;
@@ -412,16 +433,24 @@ module Cost_model = struct
       djenc = j;
       djdec = j;
       djmul = 4 * j;
-      bytes = 2 * j * (p.ct + p.dj_ct);
-      msgs = 4 * j;
+      bytes =
+        req p ~label (4 + (j * p.ct))
+        + resp p (4 + (j * p.dj_ct))
+        + (j * (req p ~label p.dj_ct + resp p p.ct));
+      msgs = 2 + (2 * j);
       rounds = 1 + j }
 
-  (* SecBest (Alg. 5): per source list with [e] scanned-prefix entries,
-     e = 0 costs only the (empty) equality round-trip. *)
+  (* SecBest (Alg. 5): per source list with [e] scanned-prefix entries;
+     e = 0 still ships the (empty) equality round-trip. *)
   let sec_best p ~prefixes =
+    let label = "SecBest" in
     List.fold_left
       (fun acc e ->
-        if e = 0 then { acc with rounds = acc.rounds + 1 }
+        if e = 0 then
+          { acc with
+            bytes = acc.bytes + req p ~label 4 + resp p 4;
+            msgs = acc.msgs + 2;
+            rounds = acc.rounds + 1 }
         else
           { acc with
             penc = acc.penc + 1;
@@ -430,22 +459,26 @@ module Cost_model = struct
             djenc = acc.djenc + e;
             djdec = acc.djdec + 1;
             djmul = acc.djmul + e + 3;
-            bytes = acc.bytes + ((e + 1) * (p.ct + p.dj_ct));
-            msgs = acc.msgs + (2 * e) + 2;
+            bytes =
+              acc.bytes
+              + req p ~label (4 + (e * p.ct))
+              + resp p (4 + (e * p.dj_ct))
+              + req p ~label p.dj_ct + resp p p.ct;
+            msgs = acc.msgs + 4;
             rounds = acc.rounds + 2 })
       zero prefixes
 
   (* SecDedup (Alg. 6/7) over [items] candidates of which [dups] are
-     non-keeper duplicates: pairwise EHL+ diffs and decryptions, masking
-     on S1, re-masking (and in Replace mode, replacement synthesis) on S2,
-     unmasking of the survivors on S1 (a homomorphic subtraction — one
-     [neg] exponentiation — per worst/best/seen slot). *)
+     non-keeper duplicates: pairwise EHL+ diffs and masked items travel in
+     one Dedup rpc (1 mode byte, count-prefixed matrix and item lists);
+     S2 decrypts the matrix, re-masks (and in Replace mode synthesises
+     replacements), S1 unmasks the survivors. *)
   let sec_dedup p ~mode ~items:l ~dups:d =
     if l = 0 then zero
     else begin
       let pairs = l * (l - 1) / 2 in
       let cell = p.cells + 2 + p.seen in
-      let item_b = cell * (p.ct + p.own_ct) in
+      let item_b = scored_b p + pack_b p in
       let kept = l - d in
       let out = match mode with `Replace -> l | `Eliminate -> kept in
       { zero with
@@ -456,13 +489,16 @@ module Cost_model = struct
           + (2 * cell * kept)
           + (match mode with `Replace -> 2 * cell * d | `Eliminate -> 0)
           + (out * cell);
-        bytes = (pairs * p.ct) + ((l + out) * item_b);
+        bytes =
+          req p ~label:"SecDedup" (1 + (4 + (pairs * p.ct)) + (4 + (l * item_b)))
+          + resp p (4 + (out * item_b));
         msgs = 2;
         rounds = 1 }
     end
 
   (* EncSort, blinded strategy, over [items] scored candidates: blind +
-     encrypt + signed-decrypt per item, full re-randomization on return. *)
+     encrypt + signed-decrypt per item, full re-randomization on return;
+     one Sort_items rpc carries keys + items out and the sorted items back. *)
   let enc_sort_blinded p ~items:l =
     let cell = p.cells + 2 + p.seen in
     { zero with
@@ -470,7 +506,9 @@ module Cost_model = struct
       pdec = l;
       pmul = l;
       prr = l * cell;
-      bytes = (l * (cell + 1) * p.ct) + (l * cell * p.ct);
+      bytes =
+        req p ~label:"EncSort" (4 + (l * p.ct) + 4 + (l * scored_b p))
+        + resp p (4 + (l * scored_b p));
       msgs = 2;
       rounds = 1 }
 end

@@ -135,6 +135,10 @@ module Cost_model : sig
     ct : int;  (** Paillier ciphertext bytes under the S2 keypair *)
     own_ct : int;  (** Paillier ciphertext bytes under S1's own keypair *)
     dj_ct : int;  (** Damgard-Jurik layer-2 ciphertext bytes *)
+    req_base : int;
+        (** Wire request-frame header bytes excluding the label
+            ([Wire.request_header_bytes ~label:""]) *)
+    resp_base : int;  (** Wire response-frame header bytes *)
   }
 
   type counts = {

@@ -27,7 +27,10 @@ let rounds_total t = t.rounds
 
 let bytes_by_label t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_label []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (la, a) (lb, b) ->
+         (* bytes descending, ties broken by label: hashtable order must
+            never leak into reports or test expectations *)
+         match compare b a with 0 -> compare la lb | c -> c)
 
 let merge_into src ~into =
   into.bytes <- into.bytes + src.bytes;

@@ -4,86 +4,102 @@ type s1 = {
   pub : Paillier.public;
   djpub : Damgard_jurik.public;
   rng : Rng.t;
-  chan : Channel.t;
   blind_bits : int option;
   own_pub : Paillier.public;
   own_sk : Paillier.secret;
 }
 
-type s2 = {
-  pub2 : Paillier.public;
-  djpub2 : Damgard_jurik.public;
-  sk : Paillier.secret;
-  djsk : Damgard_jurik.secret;
-  rng2 : Rng.t;
-  chan2 : Channel.t;
-  trace : Trace.t;
-}
+type t = { s1 : s1; transport : Transport.t; domains : int; obs : Obs.Collector.t }
 
-type t = { s1 : s1; s2 : s2; domains : int; obs : Obs.Collector.t }
+type mode = Inproc | Loopback | Socket_fd of Unix.file_descr
 
-let of_keys ?blind_bits ?(domains = 1) rng pub sk =
+let default_mode () =
+  match Sys.getenv_opt "TRANSPORT" with
+  | Some "loopback" -> Loopback
+  | Some "inproc" | None -> Inproc
+  | Some other -> invalid_arg ("Ctx: unknown TRANSPORT " ^ other)
+
+let of_keys ?blind_bits ?(domains = 1) ?mode rng pub sk =
+  let mode = match mode with Some m -> m | None -> default_mode () in
   let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk) in
-  let djsk = Option.get djsk_opt in
-  let chan = Channel.create () in
   let s1_rng = Rng.fork rng ~label:"s1" in
   let own_pub, own_sk = Paillier.keygen s1_rng ~bits:(pub.Paillier.key_bits + 16) in
+  let s2_rng = Rng.fork rng ~label:"s2" in
+  let keys = Wire.keys_of ~pub ~djpub ~own_pub in
+  let transport =
+    match mode with
+    | Socket_fd fd -> Transport.socket keys fd
+    | Inproc | Loopback ->
+      let server =
+        S2_server.create ~pub ~djpub ~sk ~djsk:(Option.get djsk_opt) ~own_pub ~rng:s2_rng
+      in
+      (match mode with
+      | Inproc -> Transport.inproc keys server
+      | Loopback -> Transport.loopback keys server
+      | Socket_fd _ -> assert false)
+  in
   {
-    s1 = { pub; djpub; rng = s1_rng; chan; blind_bits; own_pub; own_sk };
-    s2 =
-      {
-        pub2 = pub;
-        djpub2 = djpub;
-        sk;
-        djsk;
-        rng2 = Rng.fork rng ~label:"s2";
-        chan2 = chan;
-        trace = Trace.create ();
-      };
+    s1 = { pub; djpub; rng = s1_rng; blind_bits; own_pub; own_sk };
+    transport;
     domains;
     obs = Obs.Collector.create ();
   }
 
-let create ?blind_bits ?domains rng ~bits =
+let create ?blind_bits ?domains ?mode rng ~bits =
   let pub, sk = Paillier.keygen rng ~bits in
-  of_keys ?blind_bits ?domains rng pub sk
+  of_keys ?blind_bits ?domains ?mode rng pub sk
+
+(* Canonical seeded provisioning, shared verbatim by [S2_server.of_hello]:
+   any reordering here desynchronises a socket daemon's randomness stream
+   from the client's. *)
+let provision ~seed ~key_bits ?rand_bits () =
+  let root = Rng.create ~seed in
+  let pub, sk = Paillier.keygen ?rand_bits root ~bits:key_bits in
+  let ctx_rng = Rng.fork root ~label:"ctx" in
+  let data_rng = Rng.fork root ~label:"data" in
+  (pub, sk, ctx_rng, data_rng)
 
 let with_domains t domains = { t with domains }
+
+let rpc t ~label req = Transport.rpc t.transport ~label req
+let channel t = Transport.channel t.transport
+let sk t = Transport.secret_key t.transport
+let trace t = Transport.trace t.transport
+let trace_events t = Transport.trace_events t.transport
+let remote_stats t = Transport.remote_stats t.transport
+let transport_name t = Transport.mode_name t.transport
 
 let parallel t ~jobs f =
   (* Fork every sub-context up front, in index order: randomness and
      accounting are then a pure function of (state, jobs), independent of
-     [t.domains] and of domain scheduling. *)
+     [t.domains] and of domain scheduling. The S2 halves fork in the same
+     order through the transport (locally or via Fork control frames). *)
   let subs = Array.make jobs t in
   for i = 0 to jobs - 1 do
     let label = "par:" ^ string_of_int i in
-    let chan = Channel.create () in
     subs.(i) <-
       {
-        s1 = { t.s1 with rng = Rng.fork t.s1.rng ~label; chan };
-        s2 =
-          {
-            t.s2 with
-            rng2 = Rng.fork t.s2.rng2 ~label;
-            chan2 = chan;
-            trace = Trace.create ();
-          };
+        s1 = { t.s1 with rng = Rng.fork t.s1.rng ~label };
+        transport = Transport.fork t.transport ~label;
         domains = 1;
         obs = Obs.Collector.create ();
       }
   done;
+  (* The socket transport is one ordered byte stream: interleaved frames
+     from several domains would corrupt it, so parallelism degrades to
+     sequential execution there (index order, same results). *)
+  let domains = if Transport.concurrent t.transport then t.domains else 1 in
   (* The observability sink is whatever collector is current on the
      calling domain (the protocol entry point installed it); each task
      runs against its sub-context's private collector, merged back below
      in index order so counters and span trees are width-independent. *)
   let sink = match Obs.current () with Some c -> c | None -> t.obs in
   let results =
-    Core.Pool.run ~domains:t.domains ~jobs (fun i ->
+    Core.Pool.run ~domains ~jobs (fun i ->
         Obs.with_collector subs.(i).obs (fun () -> f subs.(i) i))
   in
   for i = 0 to jobs - 1 do
-    Channel.merge_into subs.(i).s1.chan ~into:t.s1.chan;
-    Trace.append_into subs.(i).s2.trace ~into:t.s2.trace;
+    Transport.join_sub subs.(i).transport ~into:t.transport;
     Obs.Collector.merge_into subs.(i).obs ~into:sink
   done;
   results

@@ -1,11 +1,12 @@
 (** Execution context for the two-cloud protocols.
 
-    The two servers are distinct state records connected by one accounting
-    {!Channel}. S1 never holds the Paillier/DJ secret keys; every function
-    in this library that needs a decryption takes the [s2] record, and
-    everything S2 learns by decrypting is appended to its {!Trace}. Running
-    both parties in one process is an accounting-faithful simulation of the
-    paper's two-cloud deployment (see DESIGN.md). *)
+    The context is S1's world: its public keys, randomness, blinding
+    policy and personal key pair — plus a {!Transport} to S2. S1 code
+    never touches S2 state; every decryption crosses the transport as a
+    {!Wire} request and everything S2 learns is appended to its trace on
+    the other side. Depending on the transport mode the S2 half runs
+    in-process (Inproc/Loopback) or in a separate daemon (Socket); the
+    protocols are agnostic (see DESIGN.md section 4c). *)
 
 open Crypto
 
@@ -13,7 +14,6 @@ type s1 = {
   pub : Paillier.public;
   djpub : Damgard_jurik.public;
   rng : Rng.t;
-  chan : Channel.t;
   blind_bits : int option;
       (** Width of statistical-blinding exponents; [None] = full [Z_n]
           exponents exactly as in the paper, [Some b] = faster [b]-bit
@@ -26,19 +26,9 @@ type s1 = {
   own_sk : Paillier.secret;
 }
 
-type s2 = {
-  pub2 : Paillier.public;
-  djpub2 : Damgard_jurik.public;
-  sk : Paillier.secret;
-  djsk : Damgard_jurik.secret;
-  rng2 : Rng.t;
-  chan2 : Channel.t;
-  trace : Trace.t;
-}
-
 type t = {
   s1 : s1;
-  s2 : s2;
+  transport : Transport.t;
   domains : int;  (** Width of the {!Core.Pool} used by {!parallel}. *)
   obs : Obs.Collector.t;
       (** Default observability sink for this context: protocol entry
@@ -48,26 +38,72 @@ type t = {
           width; only wall times differ. *)
 }
 
+(** Transport selection. When omitted, the [TRANSPORT] environment
+    variable picks between [inproc] (default) and [loopback] — this is
+    how CI reruns the whole suite through the codec. [Socket_fd] wraps a
+    connection whose [Hello] handshake already happened. *)
+type mode = Inproc | Loopback | Socket_fd of Unix.file_descr
+
 (** [create rng ~bits] generates a fresh key pair of modulus width [bits]
-    and wires both parties to one channel. [domains] (default 1) sets the
+    and builds both party halves. [domains] (default 1) sets the
     parallelism of {!parallel}; it never affects results or traces. *)
-val create : ?blind_bits:int -> ?domains:int -> Rng.t -> bits:int -> t
+val create : ?blind_bits:int -> ?domains:int -> ?mode:mode -> Rng.t -> bits:int -> t
 
 (** Rebuild a context around existing keys (e.g. the data owner's). *)
 val of_keys :
-  ?blind_bits:int -> ?domains:int -> Rng.t -> Paillier.public -> Paillier.secret -> t
+  ?blind_bits:int ->
+  ?domains:int ->
+  ?mode:mode ->
+  Rng.t ->
+  Paillier.public ->
+  Paillier.secret ->
+  t
+
+(** Canonical seeded provisioning: [(pub, sk, ctx_rng, data_rng)]. Pass
+    [ctx_rng] to {!of_keys} and use [data_rng] for dataset encryption. A
+    socket daemon given the same [Wire.hello] replays the first steps
+    verbatim ([S2_server.of_hello]), so both processes derive identical
+    keys and aligned randomness streams. *)
+val provision :
+  seed:string ->
+  key_bits:int ->
+  ?rand_bits:int ->
+  unit ->
+  Paillier.public * Paillier.secret * Rng.t * Rng.t
 
 val with_domains : t -> int -> t
+
+(** One request/response round trip to S2 under [label]. *)
+val rpc : t -> label:string -> Wire.request -> Wire.response
+
+(** The bandwidth-accounting channel of the underlying transport. *)
+val channel : t -> Channel.t
+
+(** Direct S2 state for local transports and tests; raises
+    [Invalid_argument] when S2 is remote. *)
+val sk : t -> Paillier.secret
+
+val trace : t -> Trace.t
+
+(** S2's trace, transport-independent. *)
+val trace_events : t -> Trace.event list
+
+(** S2-side op counters by name (socket mode; empty locally). *)
+val remote_stats : t -> (string * int) list
+
+val transport_name : t -> string
 
 (** [parallel t ~jobs f] evaluates [f sub i] for [i] in [0..jobs-1] on a
     {!Core.Pool} of [t.domains] domains and returns results in index
     order. Each [sub] shares the keys of [t] but carries its own
-    deterministically forked generators (forked from [s1.rng]/[s2.rng2]
-    by index, before any domain starts), a private channel and a private
-    trace; after the batch the channels and traces are merged back into
-    [t] in index order. Results, accounting and traces are therefore
-    byte-identical across any [domains] setting — parallelism is pure
-    mechanism. Sub-contexts must not escape [f]. *)
+    deterministically forked generators (S1-side from [s1.rng], S2-side
+    through {!Transport.fork}, by index, before any domain starts), a
+    private channel and a private trace; after the batch the channels and
+    traces are merged back into [t] in index order. Results, accounting
+    and traces are therefore byte-identical across any [domains] setting —
+    parallelism is pure mechanism. On a socket transport jobs run
+    sequentially (one ordered byte stream). Sub-contexts must not escape
+    [f]. *)
 val parallel : t -> jobs:int -> (t -> int -> 'a) -> 'a array
 
 (** Serialized sizes used for channel accounting. *)

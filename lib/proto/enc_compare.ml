@@ -4,52 +4,49 @@ let protocol = "EncCompare"
 
 let leq (ctx : Ctx.t) a b =
   Obs.span protocol @@ fun () ->
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let coin = Rng.bool s1.rng in
   let d = if coin then Paillier.sub s1.pub a b else Paillier.sub s1.pub b a in
   let rho = Gadgets.blind_scalar s1 in
   let v = Paillier.scalar_mul s1.pub d rho in
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
-    ~bytes:(Paillier.ciphertext_bytes s1.pub);
-  (* --- S2: sign of the blinded difference --- *)
-  let sign = Bignum.Bigint.sign (Paillier.decrypt_signed s2.sk v) in
-  Trace.record s2.trace (Trace.Comparison { protocol; ordering = sign });
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:1;
-  Channel.round_trip s1.chan;
-  (* --- S1: undo the coin --- *)
+  (* S2 returns the sign of the blinded difference *)
+  let sign =
+    match Ctx.rpc ctx ~label:protocol (Wire.Sign_of v) with
+    | Wire.Sign sign -> sign
+    | _ -> failwith "Enc_compare.leq: unexpected response"
+  in
+  (* S1: undo the coin *)
   if coin then sign <= 0 (* d = a - b : a <= b iff d <= 0 *)
   else sign >= 0 (* d = b - a : a <= b iff d >= 0 *)
 
 (* ---------------- DGK / Veugen bitwise comparison ---------------- *)
 
+let dgk_protocol = "EncCompareDGK"
 let statistical_slack = 40
 
 let leq_dgk (ctx : Ctx.t) ~bits a b =
-  Obs.span "EncCompareDGK" @@ fun () ->
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  Obs.span dgk_protocol @@ fun () ->
+  let s1 = ctx.Ctx.s1 in
   let pub = s1.pub in
   let open Bignum in
   if bits + statistical_slack + 2 >= Nat.bit_length pub.Paillier.n then
     invalid_arg "Enc_compare.leq_dgk: bits too large for the modulus";
-  let ct = Paillier.ciphertext_bytes pub in
   (* d = 2^bits + b - a  (in [1, 2^(bits+1)) for inputs < 2^bits) *)
   let d =
     Paillier.add pub
       (Paillier.trivial pub (Nat.shift_left Nat.one bits))
       (Paillier.sub pub b a)
   in
-  (* S1 blinds additively with bits+slack randomness and ships it *)
+  (* S1 blinds additively with bits+slack randomness and ships it; S2
+     decrypts z and reveals the low word bit-wise under encryption plus
+     the (blinded) parity of the high word *)
   let r = Rng.nat_bits s1.rng (bits + statistical_slack) in
   let z_ct = Paillier.add pub d (Paillier.encrypt s1.rng pub r) in
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:ct;
-  (* --- S2: decrypt z; reveal the low word bit-wise under encryption and
-     the (blinded) parity of the high word --- *)
-  let z = Paillier.decrypt s2.sk z_ct in
-  let z_bits = List.init bits (fun i -> if Nat.nth_bit z i then 1 else 0) in
-  let z_bit_cts = List.map (fun v -> Paillier.encrypt s2.rng2 pub (Nat.of_int v)) z_bits in
-  let z_high_parity = Nat.nth_bit z bits in
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:((bits * ct) + 1);
-  Channel.round_trip s1.chan;
+  let z_bit_cts, z_high_parity =
+    match Ctx.rpc ctx ~label:dgk_protocol (Wire.Dgk_low_bits { bits; z = z_ct }) with
+    | Wire.Dgk_bits { bit_cts; parity } -> (bit_cts, parity)
+    | _ -> failwith "Enc_compare.leq_dgk: unexpected response"
+  in
   (* --- S1: DGK zero-test for borrow = [z mod 2^bits < r mod 2^bits],
      direction-masked by the coin s --- *)
   let coin = Rng.bool s1.rng in
@@ -80,14 +77,12 @@ let leq_dgk (ctx : Ctx.t) ~bits a b =
   in
   let cs_arr = Array.of_list cs in
   ignore (Rng.shuffle s1.rng cs_arr);
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:(bits * ct);
-  (* --- S2: does any c_i decrypt to zero? --- *)
+  (* S2: does any c_i decrypt to zero? *)
   let lambda =
-    Array.exists (fun c -> Nat.is_zero (Paillier.decrypt s2.sk c)) cs_arr
+    match Ctx.rpc ctx ~label:dgk_protocol (Wire.Zero_any (Array.to_list cs_arr)) with
+    | Wire.Bit lambda -> lambda
+    | _ -> failwith "Enc_compare.leq_dgk: unexpected response"
   in
-  Trace.record s2.trace (Trace.Comparison { protocol = "EncCompareDGK"; ordering = Bool.to_int lambda });
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:1;
-  Channel.round_trip s1.chan;
   (* --- S1: unmask the coin to obtain borrow = [z~ < r~] --- *)
   let borrow =
     if coin then lambda (* s = +1: lambda = [z~ < r~] directly *)
@@ -104,10 +99,11 @@ let leq_dgk (ctx : Ctx.t) ~bits a b =
       let r_low = Nat.rem r (Nat.shift_left Nat.one bits) in
       let diff = Paillier.sub pub zt (Paillier.trivial pub r_low) in
       let blinded = Paillier.scalar_mul pub diff (Gadgets.blind_scalar s1) in
-      Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:ct;
-      let equal = Nat.is_zero (Paillier.decrypt s2.sk blinded) in
-      Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:1;
-      Channel.round_trip s1.chan;
+      let equal =
+        match Ctx.rpc ctx ~label:dgk_protocol (Wire.Zero_test blinded) with
+        | Wire.Bit equal -> equal
+        | _ -> failwith "Enc_compare.leq_dgk: unexpected response"
+      in
       (not lambda) && not equal
     end
   in

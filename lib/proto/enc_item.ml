@@ -16,6 +16,19 @@ let scored_bytes pub (s : scored) =
   Ehl.Ehl_plus.size_bytes pub s.ehl
   + ((2 + Array.length s.seen) * Paillier.ciphertext_bytes pub)
 
+(* Blinding escrow travelling with a masked item through SecDedup: the
+   masks S1 (and later S2) applied, encrypted under S1's personal pk' so
+   only S1 can strip them. Mirrors the field layout of [scored]. *)
+type pack = {
+  alphas : Paillier.ciphertext array;
+  beta : Paillier.ciphertext;
+  gamma : Paillier.ciphertext;
+  sigmas : Paillier.ciphertext array;
+}
+
+let pack_bytes own_pub (p : pack) =
+  (Array.length p.alphas + 2 + Array.length p.sigmas) * Paillier.ciphertext_bytes own_pub
+
 let rerandomize_scored rng pub (s : scored) =
   {
     ehl = Ehl.Ehl_plus.rerandomize rng pub s.ehl;

@@ -21,8 +21,20 @@ type scored = {
           (the per-depth upper-bound updates visible in Figure 3). *)
 }
 
+(** Blinding escrow attached to a masked item in SecDedup (Algorithm 7):
+    one mask per EHL cell, worst, best and seen slot, each encrypted under
+    S1's personal key [pk'] so S2 can layer its own masks homomorphically
+    without reading them. *)
+type pack = {
+  alphas : Paillier.ciphertext array;
+  beta : Paillier.ciphertext;
+  gamma : Paillier.ciphertext;
+  sigmas : Paillier.ciphertext array;
+}
+
 val entry_bytes : Paillier.public -> entry -> int
 val scored_bytes : Paillier.public -> scored -> int
+val pack_bytes : Paillier.public -> pack -> int
 
 (** Fresh randomness on all components. *)
 val rerandomize_scored : Rng.t -> Paillier.public -> scored -> scored

@@ -15,39 +15,27 @@ let additive_blind (s1 : Ctx.s1) =
   | None -> Rng.nat_below s1.rng (Nat.shift_right s1.pub.Paillier.n 2)
   | Some bits -> Rng.nat_bits s1.rng bits
 
-let item_bytes (s1 : Ctx.s1) (it : Enc_item.scored) = Enc_item.scored_bytes s1.pub it
-
 (* ---------------- Blinded one-round strategy ---------------- *)
 
 let sort_blinded (ctx : Ctx.t) items =
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let rho = Gadgets.blind_scalar s1 and r = additive_blind s1 in
   let arr = Array.of_list items in
   ignore (Rng.shuffle s1.rng arr);
   let jobs = Array.length arr in
-  (* Key blinding (S1) and blinded-key decryption (S2) are per-item
-     independent: fan both out on the pool. The sort itself is plaintext. *)
-  let decorated =
+  (* Key blinding is per-item independent pure-S1 work: fan it out on the
+     pool. The decrypt + plaintext sort + re-randomization happen at S2 in
+     a single round trip. *)
+  let keys =
     Ctx.parallel ctx ~jobs (fun sub i ->
-        let it = arr.(i) in
-        let k = blind_key sub.Ctx.s1 ~rho ~r it.Enc_item.worst in
-        (Paillier.decrypt_signed sub.Ctx.s2.sk k, it))
+        blind_key sub.Ctx.s1 ~rho ~r arr.(i).Enc_item.worst)
   in
-  let ct = Paillier.ciphertext_bytes s1.pub in
-  let payload =
-    Array.fold_left (fun acc it -> acc + ct + item_bytes s1 it) 0 arr
-  in
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:payload;
-  Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
-  Trace.record s2.trace (Trace.Count { protocol; value = Array.length decorated });
-  let out =
-    Ctx.parallel ctx ~jobs (fun sub i ->
-        Enc_item.rerandomize_scored sub.Ctx.s2.rng2 sub.Ctx.s2.pub2 (snd decorated.(i)))
-  in
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
-    ~bytes:(Array.fold_left (fun acc it -> acc + item_bytes s1 it) 0 out);
-  Channel.round_trip s1.chan;
-  Array.to_list out
+  match
+    Ctx.rpc ctx ~label:protocol
+      (Wire.Sort_items { keys = Array.to_list keys; items = Array.to_list arr })
+  with
+  | Wire.Sorted out -> out
+  | _ -> failwith "Enc_sort.sort_blinded: unexpected response"
 
 (* ---------------- Bitonic network strategy ---------------- *)
 
@@ -67,26 +55,18 @@ let pad_item (s1 : Ctx.s1) ~cells ~m_seen =
    key-blinded; S2 returns it ordered (larger key first iff [descending]),
    re-randomized. *)
 let gate (ctx : Ctx.t) arr i j ~descending =
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let rho = Gadgets.blind_scalar s1 and r = additive_blind s1 in
   let coin = Rng.bool s1.rng in
   let x, y = if coin then (arr.(j), arr.(i)) else (arr.(i), arr.(j)) in
   let kx = blind_key s1 ~rho ~r x.Enc_item.worst and ky = blind_key s1 ~rho ~r y.Enc_item.worst in
-  let ct = Paillier.ciphertext_bytes s1.pub in
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
-    ~bytes:((2 * ct) + item_bytes s1 x + item_bytes s1 y);
-  (* --- S2 --- *)
-  let vx = Paillier.decrypt_signed s2.sk kx and vy = Paillier.decrypt_signed s2.sk ky in
-  let cmp = Bigint.compare vx vy in
-  Trace.record s2.trace (Trace.Comparison { protocol; ordering = compare cmp 0 });
   let first, second =
-    if (cmp >= 0 && descending) || (cmp < 0 && not descending) then (x, y) else (y, x)
+    match
+      Ctx.rpc ctx ~label:protocol (Wire.Sort_gate { descending; kx; ky; x; y })
+    with
+    | Wire.Pair (first, second) -> (first, second)
+    | _ -> failwith "Enc_sort.gate: unexpected response"
   in
-  let first = Enc_item.rerandomize_scored s2.rng2 s2.pub2 first in
-  let second = Enc_item.rerandomize_scored s2.rng2 s2.pub2 second in
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
-    ~bytes:(item_bytes s1 first + item_bytes s1 second);
-  Channel.round_trip s1.chan;
   (* --- S1 places the ordered pair --- *)
   arr.(i) <- first;
   arr.(j) <- second

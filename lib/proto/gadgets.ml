@@ -6,47 +6,19 @@ let blind_scalar (s1 : Ctx.s1) =
   | None -> Rng.unit_mod s1.rng s1.pub.Paillier.n
   | Some bits -> Nat.succ (Rng.nat_bits s1.rng bits)
 
+(* One batched equality test: S2 decrypts each blinded difference and
+   returns E2(1)/E2(0) per entry. The rpc happens even for an empty batch:
+   the protocol's round (and S2's empty Equality_bits trace entry) exists
+   either way. *)
 let equality_round (ctx : Ctx.t) ~protocol diffs =
-  let s1 = ctx.s1 and s2 = ctx.s2 in
-  let ct_bytes = Paillier.ciphertext_bytes s1.pub in
-  let dj_bytes = Damgard_jurik.ciphertext_bytes s1.djpub in
-  List.iter
-    (fun _ -> Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:ct_bytes)
-    diffs;
-  (* --- S2's view starts here --- *)
-  let bits = List.map (fun c -> Nat.is_zero (Paillier.decrypt s2.sk c)) diffs in
-  Trace.record s2.trace (Trace.Equality_bits { protocol; bits });
-  let replies =
-    List.map
-      (fun b -> Damgard_jurik.encrypt s2.rng2 s2.djpub2 (if b then Nat.one else Nat.zero))
-      bits
-  in
-  List.iter
-    (fun _ -> Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:dj_bytes)
-    replies;
-  Channel.round_trip s1.chan;
-  replies
+  match Ctx.rpc ctx ~label:protocol (Wire.Equality diffs) with
+  | Wire.Bits2 replies -> replies
+  | _ -> failwith "Gadgets.equality_round: unexpected response"
 
 let conjunction_round (ctx : Ctx.t) ~protocol groups =
-  let s1 = ctx.s1 and s2 = ctx.s2 in
-  let ct_bytes = Paillier.ciphertext_bytes s1.pub in
-  let dj_bytes = Damgard_jurik.ciphertext_bytes s1.djpub in
-  let total = List.fold_left (fun acc g -> acc + List.length g) 0 groups in
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:(total * ct_bytes);
-  (* --- S2: a group holds iff every difference decrypts to zero --- *)
-  let bits =
-    List.map (fun g -> List.for_all (fun c -> Nat.is_zero (Paillier.decrypt s2.sk c)) g) groups
-  in
-  Trace.record s2.trace (Trace.Equality_bits { protocol; bits });
-  let replies =
-    List.map
-      (fun b -> Damgard_jurik.encrypt s2.rng2 s2.djpub2 (if b then Nat.one else Nat.zero))
-      bits
-  in
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
-    ~bytes:(List.length replies * dj_bytes);
-  Channel.round_trip s1.chan;
-  replies
+  match Ctx.rpc ctx ~label:protocol (Wire.Conjunction groups) with
+  | Wire.Bits2 replies -> replies
+  | _ -> failwith "Gadgets.conjunction_round: unexpected response"
 
 let select (s1 : Ctx.s1) ~t ~if_one ~if_zero =
   let dj = s1.djpub in
@@ -59,25 +31,20 @@ let select (s1 : Ctx.s1) ~t ~if_one ~if_zero =
     (Damgard_jurik.scalar_mul_ct dj one_minus_t if_zero)
 
 let recover_enc (ctx : Ctx.t) ~protocol e2c =
-  let s1 = ctx.s1 and s2 = ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let r = Rng.nat_below s1.rng s1.pub.Paillier.n in
   let enc_r = Paillier.encrypt s1.rng s1.pub r in
   let blinded = Damgard_jurik.scalar_mul_ct s1.djpub e2c enc_r in
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
-    ~bytes:(Damgard_jurik.ciphertext_bytes s1.djpub);
-  (* --- S2 strips the outer layer; the inner Enc(c+r) is blinded --- *)
-  let inner = Damgard_jurik.decrypt_layered s2.djsk s2.pub2 blinded in
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
-    ~bytes:(Paillier.ciphertext_bytes s2.pub2);
-  Channel.round_trip s1.chan;
-  (* --- back at S1: remove r --- *)
-  Paillier.sub s1.pub inner enc_r
+  (* S2 strips the outer layer; the inner Enc(c+r) is blinded *)
+  match Ctx.rpc ctx ~label:protocol (Wire.Recover blinded) with
+  | Wire.Ct inner -> Paillier.sub s1.pub inner enc_r (* back at S1: remove r *)
+  | _ -> failwith "Gadgets.recover_enc: unexpected response"
 
 let select_recover ctx ~protocol ~t ~if_one ~if_zero =
   recover_enc ctx ~protocol (select ctx.Ctx.s1 ~t ~if_one ~if_zero)
 
 let lift (ctx : Ctx.t) ~protocol cts =
-  let s1 = ctx.s1 and s2 = ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   (* blinding below n/2 so that bit + r never wraps mod n (a wrap would
      corrupt the value when the blinding is stripped in the wider DJ
      plaintext space) *)
@@ -89,20 +56,13 @@ let lift (ctx : Ctx.t) ~protocol cts =
         (r, Paillier.add s1.pub c (Paillier.encrypt s1.rng s1.pub r)))
       cts
   in
-  let ct_bytes = Paillier.ciphertext_bytes s1.pub in
-  let dj_bytes = Damgard_jurik.ciphertext_bytes s1.djpub in
-  Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
-    ~bytes:(List.length cts * ct_bytes);
-  (* --- S2: re-encrypt the (blinded, uniform) plaintexts under DJ --- *)
+  (* S2 re-encrypts the (blinded, uniform) plaintexts under DJ *)
   let lifted =
-    List.map
-      (fun (_, c) -> Damgard_jurik.encrypt s2.rng2 s2.djpub2 (Paillier.decrypt s2.sk c))
-      blinded
+    match Ctx.rpc ctx ~label:protocol (Wire.Lift (List.map snd blinded)) with
+    | Wire.Bits2 lifted -> lifted
+    | _ -> failwith "Gadgets.lift: unexpected response"
   in
-  Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
-    ~bytes:(List.length cts * dj_bytes);
-  Channel.round_trip s1.chan;
-  (* --- S1: strip the blinding inside the DJ layer --- *)
+  (* S1 strips the blinding inside the DJ layer *)
   List.map2
     (fun (r, _) e2 ->
       Damgard_jurik.sub s1.djpub e2 (Damgard_jurik.encrypt s1.rng s1.djpub r))

@@ -1,0 +1,359 @@
+open Bignum
+open Crypto
+
+type t = {
+  pub : Paillier.public;
+  djpub : Damgard_jurik.public;
+  sk : Paillier.secret;
+  djsk : Damgard_jurik.secret;
+  own_pub : Paillier.public;
+  rng : Rng.t;
+  trace : Trace.t;
+}
+
+let create ~pub ~djpub ~sk ~djsk ~own_pub ~rng =
+  { pub; djpub; sk; djsk; own_pub; rng; trace = Trace.create () }
+
+let trace t = t.trace
+let secret_key t = t.sk
+
+let fork t ~label = { t with rng = Rng.fork t.rng ~label; trace = Trace.create () }
+let join sub ~into = Trace.append_into sub.trace ~into:into.trace
+
+(* Rebuild key material and the S2 randomness stream from the client's
+   provisioning parameters, consuming the seeded root generator in exactly
+   the order [Ctx.provision] does. Demo/test provisioning only: a real
+   deployment would ship keys out-of-band (the replay also derives S1's
+   personal key pair, whose secret half S2 must never use). *)
+let of_hello (h : Wire.hello) =
+  let root = Rng.create ~seed:h.seed in
+  let pub, sk = Paillier.keygen ?rand_bits:h.rand_bits root ~bits:h.key_bits in
+  let ctx_rng = Rng.fork root ~label:"ctx" in
+  let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk) in
+  let s1_rng = Rng.fork ctx_rng ~label:"s1" in
+  let own_pub, _own_sk = Paillier.keygen s1_rng ~bits:(pub.Paillier.key_bits + 16) in
+  let rng = Rng.fork ctx_rng ~label:"s2" in
+  create ~pub ~djpub ~sk ~djsk:(Option.get djsk_opt) ~own_pub ~rng
+
+(* ---------------- per-request handlers ----------------
+
+   Everything below is S2's view: it sees only what arrives in the
+   request, decrypts what the protocol lets it decrypt, and records each
+   revealed fact in its trace under the request's protocol label. *)
+
+let dj_bit rng t b =
+  Damgard_jurik.encrypt rng t.djpub (if b then Nat.one else Nat.zero)
+
+(* S2 layers its own randomness on a masked SecDedup item and updates the
+   escrow pack under S1's personal key accordingly (Algorithm 7). *)
+let dedup_remask t (it : Enc_item.scored) (pack : Enc_item.pack) =
+  let n = t.pub.Paillier.n in
+  let own_pub = t.own_pub in
+  let cells = Ehl.Ehl_plus.length it.Enc_item.ehl in
+  let alphas' = Array.init cells (fun _ -> Rng.nat_below t.rng n) in
+  let beta' = Rng.nat_below t.rng n in
+  let gamma' = Rng.nat_below t.rng n in
+  let sigmas' = Array.map (fun _ -> Rng.nat_below t.rng n) it.Enc_item.seen in
+  let it' : Enc_item.scored =
+    {
+      ehl =
+        Ehl.Ehl_plus.mask t.pub it.Enc_item.ehl
+          (Array.map (fun a -> Paillier.encrypt t.rng t.pub a) alphas');
+      worst = Paillier.add t.pub it.Enc_item.worst (Paillier.encrypt t.rng t.pub beta');
+      best = Paillier.add t.pub it.Enc_item.best (Paillier.encrypt t.rng t.pub gamma');
+      seen =
+        Array.mapi
+          (fun l u -> Paillier.add t.pub u (Paillier.encrypt t.rng t.pub sigmas'.(l)))
+          it.Enc_item.seen;
+    }
+  in
+  let pack' : Enc_item.pack =
+    {
+      alphas =
+        Array.mapi
+          (fun c a -> Paillier.add own_pub a (Paillier.encrypt t.rng own_pub alphas'.(c)))
+          pack.Enc_item.alphas;
+      beta = Paillier.add own_pub pack.Enc_item.beta (Paillier.encrypt t.rng own_pub beta');
+      gamma = Paillier.add own_pub pack.Enc_item.gamma (Paillier.encrypt t.rng own_pub gamma');
+      sigmas =
+        Array.mapi
+          (fun l a -> Paillier.add own_pub a (Paillier.encrypt t.rng own_pub sigmas'.(l)))
+          pack.Enc_item.sigmas;
+    }
+  in
+  (it', pack')
+
+(* A replacement for a duplicate: random cells and worst/best = Z + mask,
+   with the mask disclosed to S1 via its personal key. *)
+let dedup_replacement t ~cells ~m_seen =
+  let n = t.pub.Paillier.n in
+  let own_pub = t.own_pub in
+  let z = Nat.pred n in
+  let beta = Rng.nat_below t.rng n and gamma = Rng.nat_below t.rng n in
+  let alphas = Array.init cells (fun _ -> Rng.nat_below t.rng n) in
+  let sigmas = Array.init m_seen (fun _ -> Rng.nat_below t.rng n) in
+  let it : Enc_item.scored =
+    {
+      ehl =
+        Ehl.Ehl_plus.of_cells
+          (Array.init cells (fun _ -> Paillier.encrypt t.rng t.pub (Rng.nat_below t.rng n)));
+      worst = Paillier.encrypt t.rng t.pub (Modular.add z beta ~m:n);
+      best = Paillier.encrypt t.rng t.pub (Modular.add z gamma ~m:n);
+      (* all-ones seen vector: the sentinel's best score stays -1 under
+         the checkpoint refresh *)
+      seen =
+        Array.init m_seen (fun l ->
+            Paillier.encrypt t.rng t.pub (Modular.add Nat.one sigmas.(l) ~m:n));
+    }
+  in
+  let pack : Enc_item.pack =
+    {
+      alphas = Array.map (fun a -> Paillier.encrypt t.rng own_pub a) alphas;
+      beta = Paillier.encrypt t.rng own_pub beta;
+      gamma = Paillier.encrypt t.rng own_pub gamma;
+      sigmas = Array.map (fun a -> Paillier.encrypt t.rng own_pub a) sigmas;
+    }
+  in
+  (it, pack)
+
+let handle t ~label (req : Wire.request) : Wire.response =
+  match req with
+  | Wire.Sign_of c ->
+    let sign = Bigint.sign (Paillier.decrypt_signed t.sk c) in
+    Trace.record t.trace (Trace.Comparison { protocol = label; ordering = sign });
+    Wire.Sign sign
+  | Wire.Equality diffs ->
+    let bits = List.map (fun c -> Nat.is_zero (Paillier.decrypt t.sk c)) diffs in
+    Trace.record t.trace (Trace.Equality_bits { protocol = label; bits });
+    Wire.Bits2 (List.map (dj_bit t.rng t) bits)
+  | Wire.Conjunction groups ->
+    (* a group holds iff every difference decrypts to zero *)
+    let bits =
+      List.map (fun g -> List.for_all (fun c -> Nat.is_zero (Paillier.decrypt t.sk c)) g) groups
+    in
+    Trace.record t.trace (Trace.Equality_bits { protocol = label; bits });
+    Wire.Bits2 (List.map (dj_bit t.rng t) bits)
+  | Wire.Recover c -> Wire.Ct (Damgard_jurik.decrypt_layered t.djsk t.pub c)
+  | Wire.Lift cs ->
+    (* re-encrypt the (blinded, uniform) plaintexts under DJ *)
+    Wire.Bits2
+      (List.map (fun c -> Damgard_jurik.encrypt t.rng t.djpub (Paillier.decrypt t.sk c)) cs)
+  | Wire.Dgk_low_bits { bits; z } ->
+    let zv = Paillier.decrypt t.sk z in
+    let z_bits = List.init bits (fun i -> if Nat.nth_bit zv i then 1 else 0) in
+    let bit_cts = List.map (fun v -> Paillier.encrypt t.rng t.pub (Nat.of_int v)) z_bits in
+    Wire.Dgk_bits { bit_cts; parity = Nat.nth_bit zv bits }
+  | Wire.Zero_any cs ->
+    let lambda = List.exists (fun c -> Nat.is_zero (Paillier.decrypt t.sk c)) cs in
+    Trace.record t.trace
+      (Trace.Comparison { protocol = label; ordering = Bool.to_int lambda });
+    Wire.Bit lambda
+  | Wire.Zero_test c -> Wire.Bit (Nat.is_zero (Paillier.decrypt t.sk c))
+  | Wire.Mult (a, b) ->
+    let n = t.pub.Paillier.n in
+    let ha = Paillier.decrypt t.sk a and hb = Paillier.decrypt t.sk b in
+    Wire.Ct (Paillier.encrypt t.rng t.pub (Modular.mul ha hb ~m:n))
+  | Wire.Lsb c ->
+    let y = Paillier.decrypt t.sk c in
+    Wire.Ct (Paillier.encrypt t.rng t.pub (if Nat.is_even y then Nat.zero else Nat.one))
+  | Wire.Dedup { mode; diffs; items } ->
+    let l = List.length items in
+    let pair_idx = Wire.pair_indices l in
+    if List.length diffs <> Array.length pair_idx then
+      invalid_arg "S2_server: dedup pair count mismatch";
+    let pair_eq =
+      Array.of_list (List.map (fun c -> Nat.is_zero (Paillier.decrypt t.sk c)) diffs)
+    in
+    let equal_pairs =
+      Array.to_list pair_idx |> List.filteri (fun idx _ -> pair_eq.(idx))
+    in
+    Trace.record t.trace (Trace.Dedup_matrix { protocol = label; size = l; equal_pairs });
+    (* keep the highest index of every duplicate group, mark the rest *)
+    let duplicate = Array.make (max l 1) false in
+    List.iter (fun (i, _) -> duplicate.(i) <- true) equal_pairs;
+    let masked = Array.of_list items in
+    let cells, m_seen =
+      match items with
+      | (it, _) :: _ -> (Ehl.Ehl_plus.length it.Enc_item.ehl, Array.length it.Enc_item.seen)
+      | [] -> (0, 0)
+    in
+    let processed =
+      Array.to_list
+        (Array.mapi
+           (fun i (it, pack) ->
+             if duplicate.(i) then
+               match mode with
+               | Wire.Replace -> Some (dedup_replacement t ~cells ~m_seen)
+               | Wire.Eliminate -> None
+             else Some (dedup_remask t it pack))
+           masked)
+      |> List.filter_map Fun.id
+    in
+    (match mode with
+    | Wire.Eliminate ->
+      Trace.record t.trace
+        (Trace.Count { protocol = "SecDupElim"; value = List.length processed })
+    | Wire.Replace -> ());
+    (* second permutation before the items travel back *)
+    let out = Array.of_list processed in
+    ignore (Rng.shuffle t.rng out);
+    Wire.Items (Array.to_list out)
+  | Wire.Dup_flags cs ->
+    let flags = List.map (fun c -> not (Nat.is_zero (Damgard_jurik.decrypt t.djsk c))) cs in
+    let kept = List.length (List.filter not flags) in
+    Trace.record t.trace (Trace.Count { protocol = label; value = kept });
+    Wire.Flags flags
+  | Wire.Sort_items { keys; items } ->
+    if List.length keys <> List.length items then
+      invalid_arg "S2_server: sort key/item count mismatch";
+    let decorated =
+      Array.of_list
+        (List.map2 (fun k it -> (Paillier.decrypt_signed t.sk k, it)) keys items)
+    in
+    Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
+    Trace.record t.trace (Trace.Count { protocol = label; value = Array.length decorated });
+    Wire.Sorted
+      (Array.to_list
+         (Array.map (fun (_, it) -> Enc_item.rerandomize_scored t.rng t.pub it) decorated))
+  | Wire.Sort_gate { descending; kx; ky; x; y } ->
+    let vx = Paillier.decrypt_signed t.sk kx and vy = Paillier.decrypt_signed t.sk ky in
+    let cmp = Bigint.compare vx vy in
+    Trace.record t.trace (Trace.Comparison { protocol = label; ordering = compare cmp 0 });
+    let first, second =
+      if (cmp >= 0 && descending) || (cmp < 0 && not descending) then (x, y) else (y, x)
+    in
+    let first = Enc_item.rerandomize_scored t.rng t.pub first in
+    let second = Enc_item.rerandomize_scored t.rng t.pub second in
+    Wire.Pair (first, second)
+  | Wire.Filter tuples ->
+    let n = t.pub.Paillier.n in
+    let own = t.own_pub in
+    (* decrypt blinded scores; drop zeros; re-blind survivors *)
+    let survivors =
+      List.filter
+        (fun (tp : Wire.tuple) -> not (Nat.is_zero (Paillier.decrypt t.sk tp.Wire.score)))
+        tuples
+    in
+    Trace.record t.trace (Trace.Count { protocol = label; value = List.length survivors });
+    let reblinded =
+      List.map
+        (fun (tp : Wire.tuple) ->
+          let g = Rng.unit_mod t.rng n in
+          let gs = Array.map (fun _ -> Rng.nat_below t.rng n) tp.Wire.attrs in
+          let score' = Paillier.scalar_mul t.pub tp.Wire.score g in
+          let attrs' =
+            Array.mapi
+              (fun i x -> Paillier.add t.pub x (Paillier.encrypt t.rng t.pub gs.(i)))
+              tp.Wire.attrs
+          in
+          let g_inv = Modular.inv g ~m:n in
+          (* escrow update: append Enc_pk'(g^-1); R~ = R + G *)
+          {
+            Wire.score = score';
+            attrs = attrs';
+            r_escrow = Paillier.encrypt t.rng own g_inv :: tp.Wire.r_escrow;
+            a_escrow =
+              Array.mapi
+                (fun i c -> Paillier.add own c (Paillier.encrypt t.rng own gs.(i)))
+                tp.Wire.a_escrow;
+          })
+        survivors
+    in
+    let out = Array.of_list reblinded in
+    ignore (Rng.shuffle t.rng out);
+    Wire.Tuples (Array.to_list out)
+  | Wire.Rank_tuples rows ->
+    let decorated =
+      Array.of_list
+        (List.map (fun (k, score, attrs) -> (Paillier.decrypt_signed t.sk k, (score, attrs))) rows)
+    in
+    Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
+    Trace.record t.trace (Trace.Count { protocol = label; value = Array.length decorated });
+    Wire.Ranked
+      (Array.to_list
+         (Array.map
+            (fun (_, (score, attrs)) ->
+              ( Paillier.rerandomize t.rng t.pub score,
+                Array.map (Paillier.rerandomize t.rng t.pub) attrs ))
+            decorated))
+  | Wire.Rank_keys cs ->
+    let decorated =
+      Array.of_list (List.mapi (fun j c -> (j, Paillier.decrypt t.sk c)) cs)
+    in
+    Array.sort (fun (_, a) (_, b) -> Nat.compare a b) decorated;
+    Trace.record t.trace (Trace.Count { protocol = label; value = Array.length decorated });
+    Wire.Indices (Array.to_list (Array.map fst decorated))
+  | Wire.Zero_slot cs ->
+    (* decrypts every slot up to the first zero, none after - the same
+       short-circuit the simulated party used *)
+    let slot = ref None in
+    List.iteri
+      (fun i c ->
+        if !slot = None && Nat.is_zero (Paillier.decrypt t.sk c) then slot := Some i)
+      cs;
+    Wire.Slot !slot
+
+(* ---------------- request loop over a file descriptor ----------------
+
+   One connection serves one client context and all its parallel forks:
+   sessions are keyed by the 4-byte id in each frame, created/retired by
+   Fork/Join control frames in the exact order the client forks its own
+   halves, so both parties' randomness streams stay aligned. *)
+
+let serve_loop fd root collector =
+  let sessions : (int, t) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.replace sessions 0 root;
+  let session_of id =
+    match Hashtbl.find_opt sessions id with
+    | Some s -> s
+    | None -> invalid_arg "S2_server: unknown session"
+  in
+  let running = ref true in
+  while !running do
+    match Wire.read_frame fd with
+    | None -> running := false
+    | Some frame -> (
+      match Wire.frame_kind frame with
+      | Some k when k = 'Q' ->
+        let keys = Wire.keys_of ~pub:root.pub ~djpub:root.djpub ~own_pub:root.own_pub in
+        let session, label, req = Wire.decode_request keys frame in
+        let resp = handle (session_of session) ~label req in
+        Wire.write_frame fd (Wire.encode_response keys resp)
+      | Some k when k = 'C' ->
+        let reply =
+          match Wire.decode_control frame with
+          | Wire.Hello _ -> invalid_arg "S2_server: duplicate Hello"
+          | Wire.Fork { parent; child; label } ->
+            Hashtbl.replace sessions child (fork (session_of parent) ~label);
+            Wire.Ok_ctl
+          | Wire.Join { parent; child } ->
+            join (session_of child) ~into:(session_of parent);
+            Hashtbl.remove sessions child;
+            Wire.Ok_ctl
+          | Wire.Get_trace -> Wire.Trace_events (Trace.events root.trace)
+          | Wire.Get_stats ->
+            let m = Obs.Collector.metrics collector in
+            Wire.Stats
+              (List.map
+                 (fun (op, v) -> (Obs.Metrics.name op, v))
+                 (Obs.Metrics.to_alist m))
+          | Wire.Shutdown ->
+            running := false;
+            Wire.Ok_ctl
+        in
+        Wire.write_frame fd (Wire.encode_control_reply reply)
+      | _ -> invalid_arg "S2_server: unexpected frame kind")
+  done
+
+let serve_fd fd =
+  match Wire.read_frame fd with
+  | None -> ()
+  | Some first -> (
+    match Wire.decode_control first with
+    | Wire.Hello h ->
+      Obs.set_enabled h.Wire.obs;
+      let root = of_hello h in
+      let collector = Obs.Collector.create () in
+      Wire.write_frame fd (Wire.encode_control_reply Wire.Ok_ctl);
+      Obs.with_collector collector (fun () -> serve_loop fd root collector)
+    | _ -> invalid_arg "S2_server: expected Hello")

@@ -1,0 +1,45 @@
+(** The S2 party: key holder and responder.
+
+    S2 owns the Paillier/DJ secret keys, its own randomness stream and the
+    {!Trace} of everything it decrypts. It never sees S1 state — its whole
+    view is the stream of {!Wire.request} frames dispatched to {!handle},
+    each carrying the protocol label under which revealed facts are traced.
+    The same handler code serves all three transports, so results, traces
+    and operation counts are byte-identical whether S2 runs in-process or
+    as a separate daemon. *)
+
+open Crypto
+
+type t
+
+val create :
+  pub:Paillier.public ->
+  djpub:Damgard_jurik.public ->
+  sk:Paillier.secret ->
+  djsk:Damgard_jurik.secret ->
+  own_pub:Paillier.public ->
+  rng:Rng.t ->
+  t
+
+(** Rebuild S2 state from the client's provisioning parameters, replaying
+    the seeded generator in the exact order [Ctx.provision] consumes it
+    (keygen, then the "ctx"/"s1"/"s2" forks). Demo/test provisioning: real
+    deployments ship keys out-of-band. *)
+val of_hello : Wire.hello -> t
+
+(** Answer one request; the label names the protocol for trace purposes. *)
+val handle : t -> label:string -> Wire.request -> Wire.response
+
+(** Fork a child session for one parallel task (fresh rng fork + empty
+    trace, shared keys); [join] folds the child's trace back in call
+    order. Mirrors [Ctx.parallel]'s S1-side forks one-to-one. *)
+val fork : t -> label:string -> t
+
+val join : t -> into:t -> unit
+val trace : t -> Trace.t
+val secret_key : t -> Paillier.secret
+
+(** Serve one connection: expects a [Hello] control frame, then answers
+    request/control frames until EOF or [Shutdown]. Runs the daemon side
+    of the Socket transport. *)
+val serve_fd : Unix.file_descr -> unit

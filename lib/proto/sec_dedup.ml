@@ -1,18 +1,9 @@
 open Bignum
 open Crypto
 
-type mode = Replace | Eliminate
+type mode = Wire.dedup_mode = Replace | Eliminate
 
 let protocol = "SecDedup"
-
-(* Randomness S1 attaches to one item, encrypted under S1's personal pk'
-   so that S2 can add its own share homomorphically without reading it. *)
-type blind_pack = {
-  alphas : Paillier.ciphertext array; (* Enc_pk'(alpha_c), one per EHL cell *)
-  beta : Paillier.ciphertext; (* Enc_pk'(beta)  - worst-score mask *)
-  gamma : Paillier.ciphertext; (* Enc_pk'(gamma) - best-score mask *)
-  sigmas : Paillier.ciphertext array; (* Enc_pk'(sigma_l) - seen-bit masks *)
-}
 
 let mask_item (s1 : Ctx.s1) (it : Enc_item.scored) =
   let n = s1.pub.Paillier.n in
@@ -34,7 +25,7 @@ let mask_item (s1 : Ctx.s1) (it : Enc_item.scored) =
           it.Enc_item.seen;
     }
   in
-  let pack =
+  let pack : Enc_item.pack =
     {
       alphas = Array.map (fun a -> Paillier.encrypt s1.rng s1.own_pub a) alphas;
       beta = Paillier.encrypt s1.rng s1.own_pub beta;
@@ -44,83 +35,12 @@ let mask_item (s1 : Ctx.s1) (it : Enc_item.scored) =
   in
   (masked, pack)
 
-(* S2 layers its own randomness on a (masked) item and updates the pack
-   under pk' accordingly. *)
-let s2_remask (s2 : Ctx.s2) own_pub (it : Enc_item.scored) pack =
-  let n = s2.pub2.Paillier.n in
-  let cells = Ehl.Ehl_plus.length it.Enc_item.ehl in
-  let alphas' = Array.init cells (fun _ -> Rng.nat_below s2.rng2 n) in
-  let beta' = Rng.nat_below s2.rng2 n in
-  let gamma' = Rng.nat_below s2.rng2 n in
-  let sigmas' = Array.map (fun _ -> Rng.nat_below s2.rng2 n) it.Enc_item.seen in
-  let it' : Enc_item.scored =
-    {
-      ehl =
-        Ehl.Ehl_plus.mask s2.pub2 it.Enc_item.ehl
-          (Array.map (fun a -> Paillier.encrypt s2.rng2 s2.pub2 a) alphas');
-      worst = Paillier.add s2.pub2 it.Enc_item.worst (Paillier.encrypt s2.rng2 s2.pub2 beta');
-      best = Paillier.add s2.pub2 it.Enc_item.best (Paillier.encrypt s2.rng2 s2.pub2 gamma');
-      seen =
-        Array.mapi
-          (fun l u -> Paillier.add s2.pub2 u (Paillier.encrypt s2.rng2 s2.pub2 sigmas'.(l)))
-          it.Enc_item.seen;
-    }
-  in
-  let pack' =
-    {
-      alphas =
-        Array.mapi
-          (fun c a -> Paillier.add own_pub a (Paillier.encrypt s2.rng2 own_pub alphas'.(c)))
-          pack.alphas;
-      beta = Paillier.add own_pub pack.beta (Paillier.encrypt s2.rng2 own_pub beta');
-      gamma = Paillier.add own_pub pack.gamma (Paillier.encrypt s2.rng2 own_pub gamma');
-      sigmas =
-        Array.mapi
-          (fun l a -> Paillier.add own_pub a (Paillier.encrypt s2.rng2 own_pub sigmas'.(l)))
-          pack.sigmas;
-    }
-  in
-  (it', pack')
-
-(* A replacement for a duplicate: random cells (an EHL of a random object
-   under a random function) and worst/best = Z + mask, all under the main
-   public key, with the mask disclosed to S1 via pk'. *)
-let s2_replacement (s2 : Ctx.s2) own_pub ~cells ~m_seen =
-  let n = s2.pub2.Paillier.n in
-  let z = Nat.pred n in
-  let beta = Rng.nat_below s2.rng2 n and gamma = Rng.nat_below s2.rng2 n in
-  let alphas = Array.init cells (fun _ -> Rng.nat_below s2.rng2 n) in
-  let sigmas = Array.init m_seen (fun _ -> Rng.nat_below s2.rng2 n) in
-  let it : Enc_item.scored =
-    {
-      ehl =
-        Ehl.Ehl_plus.of_cells
-          (Array.init cells (fun _ -> Paillier.encrypt s2.rng2 s2.pub2 (Rng.nat_below s2.rng2 n)));
-      worst = Paillier.encrypt s2.rng2 s2.pub2 (Modular.add z beta ~m:n);
-      best = Paillier.encrypt s2.rng2 s2.pub2 (Modular.add z gamma ~m:n);
-      (* all-ones seen vector: the sentinel's best score stays -1 under
-         the checkpoint refresh *)
-      seen =
-        Array.init m_seen (fun l ->
-            Paillier.encrypt s2.rng2 s2.pub2 (Modular.add Nat.one sigmas.(l) ~m:n));
-    }
-  in
-  let pack =
-    {
-      alphas = Array.map (fun a -> Paillier.encrypt s2.rng2 own_pub a) alphas;
-      beta = Paillier.encrypt s2.rng2 own_pub beta;
-      gamma = Paillier.encrypt s2.rng2 own_pub gamma;
-      sigmas = Array.map (fun a -> Paillier.encrypt s2.rng2 own_pub a) sigmas;
-    }
-  in
-  (it, pack)
-
-let unmask_item (s1 : Ctx.s1) (it : Enc_item.scored) pack =
+let unmask_item (s1 : Ctx.s1) (it : Enc_item.scored) (pack : Enc_item.pack) =
   let n = s1.pub.Paillier.n in
   let dec c = Nat.rem (Paillier.decrypt s1.own_sk c) n in
-  let alphas = Array.map dec pack.alphas in
-  let beta = dec pack.beta and gamma = dec pack.gamma in
-  let sigmas = Array.map dec pack.sigmas in
+  let alphas = Array.map dec pack.Enc_item.alphas in
+  let beta = dec pack.Enc_item.beta and gamma = dec pack.Enc_item.gamma in
+  let sigmas = Array.map dec pack.Enc_item.sigmas in
   {
     Enc_item.ehl =
       Ehl.Ehl_plus.mask s1.pub it.Enc_item.ehl
@@ -137,70 +57,34 @@ let run (ctx : Ctx.t) ~mode items =
   Obs.span protocol @@ fun () ->
   match items with
   | [] -> []
-  | first :: _ ->
-    let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
-    let cells = Ehl.Ehl_plus.length first.Enc_item.ehl in
-    let m_seen = Array.length first.Enc_item.seen in
+  | _ ->
+    let s1 = ctx.Ctx.s1 in
     let l = List.length items in
     let arr = Array.of_list items in
     (* --- S1: permute, build the pairwise matrix on the permuted order,
        mask every item --- *)
     ignore (Rng.shuffle s1.rng arr);
-    let pair_idx =
-      let acc = ref [] in
-      for i = l - 1 downto 0 do
-        for j = l - 1 downto i + 1 do
-          acc := (i, j) :: !acc
-        done
-      done;
-      Array.of_list !acc
-    in
-    (* Each matrix entry is an independent blinded diff (S1) followed by
-       one decryption (S2): fan the l*(l-1)/2 pairs out on the pool. *)
-    let pair_eq =
+    let pair_idx = Wire.pair_indices l in
+    (* Each matrix entry is an independent blinded diff: fan the
+       l*(l-1)/2 pairs out on the pool (pure S1 work). *)
+    let diffs =
       Ctx.parallel ctx ~jobs:(Array.length pair_idx) (fun sub idx ->
           let i, j = pair_idx.(idx) in
           let sub1 = sub.Ctx.s1 in
-          let d =
-            Ehl.Ehl_plus.diff ?blind_bits:sub1.blind_bits sub1.rng sub1.pub
-              arr.(i).Enc_item.ehl arr.(j).Enc_item.ehl
-          in
-          Nat.is_zero (Paillier.decrypt sub.Ctx.s2.sk d))
+          Ehl.Ehl_plus.diff ?blind_bits:sub1.blind_bits sub1.rng sub1.pub
+            arr.(i).Enc_item.ehl arr.(j).Enc_item.ehl)
     in
     let masked = Array.map (mask_item s1) arr in
-    let ct = Paillier.ciphertext_bytes s1.pub in
-    let own_ct = Paillier.ciphertext_bytes s1.own_pub in
-    let item_bytes = ((cells + 2 + m_seen) * ct) + ((cells + 2 + m_seen) * own_ct) in
-    Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:protocol
-      ~bytes:((Array.length pair_idx * ct) + (l * item_bytes));
-    let equal_pairs =
-      Array.to_list pair_idx |> List.filteri (fun idx _ -> pair_eq.(idx))
+    (* --- one round trip: S2 decrypts the matrix, replaces or drops
+       duplicates, layers its own masks and a second permutation --- *)
+    let out =
+      match
+        Ctx.rpc ctx ~label:protocol
+          (Wire.Dedup
+             { mode; diffs = Array.to_list diffs; items = Array.to_list masked })
+      with
+      | Wire.Items out -> out
+      | _ -> failwith "Sec_dedup.run: unexpected response"
     in
-    Trace.record s2.trace (Trace.Dedup_matrix { protocol; size = l; equal_pairs });
-    (* keep the highest index of every duplicate group, mark the rest *)
-    let duplicate = Array.make l false in
-    List.iter (fun (i, _) -> duplicate.(i) <- true) equal_pairs;
-    let processed =
-      Array.to_list
-        (Array.mapi
-           (fun i (it, pack) ->
-             if duplicate.(i) then
-               match mode with
-               | Replace -> Some (s2_replacement s2 s1.own_pub ~cells ~m_seen)
-               | Eliminate -> None
-             else Some (s2_remask s2 s1.own_pub it pack))
-           masked)
-      |> List.filter_map Fun.id
-    in
-    (match mode with
-    | Eliminate ->
-      Trace.record s2.trace (Trace.Count { protocol = "SecDupElim"; value = List.length processed })
-    | Replace -> ());
-    (* --- S2: second permutation, return --- *)
-    let out = Array.of_list processed in
-    ignore (Rng.shuffle s2.rng2 out);
-    Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
-      ~bytes:(Array.length out * item_bytes);
-    Channel.round_trip s1.chan;
     (* --- S1: strip the accumulated masks --- *)
-    Array.to_list (Array.map (fun (it, pack) -> unmask_item s1 it pack) out)
+    List.map (fun (it, pack) -> unmask_item s1 it pack) out

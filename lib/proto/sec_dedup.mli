@@ -17,7 +17,7 @@
     (and a second permutation) on top so S1 cannot tell which items were
     replaced. *)
 
-type mode = Replace | Eliminate
+type mode = Wire.dedup_mode = Replace | Eliminate
 
 (** [run ctx ~mode items] — S2 learns only the permuted pairwise equality
     pattern (and, in [Eliminate] mode, S1 additionally learns the distinct

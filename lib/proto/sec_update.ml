@@ -11,7 +11,7 @@ let e2_sum dj ts =
 
 let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
   Obs.span protocol @@ fun () ->
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let dj = s1.djpub in
   match (t_list, gamma) with
   | [], g -> g
@@ -124,13 +124,13 @@ let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
       (* S2 reveals which (permuted) appended items matched; they are
          dropped — the SecDupElim leakage (UP^d) *)
       let flags_ct = Array.map (Damgard_jurik.rerandomize s1.rng dj) matched_e2 in
-      Channel.send s1.chan ~dir:Channel.S1_to_s2 ~label:"SecDupElim"
-        ~bytes:(n_new * Damgard_jurik.ciphertext_bytes dj);
-      let flags = Array.map (fun c -> not (Nat.is_zero (Damgard_jurik.decrypt s2.djsk c))) flags_ct in
-      let kept = Array.length (Array.of_list (List.filter not (Array.to_list flags))) in
-      Trace.record s2.trace (Trace.Count { protocol = "SecDupElim"; value = kept });
-      Channel.send s2.chan2 ~dir:Channel.S2_to_s1 ~label:"SecDupElim" ~bytes:n_new;
-      Channel.round_trip s1.chan;
+      let flags =
+        match
+          Ctx.rpc ctx ~label:"SecDupElim" (Wire.Dup_flags (Array.to_list flags_ct))
+        with
+        | Wire.Flags flags -> Array.of_list flags
+        | _ -> failwith "Sec_update.run: unexpected response"
+      in
       let fresh =
         Array.to_list news
         |> List.mapi (fun i nw -> if flags.(i) then None else Some nw)

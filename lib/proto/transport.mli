@@ -1,0 +1,79 @@
+(** Transport between the S1 driver code and the S2 responder.
+
+    Three implementations of one rpc interface:
+
+    - [Inproc]: S2 runs in-process and requests are dispatched without
+      materialising frames; the channel is charged {!Wire}'s closed-form
+      frame sizes (pinned to the real encoded lengths by the property
+      tests). The fast path.
+    - [Loopback]: every request and response is encoded through {!Wire}
+      and decoded on the other side, still in one process — proves each
+      protocol survives serialization, and measures real frame lengths.
+    - [Socket]: frames travel over a file descriptor to an S2 daemon in
+      another process (socketpair or TCP). True two-process mode.
+
+    A seeded query produces byte-identical results, traces and operation
+    counters on all three (socket-mode S2 ops are counted daemon-side;
+    fetch them with {!remote_stats}). *)
+
+type t
+
+val inproc : Wire.keys -> S2_server.t -> t
+val loopback : Wire.keys -> S2_server.t -> t
+
+(** Wrap a connected fd whose [Hello] handshake already happened
+    ({!spawn_daemon} / {!connect_tcp}). *)
+val socket : Wire.keys -> Unix.file_descr -> t
+
+val channel : t -> Channel.t
+val keys : t -> Wire.keys
+
+(** False for [Socket]: one ordered byte stream cannot interleave
+    concurrent sessions, so [Ctx.parallel] runs sequentially on it. *)
+val concurrent : t -> bool
+
+val mode_name : t -> string
+
+(** One request/response round trip. Both frames are charged to the
+    channel at their encoded length under the request's protocol label. *)
+val rpc : t -> label:string -> Wire.request -> Wire.response
+
+(** Fork a child transport for one parallel task: local transports fork
+    the in-process server; the socket transport opens a child session on
+    the daemon via a [Fork] control frame (control traffic is never
+    charged to the channel). [join_sub] merges the child's channel and
+    S2 trace back; call in task-index order. *)
+val fork : t -> label:string -> t
+
+val join_sub : t -> into:t -> unit
+
+(** Direct S2 state, for local transports and tests; raises
+    [Invalid_argument] when S2 is remote. *)
+val trace : t -> Trace.t
+
+val secret_key : t -> Crypto.Paillier.secret
+
+(** S2's trace, transport-independent (fetched by control rpc in socket
+    mode). *)
+val trace_events : t -> Trace.event list
+
+(** S2-side operation counters by metric name: empty for local transports
+    (S2 ops already land in the client's collector), the daemon's totals
+    in socket mode. *)
+val remote_stats : t -> (string * int) list
+
+(** Politely stop a socket daemon (no-op for local transports). *)
+val shutdown : t -> unit
+
+(** Send the provisioning [Hello] on a fresh connection and await the ack. *)
+val hello : Unix.file_descr -> Wire.hello -> unit
+
+(** Fork a child process serving S2 over a socketpair; returns the
+    connected fd (Hello done) and the child pid. *)
+val spawn_daemon : Wire.hello -> Unix.file_descr * int
+
+(** {!shutdown} + reap the daemon process. *)
+val stop_daemon : t -> int -> unit
+
+(** Connect to a standalone [topk_cli serve-s2] daemon over TCP. *)
+val connect_tcp : Unix.sockaddr -> Wire.hello -> Unix.file_descr

@@ -1,0 +1,848 @@
+open Crypto
+
+let magic = "STKW"
+let version = 1
+
+type keys = {
+  pub : Paillier.public;
+  djpub : Damgard_jurik.public;
+  own_pub : Paillier.public;
+}
+
+let keys_of ~pub ~djpub ~own_pub = { pub; djpub; own_pub }
+
+type dedup_mode = Replace | Eliminate
+
+type tuple = {
+  score : Paillier.ciphertext;
+  attrs : Paillier.ciphertext array;
+  r_escrow : Paillier.ciphertext list; (* under own_pub: multiplicative escrows *)
+  a_escrow : Paillier.ciphertext array; (* under own_pub: additive escrows *)
+}
+
+type request =
+  | Sign_of of Paillier.ciphertext
+  | Equality of Paillier.ciphertext list
+  | Conjunction of Paillier.ciphertext list list
+  | Recover of Damgard_jurik.ciphertext
+  | Lift of Paillier.ciphertext list
+  | Dgk_low_bits of { bits : int; z : Paillier.ciphertext }
+  | Zero_any of Paillier.ciphertext list
+  | Zero_test of Paillier.ciphertext
+  | Mult of Paillier.ciphertext * Paillier.ciphertext
+  | Lsb of Paillier.ciphertext
+  | Dedup of {
+      mode : dedup_mode;
+      diffs : Paillier.ciphertext list;
+      items : (Enc_item.scored * Enc_item.pack) list;
+    }
+  | Dup_flags of Damgard_jurik.ciphertext list
+  | Sort_items of { keys : Paillier.ciphertext list; items : Enc_item.scored list }
+  | Sort_gate of {
+      descending : bool;
+      kx : Paillier.ciphertext;
+      ky : Paillier.ciphertext;
+      x : Enc_item.scored;
+      y : Enc_item.scored;
+    }
+  | Filter of tuple list
+  | Rank_tuples of (Paillier.ciphertext * Paillier.ciphertext * Paillier.ciphertext array) list
+  | Rank_keys of Paillier.ciphertext list
+  | Zero_slot of Paillier.ciphertext list
+
+type response =
+  | Sign of int
+  | Bits2 of Damgard_jurik.ciphertext list
+  | Ct of Paillier.ciphertext
+  | Dgk_bits of { bit_cts : Paillier.ciphertext list; parity : bool }
+  | Bit of bool
+  | Flags of bool list
+  | Items of (Enc_item.scored * Enc_item.pack) list
+  | Sorted of Enc_item.scored list
+  | Pair of Enc_item.scored * Enc_item.scored
+  | Tuples of tuple list
+  | Ranked of (Paillier.ciphertext * Paillier.ciphertext array) list
+  | Indices of int list
+  | Slot of int option
+
+type hello = { seed : string; key_bits : int; rand_bits : int option; obs : bool }
+
+type control =
+  | Hello of hello
+  | Fork of { parent : int; child : int; label : string }
+  | Join of { parent : int; child : int }
+  | Get_trace
+  | Get_stats
+  | Shutdown
+
+type control_reply =
+  | Ok_ctl
+  | Trace_events of Trace.event list
+  | Stats of (string * int) list
+
+(* ---------------- pairwise index order for SecDedup ---------------- *)
+
+let pair_indices l =
+  let acc = ref [] in
+  for i = l - 1 downto 0 do
+    for j = l - 1 downto i + 1 do
+      acc := (i, j) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+(* ---------------- primitive writers / readers ---------------- *)
+
+let put_int buf v =
+  if v < 0 || v > 0x3fffffff then invalid_arg "Wire: int out of range";
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_nat_fixed buf ~width n =
+  let b = Bignum.Nat.to_bytes n in
+  if String.length b > width then invalid_arg "Wire: value wider than field";
+  Buffer.add_string buf (String.make (width - String.length b) '\000');
+  Buffer.add_string buf b
+
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+type reader = { data : string; mutable pos : int }
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.data then invalid_arg "Wire: truncated input"
+
+let get_byte r =
+  need r 1;
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_int r =
+  need r 4;
+  let v =
+    (Char.code r.data.[r.pos] lsl 24)
+    lor (Char.code r.data.[r.pos + 1] lsl 16)
+    lor (Char.code r.data.[r.pos + 2] lsl 8)
+    lor Char.code r.data.[r.pos + 3]
+  in
+  r.pos <- r.pos + 4;
+  if v > 0x3fffffff then invalid_arg "Wire: int out of range";
+  v
+
+let get_string r =
+  let len = get_int r in
+  need r len;
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let get_nat_fixed r ~width =
+  need r width;
+  let s = String.sub r.data r.pos width in
+  r.pos <- r.pos + width;
+  Bignum.Nat.of_bytes s
+
+let get_bool r =
+  match get_byte r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> invalid_arg "Wire: bad boolean"
+
+(* [get_count] bounds a collection length by the bytes that remain: every
+   element occupies at least [item_width] bytes, so a hostile count cannot
+   trigger a giant allocation before the [need] checks fire. *)
+let get_count r ~item_width =
+  let n = get_int r in
+  need r (n * max 1 item_width);
+  n
+
+(* ---------------- ciphertext fields ---------------- *)
+
+let ct_width keys = Paillier.ciphertext_bytes keys.pub
+let own_width keys = Paillier.ciphertext_bytes keys.own_pub
+let dj_width keys = Damgard_jurik.ciphertext_bytes keys.djpub
+
+let put_ct keys buf c = put_nat_fixed buf ~width:(ct_width keys) (Paillier.to_nat c)
+let put_own keys buf c = put_nat_fixed buf ~width:(own_width keys) (Paillier.to_nat c)
+let put_dj keys buf c = put_nat_fixed buf ~width:(dj_width keys) (Damgard_jurik.to_nat c)
+
+let get_ct keys r = Paillier.of_nat keys.pub (get_nat_fixed r ~width:(ct_width keys))
+let get_own keys r = Paillier.of_nat keys.own_pub (get_nat_fixed r ~width:(own_width keys))
+let get_dj keys r = Damgard_jurik.of_nat keys.djpub (get_nat_fixed r ~width:(dj_width keys))
+
+let put_ct_list keys buf cs =
+  put_int buf (List.length cs);
+  List.iter (put_ct keys buf) cs
+
+let get_ct_list keys r =
+  let n = get_count r ~item_width:(ct_width keys) in
+  List.init n (fun _ -> get_ct keys r)
+
+let put_dj_list keys buf cs =
+  put_int buf (List.length cs);
+  List.iter (put_dj keys buf) cs
+
+let get_dj_list keys r =
+  let n = get_count r ~item_width:(dj_width keys) in
+  List.init n (fun _ -> get_dj keys r)
+
+(* ---------------- compound payloads ---------------- *)
+
+let put_scored keys buf (s : Enc_item.scored) =
+  let cells = Ehl.Ehl_plus.cells s.ehl in
+  put_int buf (Array.length cells);
+  Array.iter (put_ct keys buf) cells;
+  put_ct keys buf s.worst;
+  put_ct keys buf s.best;
+  put_int buf (Array.length s.seen);
+  Array.iter (put_ct keys buf) s.seen
+
+let get_scored keys r : Enc_item.scored =
+  let w = ct_width keys in
+  let cells_n = get_count r ~item_width:w in
+  if cells_n <= 0 || cells_n > 4096 then invalid_arg "Wire: bad cell count";
+  let cells = Array.init cells_n (fun _ -> get_ct keys r) in
+  let worst = get_ct keys r in
+  let best = get_ct keys r in
+  let seen_n = get_count r ~item_width:w in
+  if seen_n > 4096 then invalid_arg "Wire: bad seen count";
+  let seen = Array.init seen_n (fun _ -> get_ct keys r) in
+  { ehl = Ehl.Ehl_plus.of_cells cells; worst; best; seen }
+
+let scored_size keys (s : Enc_item.scored) =
+  8 + ((Ehl.Ehl_plus.length s.ehl + 2 + Array.length s.seen) * ct_width keys)
+
+let put_pack keys buf (p : Enc_item.pack) =
+  put_int buf (Array.length p.alphas);
+  Array.iter (put_own keys buf) p.alphas;
+  put_own keys buf p.beta;
+  put_own keys buf p.gamma;
+  put_int buf (Array.length p.sigmas);
+  Array.iter (put_own keys buf) p.sigmas
+
+let get_pack keys r : Enc_item.pack =
+  let w = own_width keys in
+  let alphas_n = get_count r ~item_width:w in
+  if alphas_n <= 0 || alphas_n > 4096 then invalid_arg "Wire: bad alpha count";
+  let alphas = Array.init alphas_n (fun _ -> get_own keys r) in
+  let beta = get_own keys r in
+  let gamma = get_own keys r in
+  let sigmas_n = get_count r ~item_width:w in
+  if sigmas_n > 4096 then invalid_arg "Wire: bad sigma count";
+  let sigmas = Array.init sigmas_n (fun _ -> get_own keys r) in
+  { alphas; beta; gamma; sigmas }
+
+let pack_size keys (p : Enc_item.pack) =
+  8 + ((Array.length p.alphas + 2 + Array.length p.sigmas) * own_width keys)
+
+let put_tuple keys buf (t : tuple) =
+  put_ct keys buf t.score;
+  put_int buf (Array.length t.attrs);
+  Array.iter (put_ct keys buf) t.attrs;
+  put_int buf (List.length t.r_escrow);
+  List.iter (put_own keys buf) t.r_escrow;
+  put_int buf (Array.length t.a_escrow);
+  Array.iter (put_own keys buf) t.a_escrow
+
+let get_tuple keys r : tuple =
+  let score = get_ct keys r in
+  let attrs_n = get_count r ~item_width:(ct_width keys) in
+  if attrs_n > 4096 then invalid_arg "Wire: bad attr count";
+  let attrs = Array.init attrs_n (fun _ -> get_ct keys r) in
+  let re_n = get_count r ~item_width:(own_width keys) in
+  if re_n > 4096 then invalid_arg "Wire: bad escrow count";
+  let r_escrow = List.init re_n (fun _ -> get_own keys r) in
+  let ae_n = get_count r ~item_width:(own_width keys) in
+  if ae_n > 4096 then invalid_arg "Wire: bad escrow count";
+  let a_escrow = Array.init ae_n (fun _ -> get_own keys r) in
+  { score; attrs; r_escrow; a_escrow }
+
+let tuple_size keys (t : tuple) =
+  (ct_width keys * (1 + Array.length t.attrs))
+  + 12
+  + (own_width keys * (List.length t.r_escrow + Array.length t.a_escrow))
+
+(* ---------------- frame header ----------------
+
+   "STKW" | version | kind | tag | session (4 bytes); requests append a
+   length-prefixed label naming the protocol for S2's trace and the
+   bandwidth report. *)
+
+let kind_request = 'Q'
+let kind_response = 'P'
+let kind_control = 'C'
+let kind_control_reply = 'D'
+
+let header_size = 11
+let request_header_bytes ~label = header_size + 4 + String.length label
+let response_header_bytes = header_size
+
+let put_header buf ~kind ~tag ~session =
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf kind;
+  Buffer.add_char buf (Char.chr tag);
+  put_int buf session
+
+let get_header r ~kind =
+  need r 4;
+  if String.sub r.data r.pos 4 <> magic then invalid_arg "Wire: bad magic";
+  r.pos <- r.pos + 4;
+  if get_byte r <> version then invalid_arg "Wire: unsupported version";
+  if get_byte r <> Char.code kind then invalid_arg "Wire: unexpected frame kind";
+  let tag = get_byte r in
+  let session = get_int r in
+  (tag, session)
+
+let finish r what =
+  if r.pos <> String.length r.data then invalid_arg ("Wire: trailing bytes in " ^ what)
+
+(* ---------------- request codec ---------------- *)
+
+(* smallest possible serialized [scored]: 1 cell, empty seen vector *)
+let scored_min keys = 8 + (3 * ct_width keys)
+
+let request_tag = function
+  | Sign_of _ -> 1
+  | Equality _ -> 2
+  | Conjunction _ -> 3
+  | Recover _ -> 4
+  | Lift _ -> 5
+  | Dgk_low_bits _ -> 6
+  | Zero_any _ -> 7
+  | Zero_test _ -> 8
+  | Mult _ -> 9
+  | Lsb _ -> 10
+  | Dedup _ -> 11
+  | Dup_flags _ -> 12
+  | Sort_items _ -> 13
+  | Sort_gate _ -> 14
+  | Filter _ -> 15
+  | Rank_tuples _ -> 16
+  | Rank_keys _ -> 17
+  | Zero_slot _ -> 18
+
+let encode_request keys ~session ~label req =
+  let buf = Buffer.create 1024 in
+  put_header buf ~kind:kind_request ~tag:(request_tag req) ~session;
+  put_string buf label;
+  (match req with
+  | Sign_of c | Zero_test c | Lsb c -> put_ct keys buf c
+  | Equality cs | Lift cs | Zero_any cs | Rank_keys cs | Zero_slot cs ->
+    put_ct_list keys buf cs
+  | Conjunction groups ->
+    put_int buf (List.length groups);
+    List.iter (put_ct_list keys buf) groups
+  | Recover c -> put_dj keys buf c
+  | Dgk_low_bits { bits; z } ->
+    put_int buf bits;
+    put_ct keys buf z
+  | Mult (a, b) ->
+    put_ct keys buf a;
+    put_ct keys buf b
+  | Dedup { mode; diffs; items } ->
+    put_bool buf (mode = Eliminate);
+    put_ct_list keys buf diffs;
+    put_int buf (List.length items);
+    List.iter
+      (fun (it, pk) ->
+        put_scored keys buf it;
+        put_pack keys buf pk)
+      items
+  | Dup_flags cs -> put_dj_list keys buf cs
+  | Sort_items { keys = ks; items } ->
+    put_ct_list keys buf ks;
+    put_int buf (List.length items);
+    List.iter (put_scored keys buf) items
+  | Sort_gate { descending; kx; ky; x; y } ->
+    put_bool buf descending;
+    put_ct keys buf kx;
+    put_ct keys buf ky;
+    put_scored keys buf x;
+    put_scored keys buf y
+  | Filter tuples ->
+    put_int buf (List.length tuples);
+    List.iter (put_tuple keys buf) tuples
+  | Rank_tuples rows ->
+    put_int buf (List.length rows);
+    List.iter
+      (fun (key, score, attrs) ->
+        put_ct keys buf key;
+        put_ct keys buf score;
+        put_int buf (Array.length attrs);
+        Array.iter (put_ct keys buf) attrs)
+      rows);
+  Buffer.contents buf
+
+let decode_request keys data =
+  let r = { data; pos = 0 } in
+  let tag, session = get_header r ~kind:kind_request in
+  let label = get_string r in
+  let w = ct_width keys in
+  let req =
+    match tag with
+    | 1 -> Sign_of (get_ct keys r)
+    | 2 -> Equality (get_ct_list keys r)
+    | 3 ->
+      let n = get_count r ~item_width:4 in
+      Conjunction (List.init n (fun _ -> get_ct_list keys r))
+    | 4 -> Recover (get_dj keys r)
+    | 5 -> Lift (get_ct_list keys r)
+    | 6 ->
+      let bits = get_int r in
+      if bits <= 0 || bits > 4096 then invalid_arg "Wire: bad bit width";
+      Dgk_low_bits { bits; z = get_ct keys r }
+    | 7 -> Zero_any (get_ct_list keys r)
+    | 8 -> Zero_test (get_ct keys r)
+    | 9 ->
+      let a = get_ct keys r in
+      let b = get_ct keys r in
+      Mult (a, b)
+    | 10 -> Lsb (get_ct keys r)
+    | 11 ->
+      let mode = if get_bool r then Eliminate else Replace in
+      let diffs = get_ct_list keys r in
+      let n = get_count r ~item_width:(scored_min keys) in
+      Dedup
+        { mode; diffs; items = List.init n (fun _ ->
+              let it = get_scored keys r in
+              let pk = get_pack keys r in
+              (it, pk)) }
+    | 13 ->
+      let ks = get_ct_list keys r in
+      let n = get_count r ~item_width:(scored_min keys) in
+      Sort_items { keys = ks; items = List.init n (fun _ -> get_scored keys r) }
+    | 14 ->
+      let descending = get_bool r in
+      let kx = get_ct keys r in
+      let ky = get_ct keys r in
+      let x = get_scored keys r in
+      let y = get_scored keys r in
+      Sort_gate { descending; kx; ky; x; y }
+    | 12 -> Dup_flags (get_dj_list keys r)
+    | 15 ->
+      let n = get_count r ~item_width:(w + 12) in
+      Filter (List.init n (fun _ -> get_tuple keys r))
+    | 16 ->
+      let n = get_count r ~item_width:((2 * w) + 4) in
+      Rank_tuples
+        (List.init n (fun _ ->
+             let key = get_ct keys r in
+             let score = get_ct keys r in
+             let a_n = get_count r ~item_width:w in
+             if a_n > 4096 then invalid_arg "Wire: bad attr count";
+             (key, score, Array.init a_n (fun _ -> get_ct keys r))))
+    | 17 -> Rank_keys (get_ct_list keys r)
+    | 18 -> Zero_slot (get_ct_list keys r)
+    | _ -> invalid_arg "Wire: unknown request tag"
+  in
+  finish r "request";
+  (session, label, req)
+
+(* ---------------- response codec ---------------- *)
+
+let response_tag = function
+  | Sign _ -> 1
+  | Bits2 _ -> 2
+  | Ct _ -> 3
+  | Dgk_bits _ -> 4
+  | Bit _ -> 5
+  | Flags _ -> 6
+  | Items _ -> 7
+  | Sorted _ -> 8
+  | Pair _ -> 9
+  | Tuples _ -> 10
+  | Ranked _ -> 11
+  | Indices _ -> 12
+  | Slot _ -> 13
+
+let encode_response keys resp =
+  let buf = Buffer.create 1024 in
+  put_header buf ~kind:kind_response ~tag:(response_tag resp) ~session:0;
+  (match resp with
+  | Sign s ->
+    if s < -1 || s > 1 then invalid_arg "Wire: bad sign";
+    Buffer.add_char buf (Char.chr (s + 1))
+  | Bits2 cs -> put_dj_list keys buf cs
+  | Ct c -> put_ct keys buf c
+  | Dgk_bits { bit_cts; parity } ->
+    put_ct_list keys buf bit_cts;
+    put_bool buf parity
+  | Bit b -> put_bool buf b
+  | Flags bs ->
+    put_int buf (List.length bs);
+    List.iter (put_bool buf) bs
+  | Items items ->
+    put_int buf (List.length items);
+    List.iter
+      (fun (it, pk) ->
+        put_scored keys buf it;
+        put_pack keys buf pk)
+      items
+  | Sorted items ->
+    put_int buf (List.length items);
+    List.iter (put_scored keys buf) items
+  | Pair (x, y) ->
+    put_scored keys buf x;
+    put_scored keys buf y
+  | Tuples tuples ->
+    put_int buf (List.length tuples);
+    List.iter (put_tuple keys buf) tuples
+  | Ranked rows ->
+    put_int buf (List.length rows);
+    List.iter
+      (fun (score, attrs) ->
+        put_ct keys buf score;
+        put_int buf (Array.length attrs);
+        Array.iter (put_ct keys buf) attrs)
+      rows
+  | Indices is ->
+    put_int buf (List.length is);
+    List.iter (put_int buf) is
+  | Slot s -> (
+    match s with
+    | None -> put_bool buf false
+    | Some i ->
+      put_bool buf true;
+      put_int buf i));
+  Buffer.contents buf
+
+let decode_response keys data =
+  let r = { data; pos = 0 } in
+  let tag, _session = get_header r ~kind:kind_response in
+  let w = ct_width keys in
+  let resp =
+    match tag with
+    | 1 -> (
+      match get_byte r with
+      | 0 -> Sign (-1)
+      | 1 -> Sign 0
+      | 2 -> Sign 1
+      | _ -> invalid_arg "Wire: bad sign")
+    | 2 -> Bits2 (get_dj_list keys r)
+    | 3 -> Ct (get_ct keys r)
+    | 4 ->
+      let bit_cts = get_ct_list keys r in
+      let parity = get_bool r in
+      Dgk_bits { bit_cts; parity }
+    | 5 -> Bit (get_bool r)
+    | 6 ->
+      let n = get_count r ~item_width:1 in
+      Flags (List.init n (fun _ -> get_bool r))
+    | 7 ->
+      let n = get_count r ~item_width:(scored_min keys) in
+      Items
+        (List.init n (fun _ ->
+             let it = get_scored keys r in
+             let pk = get_pack keys r in
+             (it, pk)))
+    | 8 ->
+      let n = get_count r ~item_width:(scored_min keys) in
+      Sorted (List.init n (fun _ -> get_scored keys r))
+    | 9 ->
+      let x = get_scored keys r in
+      let y = get_scored keys r in
+      Pair (x, y)
+    | 10 ->
+      let n = get_count r ~item_width:(w + 12) in
+      Tuples (List.init n (fun _ -> get_tuple keys r))
+    | 11 ->
+      let n = get_count r ~item_width:(w + 4) in
+      Ranked
+        (List.init n (fun _ ->
+             let score = get_ct keys r in
+             let a_n = get_count r ~item_width:w in
+             if a_n > 4096 then invalid_arg "Wire: bad attr count";
+             (score, Array.init a_n (fun _ -> get_ct keys r))))
+    | 12 ->
+      let n = get_count r ~item_width:4 in
+      Indices (List.init n (fun _ -> get_int r))
+    | 13 -> if get_bool r then Slot (Some (get_int r)) else Slot None
+    | _ -> invalid_arg "Wire: unknown response tag"
+  in
+  finish r "response";
+  resp
+
+(* ---------------- closed-form frame sizes ----------------
+
+   Exactly [String.length (encode_* ...)], asserted by the property tests:
+   the Inproc transport charges these without materialising the frame. *)
+
+let request_bytes keys ~label req =
+  let w = ct_width keys and d = dj_width keys in
+  let payload =
+    match req with
+    | Sign_of _ | Zero_test _ | Lsb _ -> w
+    | Equality cs | Lift cs | Zero_any cs | Rank_keys cs | Zero_slot cs ->
+      4 + (List.length cs * w)
+    | Conjunction groups ->
+      4 + List.fold_left (fun acc g -> acc + 4 + (List.length g * w)) 0 groups
+    | Recover _ -> d
+    | Dgk_low_bits _ -> 4 + w
+    | Mult _ -> 2 * w
+    | Dedup { diffs; items; _ } ->
+      1
+      + (4 + (List.length diffs * w))
+      + 4
+      + List.fold_left
+          (fun acc (it, pk) -> acc + scored_size keys it + pack_size keys pk)
+          0 items
+    | Dup_flags cs -> 4 + (List.length cs * d)
+    | Sort_items { keys = ks; items } ->
+      4
+      + (List.length ks * w)
+      + 4
+      + List.fold_left (fun acc it -> acc + scored_size keys it) 0 items
+    | Sort_gate { x; y; _ } -> 1 + (2 * w) + scored_size keys x + scored_size keys y
+    | Filter tuples ->
+      4 + List.fold_left (fun acc t -> acc + tuple_size keys t) 0 tuples
+    | Rank_tuples rows ->
+      4
+      + List.fold_left
+          (fun acc (_, _, attrs) -> acc + (2 * w) + 4 + (Array.length attrs * w))
+          0 rows
+  in
+  request_header_bytes ~label + payload
+
+let response_bytes keys resp =
+  let w = ct_width keys and d = dj_width keys in
+  let payload =
+    match resp with
+    | Sign _ | Bit _ -> 1
+    | Bits2 cs -> 4 + (List.length cs * d)
+    | Ct _ -> w
+    | Dgk_bits { bit_cts; _ } -> 4 + (List.length bit_cts * w) + 1
+    | Flags bs -> 4 + List.length bs
+    | Items items ->
+      4
+      + List.fold_left
+          (fun acc (it, pk) -> acc + scored_size keys it + pack_size keys pk)
+          0 items
+    | Sorted items -> 4 + List.fold_left (fun acc it -> acc + scored_size keys it) 0 items
+    | Pair (x, y) -> scored_size keys x + scored_size keys y
+    | Tuples tuples -> 4 + List.fold_left (fun acc t -> acc + tuple_size keys t) 0 tuples
+    | Ranked rows ->
+      4
+      + List.fold_left (fun acc (_, attrs) -> acc + w + 4 + (Array.length attrs * w)) 0 rows
+    | Indices is -> 4 + (4 * List.length is)
+    | Slot None -> 1
+    | Slot (Some _) -> 5
+  in
+  response_header_bytes + payload
+
+(* ---------------- control codec ----------------
+
+   Provisioning and orchestration frames: never part of the protocol
+   bandwidth accounting (the paper's cost model has no analogue of them). *)
+
+let encode_control ctl =
+  let buf = Buffer.create 64 in
+  let tag =
+    match ctl with
+    | Hello _ -> 1
+    | Fork _ -> 2
+    | Join _ -> 3
+    | Get_trace -> 4
+    | Get_stats -> 5
+    | Shutdown -> 6
+  in
+  put_header buf ~kind:kind_control ~tag ~session:0;
+  (match ctl with
+  | Hello { seed; key_bits; rand_bits; obs } ->
+    put_string buf seed;
+    put_int buf key_bits;
+    (match rand_bits with
+    | None -> put_bool buf false
+    | Some b ->
+      put_bool buf true;
+      put_int buf b);
+    put_bool buf obs
+  | Fork { parent; child; label } ->
+    put_int buf parent;
+    put_int buf child;
+    put_string buf label
+  | Join { parent; child } ->
+    put_int buf parent;
+    put_int buf child
+  | Get_trace | Get_stats | Shutdown -> ());
+  Buffer.contents buf
+
+let decode_control data =
+  let r = { data; pos = 0 } in
+  let tag, _session = get_header r ~kind:kind_control in
+  let ctl =
+    match tag with
+    | 1 ->
+      let seed = get_string r in
+      let key_bits = get_int r in
+      let rand_bits = if get_bool r then Some (get_int r) else None in
+      let obs = get_bool r in
+      Hello { seed; key_bits; rand_bits; obs }
+    | 2 ->
+      let parent = get_int r in
+      let child = get_int r in
+      let label = get_string r in
+      Fork { parent; child; label }
+    | 3 ->
+      let parent = get_int r in
+      let child = get_int r in
+      Join { parent; child }
+    | 4 -> Get_trace
+    | 5 -> Get_stats
+    | 6 -> Shutdown
+    | _ -> invalid_arg "Wire: unknown control tag"
+  in
+  finish r "control";
+  ctl
+
+let put_trace_event buf (e : Trace.event) =
+  match e with
+  | Trace.Equality_bits { protocol; bits } ->
+    Buffer.add_char buf '\001';
+    put_string buf protocol;
+    put_int buf (List.length bits);
+    List.iter (put_bool buf) bits
+  | Trace.Dedup_matrix { protocol; size; equal_pairs } ->
+    Buffer.add_char buf '\002';
+    put_string buf protocol;
+    put_int buf size;
+    put_int buf (List.length equal_pairs);
+    List.iter
+      (fun (i, j) ->
+        put_int buf i;
+        put_int buf j)
+      equal_pairs
+  | Trace.Comparison { protocol; ordering } ->
+    Buffer.add_char buf '\003';
+    put_string buf protocol;
+    if ordering < -1 || ordering > 1 then invalid_arg "Wire: bad ordering";
+    Buffer.add_char buf (Char.chr (ordering + 1))
+  | Trace.Count { protocol; value } ->
+    Buffer.add_char buf '\004';
+    put_string buf protocol;
+    put_int buf value
+
+let get_trace_event r : Trace.event =
+  match get_byte r with
+  | 1 ->
+    let protocol = get_string r in
+    let n = get_count r ~item_width:1 in
+    Trace.Equality_bits { protocol; bits = List.init n (fun _ -> get_bool r) }
+  | 2 ->
+    let protocol = get_string r in
+    let size = get_int r in
+    let n = get_count r ~item_width:8 in
+    Trace.Dedup_matrix
+      { protocol;
+        size;
+        equal_pairs = List.init n (fun _ ->
+            let i = get_int r in
+            let j = get_int r in
+            (i, j));
+      }
+  | 3 ->
+    let protocol = get_string r in
+    let ordering =
+      match get_byte r with
+      | 0 -> -1
+      | 1 -> 0
+      | 2 -> 1
+      | _ -> invalid_arg "Wire: bad ordering"
+    in
+    Trace.Comparison { protocol; ordering }
+  | 4 ->
+    let protocol = get_string r in
+    Trace.Count { protocol; value = get_int r }
+  | _ -> invalid_arg "Wire: unknown trace event"
+
+let encode_control_reply reply =
+  let buf = Buffer.create 64 in
+  let tag = match reply with Ok_ctl -> 1 | Trace_events _ -> 2 | Stats _ -> 3 in
+  put_header buf ~kind:kind_control_reply ~tag ~session:0;
+  (match reply with
+  | Ok_ctl -> ()
+  | Trace_events events ->
+    put_int buf (List.length events);
+    List.iter (put_trace_event buf) events
+  | Stats pairs ->
+    put_int buf (List.length pairs);
+    List.iter
+      (fun (name, v) ->
+        put_string buf name;
+        put_int buf v)
+      pairs);
+  Buffer.contents buf
+
+let decode_control_reply data =
+  let r = { data; pos = 0 } in
+  let tag, _session = get_header r ~kind:kind_control_reply in
+  let reply =
+    match tag with
+    | 1 -> Ok_ctl
+    | 2 ->
+      let n = get_count r ~item_width:6 in
+      Trace_events (List.init n (fun _ -> get_trace_event r))
+    | 3 ->
+      let n = get_count r ~item_width:8 in
+      Stats
+        (List.init n (fun _ ->
+             let name = get_string r in
+             let v = get_int r in
+             (name, v)))
+    | _ -> invalid_arg "Wire: unknown control reply tag"
+  in
+  finish r "control reply";
+  reply
+
+(* ---------------- length-prefixed framing over a file descriptor ----
+
+   The 4-byte length prefix is transport plumbing, not protocol payload:
+   it is excluded from all bandwidth accounting (DESIGN.md section 4c). *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_frame fd data =
+  let len = String.length data in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (len land 0xff));
+  write_all fd (Bytes.to_string hdr) 0 4;
+  write_all fd data 0 len
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then Some (Bytes.to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then None else invalid_arg "Wire: truncated frame"
+      | n -> go (off + n)
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd 4 with
+  | None -> None
+  | Some hdr ->
+    let len =
+      (Char.code hdr.[0] lsl 24)
+      lor (Char.code hdr.[1] lsl 16)
+      lor (Char.code hdr.[2] lsl 8)
+      lor Char.code hdr.[3]
+    in
+    if len > 0x3fffffff then invalid_arg "Wire: oversized frame";
+    read_exact fd len
+
+let frame_kind data = if String.length data > 5 then Some data.[5] else None

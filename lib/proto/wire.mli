@@ -1,0 +1,146 @@
+(** Tagged, versioned binary codec for every S1 <-> S2 message.
+
+    Frame layout (big-endian throughout, following {!Sectopk.Codec}'s
+    fixed-width conventions):
+
+    {v
+    "STKW" | version | kind | tag | session       -- 11-byte header
+    requests additionally: len | label            -- protocol name
+    then the tag-specific payload
+    v}
+
+    Ciphertexts are zero-padded fixed-width naturals: [ciphertext_bytes pub]
+    for values under the shared key, [ciphertext_bytes own_pub] for S1's
+    escrow key, [ciphertext_bytes djpub] for Damgård–Jurik values — so every
+    frame length is a closed form of the key sizes and the collection
+    lengths ({!request_bytes}/{!response_bytes}), which is what the Inproc
+    transport charges without materialising the frame.
+
+    All decoders validate magic, version, kind, tag, field bounds and
+    trailing bytes; every failure raises [Invalid_argument]. *)
+
+open Crypto
+
+type keys = {
+  pub : Paillier.public;
+  djpub : Damgard_jurik.public;
+  own_pub : Paillier.public;
+}
+
+val keys_of :
+  pub:Paillier.public ->
+  djpub:Damgard_jurik.public ->
+  own_pub:Paillier.public ->
+  keys
+
+type dedup_mode = Replace | Eliminate
+
+(** A joined tuple in flight through SecFilter, with its blinding escrow
+    under S1's personal key. *)
+type tuple = {
+  score : Paillier.ciphertext;
+  attrs : Paillier.ciphertext array;
+  r_escrow : Paillier.ciphertext list;
+  a_escrow : Paillier.ciphertext array;
+}
+
+type request =
+  | Sign_of of Paillier.ciphertext  (** EncCompare: sign of a blinded difference *)
+  | Equality of Paillier.ciphertext list  (** SecWorst/SecBest/SecUpdate/SecJoin *)
+  | Conjunction of Paillier.ciphertext list list  (** multi-way join predicate *)
+  | Recover of Damgard_jurik.ciphertext  (** RecoverEnc: strip the outer layer *)
+  | Lift of Paillier.ciphertext list  (** SecRefresh: Enc -> E2 *)
+  | Dgk_low_bits of { bits : int; z : Paillier.ciphertext }
+      (** DGK: bitwise decomposition of the blinded difference *)
+  | Zero_any of Paillier.ciphertext list  (** DGK: any c_i = 0? (traced) *)
+  | Zero_test of Paillier.ciphertext  (** DGK equality corner (untraced) *)
+  | Mult of Paillier.ciphertext * Paillier.ciphertext  (** SKNN secure multiply *)
+  | Lsb of Paillier.ciphertext  (** SBD bit extraction *)
+  | Dedup of {
+      mode : dedup_mode;
+      diffs : Paillier.ciphertext list;  (** pairwise blinded EHL diffs, {!pair_indices} order *)
+      items : (Enc_item.scored * Enc_item.pack) list;  (** masked items + escrows *)
+    }
+  | Dup_flags of Damgard_jurik.ciphertext list  (** SecUpdate eliminate: reveal matches *)
+  | Sort_items of { keys : Paillier.ciphertext list; items : Enc_item.scored list }
+      (** EncSort blinded one-round strategy *)
+  | Sort_gate of {
+      descending : bool;
+      kx : Paillier.ciphertext;
+      ky : Paillier.ciphertext;
+      x : Enc_item.scored;
+      y : Enc_item.scored;
+    }  (** EncSort bitonic compare-exchange gate *)
+  | Filter of tuple list  (** SecFilter: drop zero-scored tuples *)
+  | Rank_tuples of (Paillier.ciphertext * Paillier.ciphertext * Paillier.ciphertext array) list
+      (** blinded descending sort of joined tuples: (key, score, attrs) *)
+  | Rank_keys of Paillier.ciphertext list  (** SKNN: ascending rank of blinded keys *)
+  | Zero_slot of Paillier.ciphertext list  (** SKNN SMIN: first zero slot *)
+
+type response =
+  | Sign of int  (** -1 | 0 | 1 *)
+  | Bits2 of Damgard_jurik.ciphertext list  (** E2 equality bits *)
+  | Ct of Paillier.ciphertext
+  | Dgk_bits of { bit_cts : Paillier.ciphertext list; parity : bool }
+  | Bit of bool
+  | Flags of bool list
+  | Items of (Enc_item.scored * Enc_item.pack) list
+  | Sorted of Enc_item.scored list
+  | Pair of Enc_item.scored * Enc_item.scored
+  | Tuples of tuple list
+  | Ranked of (Paillier.ciphertext * Paillier.ciphertext array) list
+  | Indices of int list
+  | Slot of int option
+
+(** Provisioning parameters replayed by the daemon to rebuild the exact key
+    material and randomness streams of the client's context (see
+    [Ctx.provision]). *)
+type hello = { seed : string; key_bits : int; rand_bits : int option; obs : bool }
+
+type control =
+  | Hello of hello
+  | Fork of { parent : int; child : int; label : string }
+  | Join of { parent : int; child : int }
+  | Get_trace
+  | Get_stats
+  | Shutdown
+
+type control_reply =
+  | Ok_ctl
+  | Trace_events of Trace.event list
+  | Stats of (string * int) list
+
+(** The (i, j) pair order of SecDedup's pairwise matrix: for [l] items, all
+    [i < j] pairs with [i] ascending, then [j] ascending. *)
+val pair_indices : int -> (int * int) array
+
+val encode_request : keys -> session:int -> label:string -> request -> string
+val decode_request : keys -> string -> int * string * request
+val encode_response : keys -> response -> string
+val decode_response : keys -> string -> response
+val encode_control : control -> string
+val decode_control : string -> control
+val encode_control_reply : control_reply -> string
+val decode_control_reply : string -> control_reply
+
+(** Closed-form frame sizes, equal to [String.length (encode_* ...)]
+    (asserted by the Wire property tests). *)
+val request_bytes : keys -> label:string -> request -> int
+
+val response_bytes : keys -> response -> int
+
+(** Header overhead: request frames cost [request_header_bytes ~label] on
+    top of the payload; responses cost [response_header_bytes]. *)
+val request_header_bytes : label:string -> int
+
+val response_header_bytes : int
+
+(** Length-prefixed framing over a file descriptor (Socket transport). The
+    4-byte prefix is transport plumbing, excluded from bandwidth
+    accounting. [read_frame] returns [None] on clean EOF. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+val read_frame : Unix.file_descr -> string option
+
+(** Peek at the kind byte of a raw frame ('Q' request, 'C' control, ...). *)
+val frame_kind : string -> char option

@@ -9,8 +9,8 @@ let to_int_signed sk c =
   | Some x -> if Bignum.Bigint.sign v < 0 then -x else x
   | None -> invalid_arg "Client: score out of int range"
 
-let open_result (ctx : Ctx.t) key ~ids (r : Query.result) =
-  let sk = ctx.Ctx.s2.Ctx.sk in
+let open_result ?sk (ctx : Ctx.t) key ~ids (r : Query.result) =
+  let sk = match sk with Some sk -> sk | None -> Ctx.sk ctx in
   let resolver = Scheme.make_resolver key ~pub:ctx.Ctx.s1.Ctx.pub ~ids in
   List.map
     (fun (it : Enc_item.scored) ->
@@ -19,6 +19,6 @@ let open_result (ctx : Ctx.t) key ~ids (r : Query.result) =
       { id; worst = to_int_signed sk it.Enc_item.worst; best = to_int_signed sk it.Enc_item.best })
     r.Query.top
 
-let real_results ctx key ~ids r =
-  open_result ctx key ~ids r
+let real_results ?sk ctx key ~ids r =
+  open_result ?sk ctx key ~ids r
   |> List.filter_map (fun o -> Option.map (fun id -> (id, o.worst, o.best)) o.id)

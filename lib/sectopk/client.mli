@@ -1,12 +1,13 @@
 (** Authorized-client view: opening an encrypted top-k answer.
 
     In deployment the client holds the keys it requested from the data
-    owner and decrypts the returned items itself; here the decryption key
-    lives in the context's S2 record, which doubles as the key escrow for
-    tests and examples. Object ids are recovered through the client's
-    EHL+ hash dictionary ({!Scheme.make_resolver}); SecDedup sentinel items
-    decrypt to [id = None] with scores [-1] and are filtered by
-    {!real_results}. *)
+    owner and decrypts the returned items itself. By default the
+    decryption key is pulled from the local S2 half of the context (the
+    key escrow for tests and examples); against a remote S2 daemon pass
+    [~sk] explicitly — e.g. the one [Ctx.provision] returned. Object ids
+    are recovered through the client's EHL+ hash dictionary
+    ({!Scheme.make_resolver}); SecDedup sentinel items decrypt to
+    [id = None] with scores [-1] and are filtered by {!real_results}. *)
 
 type opened = {
   id : string option;
@@ -16,8 +17,18 @@ type opened = {
 
 (** Decrypt every returned item. *)
 val open_result :
-  Proto.Ctx.t -> Scheme.secret_key -> ids:string list -> Query.result -> opened list
+  ?sk:Crypto.Paillier.secret ->
+  Proto.Ctx.t ->
+  Scheme.secret_key ->
+  ids:string list ->
+  Query.result ->
+  opened list
 
 (** Decrypted items that are real objects (drops sentinels). *)
 val real_results :
-  Proto.Ctx.t -> Scheme.secret_key -> ids:string list -> Query.result -> (string * int * int) list
+  ?sk:Crypto.Paillier.secret ->
+  Proto.Ctx.t ->
+  Scheme.secret_key ->
+  ids:string list ->
+  Query.result ->
+  (string * int * int) list

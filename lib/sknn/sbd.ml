@@ -7,24 +7,23 @@ let statistical_slack = 40
 
 let decompose (ctx : Ctx.t) ~bits c =
   Obs.span protocol @@ fun () ->
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let n = pub.Paillier.n in
   if bits + statistical_slack + 1 >= Nat.bit_length n then
     invalid_arg "Sbd.decompose: bits too large for the modulus";
-  let ct = Paillier.ciphertext_bytes pub in
   let half_inv = Modular.inv Nat.two ~m:n in
   let cur = ref c in
   Array.init bits (fun _ ->
       (* S1: blind with an even-tracked random r *)
       let r = Rng.nat_bits s1.Ctx.rng (bits + statistical_slack) in
       let blinded = Paillier.add pub !cur (Paillier.encrypt s1.Ctx.rng pub r) in
-      Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:ct;
       (* S2: decrypt, return Enc(lsb) *)
-      let y = Paillier.decrypt s2.Ctx.sk blinded in
-      let lsb = Paillier.encrypt s2.Ctx.rng2 pub (if Nat.is_even y then Nat.zero else Nat.one) in
-      Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:ct;
-      Channel.round_trip s1.Ctx.chan;
+      let lsb =
+        match Ctx.rpc ctx ~label:protocol (Wire.Lsb blinded) with
+        | Wire.Ct lsb -> lsb
+        | _ -> failwith "Sbd.decompose: unexpected response"
+      in
       (* S1: x_0 = lsb(y) xor lsb(r); then cur <- (cur - x_0) / 2 *)
       let bit =
         if Nat.is_even r then lsb

@@ -25,7 +25,7 @@ let query (ctx : Ctx.t) db ~point ~k =
   if Array.length point <> db.m then invalid_arg "Sknn.query: dimension mismatch";
   Obs.with_default ctx.Ctx.obs @@ fun () ->
   Obs.span protocol @@ fun () ->
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let enc_q = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng pub (Nat.of_int v)) point in
   (* O(n*m) secure multiplications: d_j = sum_i (x_ji - q_i)^2 *)
@@ -41,19 +41,16 @@ let query (ctx : Ctx.t) db ~point ~k =
         !acc)
       db.records
   in
-  (* nearest-k selection through a blinded sort at S2 *)
+  (* nearest-k selection through a blinded rank at S2 *)
   let rho = Gadgets.blind_scalar s1 in
-  let keyed = Array.mapi (fun j d -> (j, Paillier.scalar_mul pub d rho)) distances in
-  let ct = Paillier.ciphertext_bytes pub in
-  Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:protocol
-    ~bytes:(Array.length keyed * ct);
-  let decorated = Array.map (fun (j, c) -> (j, Paillier.decrypt s2.Ctx.sk c)) keyed in
-  Array.sort (fun (_, a) (_, b) -> Nat.compare a b) decorated;
-  Trace.record s2.Ctx.trace (Trace.Count { protocol; value = Array.length decorated });
-  Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:protocol
-    ~bytes:(Array.length decorated * 4);
-  Channel.round_trip s1.Ctx.chan;
-  Array.to_list (Array.sub decorated 0 (min k (Array.length decorated))) |> List.map fst
+  let keyed = Array.map (fun d -> Paillier.scalar_mul pub d rho) distances in
+  let order =
+    match Ctx.rpc ctx ~label:protocol (Wire.Rank_keys (Array.to_list keyed)) with
+    | Wire.Indices order -> order
+    | _ -> failwith "Sknn.query: unexpected response"
+  in
+  let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r in
+  take (min k (List.length order)) order
 
 (* distance phase shared by both selection strategies *)
 let distances (ctx : Ctx.t) db ~point =
@@ -75,7 +72,7 @@ let query_smin (ctx : Ctx.t) db ~point ~k ~bits =
   if Array.length point <> db.m then invalid_arg "Sknn.query_smin: dimension mismatch";
   Obs.with_default ctx.Ctx.obs @@ fun () ->
   Obs.span protocol @@ fun () ->
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let ds = distances ctx db ~point in
   let n = Array.length ds in
@@ -113,18 +110,12 @@ let query_smin (ctx : Ctx.t) db ~point ~k ~bits =
               (Gadgets.blind_scalar s1))
           idxs
       in
-      let ct = Paillier.ciphertext_bytes pub in
-      Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:protocol
-        ~bytes:(Array.length blinded * ct);
-      let zero_slot = ref None in
-      Array.iteri
-        (fun slot c ->
-          if !zero_slot = None && Nat.is_zero (Paillier.decrypt s2.Ctx.sk c) then
-            zero_slot := Some slot)
-        blinded;
-      Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:4;
-      Channel.round_trip s1.Ctx.chan;
-      (match !zero_slot with
+      let zero_slot =
+        match Ctx.rpc ctx ~label:protocol (Wire.Zero_slot (Array.to_list blinded)) with
+        | Wire.Slot slot -> slot
+        | _ -> failwith "Sknn.query_smin: unexpected response"
+      in
+      (match zero_slot with
       | Some slot ->
         let winner = idxs.(slot) in
         active.(winner) <- false;

@@ -5,19 +5,18 @@ open Proto
 let protocol = "SkNN"
 
 let secure_multiply (ctx : Ctx.t) a b =
-  let s1 = ctx.Ctx.s1 and s2 = ctx.Ctx.s2 in
+  let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let n = pub.Paillier.n in
   let ra = Rng.nat_below s1.Ctx.rng n and rb = Rng.nat_below s1.Ctx.rng n in
   let a' = Paillier.add pub a (Paillier.encrypt s1.Ctx.rng pub ra) in
   let b' = Paillier.add pub b (Paillier.encrypt s1.Ctx.rng pub rb) in
-  let ct = Paillier.ciphertext_bytes pub in
-  Channel.send s1.Ctx.chan ~dir:Channel.S1_to_s2 ~label:protocol ~bytes:(2 * ct);
-  (* --- S2: multiply the blinded plaintexts --- *)
-  let ha = Paillier.decrypt s2.Ctx.sk a' and hb = Paillier.decrypt s2.Ctx.sk b' in
-  let h = Paillier.encrypt s2.Ctx.rng2 pub (Modular.mul ha hb ~m:n) in
-  Channel.send s2.Ctx.chan2 ~dir:Channel.S2_to_s1 ~label:protocol ~bytes:ct;
-  Channel.round_trip s1.Ctx.chan;
+  (* S2 multiplies the blinded plaintexts *)
+  let h =
+    match Ctx.rpc ctx ~label:protocol (Wire.Mult (a', b')) with
+    | Wire.Ct h -> h
+    | _ -> failwith "Sm.secure_multiply: unexpected response"
+  in
   (* --- S1: ab = h - a*rb - b*ra - ra*rb --- *)
   let t1 = Paillier.scalar_mul pub a rb in
   let t2 = Paillier.scalar_mul pub b ra in

@@ -113,13 +113,13 @@ let test_join_zero_score_survives () =
 
 let test_filter_leaks_only_count () =
   let e1, e2, key = setup () in
-  let before = Proto.Trace.length ctx.Proto.Ctx.s2.Proto.Ctx.trace in
+  let before = Proto.Trace.length (Proto.Ctx.trace ctx) in
   let tk = Join.Join_scheme.token key ~m1:2 ~m2:2 ~join:(0, 0) ~score:(1, 1) ~k:2 in
   ignore (Join.Sec_join.filter ctx (Join.Sec_join.combine ctx e1 e2 tk));
   let events =
     List.filteri
       (fun i _ -> i >= before)
-      (Proto.Trace.events ctx.Proto.Ctx.s2.Proto.Ctx.trace)
+      (Proto.Trace.events (Proto.Ctx.trace ctx))
   in
   let count_events =
     List.filter (function Proto.Trace.Count { protocol = "SecFilter"; _ } -> true | _ -> false) events

@@ -44,6 +44,8 @@ let params =
     ct = Paillier.ciphertext_bytes pub;
     own_ct = Paillier.ciphertext_bytes s1.Ctx.own_pub;
     dj_ct = Damgard_jurik.ciphertext_bytes s1.Ctx.djpub;
+    req_base = Wire.request_header_bytes ~label:"";
+    resp_base = Wire.response_header_bytes;
   }
 
 let check_model name model measured =
@@ -156,8 +158,8 @@ let test_noop_mode () =
          && Array.for_all2 nat_eq a.seen b.seen)
        res_off.Sectopk.Query.top res_on.Sectopk.Query.top);
   Alcotest.(check int) "bytes identical"
-    (Channel.bytes_total ctx_off.Ctx.s1.Ctx.chan)
-    (Channel.bytes_total ctx_on.Ctx.s1.Ctx.chan);
+    (Channel.bytes_total (Ctx.channel ctx_off))
+    (Channel.bytes_total (Ctx.channel ctx_on));
   (* and the disabled run recorded nothing *)
   Alcotest.(check bool) "disabled collector empty" true
     (Obs.Collector.is_empty ctx_off.Ctx.obs);

@@ -9,9 +9,8 @@ open Proto
 let rng = Rng.create ~seed:"test_proto"
 let ctx = Ctx.create ~blind_bits:48 rng ~bits:128
 let s1 = ctx.Ctx.s1
-let s2 = ctx.Ctx.s2
 let pub = s1.Ctx.pub
-let sk = s2.Ctx.sk
+let sk = Ctx.sk ctx
 let keys = Prf.gen_keys rng 4
 
 let enc i = Paillier.encrypt rng pub (Nat.of_int i)
@@ -362,9 +361,9 @@ let test_latency_model () =
 (* ---------------- trace ---------------- *)
 
 let test_trace_records () =
-  let before = Trace.length s2.Ctx.trace in
+  let before = Trace.length (Ctx.trace ctx) in
   ignore (Enc_compare.leq ctx (enc 1) (enc 2));
-  Alcotest.(check int) "one event recorded" (before + 1) (Trace.length s2.Ctx.trace)
+  Alcotest.(check int) "one event recorded" (before + 1) (Trace.length (Ctx.trace ctx))
 
 let suite =
   [ ("channel", [ Alcotest.test_case "accounting" `Quick test_channel ]);

@@ -263,7 +263,7 @@ let test_full_variant_hides_uniqueness () =
   let f = Scoring.sum_of [ 0; 1; 2 ] in
   let trace_of variant =
     let ctx, _, _ = run_query ~options:{ Query.default_options with variant } rel f ~k:2 in
-    Leakage.of_trace ctx.Proto.Ctx.s2.Proto.Ctx.trace
+    Leakage.of_trace (Proto.Ctx.trace ctx)
   in
   let p_full = trace_of Query.Full in
   let p_elim = trace_of Query.Elim in
@@ -275,7 +275,7 @@ let test_full_variant_hides_uniqueness () =
 let test_bandwidth_recorded () =
   let f = Scoring.sum_of [ 0; 1; 2 ] in
   let ctx, _, _ = run_query ~options:{ Query.default_options with variant = Query.Elim } fig3 f ~k:2 in
-  let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  let ch = (Proto.Ctx.channel ctx) in
   Alcotest.(check bool) "bytes flowed" true (Proto.Channel.bytes_total ch > 0);
   Alcotest.(check bool) "rounds recorded" true (Proto.Channel.rounds_total ch > 0);
   let labels = List.map fst (Proto.Channel.bytes_by_label ch) in
@@ -305,7 +305,7 @@ let test_leakage_same_shape_for_isomorphic_dbs () =
     let er, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:("enc" ^ Relation.name rel)) pub rel in
     let tk = Scheme.token key ~m_total:2 f ~k:2 in
     let res = Query.run ctx er tk { Query.default_options with variant = Query.Elim } in
-    (Leakage.of_trace ctx.Proto.Ctx.s2.Proto.Ctx.trace, res.Query.halting_depth)
+    (Leakage.of_trace (Proto.Ctx.trace ctx), res.Query.halting_depth)
   in
   let pa, da = profile rel_a and pb, db = profile rel_b in
   Alcotest.(check int) "same halting depth" da db;
@@ -314,7 +314,7 @@ let test_leakage_same_shape_for_isomorphic_dbs () =
 let test_leakage_profile_contents () =
   let f = Scoring.sum_of [ 0; 1; 2 ] in
   let ctx, _, res = run_query ~options:{ Query.default_options with variant = Query.Elim } fig3 f ~k:2 in
-  let p = Leakage.of_trace ctx.Proto.Ctx.s2.Proto.Ctx.trace in
+  let p = Leakage.of_trace (Proto.Ctx.trace ctx) in
   Alcotest.(check bool) "equality rounds happened" true (p.Leakage.equality_rounds > 0);
   Alcotest.(check bool) "uniqueness pattern revealed (Qry_E)" true
     (List.length p.Leakage.uniqueness_counts > 0);
@@ -415,16 +415,16 @@ let test_domains_deterministic () =
          && a.ehl = b.ehl)
        res1.Query.top res4.Query.top);
   Alcotest.(check bool) "S2 traces identical" true
-    (Proto.Trace.events ctx1.Proto.Ctx.s2.trace = Proto.Trace.events ctx4.Proto.Ctx.s2.trace);
+    (Proto.Ctx.trace_events ctx1 = Proto.Ctx.trace_events ctx4);
   Alcotest.(check int) "bytes"
-    (Proto.Channel.bytes_total ctx1.Proto.Ctx.s1.chan)
-    (Proto.Channel.bytes_total ctx4.Proto.Ctx.s1.chan);
+    (Proto.Channel.bytes_total (Proto.Ctx.channel ctx1))
+    (Proto.Channel.bytes_total (Proto.Ctx.channel ctx4));
   Alcotest.(check int) "messages"
-    (Proto.Channel.messages_total ctx1.Proto.Ctx.s1.chan)
-    (Proto.Channel.messages_total ctx4.Proto.Ctx.s1.chan);
+    (Proto.Channel.messages_total (Proto.Ctx.channel ctx1))
+    (Proto.Channel.messages_total (Proto.Ctx.channel ctx4));
   Alcotest.(check int) "rounds"
-    (Proto.Channel.rounds_total ctx1.Proto.Ctx.s1.chan)
-    (Proto.Channel.rounds_total ctx4.Proto.Ctx.s1.chan)
+    (Proto.Channel.rounds_total (Proto.Ctx.channel ctx1))
+    (Proto.Channel.rounds_total (Proto.Ctx.channel ctx4))
 
 let suite =
   [ ( "scheme",

@@ -76,7 +76,7 @@ let test_traffic_is_linear_in_nm () =
   let rel = Synthetic.generate ~seed:"bw" ~name:"knnbw" ~rows:8 ~attrs:3
       (Synthetic.Uniform { lo = 0; hi = 20 }) in
   let db = Sknn.encrypt_db rng pub rel in
-  let ch = ctx.Proto.Ctx.s1.Proto.Ctx.chan in
+  let ch = (Proto.Ctx.channel ctx) in
   let before = Proto.Channel.snapshot ch in
   ignore (Sknn.query ctx db ~point:[| 1; 2; 3 |] ~k:2);
   let d = Proto.Channel.diff before (Proto.Channel.snapshot ch) in

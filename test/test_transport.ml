@@ -1,0 +1,150 @@
+(* Cross-transport identity: the same seeded query must return
+   byte-identical results, the same S2 trace, the same channel totals
+   (Loopback vs Socket — both charge real encoded frames; Inproc charges
+   the closed forms, which the Wire tests pin to the same numbers) and
+   the same Obs op-counter totals whether S2 runs in-process (Inproc),
+   through the codec in-process (Loopback) or in a forked daemon over a
+   socketpair (Socket). For the socket run, S2-side counters live in the
+   daemon and come back via [Ctx.remote_stats]. *)
+
+open Bignum
+open Crypto
+open Dataset
+open Topk
+open Proto
+
+let fig3 =
+  Relation.create ~name:"fig3"
+    [| [| 10; 3; 2 |]; [| 8; 8; 0 |]; [| 5; 7; 6 |]; [| 3; 2; 8 |]; [| 1; 1; 1 |] |]
+
+let seed = "transport-identity"
+let key_bits = 128
+let rand_bits = 96
+
+let hello = { Wire.seed; key_bits; rand_bits = Some rand_bits; obs = true }
+
+type outcome = {
+  top : (Nat.t * Nat.t * Nat.t array) list;  (** raw (worst, best, seen) ciphertexts *)
+  ids : string list;  (** decrypted result identities *)
+  halting_depth : int;
+  trace : Trace.event list;
+  bytes : int;
+  msgs : int;
+  rounds : int;
+  ops : (string * int) list;  (** client + S2 op counters, summed by name *)
+}
+
+let merge_ops a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, v) ->
+      Hashtbl.replace tbl name (v + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+    (a @ b);
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort compare
+  |> List.filter (fun (_, v) -> v > 0)
+
+(* run one seeded Fig. 3 query on a given transport; [pid] set when a
+   daemon child must be reaped afterwards *)
+let run_on ~variant (mode : Ctx.mode) (pid : int option) : outcome =
+  let pub, sk, ctx_rng, data_rng = Ctx.provision ~seed ~key_bits ~rand_bits () in
+  let ctx = Ctx.of_keys ~blind_bits:48 ~mode ctx_rng pub sk in
+  let er, key = Sectopk.Scheme.encrypt ~s:4 data_rng pub fig3 in
+  let tk = Sectopk.Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1; 2 ]) ~k:2 in
+  let res =
+    Sectopk.Query.run ctx er tk { Sectopk.Query.default_options with variant }
+  in
+  (* identity must be checkable without S2 state: open results with the
+     provisioned secret key, as a socket-mode client would *)
+  let all_ids = List.init (Relation.n_rows fig3) (fun i -> Relation.object_id fig3 i) in
+  let ids =
+    List.map (fun (id, _, _) -> id) (Sectopk.Client.real_results ~sk ctx key ~ids:all_ids res)
+  in
+  let trace = Ctx.trace_events ctx in
+  let chan = Ctx.channel ctx in
+  let ops =
+    merge_ops
+      (List.map
+         (fun (op, v) -> (Obs.Metrics.name op, v))
+         (Obs.Metrics.to_alist (Obs.Collector.metrics ctx.Ctx.obs)))
+      (Ctx.remote_stats ctx)
+  in
+  (match pid with Some pid -> Transport.stop_daemon ctx.Ctx.transport pid | None -> ());
+  {
+    top =
+      List.map
+        (fun (it : Enc_item.scored) ->
+          ( (it.worst :> Nat.t),
+            (it.best :> Nat.t),
+            Array.map (fun (c : Paillier.ciphertext) -> (c :> Nat.t)) it.seen ))
+        res.Sectopk.Query.top;
+    ids;
+    halting_depth = res.Sectopk.Query.halting_depth;
+    trace;
+    bytes = Channel.bytes_total chan;
+    msgs = Channel.messages_total chan;
+    rounds = Channel.rounds_total chan;
+    ops;
+  }
+
+let with_obs f =
+  let prev = Obs.is_enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled prev) f
+
+let run_all ~variant () =
+  with_obs (fun () ->
+      let inproc = run_on ~variant Ctx.Inproc None in
+      let loopback = run_on ~variant Ctx.Loopback None in
+      let fd, pid = Transport.spawn_daemon hello in
+      let socket = run_on ~variant (Ctx.Socket_fd fd) (Some pid) in
+      (inproc, loopback, socket))
+
+let nat_triple_eq (w1, b1, s1) (w2, b2, s2) =
+  Nat.equal w1 w2 && Nat.equal b1 b2
+  && Array.length s1 = Array.length s2
+  && Array.for_all2 Nat.equal s1 s2
+
+let check_identical name (a : outcome) (b : outcome) =
+  Alcotest.(check (list string)) (name ^ ": result ids") a.ids b.ids;
+  Alcotest.(check int) (name ^ ": halting depth") a.halting_depth b.halting_depth;
+  Alcotest.(check bool) (name ^ ": ciphertexts byte-identical") true
+    (List.length a.top = List.length b.top && List.for_all2 nat_triple_eq a.top b.top);
+  Alcotest.(check bool) (name ^ ": S2 trace identical") true (a.trace = b.trace);
+  Alcotest.(check int) (name ^ ": bytes") a.bytes b.bytes;
+  Alcotest.(check int) (name ^ ": messages") a.msgs b.msgs;
+  Alcotest.(check int) (name ^ ": rounds") a.rounds b.rounds;
+  Alcotest.(check (list (pair string int))) (name ^ ": obs op totals") a.ops b.ops
+
+let test_variant variant () =
+  let inproc, loopback, socket = run_all ~variant () in
+  Alcotest.(check bool) "trace non-trivial" true (List.length inproc.trace > 3);
+  Alcotest.(check bool) "bytes non-trivial" true (inproc.bytes > 1000);
+  check_identical "inproc vs loopback" inproc loopback;
+  check_identical "inproc vs socket" inproc socket
+
+(* the daemon's S2 op counters must actually come from the other process *)
+let test_remote_stats () =
+  with_obs (fun () ->
+      let pub, sk, ctx_rng, _ = Ctx.provision ~seed ~key_bits ~rand_bits () in
+      let fd, pid = Transport.spawn_daemon hello in
+      let ctx = Ctx.of_keys ~blind_bits:48 ~mode:(Ctx.Socket_fd fd) ctx_rng pub sk in
+      let a = Paillier.encrypt ctx.Ctx.s1.Ctx.rng pub (Nat.of_int 3) in
+      let b = Paillier.encrypt ctx.Ctx.s1.Ctx.rng pub (Nat.of_int 5) in
+      Alcotest.(check bool) "3 <= 5" true (Enc_compare.leq ctx a b);
+      let stats = Ctx.remote_stats ctx in
+      Alcotest.(check bool) "daemon counted decryptions" true
+        (List.exists (fun (name, v) -> name = "paillier_decrypt" && v > 0) stats);
+      (* local transports have no remote half *)
+      let local = Ctx.of_keys ~blind_bits:48 ~mode:Ctx.Inproc ctx_rng pub sk in
+      Alcotest.(check (list (pair string int))) "local remote_stats empty" []
+        (Ctx.remote_stats local);
+      Transport.stop_daemon ctx.Ctx.transport pid)
+
+let suite =
+  [ ( "identity",
+      [ Alcotest.test_case "Qry_F inproc/loopback/socket" `Slow (test_variant Sectopk.Query.Full);
+        Alcotest.test_case "Qry_E inproc/loopback/socket" `Slow (test_variant Sectopk.Query.Elim) ] );
+    ("daemon", [ Alcotest.test_case "remote stats" `Quick test_remote_stats ]) ]
+
+let () = Alcotest.run "transport" suite

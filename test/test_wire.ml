@@ -1,0 +1,286 @@
+(* Wire codec property tests: every request/response/control constructor
+   round-trips through encode/decode, the closed-form frame sizes
+   ([Wire.request_bytes]/[response_bytes]) equal the encoded lengths the
+   Loopback/Socket transports charge, and malformed frames (truncated,
+   overlong, wrong magic/version/kind/tag, random mutations) always raise
+   [Invalid_argument] — never any other exception, never a misparse of a
+   valid frame into a different shape. *)
+
+open Bignum
+open Crypto
+open Proto
+
+let rng = Rng.create ~seed:"test_wire"
+let pub, sk = Paillier.keygen ~rand_bits:96 rng ~bits:128
+let own_pub, _own_sk = Paillier.keygen ~rand_bits:96 rng ~bits:144
+let djpub, _djsk = Damgard_jurik.of_paillier pub (Some sk)
+let keys = Wire.keys_of ~pub ~djpub ~own_pub
+let prf_keys = Prf.gen_keys rng 4
+
+let ct i = Paillier.encrypt rng pub (Nat.of_int i)
+let own i = Paillier.encrypt rng own_pub (Nat.of_int i)
+let dj i = Damgard_jurik.encrypt rng djpub (Nat.of_int i)
+
+let scored oid =
+  {
+    Enc_item.ehl = Ehl.Ehl_plus.encode rng pub ~keys:prf_keys oid;
+    worst = ct 3;
+    best = ct 9;
+    seen = [| ct 1; ct 0 |];
+  }
+
+let pack () =
+  {
+    Enc_item.alphas = [| own 11; own 12; own 13; own 14 |];
+    beta = own 21;
+    gamma = own 22;
+    sigmas = [| own 31; own 32 |];
+  }
+
+let tuple () =
+  {
+    Wire.score = ct 5;
+    attrs = [| ct 1; ct 2; ct 3 |];
+    r_escrow = [ own 7 ];
+    a_escrow = [| own 8; own 9; own 10 |];
+  }
+
+(* One sample per constructor (plus empty-collection corners), covering
+   all 18 requests and 13 responses. *)
+let request_samples : (string * Wire.request) list =
+  [ ("EncCompare", Wire.Sign_of (ct 42));
+    ("SecWorst", Wire.Equality [ ct 1; ct 2; ct 3 ]);
+    ("SecWorst", Wire.Equality []);
+    ("SecJoin", Wire.Conjunction [ [ ct 1 ]; [ ct 2; ct 3 ] ]);
+    ("SecJoin", Wire.Conjunction []);
+    ("SecBest", Wire.Recover (dj 5));
+    ("SecRefresh", Wire.Lift [ ct 4; ct 5 ]);
+    ("EncCompareDGK", Wire.Dgk_low_bits { bits = 16; z = ct 77 });
+    ("EncCompareDGK", Wire.Zero_any [ ct 0; ct 6 ]);
+    ("EncCompareDGK", Wire.Zero_test (ct 6));
+    ("SkNN", Wire.Mult (ct 3, ct 4));
+    ("SBD", Wire.Lsb (ct 9));
+    ( "SecDedup",
+      Wire.Dedup
+        {
+          mode = Wire.Replace;
+          diffs = [ ct 1 ];
+          items = [ (scored "o1", pack ()); (scored "o2", pack ()) ];
+        } );
+    ("SecDedup", Wire.Dedup { mode = Wire.Eliminate; diffs = []; items = [] });
+    ("SecDupElim", Wire.Dup_flags [ dj 0; dj 1 ]);
+    ("EncSort", Wire.Sort_items { keys = [ ct 8 ]; items = [ scored "o3" ] });
+    ( "EncSort",
+      Wire.Sort_gate
+        { descending = true; kx = ct 1; ky = ct 2; x = scored "ox"; y = scored "oy" } );
+    ("SecFilter", Wire.Filter [ tuple (); tuple () ]);
+    ("EncSort", Wire.Rank_tuples [ (ct 1, ct 2, [| ct 3; ct 4 |]) ]);
+    ("SkNN", Wire.Rank_keys [ ct 5; ct 6 ]);
+    ("SkNN", Wire.Zero_slot [ ct 0; ct 1 ]) ]
+
+let response_samples : Wire.response list =
+  [ Wire.Sign (-1);
+    Wire.Sign 0;
+    Wire.Sign 1;
+    Wire.Bits2 [ dj 0; dj 1 ];
+    Wire.Ct (ct 12);
+    Wire.Dgk_bits { bit_cts = [ ct 0; ct 1 ]; parity = true };
+    Wire.Bit false;
+    Wire.Flags [ true; false; true ];
+    Wire.Flags [];
+    Wire.Items [ (scored "o1", pack ()) ];
+    Wire.Sorted [ scored "o1"; scored "o2" ];
+    Wire.Pair (scored "oa", scored "ob");
+    Wire.Tuples [ tuple () ];
+    Wire.Ranked [ (ct 1, [| ct 2; ct 3 |]); (ct 4, [||]) ];
+    Wire.Indices [ 0; 5; 2 ];
+    Wire.Slot None;
+    Wire.Slot (Some 3) ]
+
+let control_samples : Wire.control list =
+  [ Wire.Hello { seed = "abc"; key_bits = 128; rand_bits = Some 96; obs = true };
+    Wire.Hello { seed = ""; key_bits = 256; rand_bits = None; obs = false };
+    Wire.Fork { parent = 0; child = 7; label = "par:3" };
+    Wire.Join { parent = 0; child = 7 };
+    Wire.Get_trace;
+    Wire.Get_stats;
+    Wire.Shutdown ]
+
+let control_reply_samples : Wire.control_reply list =
+  [ Wire.Ok_ctl;
+    Wire.Trace_events
+      [ Trace.Equality_bits { protocol = "SecWorst"; bits = [ true; false ] };
+        Trace.Dedup_matrix { protocol = "SecDedup"; size = 3; equal_pairs = [ (0, 2) ] };
+        Trace.Comparison { protocol = "EncCompare"; ordering = -1 };
+        Trace.Count { protocol = "SecFilter"; value = 4 } ];
+    Wire.Trace_events [];
+    Wire.Stats [ ("paillier_decrypt", 12); ("dj_decrypt", 3) ] ]
+
+(* ---------------- round trips + closed-form sizes ---------------- *)
+
+let test_request_roundtrip () =
+  List.iteri
+    (fun i (label, req) ->
+      let s = Wire.encode_request keys ~session:(i * 3) ~label req in
+      let session, label', req' = Wire.decode_request keys s in
+      Alcotest.(check int) (Printf.sprintf "req %d session" i) (i * 3) session;
+      Alcotest.(check string) (Printf.sprintf "req %d label" i) label label';
+      Alcotest.(check bool) (Printf.sprintf "req %d payload" i) true (req = req');
+      Alcotest.(check int)
+        (Printf.sprintf "req %d closed-form size" i)
+        (String.length s)
+        (Wire.request_bytes keys ~label req))
+    request_samples
+
+let test_response_roundtrip () =
+  List.iteri
+    (fun i resp ->
+      let s = Wire.encode_response keys resp in
+      Alcotest.(check bool)
+        (Printf.sprintf "resp %d payload" i)
+        true
+        (Wire.decode_response keys s = resp);
+      Alcotest.(check int)
+        (Printf.sprintf "resp %d closed-form size" i)
+        (String.length s)
+        (Wire.response_bytes keys resp))
+    response_samples
+
+let test_control_roundtrip () =
+  List.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "control %d" i)
+        true
+        (Wire.decode_control (Wire.encode_control c) = c))
+    control_samples;
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "control reply %d" i)
+        true
+        (Wire.decode_control_reply (Wire.encode_control_reply r) = r))
+    control_reply_samples
+
+let test_header_bytes () =
+  (* the per-frame overhead constants used by Obs.Cost_model *)
+  let s = Wire.encode_request keys ~session:0 ~label:"EncCompare" (Wire.Sign_of (ct 1)) in
+  Alcotest.(check int) "request header + ct"
+    (Wire.request_header_bytes ~label:"EncCompare" + Paillier.ciphertext_bytes pub)
+    (String.length s);
+  let s = Wire.encode_response keys (Wire.Sign 1) in
+  Alcotest.(check int) "response header + 1" (Wire.response_header_bytes + 1) (String.length s)
+
+(* ---------------- malformed frames ---------------- *)
+
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+let all_frames () =
+  List.map (fun (label, r) -> Wire.encode_request keys ~session:1 ~label r) request_samples
+  @ List.map (Wire.encode_response keys) response_samples
+
+let decoders (s : string) : (string * (unit -> unit)) list =
+  [ ("request", fun () -> ignore (Wire.decode_request keys s));
+    ("response", fun () -> ignore (Wire.decode_response keys s));
+    ("control", fun () -> ignore (Wire.decode_control s));
+    ("control-reply", fun () -> ignore (Wire.decode_control_reply s)) ]
+
+(* any strict prefix of a valid frame must be rejected by every decoder *)
+let test_truncated () =
+  List.iteri
+    (fun i s ->
+      let n = String.length s in
+      (* every short prefix, then a byte-granular sweep near the end *)
+      let cuts = List.init (min n 32) Fun.id @ List.init (min n 32) (fun j -> n - 1 - j) in
+      List.iter
+        (fun cut ->
+          if cut >= 0 && cut < n then
+            let p = String.sub s 0 cut in
+            List.iter
+              (fun (who, f) ->
+                expect_invalid (Printf.sprintf "frame %d cut %d (%s)" i cut who) f)
+              (decoders p))
+        cuts)
+    (all_frames ())
+
+let test_overlong () =
+  List.iteri
+    (fun i s ->
+      List.iter
+        (fun (who, f) ->
+          expect_invalid (Printf.sprintf "frame %d trailing byte (%s)" i who) f)
+        (decoders (s ^ "\x00")))
+    (all_frames ())
+
+let corrupt s pos byte =
+  let b = Bytes.of_string s in
+  Bytes.set b pos byte;
+  Bytes.to_string b
+
+let test_bad_header () =
+  let s = Wire.encode_request keys ~session:5 ~label:"EncCompare" (Wire.Sign_of (ct 1)) in
+  expect_invalid "wrong magic" (fun () ->
+      ignore (Wire.decode_request keys (corrupt s 0 'X')));
+  expect_invalid "wrong version" (fun () ->
+      ignore (Wire.decode_request keys (corrupt s 4 '\xff')));
+  expect_invalid "wrong tag" (fun () ->
+      ignore (Wire.decode_request keys (corrupt s 6 '\xff')));
+  (* kind mismatch: a request frame is not a response/control and vice versa *)
+  expect_invalid "request as response" (fun () -> ignore (Wire.decode_response keys s));
+  expect_invalid "request as control" (fun () -> ignore (Wire.decode_control s));
+  let r = Wire.encode_response keys (Wire.Bit true) in
+  expect_invalid "response as request" (fun () -> ignore (Wire.decode_request keys r));
+  Alcotest.(check (option char)) "kind peek req" (Some 'Q') (Wire.frame_kind s);
+  Alcotest.(check (option char)) "kind peek resp" (Some 'P') (Wire.frame_kind r)
+
+(* QCheck: single-byte mutations anywhere in any frame either raise
+   [Invalid_argument] or decode to *something* — no other exception ever
+   escapes (payload-byte mutations legitimately decode to different
+   ciphertext values; that is not a parser failure). *)
+let test_mutation_safety =
+  let frames = Array.of_list (all_frames ()) in
+  QCheck.Test.make ~count:500 ~name:"mutated frames never crash"
+    QCheck.(triple (int_bound (Array.length frames - 1)) small_nat (int_bound 255))
+    (fun (fi, pos, byte) ->
+      let s = frames.(fi) in
+      let s = corrupt s (pos mod String.length s) (Char.chr byte) in
+      List.for_all
+        (fun (_, f) ->
+          try
+            f ();
+            true
+          with Invalid_argument _ -> true)
+        (decoders s))
+
+(* random byte strings (arbitrary garbage) never crash a decoder *)
+let test_garbage_safety =
+  QCheck.Test.make ~count:500 ~name:"garbage never crashes"
+    QCheck.(string_gen_of_size Gen.small_nat Gen.char)
+    (fun s ->
+      List.for_all
+        (fun (_, f) ->
+          try
+            f ();
+            true
+          with Invalid_argument _ -> true)
+        (decoders s))
+
+let suite =
+  [ ( "roundtrip",
+      [ Alcotest.test_case "requests" `Quick test_request_roundtrip;
+        Alcotest.test_case "responses" `Quick test_response_roundtrip;
+        Alcotest.test_case "controls" `Quick test_control_roundtrip;
+        Alcotest.test_case "header constants" `Quick test_header_bytes ] );
+    ( "malformed",
+      [ Alcotest.test_case "truncated" `Quick test_truncated;
+        Alcotest.test_case "overlong" `Quick test_overlong;
+        Alcotest.test_case "bad header" `Quick test_bad_header;
+        QCheck_alcotest.to_alcotest test_mutation_safety;
+        QCheck_alcotest.to_alcotest test_garbage_safety ] ) ]
+
+let () = Alcotest.run "wire" suite
