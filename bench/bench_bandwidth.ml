@@ -11,7 +11,7 @@ open Bench_util
 
 let fig13a () =
   header "fig13a: bandwidth per depth varying m (Qry_F, k=5)";
-  row "%6s %16s %14s@." "m" "KB/depth" "msgs/depth";
+  row "%6s %16s %14s %14s@." "m" "KB/depth" "msgs/depth" "rounds/depth";
   let rel = Synthetic.paper_synthetic ~seed:"bench" ~rows:60 in
   List.iter
     (fun m ->
@@ -25,29 +25,30 @@ let fig13a () =
           { Sectopk.Query.default_options with variant = Sectopk.Query.Full; max_depth = Some depths }
       in
       let ch = (Proto.Ctx.channel ctx) in
-      row "%6d %16.1f %14d@." m
+      row "%6d %16.1f %14d %14d@." m
         (float_of_int (Proto.Channel.bytes_total ch) /. 1024. /. float_of_int depths)
-        (Proto.Channel.messages_total ch / depths))
+        (Proto.Channel.messages_total ch / depths)
+        (Proto.Channel.rounds_total ch / depths))
     [ 2; 3; 4; 6; 8 ]
 
 let fig13b () =
   header "fig13b: total bandwidth varying k (Qry_F, m=4)";
-  row "%6s %16s %14s@." "k" "total MB" "halt depth";
+  row "%6s %16s %14s %14s@." "k" "total MB" "halt depth" "rounds";
   (* correlated data: the run halts naturally, so deeper scans for larger
      k drive the total bandwidth up, as in the paper *)
   let rel = List.nth (eval_datasets ~rows:60) 3 in
   List.iter
     (fun k ->
-      let _, depth, bytes, _ =
+      let _, depth, bytes, rounds =
         run_query ~variant:Sectopk.Query.Full ~max_depth:40 rel
           (Scoring.sum_of [ 0; 1; 2; 3 ]) ~k ()
       in
-      row "%6d %16.2f %14d@." k (float_of_int bytes /. 1024. /. 1024.) depth)
+      row "%6d %16.2f %14d %14d@." k (float_of_int bytes /. 1024. /. 1024.) depth rounds)
     [ 2; 5; 10; 20 ]
 
 let tab3 () =
   header "tab3: bandwidth and 50 Mbps link latency per dataset (k=20, m=4, Qry_F)";
-  row "%12s %8s %16s %16s@." "dataset" "rows" "bandwidth (MB)" "latency (s)";
+  row "%12s %8s %16s %10s %16s@." "dataset" "rows" "bandwidth (MB)" "rounds" "latency (s)";
   (* relative dataset sizes follow the paper's insurance < diabetes <
      pamap < synthetic ordering (scaled) *)
   List.iter2
@@ -64,8 +65,9 @@ let tab3 () =
       in
       ignore res;
       let ch = (Proto.Ctx.channel ctx) in
-      row "%12s %8d %16.2f %16.3f@." (Relation.name rel) (Relation.n_rows rel)
+      row "%12s %8d %16.2f %10d %16.3f@." (Relation.name rel) (Relation.n_rows rel)
         (float_of_int (Proto.Channel.bytes_total ch) /. 1024. /. 1024.)
+        (Proto.Channel.rounds_total ch)
         (Proto.Channel.latency_seconds ~rtt_ms:0. ~bandwidth_mbps:50. ch))
     [ List.nth (eval_datasets ~rows:30) 0;
       List.nth (eval_datasets ~rows:45) 1;

@@ -25,8 +25,20 @@ let pub, sk = Paillier.keygen ~rand_bits rng ~bits:key_bits
    exercised by the CLI and tests, not the in-process harness). *)
 let transport = ref Proto.Ctx.Inproc
 
+(* --rtt MICROS: simulated per-round latency injected by the Loopback
+   transport — makes round counts visible as wall-clock, so batching wins
+   show up in the timed columns, not only in the rounds columns. *)
+let rtt_us : int option ref = ref None
+
+(* --no-batching: force one frame per request (the historical framing) so
+   the --rtt sweep can price the round collapse as wall-clock. *)
+let batching = ref true
+
 let fresh_ctx () =
-  Proto.Ctx.of_keys ~blind_bits ~mode:!transport (Rng.fork rng ~label:"ctx") pub sk
+  Proto.Ctx.with_batching
+    (Proto.Ctx.of_keys ~blind_bits ~mode:!transport ?rtt_us:!rtt_us
+       (Rng.fork rng ~label:"ctx") pub sk)
+    !batching
 
 (* The four evaluation datasets of Section 11, scaled.
 
@@ -75,8 +87,9 @@ let emit_json ~id rows =
     Buffer.add_string buf
       (Printf.sprintf
          "{\n  \"id\": \"%s\",\n  \"params\": { \"key_bits\": %d, \"rand_bits\": %d, \
-          \"blind_bits\": %d, \"domains\": %d },\n"
-         id key_bits rand_bits blind_bits !domains);
+          \"blind_bits\": %d, \"domains\": %d, \"rtt_us\": %d },\n"
+         id key_bits rand_bits blind_bits !domains
+         (Option.value ~default:0 !rtt_us));
     let ops = ops_since_mark () in
     Buffer.add_string buf "  \"ops\": {";
     List.iteri

@@ -7,6 +7,8 @@
      dune exec bench/main.exe -- --json DIR   -- also write BENCH_<id>.json
      dune exec bench/main.exe -- --domains N  -- query-side domain pool width
      dune exec bench/main.exe -- --transport T - inproc (default) | loopback
+     dune exec bench/main.exe -- --rtt MICROS - per-round latency on the loopback transport
+     dune exec bench/main.exe -- --no-batching - one frame per request (historical framing)
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -61,6 +63,19 @@ let () =
       Format.eprintf "--transport expects inproc or loopback, got %S@." other;
       exit 2
     | None -> ());
+    (match flag "--rtt" with
+    | Some n -> begin
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+        Bench_util.rtt_us := Some n;
+        (* rtt is charged per round by the Loopback transport only *)
+        Bench_util.transport := Proto.Ctx.Loopback
+      | _ ->
+        Format.eprintf "--rtt expects a non-negative integer (microseconds), got %S@." n;
+        exit 2
+    end
+    | None -> ());
+    if List.mem "--no-batching" args then Bench_util.batching := false;
     (match flag "--json" with
     | Some dir ->
       (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755

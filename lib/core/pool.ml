@@ -19,6 +19,16 @@ let run ~domains ~jobs f =
     Array.map Option.get results
   end
 
+(* One task on a fresh helper domain, joined explicitly by the caller.
+   Used for work overlapped with the calling domain (an in-flight RPC
+   batch, a rerandomizer-pool refill); every user must [await] before
+   anything that forks the process, preserving the no-live-domain-at-fork
+   invariant Transport.spawn_daemon relies on. *)
+type 'a task = 'a Domain.t
+
+let background f = Domain.spawn f
+let await t = Domain.join t
+
 (* Explicit loop: forking mutates the parent generator, so the order of
    forks is part of the determinism contract (Array.init's evaluation
    order is unspecified). *)

@@ -26,3 +26,11 @@ val fork_rngs : Rng.t -> jobs:int -> Rng.t array
 (** [map_rng rng ~domains ~jobs f] is [run] with a pre-forked generator
     per task: [f rngs.(i) i]. *)
 val map_rng : Rng.t -> domains:int -> jobs:int -> (Rng.t -> int -> 'a) -> 'a array
+
+(** One task on a fresh helper domain. Callers must {!await} the task
+    before anything that forks the process (see
+    [Transport.spawn_daemon]'s no-live-domain-at-fork invariant). *)
+type 'a task
+
+val background : (unit -> 'a) -> 'a task
+val await : 'a task -> 'a

@@ -131,6 +131,11 @@ let rerandomize rng pub c =
   Obs.bump Obs.Metrics.Dj_rerand;
   Modular.mul c (noise rng pub) ~m:pub.n3
 
+(* noise precomputed (Noise_pool): one modular multiplication *)
+let rerandomize_with pub ~noise c =
+  Obs.bump Obs.Metrics.Dj_rerand;
+  Modular.mul c noise ~m:pub.n3
+
 let to_nat c = c
 
 let of_nat pub c =

@@ -50,6 +50,13 @@ val neg : public -> ciphertext -> ciphertext
 val sub : public -> ciphertext -> ciphertext -> ciphertext
 val rerandomize : Rng.t -> public -> ciphertext -> ciphertext
 
+(** One noise factor [r^{n^2} mod n^3]; precompute with {!Noise_pool}. *)
+val noise : Rng.t -> public -> Bignum.Nat.t
+
+(** Re-randomize with a precomputed {!noise} factor: one modular
+    multiplication. *)
+val rerandomize_with : public -> noise:Bignum.Nat.t -> ciphertext -> ciphertext
+
 (** Deterministic encryption with unit randomness — for homomorphic
     constants whose value is blinded downstream; NOT semantically secure
     on its own. *)

@@ -125,6 +125,11 @@ let rerandomize rng pub c =
   Obs.bump Obs.Metrics.Paillier_rerand;
   Modular.mul c (noise rng pub) ~m:pub.n2
 
+(* noise precomputed (Noise_pool): one modular multiplication *)
+let rerandomize_with pub ~noise c =
+  Obs.bump Obs.Metrics.Paillier_rerand;
+  Modular.mul c noise ~m:pub.n2
+
 let trivial pub m = Nat.rem (Nat.succ (Nat.mul (Nat.rem m pub.n) pub.n)) pub.n2
 let to_nat c = c
 

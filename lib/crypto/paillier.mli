@@ -70,6 +70,14 @@ val sub : public -> ciphertext -> ciphertext -> ciphertext
     to its origin. *)
 val rerandomize : Rng.t -> public -> ciphertext -> ciphertext
 
+(** One noise factor [r^n mod n^2] — what {!encrypt} and {!rerandomize}
+    multiply in; precompute with {!Noise_pool}. *)
+val noise : Rng.t -> public -> Bignum.Nat.t
+
+(** [rerandomize_with pub ~noise c] — re-randomize with a precomputed
+    {!noise} factor: a single modular multiplication. *)
+val rerandomize_with : public -> noise:Bignum.Nat.t -> ciphertext -> ciphertext
+
 (** Deterministic trivial encryption with randomness 1 — only for tests and
     for homomorphic constants; NOT semantically secure. *)
 val trivial : public -> Nat.t -> ciphertext

@@ -32,33 +32,47 @@ let combine (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_scheme.enc_
   in
   let ts = Array.of_list (Gadgets.equality_round ctx ~protocol diffs) in
   let zero = Gadgets.enc_zero s1 in
-  (* tuple fan-out: every pair runs 1 + |attrs| select/recover rounds,
-     each a DJ exponentiation — the heaviest loop of the join *)
+  (* tuple fan-out: every pair needs 1 + |attrs| selections, each a DJ
+     exponentiation — the heaviest loop of the join. The (pure) selects
+     stay fanned out on the pool; every RecoverEnc of the whole grid
+     travels in a single batch round. *)
+  let totals =
+    Array.map
+      (fun ((t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple)) ->
+        let _, score_l = t1.Join_scheme.cells.(tk.Join_scheme.score_left) in
+        let _, score_r = t2.Join_scheme.cells.(tk.Join_scheme.score_right) in
+        (* s = t * (score_l + score_r + 1): the +1 keeps all-zero scores
+           of genuine matches alive through SecFilter *)
+        Paillier.add pub (Paillier.add pub score_l score_r)
+          (Paillier.encrypt s1.Ctx.rng pub Nat.one))
+      pairs
+  in
+  let selections =
+    Ctx.parallel ctx ~jobs (fun sub idx ->
+        let t = ts.(idx) in
+        let (t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple) = pairs.(idx) in
+        let sub1 = sub.Ctx.s1 in
+        let carried =
+          Array.append
+            (Array.map snd t1.Join_scheme.cells)
+            (Array.map snd t2.Join_scheme.cells)
+        in
+        Array.append
+          [| Gadgets.select sub1 ~t ~if_one:totals.(idx) ~if_zero:zero |]
+          (Array.map (fun x -> Gadgets.select sub1 ~t ~if_one:x ~if_zero:zero) carried))
+  in
+  let flat = List.concat_map Array.to_list (Array.to_list selections) in
+  let picked = Array.of_list (Gadgets.recover_enc_many ctx ~protocol flat) in
+  let cursor = ref 0 in
   Array.to_list
-    (Ctx.parallel ctx ~jobs (fun sub idx ->
-         let t = ts.(idx) in
-         let (t1 : Join_scheme.enc_tuple), (t2 : Join_scheme.enc_tuple) = pairs.(idx) in
-         let sub1 = sub.Ctx.s1 in
-         let _, score_l = t1.Join_scheme.cells.(tk.Join_scheme.score_left) in
-         let _, score_r = t2.Join_scheme.cells.(tk.Join_scheme.score_right) in
-         (* s = t * (score_l + score_r + 1): the +1 keeps all-zero scores
-            of genuine matches alive through SecFilter *)
-         let total =
-           Paillier.add pub (Paillier.add pub score_l score_r)
-             (Paillier.encrypt sub1.Ctx.rng pub Nat.one)
-         in
-         let score = Gadgets.select_recover sub ~protocol ~t ~if_one:total ~if_zero:zero in
-         let carried =
-           Array.append
-             (Array.map snd t1.Join_scheme.cells)
-             (Array.map snd t2.Join_scheme.cells)
-         in
-         let attrs =
-           Array.map
-             (fun x -> Gadgets.select_recover sub ~protocol ~t ~if_one:x ~if_zero:zero)
-             carried
-         in
-         { score; attrs }))
+    (Array.map
+       (fun sel ->
+         let width = Array.length sel in
+         let score = picked.(!cursor) in
+         let attrs = Array.init (width - 1) (fun a -> picked.(!cursor + 1 + a)) in
+         cursor := !cursor + width;
+         { score; attrs })
+       selections)
 
 let filter_protocol = "SecFilter"
 
@@ -220,26 +234,36 @@ let combine_multi (ctx : Ctx.t) rels (spec : multi_spec) =
   in
   let ts = Gadgets.conjunction_round ctx ~protocol:"SecJoin" groups in
   let zero = Gadgets.enc_zero s1 in
-  List.map2
-    (fun t combo ->
-      let arr = Array.of_list combo in
-      let total =
-        List.fold_left
-          (fun acc (i, sa) -> Paillier.add pub acc (snd arr.(i).Join_scheme.cells.(sa)))
-          (Paillier.encrypt s1.Ctx.rng pub Nat.one)
-          (List.mapi (fun i sa -> (i, sa)) spec.score_attrs)
-      in
-      let score = Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:total ~if_zero:zero in
-      let carried =
-        Array.concat (List.map (fun (tp : Join_scheme.enc_tuple) -> Array.map snd tp.Join_scheme.cells) combo)
-      in
-      let attrs =
-        Array.map
-          (fun x -> Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:x ~if_zero:zero)
-          carried
-      in
+  (* one recover batch for the score + attribute selections of every combo *)
+  let per_combo =
+    List.map2
+      (fun t combo ->
+        let arr = Array.of_list combo in
+        let total =
+          List.fold_left
+            (fun acc (i, sa) -> Paillier.add pub acc (snd arr.(i).Join_scheme.cells.(sa)))
+            (Paillier.encrypt s1.Ctx.rng pub Nat.one)
+            (List.mapi (fun i sa -> (i, sa)) spec.score_attrs)
+        in
+        let carried =
+          Array.concat (List.map (fun (tp : Join_scheme.enc_tuple) -> Array.map snd tp.Join_scheme.cells) combo)
+        in
+        (t, total, zero) :: Array.to_list (Array.map (fun x -> (t, x, zero)) carried))
+      ts (Array.to_list combos)
+  in
+  let picked =
+    Array.of_list
+      (Gadgets.select_recover_many ctx ~protocol:"SecJoin" (List.concat per_combo))
+  in
+  let cursor = ref 0 in
+  List.map
+    (fun choices ->
+      let width = List.length choices in
+      let score = picked.(!cursor) in
+      let attrs = Array.init (width - 1) (fun a -> picked.(!cursor + 1 + a)) in
+      cursor := !cursor + width;
       { score; attrs })
-    ts (Array.to_list combos)
+    per_combo
 
 let top_k_multi ctx rels spec =
   Obs.with_default ctx.Ctx.obs @@ fun () ->
@@ -295,26 +319,36 @@ let combine_pairs (ctx : Ctx.t) (e1 : Join_scheme.enc_relation) (e2 : Join_schem
   in
   let ts = Gadgets.equality_round ctx ~protocol:"SecJoin" diffs in
   let zero = Gadgets.enc_zero s1 in
-  List.map2
-    (fun t (i, j) ->
-      let _, score_l = (tup1 i).Join_scheme.cells.(tk.Join_scheme.score_left) in
-      let _, score_r = (tup2 j).Join_scheme.cells.(tk.Join_scheme.score_right) in
-      let total =
-        Paillier.add pub (Paillier.add pub score_l score_r) (Paillier.encrypt s1.Ctx.rng pub Nat.one)
-      in
-      let score = Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:total ~if_zero:zero in
-      let carried =
-        Array.append
-          (Array.map snd (tup1 i).Join_scheme.cells)
-          (Array.map snd (tup2 j).Join_scheme.cells)
-      in
-      let attrs =
-        Array.map
-          (fun x -> Gadgets.select_recover ctx ~protocol:"SecJoin" ~t ~if_one:x ~if_zero:zero)
-          carried
-      in
+  (* one recover batch for the whole diagonal's selections *)
+  let per_pair =
+    List.map2
+      (fun t (i, j) ->
+        let _, score_l = (tup1 i).Join_scheme.cells.(tk.Join_scheme.score_left) in
+        let _, score_r = (tup2 j).Join_scheme.cells.(tk.Join_scheme.score_right) in
+        let total =
+          Paillier.add pub (Paillier.add pub score_l score_r) (Paillier.encrypt s1.Ctx.rng pub Nat.one)
+        in
+        let carried =
+          Array.append
+            (Array.map snd (tup1 i).Join_scheme.cells)
+            (Array.map snd (tup2 j).Join_scheme.cells)
+        in
+        (t, total, zero) :: Array.to_list (Array.map (fun x -> (t, x, zero)) carried))
+      ts (Array.to_list arr)
+  in
+  let picked =
+    Array.of_list
+      (Gadgets.select_recover_many ctx ~protocol:"SecJoin" (List.concat per_pair))
+  in
+  let cursor = ref 0 in
+  List.map
+    (fun choices ->
+      let width = List.length choices in
+      let score = picked.(!cursor) in
+      let attrs = Array.init (width - 1) (fun a -> picked.(!cursor + 1 + a)) in
+      cursor := !cursor + width;
       { score; attrs })
-    ts (Array.to_list arr)
+    per_pair
 
 type sorted_stats = { pairs_explored : int; pairs_total : int; halted_early : bool }
 
@@ -350,9 +384,11 @@ let top_k_sorted_stats (ctx : Ctx.t) e1 e2 (tk : Join_scheme.token) =
       let sorted = sort_desc ctx !matched in
       matched := sorted;
       let wk = (List.nth sorted (tk.Join_scheme.k - 1)).score in
-      (* halt when W_k is a real match (>= 1) and beats the bound *)
-      if Enc_compare.leq ctx (Paillier.trivial pub Nat.one) wk && Enc_compare.leq ctx bound wk
-      then halted := true
+      (* halt when W_k is a real match (>= 1) and beats the bound: both
+         tests in one batch round (no short-circuit, same conjunction) *)
+      (match Enc_compare.leq_many ctx [ (Paillier.trivial pub Nat.one, wk); (bound, wk) ] with
+      | [ real; beats ] -> if real && beats then halted := true
+      | _ -> assert false)
     end;
     incr d
   done;

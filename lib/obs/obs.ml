@@ -27,11 +27,12 @@ module Metrics = struct
     | Dj_rerand
     | Modexp
     | Prf_eval
+    | Rerand_pool
     | Bytes_sent
     | Msgs
     | Rounds
 
-  let n_ops = 13
+  let n_ops = 14
 
   let index = function
     | Paillier_enc -> 0
@@ -44,14 +45,15 @@ module Metrics = struct
     | Dj_rerand -> 7
     | Modexp -> 8
     | Prf_eval -> 9
-    | Bytes_sent -> 10
-    | Msgs -> 11
-    | Rounds -> 12
+    | Rerand_pool -> 10
+    | Bytes_sent -> 11
+    | Msgs -> 12
+    | Rounds -> 13
 
   let all =
     [ Paillier_enc; Paillier_dec; Paillier_mul; Paillier_rerand;
       Dj_enc; Dj_dec; Dj_mul; Dj_rerand;
-      Modexp; Prf_eval; Bytes_sent; Msgs; Rounds ]
+      Modexp; Prf_eval; Rerand_pool; Bytes_sent; Msgs; Rounds ]
 
   let name = function
     | Paillier_enc -> "paillier_encrypt"
@@ -64,6 +66,7 @@ module Metrics = struct
     | Dj_rerand -> "dj_rerand"
     | Modexp -> "modexp"
     | Prf_eval -> "prf"
+    | Rerand_pool -> "rerand_pool"
     | Bytes_sent -> "bytes"
     | Msgs -> "messages"
     | Rounds -> "rounds"
@@ -383,20 +386,21 @@ module Cost_model = struct
   type counts = {
     penc : int; pdec : int; pmul : int; prr : int;
     djenc : int; djdec : int; djmul : int; djrr : int;
+    pool : int;  (* noise values taken from the rerandomizer pool *)
     bytes : int; msgs : int; rounds : int;
   }
 
   let zero =
     { penc = 0; pdec = 0; pmul = 0; prr = 0;
       djenc = 0; djdec = 0; djmul = 0; djrr = 0;
-      bytes = 0; msgs = 0; rounds = 0 }
+      pool = 0; bytes = 0; msgs = 0; rounds = 0 }
 
   let to_alist c =
     Metrics.
       [ (Paillier_enc, c.penc); (Paillier_dec, c.pdec); (Paillier_mul, c.pmul);
         (Paillier_rerand, c.prr); (Dj_enc, c.djenc); (Dj_dec, c.djdec);
-        (Dj_mul, c.djmul); (Dj_rerand, c.djrr); (Bytes_sent, c.bytes);
-        (Msgs, c.msgs); (Rounds, c.rounds) ]
+        (Dj_mul, c.djmul); (Dj_rerand, c.djrr); (Rerand_pool, c.pool);
+        (Bytes_sent, c.bytes); (Msgs, c.msgs); (Rounds, c.rounds) ]
 
   (* Bytes are measured from the Wire frames an rpc actually ships: a
      request costs [req_base + |label|] of header plus its payload, a
@@ -404,6 +408,18 @@ module Cost_model = struct
      a 4-byte count prefix per list (wire.ml's closed forms). *)
   let req p ~label payload = p.req_base + String.length label + payload
   let resp p payload = p.resp_base + payload
+
+  (* One batched rpc round over element payload lists ([Ctx.rpc_batch]'s
+     framing): no elements → no traffic; a singleton delegates to a plain
+     rpc; two or more ship one Batch/Batch_resp frame — a 4-byte count
+     plus a tag byte per element on each side, one round, two messages. *)
+  let batch_cost p ~label req_payloads resp_payloads =
+    match (req_payloads, resp_payloads) with
+    | [], [] -> (0, 0, 0)
+    | [ rq ], [ rs ] -> (req p ~label rq + resp p rs, 2, 1)
+    | _ ->
+      let sum = List.fold_left (fun acc pl -> acc + 1 + pl) 4 in
+      (req p ~label (sum req_payloads) + resp p (sum resp_payloads), 2, 1)
 
   (* Serialized scored item (count prefixes + fixed-width ciphertexts)
      and its escrow pack under S1's own key. *)
@@ -423,9 +439,14 @@ module Cost_model = struct
 
   (* SecWorst (Alg. 4) against [others] candidate lists: an EHL+ diff
      (2 scalar_muls per cell) per other batched into one equality round,
-     then a select+recover rpc per contribution. *)
+     then every select+recover in one batch round. *)
   let sec_worst p ~others:j =
     let label = "SecWorst" in
+    let rec_b, rec_m, rec_r =
+      batch_cost p ~label
+        (List.init j (fun _ -> p.dj_ct))
+        (List.init j (fun _ -> p.ct))
+    in
     { zero with
       penc = j;
       pdec = j;
@@ -433,40 +454,46 @@ module Cost_model = struct
       djenc = j;
       djdec = j;
       djmul = 4 * j;
-      bytes =
-        req p ~label (4 + (j * p.ct))
-        + resp p (4 + (j * p.dj_ct))
-        + (j * (req p ~label p.dj_ct + resp p p.ct));
-      msgs = 2 + (2 * j);
-      rounds = 1 + j }
+      bytes = req p ~label (4 + (j * p.ct)) + resp p (4 + (j * p.dj_ct)) + rec_b;
+      msgs = 2 + rec_m;
+      rounds = 1 + rec_r }
 
-  (* SecBest (Alg. 5): per source list with [e] scanned-prefix entries;
-     e = 0 still ships the (empty) equality round-trip. *)
+  (* SecBest (Alg. 5) over all source lists at once, [prefixes] holding
+     each list's scanned-prefix length: one Equality batch across the
+     lists (an e = 0 list still ships its empty element), then one
+     Recover batch across the non-empty lists — two rounds total,
+     regardless of list count and depth. *)
   let sec_best p ~prefixes =
     let label = "SecBest" in
-    List.fold_left
-      (fun acc e ->
-        if e = 0 then
-          { acc with
-            bytes = acc.bytes + req p ~label 4 + resp p 4;
-            msgs = acc.msgs + 2;
-            rounds = acc.rounds + 1 }
-        else
-          { acc with
-            penc = acc.penc + 1;
-            pdec = acc.pdec + e;
-            pmul = acc.pmul + (2 * p.cells * e) + 1;
-            djenc = acc.djenc + e;
-            djdec = acc.djdec + 1;
-            djmul = acc.djmul + e + 3;
-            bytes =
-              acc.bytes
-              + req p ~label (4 + (e * p.ct))
-              + resp p (4 + (e * p.dj_ct))
-              + req p ~label p.dj_ct + resp p p.ct;
-            msgs = acc.msgs + 4;
-            rounds = acc.rounds + 2 })
-      zero prefixes
+    let ops =
+      List.fold_left
+        (fun acc e ->
+          if e = 0 then acc
+          else
+            { acc with
+              penc = acc.penc + 1;
+              pdec = acc.pdec + e;
+              pmul = acc.pmul + (2 * p.cells * e) + 1;
+              djenc = acc.djenc + e;
+              djdec = acc.djdec + 1;
+              djmul = acc.djmul + e + 3 })
+        zero prefixes
+    in
+    let eq_b, eq_m, eq_r =
+      batch_cost p ~label
+        (List.map (fun e -> 4 + (e * p.ct)) prefixes)
+        (List.map (fun e -> 4 + (e * p.dj_ct)) prefixes)
+    in
+    let nonempty = List.filter (fun e -> e > 0) prefixes in
+    let rc_b, rc_m, rc_r =
+      batch_cost p ~label
+        (List.map (fun _ -> p.dj_ct) nonempty)
+        (List.map (fun _ -> p.ct) nonempty)
+    in
+    { ops with
+      bytes = eq_b + rc_b;
+      msgs = eq_m + rc_m;
+      rounds = eq_r + rc_r }
 
   (* SecDedup (Alg. 6/7) over [items] candidates of which [dups] are
      non-keeper duplicates: pairwise EHL+ diffs and masked items travel in
@@ -497,8 +524,9 @@ module Cost_model = struct
     end
 
   (* EncSort, blinded strategy, over [items] scored candidates: blind +
-     encrypt + signed-decrypt per item, full re-randomization on return;
-     one Sort_items rpc carries keys + items out and the sorted items back. *)
+     encrypt + signed-decrypt per item, full re-randomization on return
+     (every noise factor drawn from S2's precomputed pool); one
+     Sort_items rpc carries keys + items out and the sorted items back. *)
   let enc_sort_blinded p ~items:l =
     let cell = p.cells + 2 + p.seen in
     { zero with
@@ -506,6 +534,7 @@ module Cost_model = struct
       pdec = l;
       pmul = l;
       prr = l * cell;
+      pool = l * cell;
       bytes =
         req p ~label:"EncSort" (4 + (l * p.ct) + 4 + (l * scored_b p))
         + resp p (4 + (l * scored_b p));

@@ -18,6 +18,7 @@ module Metrics : sig
     | Dj_rerand
     | Modexp
     | Prf_eval
+    | Rerand_pool  (** noise values taken from a precomputed pool *)
     | Bytes_sent
     | Msgs
     | Rounds
@@ -144,6 +145,7 @@ module Cost_model : sig
   type counts = {
     penc : int; pdec : int; pmul : int; prr : int;
     djenc : int; djdec : int; djmul : int; djrr : int;
+    pool : int;  (** noise values taken from the rerandomizer pool *)
     bytes : int; msgs : int; rounds : int;
   }
 

@@ -7,9 +7,19 @@ type s1 = {
   blind_bits : int option;
   own_pub : Paillier.public;
   own_sk : Paillier.secret;
+  djnoise : Noise_pool.t;
 }
 
-type t = { s1 : s1; transport : Transport.t; domains : int; obs : Obs.Collector.t }
+let make_djnoise rng djpub =
+  Noise_pool.create rng ~label:"djnoise" (fun r -> Damgard_jurik.noise r djpub)
+
+type t = {
+  s1 : s1;
+  transport : Transport.t;
+  domains : int;
+  obs : Obs.Collector.t;
+  batching : bool;
+}
 
 type mode = Inproc | Loopback | Socket_fd of Unix.file_descr
 
@@ -19,7 +29,7 @@ let default_mode () =
   | Some "inproc" | None -> Inproc
   | Some other -> invalid_arg ("Ctx: unknown TRANSPORT " ^ other)
 
-let of_keys ?blind_bits ?(domains = 1) ?mode rng pub sk =
+let of_keys ?blind_bits ?(domains = 1) ?mode ?rtt_us rng pub sk =
   let mode = match mode with Some m -> m | None -> default_mode () in
   let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk) in
   let s1_rng = Rng.fork rng ~label:"s1" in
@@ -35,19 +45,29 @@ let of_keys ?blind_bits ?(domains = 1) ?mode rng pub sk =
       in
       (match mode with
       | Inproc -> Transport.inproc keys server
-      | Loopback -> Transport.loopback keys server
+      | Loopback -> Transport.loopback ?rtt_us keys server
       | Socket_fd _ -> assert false)
   in
   {
-    s1 = { pub; djpub; rng = s1_rng; blind_bits; own_pub; own_sk };
+    s1 =
+      {
+        pub;
+        djpub;
+        rng = s1_rng;
+        blind_bits;
+        own_pub;
+        own_sk;
+        djnoise = make_djnoise s1_rng djpub;
+      };
     transport;
     domains;
     obs = Obs.Collector.create ();
+    batching = true;
   }
 
-let create ?blind_bits ?domains ?mode rng ~bits =
+let create ?blind_bits ?domains ?mode ?rtt_us rng ~bits =
   let pub, sk = Paillier.keygen rng ~bits in
-  of_keys ?blind_bits ?domains ?mode rng pub sk
+  of_keys ?blind_bits ?domains ?mode ?rtt_us rng pub sk
 
 (* Canonical seeded provisioning, shared verbatim by [S2_server.of_hello]:
    any reordering here desynchronises a socket daemon's randomness stream
@@ -60,8 +80,80 @@ let provision ~seed ~key_bits ?rand_bits () =
   (pub, sk, ctx_rng, data_rng)
 
 let with_domains t domains = { t with domains }
+let with_batching t batching = { t with batching }
 
 let rpc t ~label req = Transport.rpc t.transport ~label req
+
+(* One round trip carrying [n] independent requests. Empty lists produce
+   no traffic; singletons delegate to [rpc] so singleton-sized fan-outs
+   leave the exact frames (and channel labels) they always did. With
+   batching forced off every element travels alone — same decryptions,
+   trace events and rng draws on both sides, only the framing differs. *)
+let rpc_batch t ~label reqs =
+  match reqs with
+  | [] -> []
+  | [ req ] -> [ rpc t ~label req ]
+  | reqs when not t.batching -> List.map (rpc t ~label) reqs
+  | reqs -> (
+    match rpc t ~label (Wire.Batch reqs) with
+    | Wire.Batch_resp resps when List.length resps = List.length reqs -> resps
+    | Wire.Batch_resp _ -> failwith "Ctx.rpc_batch: response count mismatch"
+    | _ -> failwith "Ctx.rpc_batch: expected batch response")
+
+(* Double-buffered batching: while chunk [i] is in flight on a helper
+   domain, the caller's domain prepares chunk [i+1]. [prepare] runs
+   strictly in index order on the calling domain, so the S1 randomness
+   stream is identical to sequential execution; chunks are sent one at a
+   time, so the S2 stream is too. Each chunk's rpc runs under a private
+   collector merged back in chunk order — on both the overlapped and the
+   sequential path — keeping reports independent of [t.domains]. *)
+let rpc_pipeline t ~label ?(chunk = 16) ~prepare n =
+  if chunk <= 0 then invalid_arg "Ctx.rpc_pipeline: chunk <= 0";
+  let sink = match Obs.current () with Some c -> c | None -> t.obs in
+  let overlap = t.domains > 1 && Transport.concurrent t.transport in
+  let send reqs =
+    let c = Obs.Collector.create () in
+    let resps = Obs.with_collector c (fun () -> rpc_batch t ~label reqs) in
+    (c, resps)
+  in
+  let out = ref [] in
+  let merge (c, resps) =
+    Obs.Collector.merge_into c ~into:sink;
+    out := resps :: !out
+  in
+  let idx = ref 0 in
+  let next_chunk () =
+    if !idx >= n then None
+    else begin
+      let m = min chunk (n - !idx) in
+      let base = !idx in
+      (* explicit loop: [prepare] draws randomness, so index order is part
+         of the determinism contract *)
+      let reqs = ref [] in
+      for j = 0 to m - 1 do
+        reqs := prepare (base + j) :: !reqs
+      done;
+      idx := base + m;
+      Some (List.rev !reqs)
+    end
+  in
+  let rec loop pending =
+    match pending with
+    | None -> ()
+    | Some reqs ->
+      if overlap then begin
+        let inflight = Core.Pool.background (fun () -> send reqs) in
+        let nxt = next_chunk () in
+        merge (Core.Pool.await inflight);
+        loop nxt
+      end
+      else begin
+        merge (send reqs);
+        loop (next_chunk ())
+      end
+  in
+  loop (next_chunk ());
+  List.concat (List.rev !out)
 let channel t = Transport.channel t.transport
 let sk t = Transport.secret_key t.transport
 let trace t = Transport.trace t.transport
@@ -77,12 +169,14 @@ let parallel t ~jobs f =
   let subs = Array.make jobs t in
   for i = 0 to jobs - 1 do
     let label = "par:" ^ string_of_int i in
+    let sub_rng = Rng.fork t.s1.rng ~label in
     subs.(i) <-
       {
-        s1 = { t.s1 with rng = Rng.fork t.s1.rng ~label };
+        s1 = { t.s1 with rng = sub_rng; djnoise = make_djnoise sub_rng t.s1.djpub };
         transport = Transport.fork t.transport ~label;
         domains = 1;
         obs = Obs.Collector.create ();
+        batching = t.batching;
       }
   done;
   (* The socket transport is one ordered byte stream: interleaved frames

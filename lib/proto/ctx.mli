@@ -24,6 +24,11 @@ type s1 = {
           homomorphically without reading it. Its modulus is wider than
           the main one so blinding sums survive unreduced. *)
   own_sk : Paillier.secret;
+  djnoise : Noise_pool.t;
+      (** Precomputed DJ re-randomization noise ([r^{n^2} mod n^3]); its
+          root generator is forked off [rng] at context construction, and
+          {!parallel} sub-contexts fork their own — same determinism
+          discipline as the generators themselves. *)
 }
 
 type t = {
@@ -36,6 +41,11 @@ type t = {
           harness already installed one. Counters, bytes/rounds and the
           span tree collected here are byte-identical for every [domains]
           width; only wall times differ. *)
+  batching : bool;
+      (** When false, {!rpc_batch} degrades to one {!rpc} per element —
+          the unbatched execution the equivalence tests compare against.
+          Results, traces and crypto op counters are identical either
+          way; only framing (bytes/messages/rounds) differs. *)
 }
 
 (** Transport selection. When omitted, the [TRANSPORT] environment
@@ -47,13 +57,17 @@ type mode = Inproc | Loopback | Socket_fd of Unix.file_descr
 (** [create rng ~bits] generates a fresh key pair of modulus width [bits]
     and builds both party halves. [domains] (default 1) sets the
     parallelism of {!parallel}; it never affects results or traces. *)
-val create : ?blind_bits:int -> ?domains:int -> ?mode:mode -> Rng.t -> bits:int -> t
+val create :
+  ?blind_bits:int -> ?domains:int -> ?mode:mode -> ?rtt_us:int -> Rng.t -> bits:int -> t
 
-(** Rebuild a context around existing keys (e.g. the data owner's). *)
+(** Rebuild a context around existing keys (e.g. the data owner's).
+    [rtt_us] is the simulated per-round latency of the Loopback transport
+    (ignored by the others). *)
 val of_keys :
   ?blind_bits:int ->
   ?domains:int ->
   ?mode:mode ->
+  ?rtt_us:int ->
   Rng.t ->
   Paillier.public ->
   Paillier.secret ->
@@ -73,8 +87,31 @@ val provision :
 
 val with_domains : t -> int -> t
 
+(** Toggle batching (see the [batching] field). *)
+val with_batching : t -> bool -> t
+
 (** One request/response round trip to S2 under [label]. *)
 val rpc : t -> label:string -> Wire.request -> Wire.response
+
+(** [rpc_batch t ~label reqs] ships all of [reqs] in one {!Wire.Batch}
+    frame (one round) and returns the element-wise responses in request
+    order. An empty list produces no traffic at all; a singleton
+    delegates to {!rpc}, so singleton fan-outs keep their historical
+    framing. S2 handles batch elements in order — exactly the
+    decryptions, trace events and randomness draws of singleton
+    execution. *)
+val rpc_batch : t -> label:string -> Wire.request list -> Wire.response list
+
+(** [rpc_pipeline t ~label ~prepare n] evaluates [prepare i] for [i] in
+    [0..n-1] (strictly in order, on the calling domain) and ships the
+    requests in chunks of [chunk] (default 16) via {!rpc_batch},
+    overlapping the preparation of chunk [i+1] with chunk [i]'s in-flight
+    round trip on a helper domain when [t.domains > 1] and the transport
+    allows it. Responses come back in request order. Results, traces and
+    op counters are identical to the sequential path by the same
+    discipline as {!parallel}. *)
+val rpc_pipeline :
+  t -> label:string -> ?chunk:int -> prepare:(int -> Wire.request) -> int -> Wire.response list
 
 (** The bandwidth-accounting channel of the underlying transport. *)
 val channel : t -> Channel.t

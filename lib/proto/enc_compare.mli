@@ -16,6 +16,18 @@ open Crypto
     [n/2] are negative — the sentinel [Z] compares below every score). *)
 val leq : Ctx.t -> Paillier.ciphertext -> Paillier.ciphertext -> bool
 
+(** [signs_of ctx vs] — vectorized sign test: the signs of the
+    signed-decoded plaintexts of [vs] (already blinded by the caller),
+    fetched in one batch round. One [Comparison] trace event per element,
+    in index order. *)
+val signs_of : Ctx.t -> Paillier.ciphertext array -> int array
+
+(** [leq_many ctx pairs] is [List.map (fun (a, b) -> leq ctx a b) pairs]
+    in a single round: identical coins, blinding draws and trace events,
+    one batch frame. *)
+val leq_many :
+  Ctx.t -> (Paillier.ciphertext * Paillier.ciphertext) list -> bool list
+
 (** [leq_dgk ctx ~bits a b] — the DGK/Veugen bitwise comparison, the
     protocol family [11] actually builds on: S1 forms
     [Enc(d) = Enc(2^bits + b - a)], statistically blinds it, S2 decrypts

@@ -36,3 +36,14 @@ let rerandomize_scored rng pub (s : scored) =
     best = Paillier.rerandomize rng pub s.best;
     seen = Array.map (Paillier.rerandomize rng pub) s.seen;
   }
+
+(* Pool-backed variant: noise factors are consumed in field order (ehl
+   cells, worst, best, seen left to right), one modular mul each. *)
+let rerandomize_scored_with pub ~noise (s : scored) =
+  let rr c = Paillier.rerandomize_with pub ~noise:(noise ()) c in
+  {
+    ehl = Ehl.Ehl_plus.rerandomize_with pub ~noise s.ehl;
+    worst = rr s.worst;
+    best = rr s.best;
+    seen = Array.map rr s.seen;
+  }

@@ -38,3 +38,8 @@ val pack_bytes : Paillier.public -> pack -> int
 
 (** Fresh randomness on all components. *)
 val rerandomize_scored : Rng.t -> Paillier.public -> scored -> scored
+
+(** Pool-backed re-randomization: one precomputed noise factor (and one
+    modular mul) per ciphertext, consumed in field order. *)
+val rerandomize_scored_with :
+  Paillier.public -> noise:(unit -> Bignum.Nat.t) -> scored -> scored

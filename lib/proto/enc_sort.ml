@@ -51,26 +51,20 @@ let pad_item (s1 : Ctx.s1) ~cells ~m_seen =
     seen = Array.init m_seen (fun _ -> Paillier.encrypt s1.rng s1.pub Nat.one);
   }
 
-(* One compare-exchange gate through S2: the pair travels coin-swapped and
+(* One prepared compare-exchange gate: the pair travels coin-swapped and
    key-blinded; S2 returns it ordered (larger key first iff [descending]),
    re-randomized. *)
-let gate (ctx : Ctx.t) arr i j ~descending =
-  let s1 = ctx.Ctx.s1 in
+let gate_request (s1 : Ctx.s1) arr i j ~descending =
   let rho = Gadgets.blind_scalar s1 and r = additive_blind s1 in
   let coin = Rng.bool s1.rng in
   let x, y = if coin then (arr.(j), arr.(i)) else (arr.(i), arr.(j)) in
   let kx = blind_key s1 ~rho ~r x.Enc_item.worst and ky = blind_key s1 ~rho ~r y.Enc_item.worst in
-  let first, second =
-    match
-      Ctx.rpc ctx ~label:protocol (Wire.Sort_gate { descending; kx; ky; x; y })
-    with
-    | Wire.Pair (first, second) -> (first, second)
-    | _ -> failwith "Enc_sort.gate: unexpected response"
-  in
-  (* --- S1 places the ordered pair --- *)
-  arr.(i) <- first;
-  arr.(j) <- second
+  Wire.Sort_gate { descending; kx; ky; x; y }
 
+(* Iterative bitonic network: the gates of one [(k, j)] phase touch
+   disjoint index pairs, so the whole phase ships as a single batch —
+   O(log^2 size) rounds instead of one round per gate. Same gate count
+   and the same descending result as the recursive formulation. *)
 let sort_network (ctx : Ctx.t) items =
   match items with
   | [] | [ _ ] -> items
@@ -88,25 +82,37 @@ let sort_network (ctx : Ctx.t) items =
     for i = l to size - 1 do
       arr.(i) <- pad_item s1 ~cells ~m_seen
     done;
-    let rec bitonic_sort lo n descending =
-      if n > 1 then begin
-        let half = n / 2 in
-        bitonic_sort lo half (not descending);
-        bitonic_sort (lo + half) half descending;
-        bitonic_merge lo n descending
-      end
-    and bitonic_merge lo n descending =
-      if n > 1 then begin
-        let half = n / 2 in
-        (* the half gates of one merge stage touch disjoint index pairs *)
-        ignore
-          (Ctx.parallel ctx ~jobs:half (fun sub t ->
-               gate sub arr (lo + t) (lo + t + half) ~descending));
-        bitonic_merge lo half descending;
-        bitonic_merge (lo + half) half descending
-      end
-    in
-    bitonic_sort 0 size true;
+    let k = ref 2 in
+    while !k <= size do
+      let j = ref (!k / 2) in
+      while !j >= 1 do
+        (* this phase's disjoint pairs, ascending in the lower index; the
+           gate at (i, i lxor j) runs descending iff i land k = 0, which
+           makes the full network sort descending *)
+        let pairs = ref [] in
+        for i = size - 1 downto 0 do
+          let p = i lxor !j in
+          if p > i then pairs := (i, p, i land !k = 0) :: !pairs
+        done;
+        let gates =
+          List.map
+            (fun (i, p, descending) ->
+              ((i, p), gate_request s1 arr i p ~descending))
+            !pairs
+        in
+        let resps = Ctx.rpc_batch ctx ~label:protocol (List.map snd gates) in
+        List.iter2
+          (fun ((i, p), _) resp ->
+            match resp with
+            | Wire.Pair (first, second) ->
+              arr.(i) <- first;
+              arr.(p) <- second
+            | _ -> failwith "Enc_sort.sort_network: unexpected response")
+          gates resps;
+        j := !j / 2
+      done;
+      k := !k * 2
+    done;
     (* pads carry key -2 < every real or sentinel key: they end at the tail *)
     Array.to_list (Array.sub arr 0 l)
 

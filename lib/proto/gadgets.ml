@@ -43,6 +43,32 @@ let recover_enc (ctx : Ctx.t) ~protocol e2c =
 let select_recover ctx ~protocol ~t ~if_one ~if_zero =
   recover_enc ctx ~protocol (select ctx.Ctx.s1 ~t ~if_one ~if_zero)
 
+(* Batched RecoverEnc: per-element blinding drawn in list order (the same
+   draws singleton execution makes), then every Recover in one frame. *)
+let recover_enc_many (ctx : Ctx.t) ~protocol e2cs =
+  let s1 = ctx.Ctx.s1 in
+  let blinded =
+    List.map
+      (fun e2c ->
+        let r = Rng.nat_below s1.rng s1.pub.Paillier.n in
+        let enc_r = Paillier.encrypt s1.rng s1.pub r in
+        (enc_r, Damgard_jurik.scalar_mul_ct s1.djpub e2c enc_r))
+      e2cs
+  in
+  let resps =
+    Ctx.rpc_batch ctx ~label:protocol (List.map (fun (_, b) -> Wire.Recover b) blinded)
+  in
+  List.map2
+    (fun (enc_r, _) resp ->
+      match resp with
+      | Wire.Ct inner -> Paillier.sub s1.pub inner enc_r
+      | _ -> failwith "Gadgets.recover_enc_many: unexpected response")
+    blinded resps
+
+let select_recover_many (ctx : Ctx.t) ~protocol choices =
+  recover_enc_many ctx ~protocol
+    (List.map (fun (t, if_one, if_zero) -> select ctx.Ctx.s1 ~t ~if_one ~if_zero) choices)
+
 let lift (ctx : Ctx.t) ~protocol cts =
   let s1 = ctx.Ctx.s1 in
   (* blinding below n/2 so that bit + r never wraps mod n (a wrap would

@@ -52,6 +52,19 @@ val select_recover :
   if_zero:Paillier.ciphertext ->
   Paillier.ciphertext
 
+(** Batched {!recover_enc}: one {!Ctx.rpc_batch} round for the whole
+    list, element blinding drawn in list order (identical randomness to
+    running {!recover_enc} per element). *)
+val recover_enc_many :
+  Ctx.t -> protocol:string -> Damgard_jurik.ciphertext list -> Paillier.ciphertext list
+
+(** Batched {!select_recover} over [(t, if_one, if_zero)] choices. *)
+val select_recover_many :
+  Ctx.t ->
+  protocol:string ->
+  (Damgard_jurik.ciphertext * Paillier.ciphertext * Paillier.ciphertext) list ->
+  Paillier.ciphertext list
+
 (** [conjunction_round ctx ~protocol groups] — like {!equality_round}
     but each element is a {e group} of EHL differences: S2 returns
     [E2(1)] iff {e every} difference in the group decrypts to zero. Used

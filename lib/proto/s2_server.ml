@@ -9,15 +9,22 @@ type t = {
   own_pub : Paillier.public;
   rng : Rng.t;
   trace : Trace.t;
+  pnoise : Noise_pool.t;  (** precomputed Paillier re-randomization noise *)
 }
 
+let make_pool rng pub = Noise_pool.create rng ~label:"noise" (fun r -> Paillier.noise r pub)
+
 let create ~pub ~djpub ~sk ~djsk ~own_pub ~rng =
-  { pub; djpub; sk; djsk; own_pub; rng; trace = Trace.create () }
+  let pnoise = make_pool rng pub in
+  { pub; djpub; sk; djsk; own_pub; rng; trace = Trace.create (); pnoise }
 
 let trace t = t.trace
 let secret_key t = t.sk
+let noise_pool t = t.pnoise
 
-let fork t ~label = { t with rng = Rng.fork t.rng ~label; trace = Trace.create () }
+let fork t ~label =
+  let rng = Rng.fork t.rng ~label in
+  { t with rng; trace = Trace.create (); pnoise = make_pool rng t.pub }
 let join sub ~into = Trace.append_into sub.trace ~into:into.trace
 
 (* Rebuild key material and the S2 randomness stream from the client's
@@ -116,8 +123,12 @@ let dedup_replacement t ~cells ~m_seen =
   in
   (it, pack)
 
-let handle t ~label (req : Wire.request) : Wire.response =
+let rec handle t ~label (req : Wire.request) : Wire.response =
   match req with
+  | Wire.Batch reqs ->
+    (* a batch is exactly its elements handled in order: same decryptions,
+       same trace events, same rng draws as singleton execution *)
+    Wire.Batch_resp (List.map (handle t ~label) reqs)
   | Wire.Sign_of c ->
     let sign = Bigint.sign (Paillier.decrypt_signed t.sk c) in
     Trace.record t.trace (Trace.Comparison { protocol = label; ordering = sign });
@@ -212,9 +223,12 @@ let handle t ~label (req : Wire.request) : Wire.response =
     in
     Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
     Trace.record t.trace (Trace.Count { protocol = label; value = Array.length decorated });
+    let noise () = Noise_pool.take t.pnoise in
     Wire.Sorted
       (Array.to_list
-         (Array.map (fun (_, it) -> Enc_item.rerandomize_scored t.rng t.pub it) decorated))
+         (Array.map
+            (fun (_, it) -> Enc_item.rerandomize_scored_with t.pub ~noise it)
+            decorated))
   | Wire.Sort_gate { descending; kx; ky; x; y } ->
     let vx = Paillier.decrypt_signed t.sk kx and vy = Paillier.decrypt_signed t.sk ky in
     let cmp = Bigint.compare vx vy in
@@ -222,8 +236,9 @@ let handle t ~label (req : Wire.request) : Wire.response =
     let first, second =
       if (cmp >= 0 && descending) || (cmp < 0 && not descending) then (x, y) else (y, x)
     in
-    let first = Enc_item.rerandomize_scored t.rng t.pub first in
-    let second = Enc_item.rerandomize_scored t.rng t.pub second in
+    let noise () = Noise_pool.take t.pnoise in
+    let first = Enc_item.rerandomize_scored_with t.pub ~noise first in
+    let second = Enc_item.rerandomize_scored_with t.pub ~noise second in
     Wire.Pair (first, second)
   | Wire.Filter tuples ->
     let n = t.pub.Paillier.n in
@@ -269,13 +284,10 @@ let handle t ~label (req : Wire.request) : Wire.response =
     in
     Array.sort (fun (a, _) (b, _) -> Bigint.compare b a) decorated;
     Trace.record t.trace (Trace.Count { protocol = label; value = Array.length decorated });
+    let rr c = Paillier.rerandomize_with t.pub ~noise:(Noise_pool.take t.pnoise) c in
     Wire.Ranked
       (Array.to_list
-         (Array.map
-            (fun (_, (score, attrs)) ->
-              ( Paillier.rerandomize t.rng t.pub score,
-                Array.map (Paillier.rerandomize t.rng t.pub) attrs ))
-            decorated))
+         (Array.map (fun (_, (score, attrs)) -> (rr score, Array.map rr attrs)) decorated))
   | Wire.Rank_keys cs ->
     let decorated =
       Array.of_list (List.mapi (fun j c -> (j, Paillier.decrypt t.sk c)) cs)
@@ -355,5 +367,9 @@ let serve_fd fd =
       let root = of_hello h in
       let collector = Obs.Collector.create () in
       Wire.write_frame fd (Wire.encode_control_reply Wire.Ok_ctl);
-      Obs.with_collector collector (fun () -> serve_loop fd root collector)
+      (* daemon child: no further forks, so a background filler is safe *)
+      Noise_pool.start_filler root.pnoise;
+      Fun.protect
+        ~finally:(fun () -> Noise_pool.quiesce root.pnoise)
+        (fun () -> Obs.with_collector collector (fun () -> serve_loop fd root collector))
     | _ -> invalid_arg "S2_server: expected Hello")

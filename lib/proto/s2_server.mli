@@ -39,6 +39,11 @@ val join : t -> into:t -> unit
 val trace : t -> Trace.t
 val secret_key : t -> Paillier.secret
 
+(** The server's precomputed Paillier re-randomization noise pool (one
+    per session; forked sessions get their own). Exposed so an embedding
+    can [Noise_pool.prefill] or [start_filler]/[quiesce] it. *)
+val noise_pool : t -> Noise_pool.t
+
 (** Serve one connection: expects a [Hello] control frame, then answers
     request/control frames until EOF or [Shutdown]. Runs the daemon side
     of the Socket transport. *)

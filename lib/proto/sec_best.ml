@@ -2,9 +2,12 @@ open Crypto
 
 let protocol = "SecBest"
 
-let per_list (ctx : Ctx.t) ~(target : Enc_item.entry) (seen, bottom) =
-  let s1 = ctx.Ctx.s1 in
-  let dj = s1.djpub in
+(* Phase 1 of one history list: shuffle, diffs. Phase 2: the local select
+   fold over the equality bits, yielding either the bottom score directly
+   (empty prefix) or an E2 accumulator awaiting one RecoverEnc. The
+   per-list rounds are batched across the whole history: one Equality
+   batch, then one Recover batch — two rounds regardless of depth. *)
+let prepare (s1 : Ctx.s1) ~(target : Enc_item.entry) (seen, bottom) =
   let arr = Array.of_list seen in
   ignore (Rng.shuffle s1.rng arr);
   let permuted = Array.to_list arr in
@@ -14,7 +17,15 @@ let per_list (ctx : Ctx.t) ~(target : Enc_item.entry) (seen, bottom) =
         Ehl.Ehl_plus.diff ?blind_bits:s1.blind_bits s1.rng s1.pub target.Enc_item.ehl e.Enc_item.ehl)
       permuted
   in
-  let ts = Gadgets.equality_round ctx ~protocol diffs in
+  (permuted, bottom, diffs)
+
+let fold_list (s1 : Ctx.s1) (permuted, bottom, _) reply =
+  let dj = s1.djpub in
+  let ts =
+    match reply with
+    | Wire.Bits2 ts -> ts
+    | _ -> failwith "Sec_best.run: unexpected response"
+  in
   (* E2(sum t_e * Enc(x_e)): at most one t_e is 1 within a list *)
   let matched =
     List.fold_left2
@@ -32,16 +43,55 @@ let per_list (ctx : Ctx.t) ~(target : Enc_item.entry) (seen, bottom) =
   match (matched, sum_t) with
   | None, None ->
     (* empty list prefix: the bottom value is the only contribution *)
-    bottom
+    `Score bottom
   | Some matched, Some sum_t ->
     let e2_one = Damgard_jurik.trivial dj Bignum.Nat.one in
     let unseen = Damgard_jurik.sub dj e2_one sum_t in
-    let acc = Damgard_jurik.add dj matched (Damgard_jurik.scalar_mul_ct dj unseen bottom) in
-    Gadgets.recover_enc ctx ~protocol acc
+    `Recover (Damgard_jurik.add dj matched (Damgard_jurik.scalar_mul_ct dj unseen bottom))
   | _ -> assert false
 
-let run (ctx : Ctx.t) ~target ~history =
+(* All instances of one phase share the two rounds: every query's per-list
+   equality tests travel in one batch, then every pending accumulator in
+   one Recover batch. A single-query call frames exactly as before. *)
+let run_many (ctx : Ctx.t) queries =
   Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
-  let per_list_scores = List.map (per_list ctx ~target) history in
-  List.fold_left (Paillier.add s1.pub) target.Enc_item.score per_list_scores
+  let prepped =
+    List.map (fun (target, history) -> (target, List.map (prepare s1 ~target) history)) queries
+  in
+  let all_lists = List.concat_map snd prepped in
+  let replies =
+    Ctx.rpc_batch ctx ~label:protocol
+      (List.map (fun (_, _, diffs) -> Wire.Equality diffs) all_lists)
+  in
+  let pending = List.map2 (fold_list s1) all_lists replies in
+  let recovered =
+    Gadgets.recover_enc_many ctx ~protocol
+      (List.filter_map (function `Recover acc -> Some acc | `Score _ -> None) pending)
+  in
+  let per_list_scores =
+    let rec stitch pending recovered =
+      match (pending, recovered) with
+      | [], [] -> []
+      | `Score b :: rest, rs -> b :: stitch rest rs
+      | `Recover _ :: rest, r :: rs -> r :: stitch rest rs
+      | _ -> assert false
+    in
+    ref (stitch pending recovered)
+  in
+  let next n =
+    let rec go n acc l =
+      if n = 0 then (List.rev acc, l)
+      else match l with x :: rest -> go (n - 1) (x :: acc) rest | [] -> assert false
+    in
+    let taken, rest = go n [] !per_list_scores in
+    per_list_scores := rest;
+    taken
+  in
+  List.map
+    (fun ((target : Enc_item.entry), lists) ->
+      List.fold_left (Paillier.add s1.pub) target.Enc_item.score (next (List.length lists)))
+    prepped
+
+let run (ctx : Ctx.t) ~target ~history =
+  match run_many ctx [ (target, history) ] with [ r ] -> r | _ -> assert false

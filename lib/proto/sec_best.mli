@@ -20,3 +20,12 @@ val run :
   target:Enc_item.entry ->
   history:(Enc_item.entry list * Paillier.ciphertext) list ->
   Paillier.ciphertext
+
+(** Phase-collapsed form: the independent SecBest instances of one depth
+    share two rounds (one Equality batch over every query's history lists,
+    one Recover batch) instead of two each. Element-wise identical to
+    separate {!run} calls. *)
+val run_many :
+  Ctx.t ->
+  (Enc_item.entry * (Enc_item.entry list * Paillier.ciphertext) list) list ->
+  Paillier.ciphertext list

@@ -15,16 +15,22 @@ let run (ctx : Ctx.t) ~items ~bottoms =
     in
     let lifted = Array.of_list (Gadgets.lift ctx ~protocol flat) in
     let zero = Gadgets.enc_zero s1 in
+    (* every (item, list) adjustment is independent: one batched recover.
+       Choice (idx, l) adds bottom_l only when the object has not been
+       seen in list l. *)
+    let choices =
+      List.concat
+        (List.mapi
+           (fun idx (_ : Enc_item.scored) ->
+             List.init m (fun l -> (lifted.((idx * m) + l), zero, bottoms.(l))))
+           items)
+    in
+    let adjs = Array.of_list (Gadgets.select_recover_many ctx ~protocol choices) in
     List.mapi
       (fun idx (it : Enc_item.scored) ->
         let best = ref it.Enc_item.worst in
         for l = 0 to m - 1 do
-          let u = lifted.((idx * m) + l) in
-          (* add bottom_l only when the object has not been seen in list l *)
-          let adj =
-            Gadgets.select_recover ctx ~protocol ~t:u ~if_one:zero ~if_zero:bottoms.(l)
-          in
-          best := Paillier.add s1.pub !best adj
+          best := Paillier.add s1.pub !best adjs.((idx * m) + l)
         done;
         { it with Enc_item.best = !best })
       items

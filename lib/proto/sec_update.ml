@@ -35,8 +35,11 @@ let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
     let ts = Array.of_list (Gadgets.equality_round ctx ~protocol !diffs) in
     let t_of i j = ts.((i * n_old) + j) in
     let zero = Gadgets.enc_zero s1 in
-    (* --- old entries: W'_j = W_j + sum_i t_ij * W_i ; B'_j refreshed --- *)
-    let updated_olds =
+    (* --- old entries: W'_j = W_j + sum_i t_ij * W_i ; B'_j refreshed.
+       The per-entry selections (worst delta, per-slot seen merge, best)
+       are all independent E2 accumulators: every RecoverEnc of the whole
+       T-list travels in one batch round. *)
+    let selections =
       Array.mapi
         (fun j (old : Enc_item.scored) ->
           let col = List.init n_new (fun i -> t_of i j) in
@@ -52,7 +55,18 @@ let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
               (Damgard_jurik.scalar_mul_ct dj no_match zero)
               w_terms
           in
-          let w_delta = Gadgets.recover_enc ctx ~protocol w_sel in
+          (* seen-vector merge: u'_{j,l} = u_{j,l} + sum_i t_ij * u_{i,l}
+             (at most one i matches, so the inner selection is exclusive) *)
+          let seen_sels =
+            Array.mapi
+              (fun l _ ->
+                List.fold_left (Damgard_jurik.add dj)
+                  (Damgard_jurik.scalar_mul_ct dj no_match zero)
+                  (List.init n_new (fun i ->
+                       Damgard_jurik.scalar_mul_ct dj (t_of i j)
+                         news.(i).Enc_item.seen.(l))))
+              old.Enc_item.seen
+          in
           let b_terms =
             List.init n_new (fun i ->
                 Damgard_jurik.scalar_mul_ct dj (t_of i j) news.(i).Enc_item.best)
@@ -62,24 +76,30 @@ let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
               (Damgard_jurik.scalar_mul_ct dj no_match old.Enc_item.best)
               b_terms
           in
-          (* seen-vector merge: u'_{j,l} = u_{j,l} + sum_i t_ij * u_{i,l}
-             (at most one i matches, so the inner selection is exclusive) *)
+          (w_sel, seen_sels, b_sel))
+        olds
+    in
+    let flat =
+      Array.to_list selections
+      |> List.concat_map (fun (w, seens, b) -> (w :: Array.to_list seens) @ [ b ])
+    in
+    let recovered = Array.of_list (Gadgets.recover_enc_many ctx ~protocol flat) in
+    let m_seen = match t_list with it :: _ -> Array.length it.Enc_item.seen | [] -> 0 in
+    let stride = m_seen + 2 in
+    let updated_olds =
+      Array.mapi
+        (fun j (old : Enc_item.scored) ->
+          let base = j * stride in
+          let w_delta = recovered.(base) in
           let seen' =
             Array.mapi
-              (fun l u ->
-                let sel =
-                  List.fold_left (Damgard_jurik.add dj)
-                    (Damgard_jurik.scalar_mul_ct dj no_match zero)
-                    (List.init n_new (fun i ->
-                         Damgard_jurik.scalar_mul_ct dj (t_of i j) news.(i).Enc_item.seen.(l)))
-                in
-                Paillier.add s1.pub u (Gadgets.recover_enc ctx ~protocol sel))
+              (fun l u -> Paillier.add s1.pub u recovered.(base + 1 + l))
               old.Enc_item.seen
           in
           {
             old with
             Enc_item.worst = Paillier.add s1.pub old.Enc_item.worst w_delta;
-            best = Gadgets.recover_enc ctx ~protocol b_sel;
+            best = recovered.(base + 1 + m_seen);
             seen = seen';
           })
         olds
@@ -90,40 +110,67 @@ let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
     in
     (match mode with
     | Sec_dedup.Replace ->
-      (* obliviously rewrite matched copies into sentinel garbage *)
+      (* obliviously rewrite matched copies into sentinel garbage; the
+         per-cell/score/seen choices of every appended item are
+         independent, so the whole fan-out is one select_recover batch *)
       let z = Ctx.sentinel_z s1 in
-      let updated_news =
+      let choices =
         Array.mapi
           (fun i (nw : Enc_item.scored) ->
             let t = matched_e2.(i) in
             let n = s1.pub.Paillier.n in
-            let cells =
+            let cell_choices =
               Array.map
                 (fun cell ->
                   let rand = Paillier.encrypt s1.rng s1.pub (Rng.nat_below s1.rng n) in
-                  Gadgets.select_recover ctx ~protocol ~t ~if_one:rand ~if_zero:cell)
+                  (t, rand, cell))
                 (Ehl.Ehl_plus.cells nw.Enc_item.ehl)
             in
             let enc_z = Paillier.encrypt s1.rng s1.pub z in
-            let enc_one () = Paillier.encrypt s1.rng s1.pub Nat.one in
-            {
-              Enc_item.ehl = Ehl.Ehl_plus.of_cells cells;
-              worst = Gadgets.select_recover ctx ~protocol ~t ~if_one:enc_z ~if_zero:nw.Enc_item.worst;
-              best = Gadgets.select_recover ctx ~protocol ~t ~if_one:enc_z ~if_zero:nw.Enc_item.best;
-              (* sentinel copies get an all-ones seen vector so their best
-                 score stays -1 under the checkpoint refresh *)
-              seen =
-                Array.map
-                  (fun u -> Gadgets.select_recover ctx ~protocol ~t ~if_one:(enc_one ()) ~if_zero:u)
-                  nw.Enc_item.seen;
-            })
+            (* sentinel copies get an all-ones seen vector so their best
+               score stays -1 under the checkpoint refresh *)
+            let seen_choices =
+              Array.map
+                (fun u -> (t, Paillier.encrypt s1.rng s1.pub Nat.one, u))
+                nw.Enc_item.seen
+            in
+            Array.to_list cell_choices
+            @ [ (t, enc_z, nw.Enc_item.worst); (t, enc_z, nw.Enc_item.best) ]
+            @ Array.to_list seen_choices)
+          news
+      in
+      let flat_choices = List.concat (Array.to_list choices) in
+      let picked =
+        Array.of_list (Gadgets.select_recover_many ctx ~protocol flat_choices)
+      in
+      let cursor = ref 0 in
+      let take () =
+        let v = picked.(!cursor) in
+        incr cursor;
+        v
+      in
+      let updated_news =
+        Array.map
+          (fun (nw : Enc_item.scored) ->
+            let cells =
+              Array.map (fun _ -> take ()) (Ehl.Ehl_plus.cells nw.Enc_item.ehl)
+            in
+            let worst = take () in
+            let best = take () in
+            let seen = Array.map (fun _ -> take ()) nw.Enc_item.seen in
+            { Enc_item.ehl = Ehl.Ehl_plus.of_cells cells; worst; best; seen })
           news
       in
       Array.to_list updated_olds @ Array.to_list updated_news
     | Sec_dedup.Eliminate ->
       (* S2 reveals which (permuted) appended items matched; they are
          dropped — the SecDupElim leakage (UP^d) *)
-      let flags_ct = Array.map (Damgard_jurik.rerandomize s1.rng dj) matched_e2 in
+      let flags_ct =
+        Array.map
+          (fun c ->
+            Damgard_jurik.rerandomize_with dj ~noise:(Noise_pool.take s1.Ctx.djnoise) c)
+          matched_e2
+      in
       let flags =
         match
           Ctx.rpc ctx ~label:"SecDupElim" (Wire.Dup_flags (Array.to_list flags_ct))

@@ -18,3 +18,23 @@ val run :
   target:Enc_item.entry ->
   others:Enc_item.entry list ->
   Paillier.ciphertext * Damgard_jurik.ciphertext list
+
+(** Phase-collapsed form: the independent SecWorst instances of one depth
+    (one [(target, others)] pair per queried list) share two rounds — one
+    Equality batch, one Recover batch — instead of two rounds each.
+    Results are element-wise identical to m calls of {!run}.
+
+    [seen i ts] (optional) maps query [i]'s unpermuted indicators to extra
+    [(t, if_one, if_zero)] selections whose recoveries ride the same
+    Recover batch as the contributions; their Paillier results come back
+    as the third component, in the order the callback produced them.
+    SecQuery uses this to fold the seen-vector recoveries into SecWorst's
+    second round instead of paying a third round per depth. *)
+val run_many :
+  ?seen:
+    (int ->
+    Damgard_jurik.ciphertext list ->
+    (Damgard_jurik.ciphertext * Paillier.ciphertext * Paillier.ciphertext) list) ->
+  Ctx.t ->
+  (Enc_item.entry * Enc_item.entry list) list ->
+  (Paillier.ciphertext * Damgard_jurik.ciphertext list * Paillier.ciphertext list) list

@@ -9,13 +9,26 @@ type kind =
   | Loopback of S2_server.t
   | Socket of sock
 
-type t = { keys : Wire.keys; chan : Channel.t; kind : kind }
+type t = {
+  keys : Wire.keys;
+  chan : Channel.t;
+  kind : kind;
+  rtt_us : int; (* simulated per-round latency (Loopback only; bench --rtt) *)
+}
 
-let inproc keys server = { keys; chan = Channel.create (); kind = Inproc server }
-let loopback keys server = { keys; chan = Channel.create (); kind = Loopback server }
+let inproc keys server =
+  { keys; chan = Channel.create (); kind = Inproc server; rtt_us = 0 }
+
+let loopback ?(rtt_us = 0) keys server =
+  { keys; chan = Channel.create (); kind = Loopback server; rtt_us }
 
 let socket keys fd =
-  { keys; chan = Channel.create (); kind = Socket { fd; session = 0; counter = ref 0 } }
+  {
+    keys;
+    chan = Channel.create ();
+    kind = Socket { fd; session = 0; counter = ref 0 };
+    rtt_us = 0;
+  }
 
 let channel t = t.chan
 let keys t = t.keys
@@ -53,6 +66,7 @@ let rpc t ~label req =
     let resp_frame = Wire.encode_response t.keys (S2_server.handle server ~label:label' req') in
     Channel.send t.chan ~dir:Channel.S2_to_s1 ~label ~bytes:(String.length resp_frame);
     Channel.round_trip t.chan;
+    if t.rtt_us > 0 then Unix.sleepf (float_of_int t.rtt_us *. 1e-6);
     Wire.decode_response t.keys resp_frame
   | Socket s ->
     let frame = Wire.encode_request t.keys ~session:s.session ~label req in

@@ -19,7 +19,11 @@
 type t
 
 val inproc : Wire.keys -> S2_server.t -> t
-val loopback : Wire.keys -> S2_server.t -> t
+
+(** [rtt_us] injects a simulated per-round latency (microseconds of
+    [Unix.sleepf] after each round trip) so round-count differences show
+    up as wall-clock time on one machine (bench [--rtt]). *)
+val loopback : ?rtt_us:int -> Wire.keys -> S2_server.t -> t
 
 (** Wrap a connected fd whose [Hello] handshake already happened
     ({!spawn_daemon} / {!connect_tcp}). *)

@@ -49,6 +49,7 @@ type request =
   | Rank_tuples of (Paillier.ciphertext * Paillier.ciphertext * Paillier.ciphertext array) list
   | Rank_keys of Paillier.ciphertext list
   | Zero_slot of Paillier.ciphertext list
+  | Batch of request list
 
 type response =
   | Sign of int
@@ -64,6 +65,7 @@ type response =
   | Ranked of (Paillier.ciphertext * Paillier.ciphertext array) list
   | Indices of int list
   | Slot of int option
+  | Batch_resp of response list
 
 type hello = { seed : string; key_bits : int; rand_bits : int option; obs : bool }
 
@@ -162,6 +164,19 @@ let get_count r ~item_width =
   need r (n * max 1 item_width);
   n
 
+(* Every length-prefixed collection decodes through here: the count is
+   bounded by the remaining bytes (via [get_count]) and, when the protocol
+   caps the collection, by [max]; elements are then read in order. *)
+let read_list ?max r ~item_width get_item =
+  let n = get_count r ~item_width in
+  (match max with
+  | Some m when n > m -> invalid_arg "Wire: collection too large"
+  | _ -> ());
+  List.init n (fun _ -> get_item r)
+
+let read_array ?max r ~item_width get_item =
+  Array.of_list (read_list ?max r ~item_width get_item)
+
 (* ---------------- ciphertext fields ---------------- *)
 
 let ct_width keys = Paillier.ciphertext_bytes keys.pub
@@ -180,17 +195,13 @@ let put_ct_list keys buf cs =
   put_int buf (List.length cs);
   List.iter (put_ct keys buf) cs
 
-let get_ct_list keys r =
-  let n = get_count r ~item_width:(ct_width keys) in
-  List.init n (fun _ -> get_ct keys r)
+let get_ct_list keys r = read_list r ~item_width:(ct_width keys) (get_ct keys)
 
 let put_dj_list keys buf cs =
   put_int buf (List.length cs);
   List.iter (put_dj keys buf) cs
 
-let get_dj_list keys r =
-  let n = get_count r ~item_width:(dj_width keys) in
-  List.init n (fun _ -> get_dj keys r)
+let get_dj_list keys r = read_list r ~item_width:(dj_width keys) (get_dj keys)
 
 (* ---------------- compound payloads ---------------- *)
 
@@ -205,14 +216,11 @@ let put_scored keys buf (s : Enc_item.scored) =
 
 let get_scored keys r : Enc_item.scored =
   let w = ct_width keys in
-  let cells_n = get_count r ~item_width:w in
-  if cells_n <= 0 || cells_n > 4096 then invalid_arg "Wire: bad cell count";
-  let cells = Array.init cells_n (fun _ -> get_ct keys r) in
+  let cells = read_array ~max:4096 r ~item_width:w (get_ct keys) in
+  if Array.length cells = 0 then invalid_arg "Wire: bad cell count";
   let worst = get_ct keys r in
   let best = get_ct keys r in
-  let seen_n = get_count r ~item_width:w in
-  if seen_n > 4096 then invalid_arg "Wire: bad seen count";
-  let seen = Array.init seen_n (fun _ -> get_ct keys r) in
+  let seen = read_array ~max:4096 r ~item_width:w (get_ct keys) in
   { ehl = Ehl.Ehl_plus.of_cells cells; worst; best; seen }
 
 let scored_size keys (s : Enc_item.scored) =
@@ -228,14 +236,11 @@ let put_pack keys buf (p : Enc_item.pack) =
 
 let get_pack keys r : Enc_item.pack =
   let w = own_width keys in
-  let alphas_n = get_count r ~item_width:w in
-  if alphas_n <= 0 || alphas_n > 4096 then invalid_arg "Wire: bad alpha count";
-  let alphas = Array.init alphas_n (fun _ -> get_own keys r) in
+  let alphas = read_array ~max:4096 r ~item_width:w (get_own keys) in
+  if Array.length alphas = 0 then invalid_arg "Wire: bad alpha count";
   let beta = get_own keys r in
   let gamma = get_own keys r in
-  let sigmas_n = get_count r ~item_width:w in
-  if sigmas_n > 4096 then invalid_arg "Wire: bad sigma count";
-  let sigmas = Array.init sigmas_n (fun _ -> get_own keys r) in
+  let sigmas = read_array ~max:4096 r ~item_width:w (get_own keys) in
   { alphas; beta; gamma; sigmas }
 
 let pack_size keys (p : Enc_item.pack) =
@@ -252,15 +257,9 @@ let put_tuple keys buf (t : tuple) =
 
 let get_tuple keys r : tuple =
   let score = get_ct keys r in
-  let attrs_n = get_count r ~item_width:(ct_width keys) in
-  if attrs_n > 4096 then invalid_arg "Wire: bad attr count";
-  let attrs = Array.init attrs_n (fun _ -> get_ct keys r) in
-  let re_n = get_count r ~item_width:(own_width keys) in
-  if re_n > 4096 then invalid_arg "Wire: bad escrow count";
-  let r_escrow = List.init re_n (fun _ -> get_own keys r) in
-  let ae_n = get_count r ~item_width:(own_width keys) in
-  if ae_n > 4096 then invalid_arg "Wire: bad escrow count";
-  let a_escrow = Array.init ae_n (fun _ -> get_own keys r) in
+  let attrs = read_array ~max:4096 r ~item_width:(ct_width keys) (get_ct keys) in
+  let r_escrow = read_list ~max:4096 r ~item_width:(own_width keys) (get_own keys) in
+  let a_escrow = read_array ~max:4096 r ~item_width:(own_width keys) (get_own keys) in
   { score; attrs; r_escrow; a_escrow }
 
 let tuple_size keys (t : tuple) =
@@ -327,12 +326,16 @@ let request_tag = function
   | Rank_tuples _ -> 16
   | Rank_keys _ -> 17
   | Zero_slot _ -> 18
+  | Batch _ -> 19
 
-let encode_request keys ~session ~label req =
-  let buf = Buffer.create 1024 in
-  put_header buf ~kind:kind_request ~tag:(request_tag req) ~session;
-  put_string buf label;
-  (match req with
+let batch_request_tag = 19
+
+(* A batch element is 1 tag byte plus its payload; the smallest payload is
+   an empty ciphertext list's 4-byte count. *)
+let batch_item_min = 5
+
+let rec put_request_payload keys buf req =
+  match req with
   | Sign_of c | Zero_test c | Lsb c -> put_ct keys buf c
   | Equality cs | Lift cs | Zero_any cs | Rank_keys cs | Zero_slot cs ->
     put_ct_list keys buf cs
@@ -377,70 +380,88 @@ let encode_request keys ~session ~label req =
         put_ct keys buf score;
         put_int buf (Array.length attrs);
         Array.iter (put_ct keys buf) attrs)
-      rows);
+      rows
+  | Batch reqs ->
+    put_int buf (List.length reqs);
+    List.iter
+      (fun el ->
+        (match el with Batch _ -> invalid_arg "Wire: nested batch" | _ -> ());
+        Buffer.add_char buf (Char.chr (request_tag el));
+        put_request_payload keys buf el)
+      reqs
+
+let encode_request keys ~session ~label req =
+  let buf = Buffer.create 1024 in
+  put_header buf ~kind:kind_request ~tag:(request_tag req) ~session;
+  put_string buf label;
+  put_request_payload keys buf req;
   Buffer.contents buf
+
+let get_request_payload keys r ~tag =
+  let w = ct_width keys in
+  match tag with
+  | 1 -> Sign_of (get_ct keys r)
+  | 2 -> Equality (get_ct_list keys r)
+  | 3 -> Conjunction (read_list r ~item_width:4 (get_ct_list keys))
+  | 4 -> Recover (get_dj keys r)
+  | 5 -> Lift (get_ct_list keys r)
+  | 6 ->
+    let bits = get_int r in
+    if bits <= 0 || bits > 4096 then invalid_arg "Wire: bad bit width";
+    Dgk_low_bits { bits; z = get_ct keys r }
+  | 7 -> Zero_any (get_ct_list keys r)
+  | 8 -> Zero_test (get_ct keys r)
+  | 9 ->
+    let a = get_ct keys r in
+    let b = get_ct keys r in
+    Mult (a, b)
+  | 10 -> Lsb (get_ct keys r)
+  | 11 ->
+    let mode = if get_bool r then Eliminate else Replace in
+    let diffs = get_ct_list keys r in
+    let items =
+      read_list r ~item_width:(scored_min keys) (fun r ->
+          let it = get_scored keys r in
+          let pk = get_pack keys r in
+          (it, pk))
+    in
+    Dedup { mode; diffs; items }
+  | 12 -> Dup_flags (get_dj_list keys r)
+  | 13 ->
+    let ks = get_ct_list keys r in
+    let items = read_list r ~item_width:(scored_min keys) (get_scored keys) in
+    Sort_items { keys = ks; items }
+  | 14 ->
+    let descending = get_bool r in
+    let kx = get_ct keys r in
+    let ky = get_ct keys r in
+    let x = get_scored keys r in
+    let y = get_scored keys r in
+    Sort_gate { descending; kx; ky; x; y }
+  | 15 -> Filter (read_list r ~item_width:(w + 12) (get_tuple keys))
+  | 16 ->
+    Rank_tuples
+      (read_list r ~item_width:((2 * w) + 4) (fun r ->
+           let key = get_ct keys r in
+           let score = get_ct keys r in
+           let attrs = read_array ~max:4096 r ~item_width:w (get_ct keys) in
+           (key, score, attrs)))
+  | 17 -> Rank_keys (get_ct_list keys r)
+  | 18 -> Zero_slot (get_ct_list keys r)
+  | _ -> invalid_arg "Wire: unknown request tag"
 
 let decode_request keys data =
   let r = { data; pos = 0 } in
   let tag, session = get_header r ~kind:kind_request in
   let label = get_string r in
-  let w = ct_width keys in
   let req =
-    match tag with
-    | 1 -> Sign_of (get_ct keys r)
-    | 2 -> Equality (get_ct_list keys r)
-    | 3 ->
-      let n = get_count r ~item_width:4 in
-      Conjunction (List.init n (fun _ -> get_ct_list keys r))
-    | 4 -> Recover (get_dj keys r)
-    | 5 -> Lift (get_ct_list keys r)
-    | 6 ->
-      let bits = get_int r in
-      if bits <= 0 || bits > 4096 then invalid_arg "Wire: bad bit width";
-      Dgk_low_bits { bits; z = get_ct keys r }
-    | 7 -> Zero_any (get_ct_list keys r)
-    | 8 -> Zero_test (get_ct keys r)
-    | 9 ->
-      let a = get_ct keys r in
-      let b = get_ct keys r in
-      Mult (a, b)
-    | 10 -> Lsb (get_ct keys r)
-    | 11 ->
-      let mode = if get_bool r then Eliminate else Replace in
-      let diffs = get_ct_list keys r in
-      let n = get_count r ~item_width:(scored_min keys) in
-      Dedup
-        { mode; diffs; items = List.init n (fun _ ->
-              let it = get_scored keys r in
-              let pk = get_pack keys r in
-              (it, pk)) }
-    | 13 ->
-      let ks = get_ct_list keys r in
-      let n = get_count r ~item_width:(scored_min keys) in
-      Sort_items { keys = ks; items = List.init n (fun _ -> get_scored keys r) }
-    | 14 ->
-      let descending = get_bool r in
-      let kx = get_ct keys r in
-      let ky = get_ct keys r in
-      let x = get_scored keys r in
-      let y = get_scored keys r in
-      Sort_gate { descending; kx; ky; x; y }
-    | 12 -> Dup_flags (get_dj_list keys r)
-    | 15 ->
-      let n = get_count r ~item_width:(w + 12) in
-      Filter (List.init n (fun _ -> get_tuple keys r))
-    | 16 ->
-      let n = get_count r ~item_width:((2 * w) + 4) in
-      Rank_tuples
-        (List.init n (fun _ ->
-             let key = get_ct keys r in
-             let score = get_ct keys r in
-             let a_n = get_count r ~item_width:w in
-             if a_n > 4096 then invalid_arg "Wire: bad attr count";
-             (key, score, Array.init a_n (fun _ -> get_ct keys r))))
-    | 17 -> Rank_keys (get_ct_list keys r)
-    | 18 -> Zero_slot (get_ct_list keys r)
-    | _ -> invalid_arg "Wire: unknown request tag"
+    if tag = batch_request_tag then
+      Batch
+        (read_list r ~item_width:batch_item_min (fun r ->
+             let t = get_byte r in
+             if t = batch_request_tag then invalid_arg "Wire: nested batch";
+             get_request_payload keys r ~tag:t))
+    else get_request_payload keys r ~tag
   in
   finish r "request";
   (session, label, req)
@@ -461,11 +482,15 @@ let response_tag = function
   | Ranked _ -> 11
   | Indices _ -> 12
   | Slot _ -> 13
+  | Batch_resp _ -> 14
 
-let encode_response keys resp =
-  let buf = Buffer.create 1024 in
-  put_header buf ~kind:kind_response ~tag:(response_tag resp) ~session:0;
-  (match resp with
+let batch_response_tag = 14
+
+(* 1 tag byte + the 1-byte Sign/Bit payload *)
+let batch_resp_item_min = 2
+
+let rec put_response_payload keys buf resp =
+  match resp with
   | Sign s ->
     if s < -1 || s > 1 then invalid_arg "Wire: bad sign";
     Buffer.add_char buf (Char.chr (s + 1))
@@ -510,61 +535,72 @@ let encode_response keys resp =
     | None -> put_bool buf false
     | Some i ->
       put_bool buf true;
-      put_int buf i));
+      put_int buf i)
+  | Batch_resp resps ->
+    put_int buf (List.length resps);
+    List.iter
+      (fun el ->
+        (match el with Batch_resp _ -> invalid_arg "Wire: nested batch" | _ -> ());
+        Buffer.add_char buf (Char.chr (response_tag el));
+        put_response_payload keys buf el)
+      resps
+
+let encode_response keys resp =
+  let buf = Buffer.create 1024 in
+  put_header buf ~kind:kind_response ~tag:(response_tag resp) ~session:0;
+  put_response_payload keys buf resp;
   Buffer.contents buf
+
+let get_response_payload keys r ~tag =
+  let w = ct_width keys in
+  match tag with
+  | 1 -> (
+    match get_byte r with
+    | 0 -> Sign (-1)
+    | 1 -> Sign 0
+    | 2 -> Sign 1
+    | _ -> invalid_arg "Wire: bad sign")
+  | 2 -> Bits2 (get_dj_list keys r)
+  | 3 -> Ct (get_ct keys r)
+  | 4 ->
+    let bit_cts = get_ct_list keys r in
+    let parity = get_bool r in
+    Dgk_bits { bit_cts; parity }
+  | 5 -> Bit (get_bool r)
+  | 6 -> Flags (read_list r ~item_width:1 get_bool)
+  | 7 ->
+    Items
+      (read_list r ~item_width:(scored_min keys) (fun r ->
+           let it = get_scored keys r in
+           let pk = get_pack keys r in
+           (it, pk)))
+  | 8 -> Sorted (read_list r ~item_width:(scored_min keys) (get_scored keys))
+  | 9 ->
+    let x = get_scored keys r in
+    let y = get_scored keys r in
+    Pair (x, y)
+  | 10 -> Tuples (read_list r ~item_width:(w + 12) (get_tuple keys))
+  | 11 ->
+    Ranked
+      (read_list r ~item_width:(w + 4) (fun r ->
+           let score = get_ct keys r in
+           let attrs = read_array ~max:4096 r ~item_width:w (get_ct keys) in
+           (score, attrs)))
+  | 12 -> Indices (read_list r ~item_width:4 get_int)
+  | 13 -> if get_bool r then Slot (Some (get_int r)) else Slot None
+  | _ -> invalid_arg "Wire: unknown response tag"
 
 let decode_response keys data =
   let r = { data; pos = 0 } in
   let tag, _session = get_header r ~kind:kind_response in
-  let w = ct_width keys in
   let resp =
-    match tag with
-    | 1 -> (
-      match get_byte r with
-      | 0 -> Sign (-1)
-      | 1 -> Sign 0
-      | 2 -> Sign 1
-      | _ -> invalid_arg "Wire: bad sign")
-    | 2 -> Bits2 (get_dj_list keys r)
-    | 3 -> Ct (get_ct keys r)
-    | 4 ->
-      let bit_cts = get_ct_list keys r in
-      let parity = get_bool r in
-      Dgk_bits { bit_cts; parity }
-    | 5 -> Bit (get_bool r)
-    | 6 ->
-      let n = get_count r ~item_width:1 in
-      Flags (List.init n (fun _ -> get_bool r))
-    | 7 ->
-      let n = get_count r ~item_width:(scored_min keys) in
-      Items
-        (List.init n (fun _ ->
-             let it = get_scored keys r in
-             let pk = get_pack keys r in
-             (it, pk)))
-    | 8 ->
-      let n = get_count r ~item_width:(scored_min keys) in
-      Sorted (List.init n (fun _ -> get_scored keys r))
-    | 9 ->
-      let x = get_scored keys r in
-      let y = get_scored keys r in
-      Pair (x, y)
-    | 10 ->
-      let n = get_count r ~item_width:(w + 12) in
-      Tuples (List.init n (fun _ -> get_tuple keys r))
-    | 11 ->
-      let n = get_count r ~item_width:(w + 4) in
-      Ranked
-        (List.init n (fun _ ->
-             let score = get_ct keys r in
-             let a_n = get_count r ~item_width:w in
-             if a_n > 4096 then invalid_arg "Wire: bad attr count";
-             (score, Array.init a_n (fun _ -> get_ct keys r))))
-    | 12 ->
-      let n = get_count r ~item_width:4 in
-      Indices (List.init n (fun _ -> get_int r))
-    | 13 -> if get_bool r then Slot (Some (get_int r)) else Slot None
-    | _ -> invalid_arg "Wire: unknown response tag"
+    if tag = batch_response_tag then
+      Batch_resp
+        (read_list r ~item_width:batch_resp_item_min (fun r ->
+             let t = get_byte r in
+             if t = batch_response_tag then invalid_arg "Wire: nested batch";
+             get_response_payload keys r ~tag:t))
+    else get_response_payload keys r ~tag
   in
   finish r "response";
   resp
@@ -574,67 +610,70 @@ let decode_response keys data =
    Exactly [String.length (encode_* ...)], asserted by the property tests:
    the Inproc transport charges these without materialising the frame. *)
 
-let request_bytes keys ~label req =
+let rec request_payload_bytes keys req =
   let w = ct_width keys and d = dj_width keys in
-  let payload =
-    match req with
-    | Sign_of _ | Zero_test _ | Lsb _ -> w
-    | Equality cs | Lift cs | Zero_any cs | Rank_keys cs | Zero_slot cs ->
-      4 + (List.length cs * w)
-    | Conjunction groups ->
-      4 + List.fold_left (fun acc g -> acc + 4 + (List.length g * w)) 0 groups
-    | Recover _ -> d
-    | Dgk_low_bits _ -> 4 + w
-    | Mult _ -> 2 * w
-    | Dedup { diffs; items; _ } ->
-      1
-      + (4 + (List.length diffs * w))
-      + 4
-      + List.fold_left
-          (fun acc (it, pk) -> acc + scored_size keys it + pack_size keys pk)
-          0 items
-    | Dup_flags cs -> 4 + (List.length cs * d)
-    | Sort_items { keys = ks; items } ->
-      4
-      + (List.length ks * w)
-      + 4
-      + List.fold_left (fun acc it -> acc + scored_size keys it) 0 items
-    | Sort_gate { x; y; _ } -> 1 + (2 * w) + scored_size keys x + scored_size keys y
-    | Filter tuples ->
-      4 + List.fold_left (fun acc t -> acc + tuple_size keys t) 0 tuples
-    | Rank_tuples rows ->
-      4
-      + List.fold_left
-          (fun acc (_, _, attrs) -> acc + (2 * w) + 4 + (Array.length attrs * w))
-          0 rows
-  in
-  request_header_bytes ~label + payload
+  match req with
+  | Sign_of _ | Zero_test _ | Lsb _ -> w
+  | Equality cs | Lift cs | Zero_any cs | Rank_keys cs | Zero_slot cs ->
+    4 + (List.length cs * w)
+  | Conjunction groups ->
+    4 + List.fold_left (fun acc g -> acc + 4 + (List.length g * w)) 0 groups
+  | Recover _ -> d
+  | Dgk_low_bits _ -> 4 + w
+  | Mult _ -> 2 * w
+  | Dedup { diffs; items; _ } ->
+    1
+    + (4 + (List.length diffs * w))
+    + 4
+    + List.fold_left
+        (fun acc (it, pk) -> acc + scored_size keys it + pack_size keys pk)
+        0 items
+  | Dup_flags cs -> 4 + (List.length cs * d)
+  | Sort_items { keys = ks; items } ->
+    4
+    + (List.length ks * w)
+    + 4
+    + List.fold_left (fun acc it -> acc + scored_size keys it) 0 items
+  | Sort_gate { x; y; _ } -> 1 + (2 * w) + scored_size keys x + scored_size keys y
+  | Filter tuples ->
+    4 + List.fold_left (fun acc t -> acc + tuple_size keys t) 0 tuples
+  | Rank_tuples rows ->
+    4
+    + List.fold_left
+        (fun acc (_, _, attrs) -> acc + (2 * w) + 4 + (Array.length attrs * w))
+        0 rows
+  | Batch reqs ->
+    4 + List.fold_left (fun acc el -> acc + 1 + request_payload_bytes keys el) 0 reqs
 
-let response_bytes keys resp =
+let request_bytes keys ~label req =
+  request_header_bytes ~label + request_payload_bytes keys req
+
+let rec response_payload_bytes keys resp =
   let w = ct_width keys and d = dj_width keys in
-  let payload =
-    match resp with
-    | Sign _ | Bit _ -> 1
-    | Bits2 cs -> 4 + (List.length cs * d)
-    | Ct _ -> w
-    | Dgk_bits { bit_cts; _ } -> 4 + (List.length bit_cts * w) + 1
-    | Flags bs -> 4 + List.length bs
-    | Items items ->
-      4
-      + List.fold_left
-          (fun acc (it, pk) -> acc + scored_size keys it + pack_size keys pk)
-          0 items
-    | Sorted items -> 4 + List.fold_left (fun acc it -> acc + scored_size keys it) 0 items
-    | Pair (x, y) -> scored_size keys x + scored_size keys y
-    | Tuples tuples -> 4 + List.fold_left (fun acc t -> acc + tuple_size keys t) 0 tuples
-    | Ranked rows ->
-      4
-      + List.fold_left (fun acc (_, attrs) -> acc + w + 4 + (Array.length attrs * w)) 0 rows
-    | Indices is -> 4 + (4 * List.length is)
-    | Slot None -> 1
-    | Slot (Some _) -> 5
-  in
-  response_header_bytes + payload
+  match resp with
+  | Sign _ | Bit _ -> 1
+  | Bits2 cs -> 4 + (List.length cs * d)
+  | Ct _ -> w
+  | Dgk_bits { bit_cts; _ } -> 4 + (List.length bit_cts * w) + 1
+  | Flags bs -> 4 + List.length bs
+  | Items items ->
+    4
+    + List.fold_left
+        (fun acc (it, pk) -> acc + scored_size keys it + pack_size keys pk)
+        0 items
+  | Sorted items -> 4 + List.fold_left (fun acc it -> acc + scored_size keys it) 0 items
+  | Pair (x, y) -> scored_size keys x + scored_size keys y
+  | Tuples tuples -> 4 + List.fold_left (fun acc t -> acc + tuple_size keys t) 0 tuples
+  | Ranked rows ->
+    4
+    + List.fold_left (fun acc (_, attrs) -> acc + w + 4 + (Array.length attrs * w)) 0 rows
+  | Indices is -> 4 + (4 * List.length is)
+  | Slot None -> 1
+  | Slot (Some _) -> 5
+  | Batch_resp resps ->
+    4 + List.fold_left (fun acc el -> acc + 1 + response_payload_bytes keys el) 0 resps
+
+let response_bytes keys resp = response_header_bytes + response_payload_bytes keys resp
 
 (* ---------------- control codec ----------------
 
@@ -732,19 +771,18 @@ let get_trace_event r : Trace.event =
   match get_byte r with
   | 1 ->
     let protocol = get_string r in
-    let n = get_count r ~item_width:1 in
-    Trace.Equality_bits { protocol; bits = List.init n (fun _ -> get_bool r) }
+    Trace.Equality_bits { protocol; bits = read_list r ~item_width:1 get_bool }
   | 2 ->
     let protocol = get_string r in
     let size = get_int r in
-    let n = get_count r ~item_width:8 in
     Trace.Dedup_matrix
       { protocol;
         size;
-        equal_pairs = List.init n (fun _ ->
-            let i = get_int r in
-            let j = get_int r in
-            (i, j));
+        equal_pairs =
+          read_list r ~item_width:8 (fun r ->
+              let i = get_int r in
+              let j = get_int r in
+              (i, j));
       }
   | 3 ->
     let protocol = get_string r in
@@ -785,13 +823,10 @@ let decode_control_reply data =
   let reply =
     match tag with
     | 1 -> Ok_ctl
-    | 2 ->
-      let n = get_count r ~item_width:6 in
-      Trace_events (List.init n (fun _ -> get_trace_event r))
+    | 2 -> Trace_events (read_list r ~item_width:6 get_trace_event)
     | 3 ->
-      let n = get_count r ~item_width:8 in
       Stats
-        (List.init n (fun _ ->
+        (read_list r ~item_width:8 (fun r ->
              let name = get_string r in
              let v = get_int r in
              (name, v)))
@@ -811,15 +846,18 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
+(* Coalesced: prefix + payload leave in one buffered write, so a whole
+   Batch frame is a single syscall (writev-style flush) instead of two
+   writes per frame racing Nagle on the socket path. *)
 let write_frame fd data =
   let len = String.length data in
-  let hdr = Bytes.create 4 in
-  Bytes.set hdr 0 (Char.chr ((len lsr 24) land 0xff));
-  Bytes.set hdr 1 (Char.chr ((len lsr 16) land 0xff));
-  Bytes.set hdr 2 (Char.chr ((len lsr 8) land 0xff));
-  Bytes.set hdr 3 (Char.chr (len land 0xff));
-  write_all fd (Bytes.to_string hdr) 0 4;
-  write_all fd data 0 len
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (len land 0xff));
+  Bytes.blit_string data 0 buf 4 len;
+  write_all fd (Bytes.unsafe_to_string buf) 0 (4 + len)
 
 let read_exact fd len =
   let buf = Bytes.create len in

@@ -76,6 +76,10 @@ type request =
       (** blinded descending sort of joined tuples: (key, score, attrs) *)
   | Rank_keys of Paillier.ciphertext list  (** SKNN: ascending rank of blinded keys *)
   | Zero_slot of Paillier.ciphertext list  (** SKNN SMIN: first zero slot *)
+  | Batch of request list
+      (** independent requests shipped as one frame (one round); nesting a
+          [Batch] inside a [Batch] raises [Invalid_argument] in both the
+          encoder and the decoder *)
 
 type response =
   | Sign of int  (** -1 | 0 | 1 *)
@@ -91,6 +95,9 @@ type response =
   | Ranked of (Paillier.ciphertext * Paillier.ciphertext array) list
   | Indices of int list
   | Slot of int option
+  | Batch_resp of response list
+      (** element-wise responses to a [Batch], in request order; nesting
+          rejected like [Batch] *)
 
 (** Provisioning parameters replayed by the daemon to rebuild the exact key
     material and randomness streams of the client's context (see

@@ -53,13 +53,23 @@ let halting_test ctx ~halting ~compare ~k ~sorted ~unseen_bound =
   else begin
     let wk = (List.nth sorted (k - 1)).Enc_item.worst in
     let rest = drop k sorted in
-    let candidates_ok =
-      match halting with
-      | `KthOnly -> (
-        match rest with [] -> true | next :: _ -> leq next.Enc_item.best wk)
-      | `All -> List.for_all (fun (it : Enc_item.scored) -> leq it.Enc_item.best wk) rest
-    in
-    candidates_ok && leq unseen_bound wk
+    match (halting, compare) with
+    | `All, `Sign ->
+      (* all bound tests of the checkpoint in one batch round; the
+         short-circuit is gone but the conjunction is unchanged *)
+      let pairs =
+        List.map (fun (it : Enc_item.scored) -> (it.Enc_item.best, wk)) rest
+        @ [ (unseen_bound, wk) ]
+      in
+      List.for_all Fun.id (Enc_compare.leq_many ctx pairs)
+    | _ ->
+      let candidates_ok =
+        match halting with
+        | `KthOnly -> (
+          match rest with [] -> true | next :: _ -> leq next.Enc_item.best wk)
+        | `All -> List.for_all (fun (it : Enc_item.scored) -> leq it.Enc_item.best wk) rest
+      in
+      candidates_ok && leq unseen_bound wk
   end
 
 let run (ctx : Ctx.t) er (tk : Scheme.token) options =
@@ -109,34 +119,59 @@ let run (ctx : Ctx.t) er (tk : Scheme.token) options =
       row_arr;
     (* The m per-list SecWorst/SecBest instances of one depth are
        independent of each other — the paper's S1 runs them as separate
-       protocol sessions — so fan them out on the domain pool. *)
+       protocol sessions — so their rounds collapse phase-wise: one
+       Equality + one Recover batch for all SecWorsts (the seen-vector
+       recoveries piggyback on that Recover batch via [?seen]), and the
+       same pair for all SecBests. Four rounds per depth, whatever m is. *)
     let scored =
-      Array.to_list
-        (Ctx.parallel ctx ~jobs:m (fun sub i ->
-             let target = row_arr.(i) in
-             let sub1 = sub.Ctx.s1 in
-             let others = List.filteri (fun j _ -> j <> i) row in
-             let worst, eq_bits = Sec_worst.run sub ~target ~others in
-             let hist =
-               List.filteri (fun j _ -> j <> i)
-                 (Array.to_list (Array.mapi (fun j _ -> j) row_arr))
-               |> List.map (fun j -> (!(history.(j)), Option.get bottoms.(j)))
-             in
-             let best = Sec_best.run sub ~target ~history:hist in
-             (* seen vector: 1 for the item's own list; SecWorst's equality
-                indicators (recovered to Paillier form) for the others *)
-             let eq_arr = Array.of_list eq_bits in
-             let seen =
-               Array.init m (fun l ->
-                   if l = i then Paillier.encrypt sub1.Ctx.rng pub Bignum.Nat.one
-                   else begin
+      let indices = List.init m Fun.id in
+      (* seen vectors: 1 for the item's own list; SecWorst's equality
+         indicators (recovered to Paillier form) for the others — the
+         m*(m-1) independent recoveries ride SecWorst's recover batch *)
+      let owns = Array.make m (Gadgets.enc_zero s1) in
+      let worsts =
+        Array.of_list
+          (Sec_worst.run_many ctx
+             ~seen:(fun i eq_bits ->
+               let eq_arr = Array.of_list eq_bits in
+               owns.(i) <- Paillier.encrypt s1.Ctx.rng pub Bignum.Nat.one;
+               List.init m (fun l ->
+                   if l = i then None
+                   else
                      let e = if l < i then eq_arr.(l) else eq_arr.(l - 1) in
-                     Gadgets.select_recover sub ~protocol:"SecWorst" ~t:e
-                       ~if_one:(Paillier.encrypt sub1.Ctx.rng pub Bignum.Nat.one)
-                       ~if_zero:(Gadgets.enc_zero sub1)
-                   end)
-             in
-             { Enc_item.ehl = target.Enc_item.ehl; worst; best; seen }))
+                     Some
+                       ( e,
+                         Paillier.encrypt s1.Ctx.rng pub Bignum.Nat.one,
+                         Gadgets.enc_zero s1 ))
+               |> List.filter_map Fun.id)
+             (List.map
+                (fun i -> (row_arr.(i), List.filteri (fun j _ -> j <> i) row))
+                indices))
+      in
+      let bests =
+        Array.of_list
+          (Sec_best.run_many ctx
+             (List.map
+                (fun i ->
+                  let hist =
+                    List.filter (fun j -> j <> i) indices
+                    |> List.map (fun j -> (!(history.(j)), Option.get bottoms.(j)))
+                  in
+                  (row_arr.(i), hist))
+                indices))
+      in
+      List.map
+        (fun i ->
+          let worst, _, picked_list = worsts.(i) in
+          let picked = Array.of_list picked_list in
+          let seen =
+            Array.init m (fun l ->
+                if l = i then owns.(i)
+                else if l < i then picked.(l)
+                else picked.(l - 1))
+          in
+          { Enc_item.ehl = row_arr.(i).Enc_item.ehl; worst; best = bests.(i); seen })
+        indices
     in
     let gamma = Sec_dedup.run ctx ~mode:dedup_mode scored in
     t_list := Sec_update.run ctx ~mode:dedup_mode ~t_list:!t_list ~gamma;

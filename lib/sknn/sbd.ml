@@ -5,7 +5,11 @@ open Proto
 let protocol = "SBD"
 let statistical_slack = 40
 
-let decompose (ctx : Ctx.t) ~bits c =
+(* The bit-serial dependency is per value: bit b of value v needs bit
+   b-1 of v, but never another value's bits. Decomposing many values
+   therefore runs in [bits] rounds total — one Lsb batch per bit level
+   across all values — instead of [bits] rounds per value. *)
+let decompose_many (ctx : Ctx.t) ~bits cs =
   Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
@@ -13,24 +17,42 @@ let decompose (ctx : Ctx.t) ~bits c =
   if bits + statistical_slack + 1 >= Nat.bit_length n then
     invalid_arg "Sbd.decompose: bits too large for the modulus";
   let half_inv = Modular.inv Nat.two ~m:n in
-  let cur = ref c in
-  Array.init bits (fun _ ->
-      (* S1: blind with an even-tracked random r *)
-      let r = Rng.nat_bits s1.Ctx.rng (bits + statistical_slack) in
-      let blinded = Paillier.add pub !cur (Paillier.encrypt s1.Ctx.rng pub r) in
-      (* S2: decrypt, return Enc(lsb) *)
-      let lsb =
-        match Ctx.rpc ctx ~label:protocol (Wire.Lsb blinded) with
-        | Wire.Ct lsb -> lsb
-        | _ -> failwith "Sbd.decompose: unexpected response"
-      in
-      (* S1: x_0 = lsb(y) xor lsb(r); then cur <- (cur - x_0) / 2 *)
-      let bit =
-        if Nat.is_even r then lsb
-        else Paillier.sub pub (Paillier.trivial pub Nat.one) lsb
-      in
-      cur := Paillier.scalar_mul pub (Paillier.sub pub !cur bit) half_inv;
-      bit)
+  let cur = Array.copy cs in
+  let result = Array.map (fun _ -> Array.make bits (Paillier.trivial pub Nat.zero)) cs in
+  for b = 0 to bits - 1 do
+    (* S1: blind every value with an even-tracked random r *)
+    let blinds =
+      Array.map
+        (fun c ->
+          let r = Rng.nat_bits s1.Ctx.rng (bits + statistical_slack) in
+          (r, Paillier.add pub c (Paillier.encrypt s1.Ctx.rng pub r)))
+        cur
+    in
+    (* S2: decrypt, return Enc(lsb) — one batch for the whole level *)
+    let resps =
+      Ctx.rpc_batch ctx ~label:protocol
+        (Array.to_list (Array.map (fun (_, blinded) -> Wire.Lsb blinded) blinds))
+    in
+    (* S1: x_b = lsb(y) xor lsb(r); then cur <- (cur - x_b) / 2 *)
+    List.iteri
+      (fun v resp ->
+        let r, _ = blinds.(v) in
+        let lsb =
+          match resp with
+          | Wire.Ct lsb -> lsb
+          | _ -> failwith "Sbd.decompose: unexpected response"
+        in
+        let bit =
+          if Nat.is_even r then lsb
+          else Paillier.sub pub (Paillier.trivial pub Nat.one) lsb
+        in
+        result.(v).(b) <- bit;
+        cur.(v) <- Paillier.scalar_mul pub (Paillier.sub pub cur.(v) bit) half_inv)
+      resps
+  done;
+  result
+
+let decompose (ctx : Ctx.t) ~bits c = (decompose_many ctx ~bits [| c |]).(0)
 
 let recompose (ctx : Ctx.t) bits_arr =
   let pub = ctx.Ctx.s1.Ctx.pub in

@@ -14,5 +14,12 @@ open Crypto
 val decompose :
   Proto.Ctx.t -> bits:int -> Paillier.ciphertext -> Paillier.ciphertext array
 
+(** [decompose_many ctx ~bits cs] — decompose every value of [cs] in
+    [bits] rounds total: the Lsb queries of one bit level across all
+    values travel in a single batch (the serial dependency is only
+    between the bit levels of one value). *)
+val decompose_many :
+  Proto.Ctx.t -> bits:int -> Paillier.ciphertext array -> Paillier.ciphertext array array
+
 (** Homomorphically recompose bits into [Enc(x)] (for tests / SMIN). *)
 val recompose : Proto.Ctx.t -> Paillier.ciphertext array -> Paillier.ciphertext

@@ -21,29 +21,60 @@ let size_bytes pub db = Array.length db.records * db.m * Paillier.ciphertext_byt
 
 let secure_multiply = Sm.secure_multiply
 
+(* Distance phase shared by both selection strategies. The O(n*m) secure
+   multiplications d_j = sum_i (x_ji - q_i)^2 are fully independent:
+   blinding of the next chunk overlaps the batch in flight through
+   [Ctx.rpc_pipeline], and the cross terms are stripped afterwards in
+   index order. *)
+let distances (ctx : Ctx.t) db ~point =
+  let s1 = ctx.Ctx.s1 in
+  let pub = s1.Ctx.pub in
+  let n = pub.Paillier.n in
+  let enc_q = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng pub (Nat.of_int v)) point in
+  let m = db.m in
+  let total = Array.length db.records * m in
+  let escrow = Array.make total (Paillier.trivial pub Nat.zero, Nat.zero, Nat.zero) in
+  let prepare idx =
+    let diff = Paillier.sub pub db.records.(idx / m).(idx mod m) enc_q.(idx mod m) in
+    let ra = Rng.nat_below s1.Ctx.rng n and rb = Rng.nat_below s1.Ctx.rng n in
+    let a' = Paillier.add pub diff (Paillier.encrypt s1.Ctx.rng pub ra) in
+    let b' = Paillier.add pub diff (Paillier.encrypt s1.Ctx.rng pub rb) in
+    escrow.(idx) <- (diff, ra, rb);
+    Wire.Mult (a', b')
+  in
+  let resps = Ctx.rpc_pipeline ctx ~label:protocol ~prepare total in
+  let prods =
+    Array.of_list
+      (List.mapi
+         (fun idx resp ->
+           let diff, ra, rb = escrow.(idx) in
+           match resp with
+           | Wire.Ct h ->
+             (* ab = h - a*rb - b*ra - ra*rb *)
+             let t1 = Paillier.scalar_mul pub diff rb in
+             let t2 = Paillier.scalar_mul pub diff ra in
+             let t3 = Paillier.encrypt s1.Ctx.rng pub (Modular.mul ra rb ~m:n) in
+             Paillier.sub pub (Paillier.sub pub (Paillier.sub pub h t1) t2) t3
+           | _ -> failwith "Sknn.distances: unexpected response")
+         resps)
+  in
+  Array.init (Array.length db.records) (fun j ->
+      let acc = ref (Paillier.encrypt s1.Ctx.rng pub Nat.zero) in
+      for i = 0 to m - 1 do
+        acc := Paillier.add pub !acc prods.((j * m) + i)
+      done;
+      !acc)
+
 let query (ctx : Ctx.t) db ~point ~k =
   if Array.length point <> db.m then invalid_arg "Sknn.query: dimension mismatch";
   Obs.with_default ctx.Ctx.obs @@ fun () ->
   Obs.span protocol @@ fun () ->
   let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
-  let enc_q = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng pub (Nat.of_int v)) point in
-  (* O(n*m) secure multiplications: d_j = sum_i (x_ji - q_i)^2 *)
-  let distances =
-    Array.map
-      (fun record ->
-        let acc = ref (Paillier.encrypt s1.Ctx.rng pub Nat.zero) in
-        Array.iteri
-          (fun i x ->
-            let diff = Paillier.sub pub x enc_q.(i) in
-            acc := Paillier.add pub !acc (secure_multiply ctx diff diff))
-          record;
-        !acc)
-      db.records
-  in
+  let ds = distances ctx db ~point in
   (* nearest-k selection through a blinded rank at S2 *)
   let rho = Gadgets.blind_scalar s1 in
-  let keyed = Array.map (fun d -> Paillier.scalar_mul pub d rho) distances in
+  let keyed = Array.map (fun d -> Paillier.scalar_mul pub d rho) ds in
   let order =
     match Ctx.rpc ctx ~label:protocol (Wire.Rank_keys (Array.to_list keyed)) with
     | Wire.Indices order -> order
@@ -51,22 +82,6 @@ let query (ctx : Ctx.t) db ~point ~k =
   in
   let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r in
   take (min k (List.length order)) order
-
-(* distance phase shared by both selection strategies *)
-let distances (ctx : Ctx.t) db ~point =
-  let s1 = ctx.Ctx.s1 in
-  let pub = s1.Ctx.pub in
-  let enc_q = Array.map (fun v -> Paillier.encrypt s1.Ctx.rng pub (Nat.of_int v)) point in
-  Array.map
-    (fun record ->
-      let acc = ref (Paillier.encrypt s1.Ctx.rng pub Nat.zero) in
-      Array.iteri
-        (fun i x ->
-          let diff = Paillier.sub pub x enc_q.(i) in
-          acc := Paillier.add pub !acc (secure_multiply ctx diff diff))
-        record;
-      !acc)
-    db.records
 
 let query_smin (ctx : Ctx.t) db ~point ~k ~bits =
   if Array.length point <> db.m then invalid_arg "Sknn.query_smin: dimension mismatch";
@@ -76,9 +91,10 @@ let query_smin (ctx : Ctx.t) db ~point ~k ~bits =
   let pub = s1.Ctx.pub in
   let ds = distances ctx db ~point in
   let n = Array.length ds in
-  (* SBD every distance once; each SMIN_k pass then runs [21]'s bitwise
-     machinery over the decomposed candidates *)
-  let dec_bits = Array.map (fun d -> Sbd.decompose ctx ~bits d) ds in
+  (* SBD every distance once — one Lsb batch per bit level across all n
+     candidates; each SMIN_k pass then runs [21]'s bitwise machinery over
+     the decomposed candidates *)
+  let dec_bits = Sbd.decompose_many ctx ~bits ds in
   let packed = Array.map (fun b -> Sbd.recompose ctx b) dec_bits in
   let active = Array.make n true in
   let results = ref [] in

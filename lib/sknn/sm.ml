@@ -4,21 +4,38 @@ open Proto
 
 let protocol = "SkNN"
 
-let secure_multiply (ctx : Ctx.t) a b =
+(* Vectorized SM: per-pair blinds drawn in list order, all the Mult
+   frames in one batch round, cross terms stripped per reply. *)
+let secure_multiply_many (ctx : Ctx.t) pairs =
   let s1 = ctx.Ctx.s1 in
   let pub = s1.Ctx.pub in
   let n = pub.Paillier.n in
-  let ra = Rng.nat_below s1.Ctx.rng n and rb = Rng.nat_below s1.Ctx.rng n in
-  let a' = Paillier.add pub a (Paillier.encrypt s1.Ctx.rng pub ra) in
-  let b' = Paillier.add pub b (Paillier.encrypt s1.Ctx.rng pub rb) in
-  (* S2 multiplies the blinded plaintexts *)
-  let h =
-    match Ctx.rpc ctx ~label:protocol (Wire.Mult (a', b')) with
-    | Wire.Ct h -> h
-    | _ -> failwith "Sm.secure_multiply: unexpected response"
+  let blinded =
+    List.map
+      (fun (a, b) ->
+        let ra = Rng.nat_below s1.Ctx.rng n and rb = Rng.nat_below s1.Ctx.rng n in
+        let a' = Paillier.add pub a (Paillier.encrypt s1.Ctx.rng pub ra) in
+        let b' = Paillier.add pub b (Paillier.encrypt s1.Ctx.rng pub rb) in
+        (a, b, ra, rb, a', b'))
+      pairs
   in
-  (* --- S1: ab = h - a*rb - b*ra - ra*rb --- *)
-  let t1 = Paillier.scalar_mul pub a rb in
-  let t2 = Paillier.scalar_mul pub b ra in
-  let t3 = Paillier.encrypt s1.Ctx.rng pub (Modular.mul ra rb ~m:n) in
-  Paillier.sub pub (Paillier.sub pub (Paillier.sub pub h t1) t2) t3
+  let resps =
+    Ctx.rpc_batch ctx ~label:protocol
+      (List.map (fun (_, _, _, _, a', b') -> Wire.Mult (a', b')) blinded)
+  in
+  List.map2
+    (fun (a, b, ra, rb, _, _) resp ->
+      match resp with
+      | Wire.Ct h ->
+        (* --- S1: ab = h - a*rb - b*ra - ra*rb --- *)
+        let t1 = Paillier.scalar_mul pub a rb in
+        let t2 = Paillier.scalar_mul pub b ra in
+        let t3 = Paillier.encrypt s1.Ctx.rng pub (Modular.mul ra rb ~m:n) in
+        Paillier.sub pub (Paillier.sub pub (Paillier.sub pub h t1) t2) t3
+      | _ -> failwith "Sm.secure_multiply_many: unexpected response")
+    blinded resps
+
+let secure_multiply (ctx : Ctx.t) a b =
+  match secure_multiply_many ctx [ (a, b) ] with
+  | [ ab ] -> ab
+  | _ -> assert false

@@ -7,3 +7,11 @@ open Crypto
 
 val secure_multiply :
   Proto.Ctx.t -> Paillier.ciphertext -> Paillier.ciphertext -> Paillier.ciphertext
+
+(** [secure_multiply_many ctx pairs] — the SMs of all [pairs] in a single
+    batch round: same per-pair blinding draws as sequential execution,
+    one frame. *)
+val secure_multiply_many :
+  Proto.Ctx.t ->
+  (Paillier.ciphertext * Paillier.ciphertext) list ->
+  Paillier.ciphertext list

@@ -4,48 +4,50 @@ open Proto
 
 let enc_one pub = Paillier.trivial pub Nat.one
 
-(* Enc(a XOR b) for encrypted bits: a + b - 2ab (one SM) *)
-let xor_bit ctx a b =
-  let pub = ctx.Ctx.s1.Ctx.pub in
-  let ab = Sm.secure_multiply ctx a b in
-  Paillier.sub pub (Paillier.add pub a b) (Paillier.scalar_mul pub ab Nat.two)
-
-(* Enc(a OR b) = a + b - ab (one SM) *)
-let or_bit ctx a b =
-  let pub = ctx.Ctx.s1.Ctx.pub in
-  Paillier.sub pub (Paillier.add pub a b) (Sm.secure_multiply ctx a b)
-
 let greater_bit ctx (u : Paillier.ciphertext array) (v : Paillier.ciphertext array) =
   if Array.length u <> Array.length v then invalid_arg "Smin.greater_bit: length mismatch";
   let pub = ctx.Ctx.s1.Ctx.pub in
   let l = Array.length u in
-  (* e_i = u_i xor v_i *)
-  let e = Array.init l (fun i -> xor_bit ctx u.(i) v.(i)) in
+  (* e_i = u_i xor v_i: the l SMs of the XOR layer are independent — one
+     batch round *)
+  let products = Sm.secure_multiply_many ctx (List.init l (fun i -> (u.(i), v.(i)))) in
+  let e =
+    Array.of_list
+      (List.mapi
+         (fun i uv ->
+           Paillier.sub pub (Paillier.add pub u.(i) v.(i)) (Paillier.scalar_mul pub uv Nat.two))
+         products)
+  in
   (* f_i = OR of e_(l-1) .. e_i ; g_i = e_i AND NOT f_(i+1) marks the
-     highest differing bit *)
+     highest differing bit. The scan is serial in the OR accumulator, but
+     the two SMs of each step share its current value — one 2-element
+     batch per step. *)
   let acc = ref (Paillier.trivial pub Nat.zero) in
   let g = Array.make l (enc_one pub) in
   for i = l - 1 downto 0 do
     let not_f = Paillier.sub pub (enc_one pub) !acc in
-    g.(i) <- Sm.secure_multiply ctx e.(i) not_f;
-    acc := or_bit ctx !acc e.(i)
+    match Sm.secure_multiply_many ctx [ (e.(i), not_f); (!acc, e.(i)) ] with
+    | [ gi; acc_e ] ->
+      g.(i) <- gi;
+      (* or: acc + e_i - acc*e_i *)
+      acc := Paillier.sub pub (Paillier.add pub !acc e.(i)) acc_e
+    | _ -> assert false
   done;
   (* [u > v] = sum_i g_i * u_i  (at the highest differing bit, u wins iff
-     its bit is 1) *)
-  let result = ref (Paillier.trivial pub Nat.zero) in
-  for i = 0 to l - 1 do
-    result := Paillier.add pub !result (Sm.secure_multiply ctx g.(i) u.(i))
-  done;
-  !result
+     its bit is 1) — one batch for the selection layer *)
+  let terms = Sm.secure_multiply_many ctx (List.init l (fun i -> (g.(i), u.(i)))) in
+  List.fold_left (Paillier.add pub) (Paillier.trivial pub Nat.zero) terms
 
 let min_pair_bits ctx (u_bits : Paillier.ciphertext array) (v_bits : Paillier.ciphertext array)
     ~u_packed ~v_packed =
   Obs.span "SMIN" @@ fun () ->
   let pub = ctx.Ctx.s1.Ctx.pub in
-  (* b = [u > v]; min = b*v + (1-b)*u *)
+  (* b = [u > v]; min = b*v + (1-b)*u — the two selection SMs batch *)
   let b = greater_bit ctx u_bits v_bits in
   let not_b = Paillier.sub pub (enc_one pub) b in
-  Paillier.add pub (Sm.secure_multiply ctx b v_packed) (Sm.secure_multiply ctx not_b u_packed)
+  match Sm.secure_multiply_many ctx [ (b, v_packed); (not_b, u_packed) ] with
+  | [ bv; nbu ] -> Paillier.add pub bv nbu
+  | _ -> assert false
 
 let min_pair ctx ~bits u v =
   let ub = Sbd.decompose ctx ~bits u and vb = Sbd.decompose ctx ~bits v in

@@ -331,6 +331,56 @@ let test_ciphertext_sizes () =
   Alcotest.(check bool) "dj ct is 3x plaintext width" true
     (Damgard_jurik.ciphertext_bytes djpub > Paillier.ciphertext_bytes pub)
 
+(* ---------------- Noise_pool ---------------- *)
+
+(* Consumption is a pure function of the creating generator's state: the
+   same seed yields the same noise stream whether values are computed on
+   demand, prefilled, or produced by a background filler domain. *)
+let pool_stream ~variant n =
+  let r = Rng.create ~seed:"test_noise_pool" in
+  let p = Noise_pool.create ~depth:8 r ~label:"p" (fun r -> Paillier.noise r pub) in
+  (match variant with
+  | `On_demand -> ()
+  | `Prefill -> Noise_pool.prefill p n
+  | `Filler ->
+    Noise_pool.start_filler p;
+    (* give the filler a chance to race the consumer *)
+    Domain.cpu_relax ());
+  let out = List.init n (fun _ -> Noise_pool.take p) in
+  Noise_pool.quiesce p;
+  out
+
+let test_noise_pool_deterministic () =
+  let a = pool_stream ~variant:`On_demand 20 in
+  let b = pool_stream ~variant:`Prefill 20 in
+  let c = pool_stream ~variant:`Filler 20 in
+  List.iteri (fun i x -> Alcotest.check nat (Printf.sprintf "prefill #%d" i) x (List.nth b i)) a;
+  List.iteri (fun i x -> Alcotest.check nat (Printf.sprintf "filler #%d" i) x (List.nth c i)) a
+
+let test_noise_pool_rerandomize () =
+  let r = Rng.create ~seed:"test_noise_pool_rr" in
+  let p = Noise_pool.create r ~label:"p" (fun r -> Paillier.noise r pub) in
+  let m = Nat.of_int 42 in
+  let c = Paillier.encrypt rng pub m in
+  let c' = Paillier.rerandomize_with pub ~noise:(Noise_pool.take p) c in
+  Alcotest.(check bool) "ciphertext changed" false (Paillier.equal_ct c c');
+  Alcotest.check nat "plaintext preserved" m (Paillier.decrypt sk c');
+  let dp = Noise_pool.create r ~label:"dj" (fun r -> Damgard_jurik.noise r djpub) in
+  let dc = Damgard_jurik.encrypt rng djpub m in
+  let dc' = Damgard_jurik.rerandomize_with djpub ~noise:(Noise_pool.take dp) dc in
+  Alcotest.(check bool) "dj ciphertext changed" false (Damgard_jurik.equal_ct dc dc');
+  Alcotest.check nat "dj plaintext preserved" m (Damgard_jurik.decrypt djsk dc')
+
+let test_noise_pool_banked () =
+  let r = Rng.create ~seed:"test_noise_pool_banked" in
+  let p = Noise_pool.create ~depth:4 r ~label:"p" (fun r -> Paillier.noise r pub) in
+  Alcotest.(check int) "empty at creation" 0 (Noise_pool.banked p);
+  Noise_pool.prefill p 6;
+  Alcotest.(check bool) "prefilled" true (Noise_pool.banked p >= 6);
+  ignore (Noise_pool.take p);
+  Alcotest.(check bool) "take drains" true (Noise_pool.banked p >= 5);
+  Noise_pool.quiesce p (* no filler running: must be a no-op *)
+
 let suite =
   [ ( "sha256",
       [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
@@ -363,6 +413,11 @@ let suite =
         Alcotest.test_case "shortened-noise comb" `Quick test_paillier_shortened_noise_comb;
         prop_paillier_add;
         prop_paillier_scalar
+      ] );
+    ( "noise-pool",
+      [ Alcotest.test_case "deterministic across fill modes" `Quick test_noise_pool_deterministic;
+        Alcotest.test_case "rerandomize_with" `Quick test_noise_pool_rerandomize;
+        Alcotest.test_case "prefill and banked" `Quick test_noise_pool_banked
       ] );
     ( "damgard-jurik",
       [ Alcotest.test_case "roundtrip" `Quick test_dj_roundtrip;

@@ -76,7 +76,14 @@ let request_samples : (string * Wire.request) list =
     ("SecFilter", Wire.Filter [ tuple (); tuple () ]);
     ("EncSort", Wire.Rank_tuples [ (ct 1, ct 2, [| ct 3; ct 4 |]) ]);
     ("SkNN", Wire.Rank_keys [ ct 5; ct 6 ]);
-    ("SkNN", Wire.Zero_slot [ ct 0; ct 1 ]) ]
+    ("SkNN", Wire.Zero_slot [ ct 0; ct 1 ]);
+    ( "EncSort",
+      Wire.Batch
+        [ Wire.Sign_of (ct 1);
+          Wire.Equality [ ct 2; ct 3 ];
+          Wire.Recover (dj 4);
+          Wire.Mult (ct 5, ct 6) ] );
+    ("EncSort", Wire.Batch []) ]
 
 let response_samples : Wire.response list =
   [ Wire.Sign (-1);
@@ -95,7 +102,9 @@ let response_samples : Wire.response list =
     Wire.Ranked [ (ct 1, [| ct 2; ct 3 |]); (ct 4, [||]) ];
     Wire.Indices [ 0; 5; 2 ];
     Wire.Slot None;
-    Wire.Slot (Some 3) ]
+    Wire.Slot (Some 3);
+    Wire.Batch_resp [ Wire.Sign 1; Wire.Bits2 [ dj 0 ]; Wire.Ct (ct 7); Wire.Bit true ];
+    Wire.Batch_resp [] ]
 
 let control_samples : Wire.control list =
   [ Wire.Hello { seed = "abc"; key_bits = 128; rand_bits = Some 96; obs = true };
@@ -238,6 +247,26 @@ let test_bad_header () =
   Alcotest.(check (option char)) "kind peek req" (Some 'Q') (Wire.frame_kind s);
   Alcotest.(check (option char)) "kind peek resp" (Some 'P') (Wire.frame_kind r)
 
+(* nested batches are illegal in both directions: the encoder refuses to
+   produce them and the decoder refuses hand-crafted ones *)
+let test_nested_batch () =
+  expect_invalid "encode nested batch req" (fun () ->
+      ignore
+        (Wire.encode_request keys ~session:0 ~label:"EncSort"
+           (Wire.Batch [ Wire.Batch [ Wire.Sign_of (ct 1) ] ])));
+  expect_invalid "encode nested batch resp" (fun () ->
+      ignore (Wire.encode_response keys (Wire.Batch_resp [ Wire.Batch_resp [] ])));
+  (* a singleton batch frame with its inner element tag patched to the
+     batch tag: the decoder must reject it before touching the payload *)
+  let label = "EncSort" in
+  let s = Wire.encode_request keys ~session:0 ~label (Wire.Batch [ Wire.Zero_test (ct 6) ]) in
+  let inner_tag_pos = Wire.request_header_bytes ~label + 4 in
+  expect_invalid "decode nested batch req" (fun () ->
+      ignore (Wire.decode_request keys (corrupt s inner_tag_pos '\x13')));
+  let r = Wire.encode_response keys (Wire.Batch_resp [ Wire.Bit true ]) in
+  expect_invalid "decode nested batch resp" (fun () ->
+      ignore (Wire.decode_response keys (corrupt r (Wire.response_header_bytes + 4) '\x0e')))
+
 (* QCheck: single-byte mutations anywhere in any frame either raise
    [Invalid_argument] or decode to *something* — no other exception ever
    escapes (payload-byte mutations legitimately decode to different
@@ -280,6 +309,7 @@ let suite =
       [ Alcotest.test_case "truncated" `Quick test_truncated;
         Alcotest.test_case "overlong" `Quick test_overlong;
         Alcotest.test_case "bad header" `Quick test_bad_header;
+        Alcotest.test_case "nested batch" `Quick test_nested_batch;
         QCheck_alcotest.to_alcotest test_mutation_safety;
         QCheck_alcotest.to_alcotest test_garbage_safety ] ) ]
 

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Rounds-budget gate: fail if the fig12 sweep's round count regresses
+# above the committed ceiling.
+#
+#   sh tools/check_rounds.sh [BENCH_fig12.json] [ceiling]
+#
+# The ceiling (default 1123 = 5616/5, one fifth of the pre-batching
+# round count) pins the phase-level round collapse: anyone reintroducing
+# a per-element round trip inside a protocol loop blows the budget and
+# fails CI. Regenerate with
+#   dune exec bench/main.exe -- --only fig12 --json .
+# and lower (never raise) the ceiling when rounds legitimately improve.
+set -eu
+
+file=${1:-BENCH_fig12.json}
+ceiling=${2:-1123}
+
+if ! [ -f "$file" ]; then
+  echo "check_rounds: $file not found" >&2
+  exit 2
+fi
+
+rounds=$(jq '.ops.rounds' "$file")
+messages=$(jq '.ops.messages' "$file")
+
+if [ "$rounds" = "null" ] || [ -z "$rounds" ]; then
+  echo "check_rounds: $file has no .ops.rounds field" >&2
+  exit 2
+fi
+
+echo "fig12 rounds=$rounds messages=$messages (ceiling $ceiling)"
+if [ "$rounds" -gt "$ceiling" ]; then
+  echo "check_rounds: FAIL — $rounds rounds exceeds the budget of $ceiling" >&2
+  echo "  (a per-element round trip probably crept back into a protocol loop;" >&2
+  echo "   batch the phase with Ctx.rpc_batch or justify a new ceiling)" >&2
+  exit 1
+fi
+echo "check_rounds: OK"

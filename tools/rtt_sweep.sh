@@ -1,0 +1,53 @@
+#!/bin/sh
+# RTT sweep: price the round collapse as wall-clock by running fig12 on
+# the Loopback transport with simulated per-round latency, batched vs
+# unbatched (one frame per request — the historical framing).
+#
+#   sh tools/rtt_sweep.sh [OUTDIR] [RTT_US ...]
+#
+# Writes OUTDIR/BENCH_fig12_rtt<US>{,_nobatch}.json for each latency and
+# a summary table OUTDIR/rtt-sweep.txt with per-variant speedups. With
+# simulator-scale crypto the speedup crosses 2x around 1 ms RTT; at the
+# paper's GMP-backed crypto speeds the crossover sits well below 0.5 ms
+# (see EXPERIMENTS.md).
+set -eu
+
+outdir=${1:-artifacts}
+shift 2>/dev/null || true
+rtts=${*:-"0 500 1000 2000"}
+
+mkdir -p "$outdir"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+summary="$outdir/rtt-sweep.txt"
+: >"$summary"
+
+for rtt in $rtts; do
+  dune exec bench/main.exe -- --only fig12 --rtt "$rtt" --json "$tmp" >/dev/null
+  mv "$tmp/BENCH_fig12.json" "$outdir/BENCH_fig12_rtt$rtt.json"
+  dune exec bench/main.exe -- --only fig12 --rtt "$rtt" --no-batching --json "$tmp" >/dev/null
+  mv "$tmp/BENCH_fig12.json" "$outdir/BENCH_fig12_rtt${rtt}_nobatch.json"
+
+  {
+    echo "=== rtt ${rtt}us ==="
+    printf '%-24s %12s %12s %8s\n' run "nobatch(s)" "batch(s)" speedup
+    paste \
+      "$(
+        jq -r '.results[] | "\(.name) \(.seconds)"' \
+          "$outdir/BENCH_fig12_rtt${rtt}_nobatch.json" >"$tmp/nb.txt"
+        echo "$tmp/nb.txt"
+      )" \
+      "$(
+        jq -r '.results[] | .seconds' \
+          "$outdir/BENCH_fig12_rtt$rtt.json" >"$tmp/b.txt"
+        echo "$tmp/b.txt"
+      )" |
+      awk '{ printf "%-24s %12.3f %12.3f %7.2fx\n", $1, $2, $3, $2 / $3 }'
+    printf 'rounds: nobatch=%s batch=%s\n\n' \
+      "$(jq '.ops.rounds' "$outdir/BENCH_fig12_rtt${rtt}_nobatch.json")" \
+      "$(jq '.ops.rounds' "$outdir/BENCH_fig12_rtt$rtt.json")"
+  } >>"$summary"
+done
+
+cat "$summary"
