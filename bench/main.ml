@@ -29,6 +29,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig14", "secure top-k join time varying m", Bench_join.fig14);
     ("sec11.3", "SecTopK vs secure-kNN baseline", Bench_knn.sec11_3);
     ("ext-rankjoin", "pre-sorted rank join vs cross-product join", Bench_join.ext_rankjoin);
+    ("store", "durable index: build/publish, cold-open vs warm-cache query", Bench_store.run);
     ("micro", "bechamel micro-benchmarks of the crypto substrate", Bench_micro.run);
     ("ablation", "design-choice ablations (sort strategy, halting, blinding)", Bench_ablation.run)
   ]

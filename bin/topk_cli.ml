@@ -156,7 +156,15 @@ let demo_cmd =
 
 (* ---------------- serve-s2 ---------------- *)
 
+(* SIGINT/SIGTERM request a graceful drain: the flag flips, the blocking
+   accept returns with EINTR, and the loop exits — but an in-flight
+   connection always runs to completion first (Wire frame I/O restarts on
+   EINTR, so a signal never tears a frame mid-read). *)
 let serve_s2 port once =
+  let stop = ref false in
+  let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm on_signal;
+  Sys.set_signal Sys.sigint on_signal;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -165,17 +173,21 @@ let serve_s2 port once =
   | Unix.ADDR_INET (_, p) -> Format.printf "S2 daemon listening on 127.0.0.1:%d@.%!" p
   | _ -> ());
   let rec loop () =
-    let fd, _peer = Unix.accept sock in
-    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-    Format.printf "S2: connection accepted@.%!";
-    (try Proto.S2_server.serve_fd fd
-     with e -> Format.eprintf "S2: connection failed: %s@." (Printexc.to_string e));
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Format.printf "S2: connection closed@.%!";
-    if not once then loop ()
+    if not !stop then
+      match Unix.accept sock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop () (* re-check the flag *)
+      | fd, _peer ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Format.printf "S2: connection accepted@.%!";
+        (try Proto.S2_server.serve_fd fd
+         with e -> Format.eprintf "S2: connection failed: %s@." (Printexc.to_string e));
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Format.printf "S2: connection closed@.%!";
+        if not once then loop ()
   in
   loop ();
-  Unix.close sock
+  Unix.close sock;
+  if !stop then Format.printf "S2: drained, listener closed@.%!"
 
 let port_arg =
   Arg.(value & opt int 7787 & info [ "port" ] ~doc:"TCP port to listen on (0 = ephemeral).")
@@ -190,6 +202,235 @@ let serve_s2_cmd =
              Clients provision it with their seed via the Hello handshake; \
              pair with 'demo --s2 HOST:PORT'.")
     Term.(const serve_s2 $ port_arg $ once_arg)
+
+(* ---------------- the three-process deployment ----------------
+
+   build-index writes the encrypted relation to a store directory;
+   serve-s1 serves it to clients, dialing a serve-s2 key-holder per
+   query (or hosting S2 in-process); query is the client. All three
+   derive key material from the same seed via Ctx.provision, so the
+   served results are byte-identical to the in-process demo. *)
+
+let or_file_error f =
+  try f () with
+  | Store.Error e ->
+    Format.eprintf "store error: %s@." (Store.error_message e);
+    exit 4
+  | Uci_shape.Csv_error { line; reason } ->
+    Format.eprintf "csv error: line %d: %s@." line reason;
+    exit 4
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+
+let build_index rows attrs seed bits dist csv store_dir key_out block_records =
+  or_file_error (fun () ->
+      let rel, from_csv =
+        match csv with
+        | Some path ->
+          let rel, _file_ids = Uci_shape.load_csv path in
+          (rel, true)
+        | None -> (make_rel ~seed ~rows ~attrs ~dist, false)
+      in
+      let pub, _sk, _ctx_rng, data_rng = Proto.Ctx.provision ~seed ~key_bits:bits ~rand_bits:96 () in
+      let (er, key), enc_s =
+        Obs.Timer.time (fun () -> Sectopk.Scheme.encrypt ~s:4 data_rng pub rel)
+      in
+      Store.build ~block_records ~dir:store_dir pub er;
+      let st = Store.open_index ~dir:store_dir pub in
+      Format.printf "built generation %d: %d x %d encrypted in %.2fs, %d KB on disk@."
+        (Store.generation st) (Store.n_rows st) (Store.n_attrs st) enc_s
+        (Store.disk_bytes st / 1024);
+      if from_csv then
+        Format.printf "note: csv rows are indexed positionally (object ids o0..o%d)@."
+          (Store.n_rows st - 1);
+      Store.close st;
+      match key_out with
+      | Some path ->
+        write_file path (Sectopk.Codec.encode_secret_key key);
+        Format.printf "client key written to %s@." path
+      | None -> ())
+
+let store_arg =
+  Arg.(required & opt (some string) None
+       & info [ "store" ] ~docv:"DIR" ~doc:"On-disk index directory.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Ingest a UCI-shaped CSV file (id,attr1..attrM) instead of generating data.")
+
+let key_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "key-out" ] ~docv:"FILE"
+           ~doc:"Write the client secret key (Codec blob) to $(docv). Keep it off the \
+                 server: S1 must never hold the list-permutation key.")
+
+let block_records_arg =
+  Arg.(value & opt int 16
+       & info [ "block-records" ] ~doc:"Records per checksummed segment block.")
+
+let build_index_cmd =
+  Cmd.v
+    (Cmd.info "build-index"
+       ~doc:"Encrypt a dataset and publish it as an on-disk index (the data-owner step).")
+    Term.(const build_index $ rows_arg $ attrs_arg $ seed_arg $ bits_arg $ dist_arg $ csv_arg
+          $ store_arg $ key_out_arg $ block_records_arg)
+
+let serve_s1 store_dir port seed bits variant workers queue_depth s2_addr metrics =
+  or_file_error (fun () ->
+      if metrics then Obs.set_enabled true;
+      let pub, _, _, _ = Proto.Ctx.provision ~seed ~key_bits:bits ~rand_bits:96 () in
+      let store = Store.open_index ~dir:store_dir pub in
+      let cfg =
+        {
+          Server.default_config with
+          seed;
+          key_bits = bits;
+          workers;
+          queue_depth;
+          options =
+            { Sectopk.Query.default_options with variant = variant_of_string variant };
+          s2 = (match s2_addr with
+               | Some a -> Server.Tcp (parse_addr a)
+               | None -> Server.Local);
+        }
+      in
+      let t = Server.start ~port cfg store in
+      Format.printf "S1 serving %d x %d (generation %d) on 127.0.0.1:%d@.%!"
+        (Store.n_rows store) (Store.n_attrs store) (Store.generation store) (Server.port t);
+      let stop = ref false in
+      let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
+      Sys.set_signal Sys.sigterm on_signal;
+      Sys.set_signal Sys.sigint on_signal;
+      while not !stop do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Format.printf "S1: draining@.%!";
+      Server.shutdown t;
+      let st = Server.stats t in
+      Format.printf "S1: drained — %d served, %d busy, %d errors@.%!" st.Server.served
+        st.Server.busy st.Server.errors;
+      if metrics && not (Obs.Collector.is_empty (Server.obs t)) then
+        Obs.Report.print ~times:false (Server.obs t);
+      Store.close store)
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~doc:"Worker domains executing queries.")
+
+let queue_depth_arg =
+  Arg.(value & opt int 8
+       & info [ "queue-depth" ]
+           ~doc:"Admitted-but-waiting bound beyond free workers; overflow answers Busy.")
+
+let serve_s1_cmd =
+  Cmd.v
+    (Cmd.info "serve-s1"
+       ~doc:"Serve an on-disk index to query clients (the S1 front-end daemon). \
+             Pair with 'serve-s2' via --s2 HOST:PORT for the full two-cloud split; \
+             SIGTERM drains gracefully.")
+    Term.(const serve_s1 $ store_arg $ port_arg $ seed_arg $ bits_arg $ variant_arg
+          $ workers_arg $ queue_depth_arg $ s2_arg $ metrics_arg)
+
+let query_client s1_addr key_file k m seed bits =
+  or_file_error (fun () ->
+      let pub, sk, ctx_rng, _ = Proto.Ctx.provision ~seed ~key_bits:bits ~rand_bits:96 () in
+      let ctx = Proto.Ctx.of_keys ~blind_bits:48 ~mode:Proto.Ctx.Inproc ctx_rng pub sk in
+      let wkeys = Proto.Transport.keys ctx.Proto.Ctx.transport in
+      let key = Sectopk.Codec.decode_secret_key (read_file key_file) in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (parse_addr s1_addr);
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let read_msg () =
+            match Proto.Wire.read_frame fd with
+            | None ->
+              Format.eprintf "query: server closed the connection@.";
+              exit 4
+            | Some frame -> Proto.Wire.decode_server_msg wkeys frame
+          in
+          match read_msg () with
+          | Proto.Wire.Server_hello { n; m = m_total; s = _; key_bits } ->
+            if key_bits <> bits then begin
+              Format.eprintf "query: server key is %d bits, ours %d@." key_bits bits;
+              exit 4
+            end;
+            let scoring = Scoring.sum_of (List.init (min m m_total) Fun.id) in
+            let tk = Sectopk.Scheme.token key ~m_total scoring ~k in
+            Proto.Wire.write_frame fd
+              (Proto.Wire.encode_client_msg
+                 (Proto.Wire.Query_req { token = Sectopk.Codec.encode_token tk }));
+            (match read_msg () with
+            | Proto.Wire.Query_resp { top; halting_depth; halted } ->
+              Format.printf "query: halting depth %d/%d (halted %b)@." halting_depth n halted;
+              let res =
+                { Sectopk.Query.top; halting_depth; halted; depth_seconds = [||] }
+              in
+              let ids = List.init n (fun i -> "o" ^ string_of_int i) in
+              let reals = Sectopk.Client.real_results ~sk ctx key ~ids res in
+              List.iter
+                (fun (id, w, b) -> Format.printf "  %-6s score in [%d, %d]@." id w b)
+                reals
+            | Proto.Wire.Busy ->
+              Format.printf "server busy — retry later@.";
+              exit 3
+            | Proto.Wire.Server_error e ->
+              Format.eprintf "server error: %s@." e;
+              exit 4
+            | Proto.Wire.Server_hello _ ->
+              Format.eprintf "query: unexpected second hello@.";
+              exit 4)
+          | _ ->
+            Format.eprintf "query: expected a server hello@.";
+            exit 4))
+
+let s1_arg =
+  Arg.(required & opt (some string) None
+       & info [ "s1" ] ~docv:"HOST:PORT" ~doc:"Address of the serve-s1 front-end.")
+
+let key_file_arg =
+  Arg.(required & opt (some string) None
+       & info [ "key" ] ~docv:"FILE" ~doc:"Client secret key blob from build-index --key-out.")
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Issue a top-k query to a serve-s1 front-end and decrypt the results \
+             (the client step).")
+    Term.(const query_client $ s1_arg $ key_file_arg $ k_arg $ m_arg $ seed_arg $ bits_arg)
+
+let index_info store_dir seed bits verify =
+  or_file_error (fun () ->
+      let pub, _, _, _ = Proto.Ctx.provision ~seed ~key_bits:bits ~rand_bits:96 () in
+      let st = Store.open_index ~dir:store_dir pub in
+      if verify then Store.verify st;
+      Format.printf
+        "generation %d: %d rows x %d lists, s=%d, %d records/block, %d pending updates, %d KB \
+         on disk%s@."
+        (Store.generation st) (Store.n_rows st) (Store.n_attrs st) (Store.cells st)
+        (Store.block_records st) (Store.pending_updates st)
+        (Store.disk_bytes st / 1024)
+        (if verify then ", all blocks verified" else "");
+      Store.close st)
+
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify" ] ~doc:"Read every segment block through its checksum.")
+
+let index_info_cmd =
+  Cmd.v
+    (Cmd.info "index-info"
+       ~doc:"Validate an on-disk index and print its shape (exit 4 on a corrupt store).")
+    Term.(const index_info $ store_arg $ seed_arg $ bits_arg $ verify_arg)
 
 (* ---------------- nra ---------------- *)
 
@@ -252,4 +493,8 @@ let keysize_cmd =
 
 let () =
   let info = Cmd.info "topk_cli" ~doc:"SecTopK: top-k queries over encrypted databases." in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; serve_s2_cmd; nra_cmd; join_cmd; keysize_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ demo_cmd; serve_s2_cmd; build_index_cmd; serve_s1_cmd; query_cmd; index_info_cmd;
+            nra_cmd; join_cmd; keysize_cmd ]))

@@ -1,0 +1,128 @@
+#!/usr/bin/env sh
+# Three-process end-to-end run of the served deployment:
+#
+#   build-index  (data owner)  -> encrypted index on disk + client key
+#   serve-s2     (crypto cloud) holds the Paillier secret key
+#   serve-s1     (storage cloud) opens the index, dials S2 per query
+#   query        (client)       sends a token, decrypts the results
+#
+# All parties derive key material from the same seed, so the served
+# results must be byte-for-byte the lines the in-process demo prints —
+# this script asserts exactly that, then drains both daemons with
+# SIGTERM. Also exercises the corruption path: a flipped byte in the
+# published index must be rejected with a typed error (exit 4).
+#
+# Usage: sh examples/three_process.sh
+# (used by CI as the three-process e2e + store-corruption smoke test)
+set -eu
+
+cd "$(dirname "$0")/.."
+dune build bin/topk_cli.exe
+
+seed=three-proc
+rows=12
+attrs=3
+
+work=$(mktemp -d)
+s1_pid=""
+s2_pid=""
+cleanup() {
+  [ -n "$s1_pid" ] && kill "$s1_pid" 2>/dev/null || true
+  [ -n "$s2_pid" ] && kill "$s2_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+wait_for_port() {
+  # $1: logfile; prints the port from "... 127.0.0.1:PORT"
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$1" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "daemon did not come up:" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+  echo "$port"
+}
+
+echo "== 1. data owner: build-index =="
+dune exec bin/topk_cli.exe -- build-index --rows $rows --attrs $attrs --seed $seed \
+  --store "$work/index" --key-out "$work/client.key"
+dune exec bin/topk_cli.exe -- index-info --store "$work/index" --seed $seed --verify
+
+echo "== 2. crypto cloud: serve-s2 =="
+dune exec bin/topk_cli.exe -- serve-s2 --port 0 >"$work/s2.log" 2>&1 &
+s2_pid=$!
+s2_port=$(wait_for_port "$work/s2.log")
+echo "S2 on port $s2_port (pid $s2_pid)"
+
+echo "== 3. storage cloud: serve-s1 =="
+dune exec bin/topk_cli.exe -- serve-s1 --store "$work/index" --seed $seed --port 0 \
+  --s2 "127.0.0.1:$s2_port" >"$work/s1.log" 2>&1 &
+s1_pid=$!
+s1_port=$(wait_for_port "$work/s1.log")
+echo "S1 on port $s1_port (pid $s1_pid)"
+
+echo "== 4. client: query =="
+dune exec bin/topk_cli.exe -- query --s1 "127.0.0.1:$s1_port" --key "$work/client.key" \
+  -k 3 -m $attrs --seed $seed | tee "$work/query.out"
+
+echo "== 5. reference: in-process demo, same seed =="
+dune exec bin/topk_cli.exe -- demo --rows $rows --attrs $attrs -k 3 -m $attrs \
+  --seed $seed | tee "$work/demo.out"
+
+grep "score in" "$work/query.out" >"$work/query.scores"
+grep "score in" "$work/demo.out" >"$work/demo.scores"
+diff "$work/query.scores" "$work/demo.scores"
+echo "== served results are byte-identical to the in-process demo =="
+
+echo "== 6. graceful drain (SIGTERM) =="
+kill -TERM "$s1_pid"
+wait "$s1_pid"
+s1_pid=""
+kill -TERM "$s2_pid"
+wait "$s2_pid"
+s2_pid=""
+grep "S1: drained" "$work/s1.log"
+grep "drained" "$work/s2.log"
+cat "$work/s1.log" "$work/s2.log"
+
+echo "== 7. corruption smoke: a flipped byte must be a typed rejection =="
+flip_byte() {
+  # $1: file; $2: offset (negative counts from the end)
+  python3 - "$1" "$2" <<'EOF'
+import sys
+path, off = sys.argv[1], int(sys.argv[2])
+b = bytearray(open(path, "rb").read())
+b[off] ^= 0xFF
+open(path, "wb").write(bytes(b))
+EOF
+}
+
+# a flip in the manifest is caught at open
+flip_byte "$work/index/MANIFEST" 20
+set +e
+dune exec bin/topk_cli.exe -- index-info --store "$work/index" --seed $seed 2>"$work/corrupt.err"
+rc=$?
+set -e
+[ "$rc" -eq 4 ] || { echo "expected exit 4, got $rc" >&2; cat "$work/corrupt.err" >&2; exit 1; }
+grep "store error" "$work/corrupt.err"
+echo "== corrupted manifest rejected with exit 4 =="
+
+# a flip in a segment body is caught by the block checksum sweep
+dune exec bin/topk_cli.exe -- build-index --rows $rows --attrs $attrs --seed $seed \
+  --store "$work/index2" >/dev/null
+flip_byte "$work/index2/seg_1_0.stk" -1
+set +e
+dune exec bin/topk_cli.exe -- index-info --store "$work/index2" --seed $seed --verify 2>"$work/corrupt2.err"
+rc=$?
+set -e
+[ "$rc" -eq 4 ] || { echo "expected exit 4, got $rc" >&2; cat "$work/corrupt2.err" >&2; exit 1; }
+grep "store error" "$work/corrupt2.err"
+echo "== corrupted segment block rejected with exit 4 =="
+
+echo "three-process e2e passed"

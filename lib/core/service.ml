@@ -1,0 +1,89 @@
+(* Persistent bounded worker pool: the long-lived sibling of Pool.run.
+   Pool evaluates one batch and joins its domains; Service keeps a fixed
+   crew of domains alive across requests (the serving daemon's query
+   executor) behind a bounded admission queue, so overload surfaces as an
+   immediate [`Busy] instead of unbounded queueing. *)
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when a job arrives or draining starts *)
+  idle : Condition.t;  (* signalled when a job finishes *)
+  jobs : (unit -> unit) Queue.t;
+  queue_depth : int;
+  domains : int;
+  mutable running : int;  (* jobs currently executing *)
+  mutable accepting : bool;
+  mutable crew : unit Domain.t list;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while t.accepting && Queue.is_empty t.jobs do
+      Condition.wait t.work t.lock
+    done;
+    match Queue.take_opt t.jobs with
+    | None ->
+      (* not accepting and nothing queued: the crew retires *)
+      Mutex.unlock t.lock;
+      ()
+    | Some job ->
+      t.running <- t.running + 1;
+      Mutex.unlock t.lock;
+      (try job () with _ -> ());
+      Mutex.lock t.lock;
+      t.running <- t.running - 1;
+      Condition.broadcast t.idle;
+      Mutex.unlock t.lock;
+      loop ()
+  in
+  loop ()
+
+let create ~domains ~queue_depth =
+  if domains <= 0 then invalid_arg "Service.create: domains <= 0";
+  if queue_depth < 0 then invalid_arg "Service.create: queue_depth < 0";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      jobs = Queue.create ();
+      queue_depth;
+      domains;
+      running = 0;
+      accepting = true;
+      crew = [];
+    }
+  in
+  t.crew <- List.init domains (fun _ -> Domain.spawn (worker t));
+  t
+
+(* Admission: a job is taken if a worker can start it immediately or the
+   waiting queue has room; otherwise the caller learns [`Busy] right away
+   (never blocks). *)
+let submit t job =
+  Mutex.lock t.lock;
+  let verdict =
+    if t.accepting && t.running + Queue.length t.jobs < t.domains + t.queue_depth then begin
+      Queue.add job t.jobs;
+      Condition.signal t.work;
+      `Accepted
+    end
+    else `Busy
+  in
+  Mutex.unlock t.lock;
+  verdict
+
+let drain t =
+  Mutex.lock t.lock;
+  if t.accepting then begin
+    t.accepting <- false;
+    Condition.broadcast t.work
+  end;
+  while (not (Queue.is_empty t.jobs)) || t.running > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  let crew = t.crew in
+  t.crew <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join crew

@@ -1,0 +1,26 @@
+(** Persistent bounded worker pool over OCaml 5 domains.
+
+    Where {!Pool.run} evaluates one batch and retires its domains, a
+    [Service.t] keeps [domains] workers alive across requests — the
+    execution engine of the serving front-end. Admission is bounded:
+    {!submit} never blocks, and a full queue answers [`Busy] so overload
+    stays a typed, immediate signal. *)
+
+type t
+
+(** [create ~domains ~queue_depth] spawns [domains] worker domains.
+    [queue_depth] bounds jobs waiting beyond the ones workers can start
+    immediately ([queue_depth = 0]: a job is accepted only when a worker
+    is free). *)
+val create : domains:int -> queue_depth:int -> t
+
+(** Non-blocking admission. Accepted jobs run in submission order on the
+    next free worker; a job's exceptions are swallowed (deliver results
+    through the closure). Returns [`Busy] when the queue is full or the
+    service is draining. *)
+val submit : t -> (unit -> unit) -> [ `Accepted | `Busy ]
+
+(** Stop admitting, run everything already accepted to completion, and
+    join the worker domains. Idempotent-ish: callable once; subsequent
+    submits return [`Busy]. *)
+val drain : t -> unit

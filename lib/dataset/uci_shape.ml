@@ -25,3 +25,77 @@ let evaluation_suite ~seed ~scale =
   let uci = List.map (fun spec -> load spec ~seed ~scale) all_specs in
   let syn_rows = max 1 (int_of_float (ceil (scale *. 1_000_000.))) in
   uci @ [ Synthetic.paper_synthetic ~seed ~rows:syn_rows ]
+
+(* ---- CSV ingestion (real UCI-shaped files: id,attr1..attrM) ------------ *)
+
+exception Csv_error of { line : int; reason : string }
+
+let csv_fail line reason = raise (Csv_error { line; reason })
+
+let split_commas s =
+  (* String.split_on_char keeps empty fields, which we want to reject
+     explicitly with a line number rather than silently skip *)
+  List.map String.trim (String.split_on_char ',' s)
+
+let parse_fields ~line fields =
+  match fields with
+  | [] | [ _ ] -> csv_fail line "expected id plus at least one attribute"
+  | id :: attrs ->
+    if id = "" then csv_fail line "empty object id";
+    let values =
+      List.map
+        (fun a ->
+          match int_of_string_opt a with
+          | Some v when v >= 0 -> v
+          | Some _ -> csv_fail line (Printf.sprintf "negative attribute value %S" a)
+          | None -> csv_fail line (Printf.sprintf "non-integer attribute value %S" a))
+        attrs
+    in
+    (id, Array.of_list values)
+
+(* A first line whose second field is not an integer is taken as a
+   header (UCI exports commonly carry one) and skipped. *)
+let is_header fields =
+  match fields with
+  | _ :: second :: _ -> int_of_string_opt second = None
+  | _ -> false
+
+let parse_csv ~name contents =
+  let lines = String.split_on_char '\n' contents in
+  let seen = Hashtbl.create 64 in
+  let _, rows, ids =
+    List.fold_left
+      (fun (line, rows, ids) raw ->
+        let text = String.trim raw in
+        if text = "" then (line + 1, rows, ids)
+        else begin
+          let fields = split_commas text in
+          if line = 1 && is_header fields then (line + 1, rows, ids)
+          else begin
+            let id, values = parse_fields ~line fields in
+            (match Hashtbl.find_opt seen id with
+            | Some first -> csv_fail line (Printf.sprintf "duplicate id %S (first at line %d)" id first)
+            | None -> Hashtbl.replace seen id line);
+            (match rows with
+            | (prev : int array) :: _ when Array.length prev <> Array.length values ->
+              csv_fail line
+                (Printf.sprintf "expected %d attributes, got %d" (Array.length prev)
+                   (Array.length values))
+            | _ -> ());
+            (line + 1, values :: rows, id :: ids)
+          end
+        end)
+      (1, [], []) lines
+  in
+  if rows = [] then csv_fail 1 "no data rows";
+  let rel = Relation.create ~name (Array.of_list (List.rev rows)) in
+  (rel, List.rev ids)
+
+let load_csv path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_csv ~name:(Filename.remove_extension (Filename.basename path)) contents

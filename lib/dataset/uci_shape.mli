@@ -22,3 +22,19 @@ val load : spec -> seed:string -> scale:float -> Relation.t
     the Gaussian synthetic), at the given scale (synthetic full size = 1M
     rows). *)
 val evaluation_suite : seed:string -> scale:float -> Relation.t list
+
+(** Malformed CSV input: the 1-based line and what was wrong with it. *)
+exception Csv_error of { line : int; reason : string }
+
+(** [parse_csv ~name contents] parses UCI-shaped CSV text: one
+    [id,attr1,..,attrM] row per line, an optional header line (detected
+    by a non-integer second field), blank lines ignored. Attributes must
+    be non-negative integers, rows non-ragged, ids non-empty and unique.
+    Returns the relation plus the file's ids in row order (positional
+    object ids "o0","o1",... are what enters the encryption — the file
+    ids are returned so callers can print the mapping). Raises
+    {!Csv_error} on the first malformed row. *)
+val parse_csv : name:string -> string -> Relation.t * string list
+
+(** [load_csv path] — {!parse_csv} on a file's contents. *)
+val load_csv : string -> Relation.t * string list

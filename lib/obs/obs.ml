@@ -31,8 +31,11 @@ module Metrics = struct
     | Bytes_sent
     | Msgs
     | Rounds
+    | Store_read_bytes
+    | Cache_hit
+    | Cache_miss
 
-  let n_ops = 14
+  let n_ops = 17
 
   let index = function
     | Paillier_enc -> 0
@@ -49,11 +52,15 @@ module Metrics = struct
     | Bytes_sent -> 11
     | Msgs -> 12
     | Rounds -> 13
+    | Store_read_bytes -> 14
+    | Cache_hit -> 15
+    | Cache_miss -> 16
 
   let all =
     [ Paillier_enc; Paillier_dec; Paillier_mul; Paillier_rerand;
       Dj_enc; Dj_dec; Dj_mul; Dj_rerand;
-      Modexp; Prf_eval; Rerand_pool; Bytes_sent; Msgs; Rounds ]
+      Modexp; Prf_eval; Rerand_pool; Bytes_sent; Msgs; Rounds;
+      Store_read_bytes; Cache_hit; Cache_miss ]
 
   let name = function
     | Paillier_enc -> "paillier_encrypt"
@@ -70,6 +77,9 @@ module Metrics = struct
     | Bytes_sent -> "bytes"
     | Msgs -> "messages"
     | Rounds -> "rounds"
+    | Store_read_bytes -> "store_read_bytes"
+    | Cache_hit -> "cache_hit"
+    | Cache_miss -> "cache_miss"
 
   type t = int array
 

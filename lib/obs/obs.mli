@@ -22,6 +22,9 @@ module Metrics : sig
     | Bytes_sent
     | Msgs
     | Rounds
+    | Store_read_bytes  (** bytes read from the on-disk index store *)
+    | Cache_hit  (** store block-cache hits *)
+    | Cache_miss  (** store block-cache misses (each implies a disk read) *)
 
   val all : op list
   val name : op -> string

@@ -835,15 +835,105 @@ let decode_control_reply data =
   finish r "control reply";
   reply
 
+(* ---------------- client <-> S1 front-end frames ----------------
+
+   The public face of the serving stack (lib/server): a client ships an
+   opaque Sectopk.Codec token blob, S1 answers with the scored top-k
+   (still encrypted — decryption stays client-side), a typed Busy under
+   admission-queue overflow, or a typed error.  Same header discipline
+   as the S1 <-> S2 frames, under their own kind bytes. *)
+
+let kind_client = 'U'
+let kind_server = 'V'
+
+type client_msg = Query_req of { token : string }
+
+type server_msg =
+  | Server_hello of { n : int; m : int; s : int; key_bits : int }
+  | Query_resp of { top : Enc_item.scored list; halting_depth : int; halted : bool }
+  | Busy
+  | Server_error of string
+
+let encode_client_msg msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Query_req { token } ->
+    put_header buf ~kind:kind_client ~tag:1 ~session:0;
+    put_string buf token);
+  Buffer.contents buf
+
+let decode_client_msg data =
+  let r = { data; pos = 0 } in
+  let tag, _session = get_header r ~kind:kind_client in
+  let msg =
+    match tag with
+    | 1 ->
+      let token = get_string r in
+      if String.length token > 65536 then invalid_arg "Wire: oversized token";
+      Query_req { token }
+    | _ -> invalid_arg "Wire: unknown client tag"
+  in
+  finish r "client message";
+  msg
+
+let encode_server_msg keys msg =
+  let buf = Buffer.create 256 in
+  (match msg with
+  | Server_hello { n; m; s; key_bits } ->
+    put_header buf ~kind:kind_server ~tag:1 ~session:0;
+    put_int buf n;
+    put_int buf m;
+    put_int buf s;
+    put_int buf key_bits
+  | Query_resp { top; halting_depth; halted } ->
+    put_header buf ~kind:kind_server ~tag:2 ~session:0;
+    put_int buf halting_depth;
+    put_bool buf halted;
+    put_int buf (List.length top);
+    List.iter (put_scored keys buf) top
+  | Busy -> put_header buf ~kind:kind_server ~tag:3 ~session:0
+  | Server_error e ->
+    put_header buf ~kind:kind_server ~tag:4 ~session:0;
+    put_string buf e);
+  Buffer.contents buf
+
+let decode_server_msg keys data =
+  let r = { data; pos = 0 } in
+  let tag, _session = get_header r ~kind:kind_server in
+  let msg =
+    match tag with
+    | 1 ->
+      let n = get_int r in
+      let m = get_int r in
+      let s = get_int r in
+      let key_bits = get_int r in
+      if n <= 0 || m <= 0 || s <= 0 || s > 64 || key_bits <= 0 || key_bits > 65536 then
+        invalid_arg "Wire: bad hello";
+      Server_hello { n; m; s; key_bits }
+    | 2 ->
+      let halting_depth = get_int r in
+      let halted = get_bool r in
+      let top = read_list ~max:4096 r ~item_width:(scored_min keys) (get_scored keys) in
+      Query_resp { top; halting_depth; halted }
+    | 3 -> Busy
+    | 4 -> Server_error (get_string r)
+    | _ -> invalid_arg "Wire: unknown server tag"
+  in
+  finish r "server message";
+  msg
+
 (* ---------------- length-prefixed framing over a file descriptor ----
 
    The 4-byte length prefix is transport plumbing, not protocol payload:
    it is excluded from all bandwidth accounting (DESIGN.md section 4c). *)
 
+(* Both directions restart on EINTR: the serving daemons install signal
+   handlers for graceful drain, and a signal must never tear a frame. *)
 let rec write_all fd s off len =
   if len > 0 then begin
-    let n = Unix.write_substring fd s off len in
-    write_all fd s (off + n) (len - n)
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s off len
   end
 
 (* Coalesced: prefix + payload leave in one buffered write, so a whole
@@ -867,6 +957,7 @@ let read_exact fd len =
       match Unix.read fd buf off (len - off) with
       | 0 -> if off = 0 then None else invalid_arg "Wire: truncated frame"
       | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
   in
   go 0
 

@@ -130,6 +130,28 @@ val decode_control : string -> control
 val encode_control_reply : control_reply -> string
 val decode_control_reply : string -> control_reply
 
+(** {2 Client <-> S1 front-end frames}
+
+    Spoken between a querying client and the lib/server front-end (kind
+    bytes 'U'/'V'): the token travels as an opaque {!Sectopk.Codec} blob,
+    results come back still encrypted, and overload is a typed {!Busy}
+    rather than a stall. *)
+
+type client_msg = Query_req of { token : string }
+
+type server_msg =
+  | Server_hello of { n : int; m : int; s : int; key_bits : int }
+      (** sent once per connection, before any query: the public shape a
+          client needs to build tokens and resolve results *)
+  | Query_resp of { top : Enc_item.scored list; halting_depth : int; halted : bool }
+  | Busy  (** admission queue full — retry later *)
+  | Server_error of string
+
+val encode_client_msg : client_msg -> string
+val decode_client_msg : string -> client_msg
+val encode_server_msg : keys -> server_msg -> string
+val decode_server_msg : keys -> string -> server_msg
+
 (** Closed-form frame sizes, equal to [String.length (encode_* ...)]
     (asserted by the Wire property tests). *)
 val request_bytes : keys -> label:string -> request -> int

@@ -95,6 +95,16 @@ let decode_relation pub data =
   if width <> Paillier.ciphertext_bytes pub then invalid_arg "Codec: key size mismatch";
   let s = get_int r in
   if n <= 0 || m <= 0 || s <= 0 || s > 64 then invalid_arg "Codec: bad dimensions";
+  (* the declared dimensions must account for the payload exactly, before
+     any allocation is sized from them (guards against a hostile header
+     demanding gigabytes) *)
+  let remaining = String.length data - r.pos in
+  let rec_bytes = (s + 1) * width in
+  if
+    n > remaining || m > remaining
+    || remaining mod rec_bytes <> 0
+    || remaining / rec_bytes <> n * m
+  then invalid_arg "Codec: dimensions disagree with payload";
   let lists =
     Array.init m (fun _ ->
         Array.init n (fun _ ->

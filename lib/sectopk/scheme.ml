@@ -4,8 +4,12 @@ open Topk
 
 type secret_key = { prp_key : string; ehl_keys : Prf.key list; s : int }
 
+(* The server-side ER is exposed through a fetch function so that callers
+   never see the backing representation: [of_lists] wraps in-memory
+   arrays, while lib/store provides a lazy block-cached fetch over the
+   on-disk segment files.  Both must serve byte-identical entries. *)
 type encrypted_relation = {
-  lists : (Ehl.Ehl_plus.t * Paillier.ciphertext) array array;
+  fetch : int -> int -> Ehl.Ehl_plus.t * Paillier.ciphertext;  (* list, depth *)
   n : int;
   m : int;
 }
@@ -30,22 +34,27 @@ let encrypt ?(s = 5) ?(domains = 1) rng pub rel =
   in
   let prp = Prp.create ~key:prp_key ~domain:m in
   let lists = Array.init m (fun i -> plain_lists.(Prp.invert prp i)) in
-  ({ lists; n; m }, { prp_key; ehl_keys; s })
+  let fetch list depth = lists.(list).(depth) in
+  ({ fetch; n; m }, { prp_key; ehl_keys; s })
 
 let n_rows er = er.n
 let n_attrs er = er.m
 
 let entry er ~list ~depth =
-  let ehl, score = er.lists.(list).(depth) in
+  if list < 0 || list >= er.m then invalid_arg "Scheme.entry: list out of range";
+  if depth < 0 || depth >= er.n then invalid_arg "Scheme.entry: depth out of range";
+  let ehl, score = er.fetch list depth in
   { Proto.Enc_item.ehl; score }
 
 let size_bytes pub er =
-  Array.fold_left
-    (fun acc l ->
-      Array.fold_left
-        (fun acc (ehl, _) -> acc + Ehl.Ehl_plus.size_bytes pub ehl + Paillier.ciphertext_bytes pub)
-        acc l)
-    0 er.lists
+  let acc = ref 0 in
+  for list = 0 to er.m - 1 do
+    for depth = 0 to er.n - 1 do
+      let ehl, _ = er.fetch list depth in
+      acc := !acc + Ehl.Ehl_plus.size_bytes pub ehl + Paillier.ciphertext_bytes pub
+    done
+  done;
+  !acc
 
 let of_lists lists =
   let m = Array.length lists in
@@ -53,7 +62,11 @@ let of_lists lists =
   let n = Array.length lists.(0) in
   if n = 0 then invalid_arg "Scheme.of_lists: empty lists";
   Array.iter (fun l -> if Array.length l <> n then invalid_arg "Scheme.of_lists: ragged") lists;
-  { lists; n; m }
+  { fetch = (fun list depth -> lists.(list).(depth)); n; m }
+
+let of_fetch ~n ~m fetch =
+  if n <= 0 || m <= 0 then invalid_arg "Scheme.of_fetch: bad dimensions";
+  { fetch; n; m }
 
 type token = { attrs : (int * int) list; k : int }
 

@@ -46,6 +46,13 @@ val size_bytes : Paillier.public -> encrypted_relation -> int
     equal positive length. *)
 val of_lists : (Ehl.Ehl_plus.t * Paillier.ciphertext) array array -> encrypted_relation
 
+(** [of_fetch ~n ~m fetch] wraps an entry provider — [fetch list depth]
+    must return the permuted list's entry at that depth, byte-identical
+    to what an in-memory relation would hold. Backing for lazily loaded
+    relations (lib/store's block-cached segment files). *)
+val of_fetch :
+  n:int -> m:int -> (int -> int -> Ehl.Ehl_plus.t * Paillier.ciphertext) -> encrypted_relation
+
 type token = { attrs : (int * int) list;  (** (permuted list index, weight) *) k : int }
 
 (** [token key ~m_total scoring ~k] — the client side of [Token]. *)

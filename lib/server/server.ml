@@ -1,0 +1,341 @@
+(* The S1 serving front-end: listener -> per-connection sessions ->
+   bounded Core.Service worker pool.  See server.mli for the contract.
+
+   Concurrency shape: the listener domain accepts and spawns one session
+   domain per connection; a session reads one Query_req at a time,
+   submits the query as a job, and blocks on an ivar for the response —
+   so frames on one connection never interleave.  Overload is decided at
+   submission ([`Busy] written immediately).  Shutdown drains in order:
+   listener first, then the worker pool (in-flight queries complete and
+   their responses are written), then idle sessions are unblocked by
+   shutting their sockets down. *)
+
+open Proto
+
+type s2_mode = Local | Tcp of Unix.sockaddr
+
+type config = {
+  seed : string;
+  key_bits : int;
+  rand_bits : int option;
+  blind_bits : int;
+  workers : int;
+  queue_depth : int;
+  options : Sectopk.Query.options;
+  s2 : s2_mode;
+}
+
+let default_config =
+  {
+    seed = "serve";
+    key_bits = 128;
+    rand_bits = Some 96;
+    blind_bits = 48;
+    workers = 2;
+    queue_depth = 8;
+    options = Sectopk.Query.default_options;
+    s2 = Local;
+  }
+
+type stats = {
+  served : int;
+  busy : int;
+  errors : int;
+  queue_seconds : float;
+  query_seconds : float;
+}
+
+(* A write-once cell: the session parks on it while its query runs on a
+   worker domain. *)
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let v = Option.get t.v in
+    Mutex.unlock t.m;
+    v
+end
+
+type t = {
+  cfg : config;
+  er : Sectopk.Scheme.encrypted_relation;
+  shape : Wire.server_msg;  (* the Server_hello sent to every client *)
+  wkeys : Wire.keys;
+  lsock : Unix.file_descr;
+  lport : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  service : Core.Service.t;
+  collector : Obs.Collector.t;
+  lock : Mutex.t;
+  settled : Condition.t;  (* signalled when pending responses hit zero *)
+  mutable conns : (int * Unix.file_descr) list;
+  mutable next_conn : int;
+  mutable sessions : unit Domain.t list;
+  mutable listener : unit Domain.t option;
+  mutable draining : bool;
+  mutable pending : int;  (* accepted queries whose response is not yet written *)
+  mutable st : stats;
+}
+
+let port t = t.lport
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = t.st in
+  Mutex.unlock t.lock;
+  s
+
+let obs t = t.collector
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- per-query execution (worker domain) ------------------------------- *)
+
+let run_query t tk =
+  let pub, sk, ctx_rng, _data_rng =
+    Ctx.provision ~seed:t.cfg.seed ~key_bits:t.cfg.key_bits ?rand_bits:t.cfg.rand_bits ()
+  in
+  let mode, cleanup =
+    match t.cfg.s2 with
+    | Local -> (Ctx.Inproc, fun () -> ())
+    | Tcp addr ->
+      let hello =
+        { Wire.seed = t.cfg.seed; key_bits = t.cfg.key_bits; rand_bits = t.cfg.rand_bits;
+          obs = false }
+      in
+      let fd = Transport.connect_tcp addr hello in
+      (Ctx.Socket_fd fd, fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let qctx = Ctx.of_keys ~blind_bits:t.cfg.blind_bits ~mode ctx_rng pub sk in
+      let res = Sectopk.Query.run qctx t.er tk t.cfg.options in
+      Wire.Query_resp
+        {
+          top = res.Sectopk.Query.top;
+          halting_depth = res.Sectopk.Query.halting_depth;
+          halted = res.Sectopk.Query.halted;
+        })
+
+let job t tk ~submitted cell =
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    try
+      if Obs.is_enabled () then begin
+        let c = Obs.Collector.create () in
+        let r = Obs.with_collector c (fun () -> Obs.span "serve:query" (fun () -> run_query t tk)) in
+        locked t (fun () -> Obs.Collector.merge_into c ~into:t.collector);
+        r
+      end
+      else run_query t tk
+    with
+    | Store.Error e -> Wire.Server_error (Store.error_message e)
+    | Invalid_argument msg -> Wire.Server_error msg
+    | e -> Wire.Server_error (Printexc.to_string e)
+  in
+  let t1 = Unix.gettimeofday () in
+  locked t (fun () ->
+      let ok = match resp with Wire.Server_error _ -> false | _ -> true in
+      t.st <-
+        {
+          served = (t.st.served + if ok then 1 else 0);
+          busy = t.st.busy;
+          errors = (t.st.errors + if ok then 0 else 1);
+          queue_seconds = t.st.queue_seconds +. (t0 -. submitted);
+          query_seconds = t.st.query_seconds +. (t1 -. t0);
+        });
+  Ivar.fill cell resp
+
+(* ---- sessions (one domain per connection) ------------------------------ *)
+
+let settle t =
+  locked t (fun () ->
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.settled)
+
+let session t fd =
+  let write msg = Wire.write_frame fd (Wire.encode_server_msg t.wkeys msg) in
+  (try
+     write t.shape;
+     let rec loop () =
+       match Wire.read_frame fd with
+       | None -> ()
+       | Some frame -> (
+         let reject msg =
+           locked t (fun () -> t.st <- { t.st with errors = t.st.errors + 1 });
+           write (Wire.Server_error msg)
+         in
+         match Wire.decode_client_msg frame with
+         | exception Invalid_argument msg -> reject msg
+         | Wire.Query_req { token } -> (
+           match Sectopk.Codec.decode_token token with
+           | exception Invalid_argument msg ->
+             reject msg;
+             loop ()
+           | tk ->
+             let cell = Ivar.create () in
+             let submitted = Unix.gettimeofday () in
+             let admitted =
+               locked t (fun () ->
+                   if t.draining then `Busy
+                   else
+                     match Core.Service.submit t.service (fun () -> job t tk ~submitted cell) with
+                     | `Accepted ->
+                       t.pending <- t.pending + 1;
+                       `Accepted
+                     | `Busy -> `Busy)
+             in
+             (match admitted with
+             | `Busy ->
+               locked t (fun () -> t.st <- { t.st with busy = t.st.busy + 1 });
+               write Wire.Busy
+             | `Accepted ->
+               let resp = Ivar.read cell in
+               Fun.protect ~finally:(fun () -> settle t) (fun () -> write resp));
+             if not t.draining then loop ()))
+     in
+     loop ()
+   with
+  | Unix.Unix_error (_, _, _) | Invalid_argument _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+(* ---- listener ---------------------------------------------------------- *)
+
+let listener_loop t =
+  let rec loop () =
+    match Unix.select [ t.lsock; t.wake_r ] [] [] (-1.) with
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+    | ready, _, _ ->
+      if List.mem t.wake_r ready then () (* drain requested *)
+      else begin
+        (match Unix.accept t.lsock with
+        | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> ()
+        | fd, _ ->
+          let accepted =
+            locked t (fun () ->
+                if t.draining then false
+                else begin
+                  let id = t.next_conn in
+                  t.next_conn <- id + 1;
+                  t.conns <- (id, fd) :: t.conns;
+                  let d = Domain.spawn (fun () -> session t fd) in
+                  t.sessions <- d :: t.sessions;
+                  true
+                end)
+          in
+          if not accepted then Unix.close fd);
+        loop ()
+      end
+  in
+  loop ()
+
+(* ---- lifecycle --------------------------------------------------------- *)
+
+let start ?(port = 0) cfg store =
+  if cfg.workers <= 0 then invalid_arg "Server.start: workers <= 0";
+  if cfg.queue_depth < 0 then invalid_arg "Server.start: queue_depth < 0";
+  (* One provisioning replay up front: yields the Wire keys for framing
+     and cross-checks that the store was built under this seed's key
+     (open_index already verified the fingerprint against [pub]). *)
+  let pub, sk, ctx_rng, _ =
+    Ctx.provision ~seed:cfg.seed ~key_bits:cfg.key_bits ?rand_bits:cfg.rand_bits ()
+  in
+  let kctx = Ctx.of_keys ~blind_bits:cfg.blind_bits ~mode:Ctx.Inproc ctx_rng pub sk in
+  let wkeys = Transport.keys kctx.Ctx.transport in
+  let lsock = Unix.socket PF_INET SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt lsock SO_REUSEADDR true;
+      Unix.bind lsock (ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen lsock 16;
+      let lport =
+        match Unix.getsockname lsock with
+        | ADDR_INET (_, p) -> p
+        | _ -> invalid_arg "Server.start: unexpected socket address"
+      in
+      let wake_r, wake_w = Unix.pipe () in
+      {
+        cfg;
+        er = Store.relation store;
+        shape =
+          Wire.Server_hello
+            {
+              n = Store.n_rows store;
+              m = Store.n_attrs store;
+              s = Store.cells store;
+              key_bits = cfg.key_bits;
+            };
+        wkeys;
+        lsock;
+        lport;
+        wake_r;
+        wake_w;
+        service = Core.Service.create ~domains:cfg.workers ~queue_depth:cfg.queue_depth;
+        collector = Obs.Collector.create ();
+        lock = Mutex.create ();
+        settled = Condition.create ();
+        conns = [];
+        next_conn = 0;
+        sessions = [];
+        listener = None;
+        draining = false;
+        pending = 0;
+        st = { served = 0; busy = 0; errors = 0; queue_seconds = 0.; query_seconds = 0. };
+      }
+    with e ->
+      Unix.close lsock;
+      raise e
+  in
+  t.listener <- Some (Domain.spawn (fun () -> listener_loop t));
+  t
+
+let shutdown t =
+  let listener =
+    locked t (fun () ->
+        if t.draining then None
+        else begin
+          t.draining <- true;
+          let l = t.listener in
+          t.listener <- None;
+          l
+        end)
+  in
+  match listener with
+  | None -> ()
+  | Some l ->
+    (* 1. stop accepting *)
+    (try ignore (Unix.write_substring t.wake_w "x" 0 1) with Unix.Unix_error (_, _, _) -> ());
+    Domain.join l;
+    Unix.close t.lsock;
+    (* 2. finish every admitted query *)
+    Core.Service.drain t.service;
+    (* 3. wait until every finished response has been written out *)
+    Mutex.lock t.lock;
+    while t.pending > 0 do
+      Condition.wait t.settled t.lock
+    done;
+    let conns = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.lock;
+    (* 4. unblock sessions parked in read_frame and join them *)
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+      conns;
+    let sessions = locked t (fun () -> let s = t.sessions in t.sessions <- []; s) in
+    List.iter Domain.join sessions;
+    Unix.close t.wake_r;
+    Unix.close t.wake_w

@@ -1,0 +1,60 @@
+(** Multi-client S1 serving front-end.
+
+    One listener accepts client connections on loopback TCP; each
+    connection gets a session that speaks the {!Proto.Wire} client
+    frames: a [Server_hello] announcing the index shape, then
+    [Query_req]/[Query_resp] pairs. Queries are scheduled onto a
+    persistent bounded {!Core.Service} worker pool — admission-queue
+    overflow answers a typed [Busy] immediately, never stalls the
+    connection.
+
+    Every query runs in a fresh seeded context ({!Proto.Ctx.provision}
+    with the server's seed), so each response is byte-identical to what
+    the sequential in-process path produces for the same token — the
+    property the concurrency tests pin down.
+
+    S2 placement: [Local] runs the key-holder in-process (the Inproc
+    transport); [Tcp addr] dials a serve-s2 daemon once per query and
+    replays provisioning through the Hello handshake. *)
+
+type s2_mode = Local | Tcp of Unix.sockaddr
+
+type config = {
+  seed : string;  (** provisioning seed; must match what built the index *)
+  key_bits : int;
+  rand_bits : int option;
+  blind_bits : int;
+  workers : int;  (** worker domains executing queries *)
+  queue_depth : int;  (** admitted-but-waiting bound beyond free workers *)
+  options : Sectopk.Query.options;
+  s2 : s2_mode;
+}
+
+val default_config : config
+
+type stats = {
+  served : int;  (** queries answered with results *)
+  busy : int;  (** connections bounced with [Busy] *)
+  errors : int;  (** queries answered with [Server_error] *)
+  queue_seconds : float;  (** total admission-to-start latency *)
+  query_seconds : float;  (** total execution wall clock *)
+}
+
+type t
+
+(** [start ~port config store] binds 127.0.0.1:[port] ([port = 0] for
+    ephemeral — read it back with {!port}), spawns the listener and the
+    worker pool, and returns immediately. *)
+val start : ?port:int -> config -> Store.t -> t
+
+val port : t -> int
+val stats : t -> stats
+
+(** Per-query observability collectors merged in completion order
+    (meaningful only when {!Obs.is_enabled}). *)
+val obs : t -> Obs.Collector.t
+
+(** Graceful drain: stop accepting connections, finish every admitted
+    query and deliver its response, then close sessions and join every
+    domain. Idempotent. *)
+val shutdown : t -> unit

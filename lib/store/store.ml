@@ -1,0 +1,648 @@
+(* Durable on-disk encrypted index: versioned manifest + per-list segment
+   files + append-only update log.  See store.mli and DESIGN.md §4e for
+   the format; the invariants that matter are
+
+   - the MANIFEST rename is the only commit point (crash safety),
+   - every artifact is CRC-checksummed and every failure is a typed
+     [Error], never a garbage entry,
+   - segment bodies are fixed-width records in depth order, so a list
+     prefix loads without touching the rest of the file, and
+   - a store-backed fetch returns bytes identical to the in-memory
+     relation it was built from. *)
+
+open Crypto
+
+type error =
+  | Missing of string
+  | Bad_magic of string
+  | Bad_version of { file : string; version : int }
+  | Truncated of string
+  | Corrupt of string
+  | Key_mismatch of string
+
+exception Error of error
+
+let err e = raise (Error e)
+
+let error_message = function
+  | Missing f -> Printf.sprintf "missing file %s" f
+  | Bad_magic f -> Printf.sprintf "%s: bad magic" f
+  | Bad_version { file; version } -> Printf.sprintf "%s: unsupported version %d" file version
+  | Truncated f -> Printf.sprintf "%s: truncated" f
+  | Corrupt msg -> Printf.sprintf "corrupt store: %s" msg
+  | Key_mismatch msg -> Printf.sprintf "key mismatch: %s" msg
+
+let pp_error fmt e = Format.pp_print_string fmt (error_message e)
+
+let version = 1
+let manifest_magic = "STKM"
+let segment_magic = "STKS"
+let log_magic = "STKL"
+let manifest_name = "MANIFEST"
+let segment_name ~gen list = Printf.sprintf "seg_%d_%d.stk" gen list
+let log_name ~gen = Printf.sprintf "updates_%d.log" gen
+
+(* ---- binary primitives ------------------------------------------------- *)
+
+let put_u32 buf v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Store: u32 out of range";
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let u32_at file data pos =
+  if pos + 4 > String.length data then err (Truncated file);
+  (Char.code data.[pos] lsl 24)
+  lor (Char.code data.[pos + 1] lsl 16)
+  lor (Char.code data.[pos + 2] lsl 8)
+  lor Char.code data.[pos + 3]
+
+type reader = { file : string; data : string; mutable pos : int }
+
+let need r n = if r.pos + n > String.length r.data then err (Truncated r.file)
+
+let get_u32 r =
+  let v = u32_at r.file r.data r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let get_bytes r n =
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let put_nat_fixed buf ~width n =
+  let b = Bignum.Nat.to_bytes n in
+  if String.length b > width then invalid_arg "Store: value wider than field";
+  Buffer.add_string buf (String.make (width - String.length b) '\000');
+  Buffer.add_string buf b
+
+(* Record layout (Codec's relation cell order): s EHL+ cells, then the
+   score; each a big-endian natural padded to the ciphertext width. *)
+let encode_entry buf ~width (e : Proto.Enc_item.entry) =
+  Array.iter
+    (fun c -> put_nat_fixed buf ~width (Paillier.to_nat c))
+    (Ehl.Ehl_plus.cells e.Proto.Enc_item.ehl);
+  put_nat_fixed buf ~width (Paillier.to_nat e.Proto.Enc_item.score)
+
+let decode_entry pub ~s ~width data pos =
+  let nat i = Bignum.Nat.of_bytes (String.sub data (pos + (i * width)) width) in
+  let cells = Array.init s (fun i -> Paillier.of_nat pub (nat i)) in
+  let score = Paillier.of_nat pub (nat s) in
+  { Proto.Enc_item.ehl = Ehl.Ehl_plus.of_cells cells; score }
+
+(* ---- file helpers ------------------------------------------------------ *)
+
+let really_read fd file n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      let r = try Unix.read fd buf off (n - off) with Unix.Unix_error (EINTR, _, _) -> -1 in
+      if r < 0 then go off
+      else if r = 0 then err (Truncated file)
+      else go (off + r)
+    end
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+let read_whole_file path =
+  let fd =
+    try Unix.openfile path [ O_RDONLY ] 0
+    with Unix.Unix_error (ENOENT, _, _) -> err (Missing path)
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = (Unix.fstat fd).st_size in
+      really_read fd path len)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Atomic publish: temp file, fsync, rename.  The caller fsyncs the
+   directory once after the batch of renames. *)
+let write_file_atomic ~dir name data =
+  let tmp = Filename.concat dir (name ^ ".tmp") in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+      write_all fd data;
+      Unix.fsync fd);
+  Unix.rename tmp (Filename.concat dir name)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+    Unix.close fd
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let file_size path = try (Unix.stat path).st_size with Unix.Unix_error (_, _, _) -> 0
+
+(* ---- manifest ---------------------------------------------------------- *)
+
+let fingerprint pub = Sha256.digest (Bignum.Nat.to_bytes pub.Paillier.n)
+
+type manifest = {
+  man_gen : int;
+  man_key_bits : int;
+  man_width : int;
+  man_n : int;
+  man_m : int;
+  man_s : int;
+  man_brec : int;
+  man_fp : string;
+  man_seg_crcs : int array;
+}
+
+let encode_manifest m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf manifest_magic;
+  Buffer.add_char buf (Char.chr version);
+  put_u32 buf m.man_gen;
+  put_u32 buf m.man_key_bits;
+  put_u32 buf m.man_width;
+  put_u32 buf m.man_n;
+  put_u32 buf m.man_m;
+  put_u32 buf m.man_s;
+  put_u32 buf m.man_brec;
+  put_u32 buf (String.length m.man_fp);
+  Buffer.add_string buf m.man_fp;
+  Array.iter (put_u32 buf) m.man_seg_crcs;
+  let body = Buffer.contents buf in
+  put_u32 buf (Crc32.string body);
+  Buffer.contents buf
+
+let parse_manifest ~file data =
+  let len = String.length data in
+  if len < 4 then err (Truncated file);
+  if String.sub data 0 4 <> manifest_magic then err (Bad_magic file);
+  if len < 5 then err (Truncated file);
+  let v = Char.code data.[4] in
+  if v <> version then err (Bad_version { file; version = v });
+  if len < 9 then err (Truncated file);
+  (* whole-file checksum first, so any flipped byte reports as Corrupt
+     rather than as whatever structural confusion it causes downstream *)
+  let stored = u32_at file data (len - 4) in
+  if Crc32.sub data ~pos:0 ~len:(len - 4) <> stored then
+    err (Corrupt (file ^ ": manifest checksum mismatch"));
+  let r = { file; data = String.sub data 0 (len - 4); pos = 5 } in
+  let man_gen = get_u32 r in
+  let man_key_bits = get_u32 r in
+  let man_width = get_u32 r in
+  let man_n = get_u32 r in
+  let man_m = get_u32 r in
+  let man_s = get_u32 r in
+  let man_brec = get_u32 r in
+  if man_n <= 0 || man_m <= 0 || man_s <= 0 || man_s > 64 || man_brec <= 0 || man_width <= 0
+  then err (Corrupt (file ^ ": bad dimensions"));
+  let fp_len = get_u32 r in
+  if fp_len > 64 then err (Corrupt (file ^ ": bad fingerprint length"));
+  let man_fp = get_bytes r fp_len in
+  (* the CRC table must account for the rest of the file exactly, before
+     any allocation is sized from [man_m] *)
+  if String.length r.data - r.pos <> 4 * man_m then
+    err (Corrupt (file ^ ": segment table disagrees with attribute count"));
+  let man_seg_crcs = Array.init man_m (fun _ -> get_u32 r) in
+  if r.pos <> String.length r.data then err (Corrupt (file ^ ": trailing bytes"));
+  { man_gen; man_key_bits; man_width; man_n; man_m; man_s; man_brec; man_fp; man_seg_crcs }
+
+let read_manifest ~dir =
+  let path = Filename.concat dir manifest_name in
+  parse_manifest ~file:path (read_whole_file path)
+
+let check_key ~file pub m =
+  if m.man_key_bits <> pub.Paillier.key_bits then
+    err
+      (Key_mismatch
+         (Printf.sprintf "%s: built for a %d-bit key, opened with %d bits" file m.man_key_bits
+            pub.Paillier.key_bits));
+  if m.man_width <> Paillier.ciphertext_bytes pub then
+    err (Key_mismatch (file ^ ": ciphertext width differs"));
+  if not (String.equal m.man_fp (fingerprint pub)) then
+    err (Key_mismatch (file ^ ": public-key fingerprint differs"))
+
+(* ---- segments ---------------------------------------------------------- *)
+
+(* Fixed part of a segment header, before the per-block CRC table. *)
+let seg_prefix_bytes = 4 + 1 + (6 * 4)
+
+let encode_segment ~gen ~list ~n ~rec_bytes ~brec body =
+  let nblocks = (n + brec - 1) / brec in
+  let buf = Buffer.create (seg_prefix_bytes + (4 * nblocks) + 4) in
+  Buffer.add_string buf segment_magic;
+  Buffer.add_char buf (Char.chr version);
+  put_u32 buf gen;
+  put_u32 buf list;
+  put_u32 buf n;
+  put_u32 buf rec_bytes;
+  put_u32 buf brec;
+  put_u32 buf nblocks;
+  for b = 0 to nblocks - 1 do
+    let first = b * brec in
+    let count = min brec (n - first) in
+    put_u32 buf (Crc32.sub body ~pos:(first * rec_bytes) ~len:(count * rec_bytes))
+  done;
+  let header = Buffer.contents buf in
+  let hcrc = Crc32.string header in
+  put_u32 buf hcrc;
+  (Buffer.contents buf ^ body, hcrc)
+
+type seg = {
+  seg_fd : Unix.file_descr;
+  seg_file : string;
+  seg_header_bytes : int;
+  seg_block_crcs : int array;
+}
+
+(* Open one segment file and validate its header against the manifest
+   (which carries the expected header CRC, binding the published
+   manifest to these exact segment bytes). *)
+let open_segment ~dir man ~list =
+  let name = segment_name ~gen:man.man_gen list in
+  let path = Filename.concat dir name in
+  let fd =
+    try Unix.openfile path [ O_RDONLY ] 0
+    with Unix.Unix_error (ENOENT, _, _) -> err (Missing path)
+  in
+  match
+    let size = (Unix.fstat fd).st_size in
+    if size < seg_prefix_bytes then err (Truncated path);
+    let prefix = really_read fd path seg_prefix_bytes in
+    if String.sub prefix 0 4 <> segment_magic then err (Bad_magic path);
+    let v = Char.code prefix.[4] in
+    if v <> version then err (Bad_version { file = path; version = v });
+    let r = { file = path; data = prefix; pos = 5 } in
+    let gen = get_u32 r in
+    let list' = get_u32 r in
+    let n = get_u32 r in
+    let rec_bytes = get_u32 r in
+    let brec = get_u32 r in
+    let nblocks = get_u32 r in
+    if gen <> man.man_gen || list' <> list then err (Corrupt (path ^ ": wrong generation or list"));
+    if n <> man.man_n || brec <> man.man_brec then err (Corrupt (path ^ ": dimensions disagree with manifest"));
+    if rec_bytes <> (man.man_s + 1) * man.man_width then err (Corrupt (path ^ ": record width disagrees with manifest"));
+    if nblocks <> (n + brec - 1) / brec then err (Corrupt (path ^ ": bad block count"));
+    let table_bytes = 4 * nblocks in
+    if size < seg_prefix_bytes + table_bytes + 4 then err (Truncated path);
+    let table = really_read fd path (table_bytes + 4) in
+    let header = prefix ^ String.sub table 0 table_bytes in
+    let hcrc = u32_at path table table_bytes in
+    if Crc32.string header <> hcrc then err (Corrupt (path ^ ": header checksum mismatch"));
+    if hcrc <> man.man_seg_crcs.(list) then
+      err (Corrupt (path ^ ": header does not match the published manifest"));
+    let header_bytes = seg_prefix_bytes + table_bytes + 4 in
+    if size <> header_bytes + (n * rec_bytes) then err (Truncated path);
+    let block_crcs = Array.init nblocks (fun b -> u32_at path table (4 * b)) in
+    { seg_fd = fd; seg_file = path; seg_header_bytes = header_bytes; seg_block_crcs = block_crcs }
+  with
+  | seg -> seg
+  | exception e ->
+    Unix.close fd;
+    raise e
+
+(* ---- update log -------------------------------------------------------- *)
+
+let log_header_bytes = 4 + 1 + 4 + 4
+
+let encode_log_header ~gen =
+  let buf = Buffer.create log_header_bytes in
+  Buffer.add_string buf log_magic;
+  Buffer.add_char buf (Char.chr version);
+  put_u32 buf gen;
+  put_u32 buf (Crc32.string (Buffer.contents buf));
+  Buffer.contents buf
+
+let log_payload_bytes ~m ~rec_bytes = 4 + (m * (4 + rec_bytes))
+
+let encode_log_record ~seq ~rec_bytes ~width entries =
+  let buf = Buffer.create 256 in
+  put_u32 buf 0 (* patched below: payload length *);
+  put_u32 buf seq;
+  Array.iter
+    (fun (pos, e) ->
+      put_u32 buf pos;
+      encode_entry buf ~width e)
+    entries;
+  let payload_len = Buffer.length buf - 4 in
+  assert (payload_len = log_payload_bytes ~m:(Array.length entries) ~rec_bytes);
+  let body = Buffer.to_bytes buf in
+  Bytes.set body 0 (Char.chr ((payload_len lsr 24) land 0xff));
+  Bytes.set body 1 (Char.chr ((payload_len lsr 16) land 0xff));
+  Bytes.set body 2 (Char.chr ((payload_len lsr 8) land 0xff));
+  Bytes.set body 3 (Char.chr (payload_len land 0xff));
+  let body = Bytes.unsafe_to_string body in
+  let buf2 = Buffer.create (String.length body + 4) in
+  Buffer.add_string buf2 body;
+  put_u32 buf2 (Crc32.sub body ~pos:4 ~len:payload_len);
+  Buffer.contents buf2
+
+(* Replay: complete checksummed records apply in order; a torn tail (a
+   crash mid-append) is tolerated and ignored; a complete record with a
+   bad checksum or bad structure is a typed error. *)
+let replay_log ~file data ~gen ~m ~s ~width pub =
+  let len = String.length data in
+  if len < 4 then err (Truncated file);
+  if String.sub data 0 4 <> log_magic then err (Bad_magic file);
+  if len < 5 then err (Truncated file);
+  let v = Char.code data.[4] in
+  if v <> version then err (Bad_version { file; version = v });
+  if len < log_header_bytes then err (Truncated file);
+  if u32_at file data 9 <> Crc32.sub data ~pos:0 ~len:9 then
+    err (Corrupt (file ^ ": log header checksum mismatch"));
+  if u32_at file data 5 <> gen then err (Corrupt (file ^ ": log generation disagrees with manifest"));
+  let rec_bytes = (s + 1) * width in
+  let expect = log_payload_bytes ~m ~rec_bytes in
+  let records = ref [] in
+  let count = ref 0 in
+  let pos = ref log_header_bytes in
+  let torn = ref false in
+  while (not !torn) && !pos < len do
+    if !pos + 4 > len then torn := true
+    else begin
+      let payload_len = u32_at file data !pos in
+      if !pos + 4 + payload_len + 4 > len then torn := true
+      else if payload_len <> expect then err (Corrupt (file ^ ": bad record length"))
+      else begin
+        let crc = u32_at file data (!pos + 4 + payload_len) in
+        if Crc32.sub data ~pos:(!pos + 4) ~len:payload_len <> crc then
+          err (Corrupt (Printf.sprintf "%s: record %d checksum mismatch" file !count));
+        let r = { file; data; pos = !pos + 4 } in
+        let seq = get_u32 r in
+        if seq <> !count then err (Corrupt (file ^ ": record out of sequence"));
+        let entries =
+          Array.init m (fun _ ->
+              let p = get_u32 r in
+              let e = decode_entry pub ~s ~width data r.pos in
+              r.pos <- r.pos + rec_bytes;
+              (p, e))
+        in
+        records := entries :: !records;
+        incr count;
+        pos := !pos + 4 + payload_len + 4
+      end
+    end
+  done;
+  List.rev !records
+
+(* ---- handle ------------------------------------------------------------ *)
+
+type slot = Base of int | Upd of int
+
+type cached = { entries : Proto.Enc_item.entry array; mutable last_use : int }
+
+type t = {
+  dir : string;
+  pub : Paillier.public;
+  gen : int;
+  base_n : int;
+  m : int;
+  s : int;
+  width : int;
+  rec_bytes : int;
+  brec : int;
+  segs : seg array;
+  log_fd : Unix.file_descr;
+  log_path : string;
+  mutable log_count : int;
+  mutable updates : Proto.Enc_item.entry array array;  (* updates.(r).(list) *)
+  mutable overlay : slot array array;  (* overlay.(list).(depth) *)
+  cache : (int * int, cached) Hashtbl.t;  (* (list, block) -> decoded records *)
+  cache_cap : int;
+  mutable tick : int;
+  lock : Mutex.t;
+  mutable closed : bool;
+}
+
+let insert_slot arr pos v =
+  let len = Array.length arr in
+  Array.init (len + 1) (fun i -> if i < pos then arr.(i) else if i = pos then v else arr.(i - 1))
+
+let apply_update t entries ~upd_index ~file =
+  Array.iteri
+    (fun list (pos, _) ->
+      let arr = t.overlay.(list) in
+      if pos < 0 || pos > Array.length arr then
+        err (Corrupt (Printf.sprintf "%s: record %d position out of range" file upd_index));
+      t.overlay.(list) <- insert_slot arr pos (Upd upd_index))
+    entries
+
+let open_index ?(cache_blocks = 64) ~dir pub =
+  if cache_blocks <= 0 then invalid_arg "Store.open_index: cache_blocks <= 0";
+  if not (Sys.file_exists dir && Sys.is_directory dir) then err (Missing dir);
+  let man = read_manifest ~dir in
+  check_key ~file:(Filename.concat dir manifest_name) pub man;
+  let segs = Array.init man.man_m (fun list -> open_segment ~dir man ~list) in
+  let log_path = Filename.concat dir (log_name ~gen:man.man_gen) in
+  let log_data = read_whole_file log_path in
+  let records =
+    replay_log ~file:log_path log_data ~gen:man.man_gen ~m:man.man_m ~s:man.man_s
+      ~width:man.man_width pub
+  in
+  let log_fd = Unix.openfile log_path [ O_WRONLY; O_APPEND ] 0o644 in
+  let t =
+    {
+      dir;
+      pub;
+      gen = man.man_gen;
+      base_n = man.man_n;
+      m = man.man_m;
+      s = man.man_s;
+      width = man.man_width;
+      rec_bytes = (man.man_s + 1) * man.man_width;
+      brec = man.man_brec;
+      segs;
+      log_fd;
+      log_path;
+      log_count = 0;
+      updates = [||];
+      overlay = Array.init man.man_m (fun _ -> Array.init man.man_n (fun i -> Base i));
+      cache = Hashtbl.create 64;
+      cache_cap = cache_blocks;
+      tick = 0;
+      lock = Mutex.create ();
+      closed = false;
+    }
+  in
+  List.iter
+    (fun entries ->
+      let upd_index = t.log_count in
+      apply_update t entries ~upd_index ~file:log_path;
+      t.updates <- Array.append t.updates [| Array.map snd entries |];
+      t.log_count <- upd_index + 1)
+    records;
+  t
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Array.iter (fun s -> Unix.close s.seg_fd) t.segs;
+        Unix.close t.log_fd;
+        Hashtbl.reset t.cache
+      end)
+
+let check_open t what = if t.closed then invalid_arg ("Store." ^ what ^ ": store is closed")
+let n_rows t = t.base_n + t.log_count
+let n_attrs t = t.m
+let cells t = t.s
+let generation t = t.gen
+let block_records t = t.brec
+let pending_updates t = t.log_count
+
+let disk_bytes t =
+  file_size (Filename.concat t.dir manifest_name)
+  + file_size t.log_path
+  + Array.fold_left (fun acc s -> acc + file_size s.seg_file) 0 t.segs
+
+(* Evict the least-recently-used block when over capacity (linear scan:
+   the cache is small and eviction rare at our scale). *)
+let evict_if_needed t =
+  if Hashtbl.length t.cache > t.cache_cap then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key c ->
+        match !victim with
+        | Some (_, age) when age <= c.last_use -> ()
+        | _ -> victim := Some (key, c.last_use))
+      t.cache;
+    match !victim with Some (key, _) -> Hashtbl.remove t.cache key | None -> ()
+  end
+
+(* Load one block through the checksum table; caller holds [t.lock]. *)
+let load_block t list block =
+  let first = block * t.brec in
+  let count = min t.brec (t.base_n - first) in
+  let nbytes = count * t.rec_bytes in
+  let seg = t.segs.(list) in
+  let off = seg.seg_header_bytes + (first * t.rec_bytes) in
+  ignore (Unix.lseek seg.seg_fd off SEEK_SET);
+  let data = really_read seg.seg_fd seg.seg_file nbytes in
+  if Crc32.string data <> seg.seg_block_crcs.(block) then
+    err (Corrupt (Printf.sprintf "%s: block %d checksum mismatch" seg.seg_file block));
+  Obs.add Obs.Metrics.Store_read_bytes nbytes;
+  Array.init count (fun i -> decode_entry t.pub ~s:t.s ~width:t.width data (i * t.rec_bytes))
+
+let block_entries t list block =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.cache (list, block) with
+  | Some c ->
+    c.last_use <- t.tick;
+    Obs.bump Obs.Metrics.Cache_hit;
+    c.entries
+  | None ->
+    Obs.bump Obs.Metrics.Cache_miss;
+    let entries = load_block t list block in
+    Hashtbl.replace t.cache (list, block) { entries; last_use = t.tick };
+    evict_if_needed t;
+    entries
+
+let entry t ~list ~depth =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      check_open t "entry";
+      if list < 0 || list >= t.m then invalid_arg "Store.entry: list out of range";
+      if depth < 0 || depth >= Array.length t.overlay.(list) then
+        invalid_arg "Store.entry: depth out of range";
+      match t.overlay.(list).(depth) with
+      | Upd r -> t.updates.(r).(list)
+      | Base i ->
+        let block = i / t.brec in
+        (block_entries t list block).(i mod t.brec))
+
+let relation t =
+  Sectopk.Scheme.of_fetch ~n:(n_rows t) ~m:t.m (fun list depth ->
+      let e = entry t ~list ~depth in
+      (e.Proto.Enc_item.ehl, e.Proto.Enc_item.score))
+
+let append_row t ~entries =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      check_open t "append_row";
+      if Array.length entries <> t.m then
+        invalid_arg "Store.append_row: one (position, entry) per list required";
+      Array.iter
+        (fun (pos, _) ->
+          if pos < 0 || pos > n_rows t then invalid_arg "Store.append_row: position out of range")
+        entries;
+      let seq = t.log_count in
+      let frame = encode_log_record ~seq ~rec_bytes:t.rec_bytes ~width:t.width entries in
+      write_all t.log_fd frame;
+      Unix.fsync t.log_fd;
+      apply_update t entries ~upd_index:seq ~file:t.log_path;
+      t.updates <- Array.append t.updates [| Array.map snd entries |];
+      t.log_count <- seq + 1)
+
+let verify t =
+  let nblocks = (t.base_n + t.brec - 1) / t.brec in
+  for list = 0 to t.m - 1 do
+    for block = 0 to nblocks - 1 do
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          check_open t "verify";
+          ignore (block_entries t list block))
+    done
+  done
+
+(* ---- build ------------------------------------------------------------- *)
+
+let build ?(block_records = 16) ~dir pub er =
+  if block_records <= 0 then invalid_arg "Store.build: block_records <= 0";
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+  let n = Sectopk.Scheme.n_rows er and m = Sectopk.Scheme.n_attrs er in
+  let width = Paillier.ciphertext_bytes pub in
+  let s =
+    Ehl.Ehl_plus.length (Sectopk.Scheme.entry er ~list:0 ~depth:0).Proto.Enc_item.ehl
+  in
+  let rec_bytes = (s + 1) * width in
+  (* supersede whatever generation is currently published (leniently: a
+     damaged manifest means nothing is published, start at 1) *)
+  let gen = 1 + (match read_manifest ~dir with m -> m.man_gen | exception _ -> 0) in
+  let seg_crcs =
+    Array.init m (fun list ->
+        let body = Buffer.create (n * rec_bytes) in
+        for depth = 0 to n - 1 do
+          encode_entry body ~width (Sectopk.Scheme.entry er ~list ~depth)
+        done;
+        let file, hcrc =
+          encode_segment ~gen ~list ~n ~rec_bytes ~brec:block_records (Buffer.contents body)
+        in
+        write_file_atomic ~dir (segment_name ~gen list) file;
+        hcrc)
+  in
+  write_file_atomic ~dir (log_name ~gen) (encode_log_header ~gen);
+  let manifest =
+    encode_manifest
+      {
+        man_gen = gen;
+        man_key_bits = pub.Paillier.key_bits;
+        man_width = width;
+        man_n = n;
+        man_m = m;
+        man_s = s;
+        man_brec = block_records;
+        man_fp = fingerprint pub;
+        man_seg_crcs = seg_crcs;
+      }
+  in
+  (* the commit point: everything above lands before the manifest rename *)
+  write_file_atomic ~dir manifest_name manifest;
+  fsync_dir dir

@@ -1,0 +1,97 @@
+(** Durable on-disk encrypted index.
+
+    A store directory holds one published generation of the encrypted
+    relation: a checksummed [MANIFEST], one segment file per permuted
+    sorted list (fixed-width ciphertext records in depth order, so a list
+    prefix of depth [d] is served without reading the rest of the file),
+    and an append-only update log whose records are replayed on open.
+    Publication is atomic: every file of a new generation is written to a
+    temp name, fsynced and renamed, and the [rename] of [MANIFEST] is the
+    single commit point — a crash at any earlier instant leaves the
+    previous generation fully readable.
+
+    Record bytes follow {!Sectopk.Codec}'s relation layout: [s] EHL+
+    cells then the score, each a big-endian natural padded to the
+    ciphertext width of the Paillier key, so store-backed entries are
+    byte-identical to the in-memory path.
+
+    Reads are lazy: segment bodies are mapped into an LRU block cache
+    ({!Obs.Metrics.Store_read_bytes} / [Cache_hit] / [Cache_miss]); each
+    block is verified against the per-block CRC table in the segment
+    header when it is first loaded. *)
+
+open Crypto
+
+(** Typed failures raised as {!Error} by {!open_index}, {!build} and by
+    lazy block loads that hit corruption. *)
+type error =
+  | Missing of string  (** expected file absent *)
+  | Bad_magic of string
+  | Bad_version of { file : string; version : int }
+  | Truncated of string
+  | Corrupt of string  (** checksum mismatch or structural damage *)
+  | Key_mismatch of string
+      (** store was built under a different Paillier key / key size *)
+
+exception Error of error
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+(** [build ~dir pub er] encrypts nothing — it serializes an already
+    encrypted relation into [dir] as a new generation and publishes it
+    atomically. [block_records] is the cache/checksum granularity
+    (records per block, default 16). An existing generation in [dir] is
+    superseded, never modified in place. *)
+val build : ?block_records:int -> dir:string -> Paillier.public -> Sectopk.Scheme.encrypted_relation -> unit
+
+(** [open_index ~dir pub] validates the manifest and every segment
+    header, replays the update log, and returns a lazily reading handle.
+    Raises {!Error} on missing, truncated, corrupted or key-mismatched
+    files. [cache_blocks] bounds the LRU block cache (default 64
+    blocks). *)
+val open_index : ?cache_blocks:int -> dir:string -> Paillier.public -> t
+
+val close : t -> unit
+
+(** Rows served, including update-log rows replayed on open. *)
+val n_rows : t -> int
+
+val n_attrs : t -> int
+
+(** EHL+ cell count [s]. *)
+val cells : t -> int
+
+val generation : t -> int
+val block_records : t -> int
+
+(** Bytes on disk across manifest, segments and update log. *)
+val disk_bytes : t -> int
+
+(** Update-log records currently applied. *)
+val pending_updates : t -> int
+
+(** [entry t ~list ~depth] — the store-backed equivalent of
+    {!Sectopk.Scheme.entry}; loads (and caches) the containing block on
+    demand. Raises {!Error} [(Corrupt _)] if the block fails its
+    checksum. Safe to call from multiple domains. *)
+val entry : t -> list:int -> depth:int -> Proto.Enc_item.entry
+
+(** The lazily backed relation: {!Sectopk.Query.run} over this value
+    must be byte-identical to running over the in-memory relation it was
+    built from. *)
+val relation : t -> Sectopk.Scheme.encrypted_relation
+
+(** [append_row t ~entries] durably appends one SecUpdate-shaped delta to
+    the update log and applies it in memory: [entries.(l) = (pos, e)]
+    inserts entry [e] at position [pos] of permuted list [l] (positions
+    are w.r.t. the list as already updated by earlier deltas, the shape
+    Proto.Sec_update emits). One entry per list is required. *)
+val append_row : t -> entries:(int * Proto.Enc_item.entry) array -> unit
+
+(** [verify t] force-reads every block of every segment through the
+    checksum path (cold blocks only; cached blocks were already
+    verified). Raises {!Error} on the first corrupt block. *)
+val verify : t -> unit

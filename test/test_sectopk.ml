@@ -384,6 +384,82 @@ let test_codec_rejects_garbage () =
       let blob = Codec.encode_secret_key key in
       Codec.decode_secret_key (blob ^ "z"))
 
+(* Hardening properties, mirroring test_wire's mutation strategy: every
+   strict prefix and every overlong extension of a codec blob is
+   rejected, and single-byte mutations / arbitrary garbage never raise
+   anything but [Invalid_argument] (payload mutations may legitimately
+   decode to different ciphertexts — that is not a parser failure). *)
+
+let codec_blobs =
+  lazy
+    (let er, key = Scheme.encrypt ~s:4 (Rng.fork rng ~label:"codech") pub fig3 in
+     let tk = Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1; 2 ]) ~k:2 in
+     [ ("relation", Codec.encode_relation pub er);
+       ("secret-key", Codec.encode_secret_key key);
+       ("token", Codec.encode_token tk) ])
+
+let codec_decoders (s : string) : (string * (unit -> unit)) list =
+  [ ("relation", fun () -> ignore (Codec.decode_relation pub s));
+    ("secret-key", fun () -> ignore (Codec.decode_secret_key s));
+    ("token", fun () -> ignore (Codec.decode_token s)) ]
+
+let must_reject f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let only_invalid f =
+  try
+    f ();
+    true
+  with Invalid_argument _ -> true
+
+let test_codec_truncation_sweep () =
+  List.iter
+    (fun (kind, blob) ->
+      let n = String.length blob in
+      (* every short prefix, then a byte-granular sweep near the end *)
+      let cuts = List.init (min n 48) Fun.id @ List.init (min n 48) (fun j -> n - 1 - j) in
+      List.iter
+        (fun cut ->
+          if cut >= 0 && cut < n then
+            List.iter
+              (fun (who, f) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s cut %d rejected by %s" kind cut who)
+                  true (must_reject f))
+              (codec_decoders (String.sub blob 0 cut)))
+        cuts)
+    (Lazy.force codec_blobs)
+
+let test_codec_overlong () =
+  List.iter
+    (fun (kind, blob) ->
+      List.iter
+        (fun (who, f) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s + trailing byte rejected by %s" kind who)
+            true (must_reject f))
+        (codec_decoders (blob ^ "\x00")))
+    (Lazy.force codec_blobs)
+
+let test_codec_mutation_safety =
+  QCheck.Test.make ~count:500 ~name:"mutated codec blobs never crash"
+    QCheck.(triple (int_bound 2) small_nat (int_bound 255))
+    (fun (bi, pos, byte) ->
+      let blobs = Array.of_list (Lazy.force codec_blobs) in
+      let _, s = blobs.(bi) in
+      let b = Bytes.of_string s in
+      Bytes.set b (pos mod String.length s) (Char.chr byte);
+      let s = Bytes.to_string b in
+      List.for_all (fun (_, f) -> only_invalid f) (codec_decoders s))
+
+let test_codec_garbage_safety =
+  QCheck.Test.make ~count:500 ~name:"garbage never crashes the codec"
+    QCheck.(string_gen_of_size Gen.small_nat Gen.char)
+    (fun s -> List.for_all (fun (_, f) -> only_invalid f) (codec_decoders s))
+
 (* ---------------- domain-pool determinism ---------------- *)
 
 let test_domains_deterministic () =
@@ -464,7 +540,11 @@ let suite =
         Alcotest.test_case "query on decoded relation" `Quick test_codec_query_on_decoded;
         Alcotest.test_case "secret key roundtrip" `Quick test_codec_key_roundtrip;
         Alcotest.test_case "token roundtrip" `Quick test_codec_token_roundtrip;
-        Alcotest.test_case "rejects malformed input" `Quick test_codec_rejects_garbage
+        Alcotest.test_case "rejects malformed input" `Quick test_codec_rejects_garbage;
+        Alcotest.test_case "truncation sweep" `Quick test_codec_truncation_sweep;
+        Alcotest.test_case "overlong input" `Quick test_codec_overlong;
+        QCheck_alcotest.to_alcotest test_codec_mutation_safety;
+        QCheck_alcotest.to_alcotest test_codec_garbage_safety
       ] );
     ( "leakage",
       [ Alcotest.test_case "query pattern" `Quick test_query_pattern;

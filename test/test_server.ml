@@ -1,0 +1,281 @@
+(* lib/server acceptance tests: a served query is byte-identical to the
+   sequential in-process path, >= 4 simultaneous clients each receive
+   exactly the sequential results, admission overflow is a typed [Busy]
+   (never a hang, never a wrong answer), malformed frames get
+   [Server_error] without killing the connection, and shutdown drains
+   cleanly.  The bounded worker pool itself ([Core.Service]) is driven
+   deterministically with gate-controlled jobs. *)
+
+open Dataset
+open Topk
+open Proto
+
+let seed = "serve-test"
+let key_bits = 128
+let rand_bits = 96
+
+let fig3 =
+  Relation.create ~name:"fig3"
+    [| [| 10; 3; 2 |]; [| 8; 8; 0 |]; [| 5; 7; 6 |]; [| 3; 2; 8 |]; [| 1; 1; 1 |] |]
+
+(* provision once: the store the server opens, and the client-side keys *)
+let pub, sk, ctx_rng0, data_rng0 = Ctx.provision ~seed ~key_bits ~rand_bits ()
+let er, key = Sectopk.Scheme.encrypt ~s:4 data_rng0 pub fig3
+
+let wkeys =
+  let kctx = Ctx.of_keys ~blind_bits:48 ~mode:Ctx.Inproc ctx_rng0 pub sk in
+  Transport.keys kctx.Ctx.transport
+
+let token = Sectopk.Codec.encode_token (Sectopk.Scheme.token key ~m_total:3 (Scoring.sum_of [ 0; 1; 2 ]) ~k:2)
+
+let counter = ref 0
+
+let store_dir () =
+  incr counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "test_server_%d_%d" (Unix.getpid ()) !counter)
+  in
+  Store.build ~dir pub er;
+  dir
+
+let cfg workers queue_depth =
+  {
+    Server.default_config with
+    Server.seed;
+    key_bits;
+    rand_bits = Some rand_bits;
+    workers;
+    queue_depth;
+  }
+
+let with_server ?(workers = 2) ?(queue_depth = 8) f =
+  let st = Store.open_index ~dir:(store_dir ()) pub in
+  let srv = Server.start (cfg workers queue_depth) st in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Store.close st)
+    (fun () -> f srv)
+
+(* ---------------- a tiny blocking client ---------------- *)
+
+let connect port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let read_msg fd =
+  match Wire.read_frame fd with
+  | None -> Alcotest.fail "server closed the connection mid-exchange"
+  | Some frame -> Wire.decode_server_msg wkeys frame
+
+let with_client port f =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      (match read_msg fd with
+      | Wire.Server_hello { n = 5; m = 3; s = 4; key_bits = 128 } -> ()
+      | _ -> Alcotest.fail "unexpected hello");
+      f fd)
+
+let ask fd token =
+  Wire.write_frame fd (Wire.encode_client_msg (Wire.Query_req { token }));
+  read_msg fd
+
+(* the sequential never-served reference: same seed, same relation *)
+let expected_resp () =
+  let pub, sk, ctx_rng, _ = Ctx.provision ~seed ~key_bits ~rand_bits () in
+  let ctx = Ctx.of_keys ~blind_bits:48 ~mode:Ctx.Inproc ctx_rng pub sk in
+  let tk = Sectopk.Codec.decode_token token in
+  let res = Sectopk.Query.run ctx er tk Sectopk.Query.default_options in
+  Wire.Query_resp
+    {
+      top = res.Sectopk.Query.top;
+      halting_depth = res.Sectopk.Query.halting_depth;
+      halted = res.Sectopk.Query.halted;
+    }
+
+(* byte identity, via the canonical encoding *)
+let msg_eq a b = Wire.encode_server_msg wkeys a = Wire.encode_server_msg wkeys b
+
+(* decrypt a response's winners, as a real socket-mode client would *)
+let ids_of_resp name resp =
+  match resp with
+  | Wire.Query_resp { top; halting_depth; halted } ->
+    let res = { Sectopk.Query.top; halting_depth; halted; depth_seconds = [||] } in
+    let _, sk', ctx_rng, _ = Ctx.provision ~seed ~key_bits ~rand_bits () in
+    let ctx = Ctx.of_keys ~blind_bits:48 ~mode:Ctx.Inproc ctx_rng pub sk' in
+    let all_ids = List.init 5 (fun i -> Relation.object_id fig3 i) in
+    List.map (fun (id, _, _) -> id)
+      (Sectopk.Client.real_results ~sk:sk' ctx key ~ids:all_ids res)
+  | _ -> Alcotest.fail (name ^ ": not a Query_resp")
+
+let check_is_expected name expected resp =
+  Alcotest.(check bool) name true (msg_eq expected resp);
+  Alcotest.(check (list string))
+    (name ^ ": decrypted ids")
+    (ids_of_resp "expected" expected)
+    (ids_of_resp name resp);
+  Alcotest.(check int) (name ^ ": k winners") 2 (List.length (ids_of_resp name resp))
+
+(* ---------------- Core.Service (deterministic overload) ---------------- *)
+
+module Gate = struct
+  type t = { m : Mutex.t; c : Condition.t; mutable open_ : bool }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); open_ = false }
+
+  let wait t =
+    Mutex.lock t.m;
+    while not t.open_ do
+      Condition.wait t.c t.m
+    done;
+    Mutex.unlock t.m
+
+  let open_ t =
+    Mutex.lock t.m;
+    t.open_ <- true;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+end
+
+let test_service_busy () =
+  let svc = Core.Service.create ~domains:1 ~queue_depth:1 in
+  let started = Gate.create () and release = Gate.create () in
+  let ran = Atomic.make 0 in
+  let blocker () =
+    Gate.open_ started;
+    Gate.wait release;
+    Atomic.incr ran
+  in
+  Alcotest.(check bool) "first job admitted" true (Core.Service.submit svc blocker = `Accepted);
+  Gate.wait started;
+  (* worker busy: one queue slot left, then hard Busy *)
+  Alcotest.(check bool) "queue slot admitted" true
+    (Core.Service.submit svc (fun () -> Atomic.incr ran) = `Accepted);
+  Alcotest.(check bool) "overflow is Busy" true (Core.Service.submit svc ignore = `Busy);
+  Alcotest.(check bool) "still Busy" true (Core.Service.submit svc ignore = `Busy);
+  Gate.open_ release;
+  Core.Service.drain svc;
+  Alcotest.(check int) "admitted jobs all ran" 2 (Atomic.get ran);
+  (* a drained service admits nothing *)
+  Alcotest.(check bool) "drained is Busy" true (Core.Service.submit svc ignore = `Busy)
+
+let test_service_runs_everything () =
+  let svc = Core.Service.create ~domains:4 ~queue_depth:64 in
+  let ran = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "admitted" true
+      (Core.Service.submit svc (fun () -> Atomic.incr ran) = `Accepted)
+  done;
+  Core.Service.drain svc;
+  Alcotest.(check int) "all 50 ran" 50 (Atomic.get ran)
+
+let test_service_swallows_exceptions () =
+  let svc = Core.Service.create ~domains:1 ~queue_depth:4 in
+  let ran = Atomic.make 0 in
+  ignore (Core.Service.submit svc (fun () -> failwith "job crashed"));
+  ignore (Core.Service.submit svc (fun () -> Atomic.incr ran));
+  Core.Service.drain svc;
+  Alcotest.(check int) "worker survived the crash" 1 (Atomic.get ran)
+
+(* ---------------- the served path ---------------- *)
+
+let test_sequential_identity () =
+  with_server (fun srv ->
+      let expected = expected_resp () in
+      with_client (Server.port srv) (fun fd ->
+          check_is_expected "first query" expected (ask fd token);
+          (* the session loops: a second query on the same connection *)
+          check_is_expected "second query" expected (ask fd token));
+      let st = Server.stats srv in
+      Alcotest.(check int) "served" 2 st.Server.served;
+      Alcotest.(check int) "no errors" 0 st.Server.errors;
+      Alcotest.(check bool) "queue time measured" true (st.Server.query_seconds > 0.))
+
+let test_concurrent_clients () =
+  with_server ~workers:2 ~queue_depth:8 (fun srv ->
+      let expected = expected_resp () in
+      let port = Server.port srv in
+      let clients =
+        List.init 4 (fun i ->
+            Domain.spawn (fun () -> with_client port (fun fd -> (i, ask fd token))))
+      in
+      List.iter
+        (fun d ->
+          let i, resp = Domain.join d in
+          check_is_expected (Printf.sprintf "client %d" i) expected resp)
+        clients;
+      let st = Server.stats srv in
+      Alcotest.(check int) "all four served" 4 st.Server.served;
+      Alcotest.(check int) "none turned away" 0 st.Server.busy)
+
+let test_overload_returns_busy () =
+  (* capacity 1 (one worker, empty queue): 6 simultaneous queries cannot
+     all be admitted; the turned-away ones must get Busy immediately and
+     every admitted one must still be exactly right *)
+  with_server ~workers:1 ~queue_depth:0 (fun srv ->
+      let expected = expected_resp () in
+      let port = Server.port srv in
+      let clients =
+        List.init 6 (fun _ ->
+            Domain.spawn (fun () -> with_client port (fun fd -> ask fd token)))
+      in
+      let resps = List.map Domain.join clients in
+      let busy, ok =
+        List.partition (function Wire.Busy -> true | _ -> false) resps
+      in
+      List.iter (fun r -> check_is_expected "admitted under overload" expected r) ok;
+      Alcotest.(check int) "every query answered" 6 (List.length busy + List.length ok);
+      Alcotest.(check bool) "at least one served" true (List.length ok >= 1);
+      let st = Server.stats srv in
+      Alcotest.(check int) "stats add up" 6 (st.Server.served + st.Server.busy);
+      Alcotest.(check int) "busy counted" (List.length busy) st.Server.busy)
+
+let test_bad_token_is_typed_error () =
+  with_server (fun srv ->
+      let expected = expected_resp () in
+      with_client (Server.port srv) (fun fd ->
+          (match ask fd "not a token" with
+          | Wire.Server_error _ -> ()
+          | _ -> Alcotest.fail "garbage token must yield Server_error");
+          (* the connection survives and still serves real queries *)
+          check_is_expected "after error" expected (ask fd token));
+      let st = Server.stats srv in
+      Alcotest.(check int) "error counted" 1 st.Server.errors;
+      Alcotest.(check int) "good query served" 1 st.Server.served)
+
+let test_shutdown_closes_port () =
+  let st = Store.open_index ~dir:(store_dir ()) pub in
+  let srv = Server.start (cfg 2 8) st in
+  let port = Server.port srv in
+  with_client port (fun fd -> check_is_expected "pre-shutdown" (expected_resp ()) (ask fd token));
+  Server.shutdown srv;
+  Server.shutdown srv (* idempotent *);
+  Store.close st;
+  Alcotest.(check bool) "port closed after shutdown" true
+    (match connect port with
+    | fd ->
+      Unix.close fd;
+      false
+    | exception Unix.Unix_error ((ECONNREFUSED | ETIMEDOUT), _, _) -> true)
+
+let suite =
+  [ ( "service",
+      [ Alcotest.test_case "deterministic overflow" `Quick test_service_busy;
+        Alcotest.test_case "runs everything admitted" `Quick test_service_runs_everything;
+        Alcotest.test_case "survives job crashes" `Quick test_service_swallows_exceptions ] );
+    ( "serving",
+      [ Alcotest.test_case "sequential identity" `Slow test_sequential_identity;
+        Alcotest.test_case "4 concurrent clients" `Slow test_concurrent_clients;
+        Alcotest.test_case "overload -> Busy" `Slow test_overload_returns_busy;
+        Alcotest.test_case "bad token -> Server_error" `Slow test_bad_token_is_typed_error;
+        Alcotest.test_case "shutdown closes port" `Slow test_shutdown_closes_port ] ) ]
+
+let () = Alcotest.run "server" suite

@@ -115,6 +115,18 @@ let control_samples : Wire.control list =
     Wire.Get_stats;
     Wire.Shutdown ]
 
+let client_samples : Wire.client_msg list =
+  [ Wire.Query_req { token = "opaque token bytes" }; Wire.Query_req { token = "" } ]
+
+let server_samples : Wire.server_msg list =
+  [ Wire.Server_hello { n = 5822; m = 13; s = 4; key_bits = 128 };
+    Wire.Server_hello { n = 1; m = 1; s = 64; key_bits = 65536 };
+    Wire.Query_resp { top = [ scored "o1"; scored "o2" ]; halting_depth = 3; halted = true };
+    Wire.Query_resp { top = []; halting_depth = 0; halted = false };
+    Wire.Busy;
+    Wire.Server_error "token rejected";
+    Wire.Server_error "" ]
+
 let control_reply_samples : Wire.control_reply list =
   [ Wire.Ok_ctl;
     Wire.Trace_events
@@ -180,6 +192,22 @@ let test_header_bytes () =
   let s = Wire.encode_response keys (Wire.Sign 1) in
   Alcotest.(check int) "response header + 1" (Wire.response_header_bytes + 1) (String.length s)
 
+let test_client_server_roundtrip () =
+  List.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "client msg %d" i)
+        true
+        (Wire.decode_client_msg (Wire.encode_client_msg c) = c))
+    client_samples;
+  List.iteri
+    (fun i m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "server msg %d" i)
+        true
+        (Wire.decode_server_msg keys (Wire.encode_server_msg keys m) = m))
+    server_samples
+
 (* ---------------- malformed frames ---------------- *)
 
 let expect_invalid name f =
@@ -192,12 +220,16 @@ let expect_invalid name f =
 let all_frames () =
   List.map (fun (label, r) -> Wire.encode_request keys ~session:1 ~label r) request_samples
   @ List.map (Wire.encode_response keys) response_samples
+  @ List.map Wire.encode_client_msg client_samples
+  @ List.map (Wire.encode_server_msg keys) server_samples
 
 let decoders (s : string) : (string * (unit -> unit)) list =
   [ ("request", fun () -> ignore (Wire.decode_request keys s));
     ("response", fun () -> ignore (Wire.decode_response keys s));
     ("control", fun () -> ignore (Wire.decode_control s));
-    ("control-reply", fun () -> ignore (Wire.decode_control_reply s)) ]
+    ("control-reply", fun () -> ignore (Wire.decode_control_reply s));
+    ("client", fun () -> ignore (Wire.decode_client_msg s));
+    ("server", fun () -> ignore (Wire.decode_server_msg keys s)) ]
 
 (* any strict prefix of a valid frame must be rejected by every decoder *)
 let test_truncated () =
@@ -304,6 +336,7 @@ let suite =
       [ Alcotest.test_case "requests" `Quick test_request_roundtrip;
         Alcotest.test_case "responses" `Quick test_response_roundtrip;
         Alcotest.test_case "controls" `Quick test_control_roundtrip;
+        Alcotest.test_case "client/server msgs" `Quick test_client_server_roundtrip;
         Alcotest.test_case "header constants" `Quick test_header_bytes ] );
     ( "malformed",
       [ Alcotest.test_case "truncated" `Quick test_truncated;
