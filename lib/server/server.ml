@@ -83,7 +83,8 @@ type t = {
   settled : Condition.t;  (* signalled when pending responses hit zero *)
   mutable conns : (int * Unix.file_descr) list;
   mutable next_conn : int;
-  mutable sessions : unit Domain.t list;
+  mutable sessions : (int * unit Domain.t) list;
+  mutable reaped : unit Domain.t list;  (* finished sessions awaiting join *)
   mutable listener : unit Domain.t option;
   mutable draining : bool;
   mutable pending : int;  (* accepted queries whose response is not yet written *)
@@ -167,7 +168,7 @@ let settle t =
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.broadcast t.settled)
 
-let session t fd =
+let session t id fd =
   let write msg = Wire.write_frame fd (Wire.encode_server_msg t.wkeys msg) in
   (try
      write t.shape;
@@ -180,7 +181,10 @@ let session t fd =
            write (Wire.Server_error msg)
          in
          match Wire.decode_client_msg frame with
-         | exception Invalid_argument msg -> reject msg
+         | exception Invalid_argument msg ->
+           (* a malformed frame is answered, not fatal: keep serving *)
+           reject msg;
+           loop ()
          | Wire.Query_req { token } -> (
            match Sectopk.Codec.decode_token token with
            | exception Invalid_argument msg ->
@@ -211,7 +215,15 @@ let session t fd =
      loop ()
    with
   | Unix.Unix_error (_, _, _) | Invalid_argument _ | Sys_error _ -> ());
-  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+  (* retire: leave the connection table, hand this domain to the reaper,
+     and close the fd — all under the lock, so shutdown never calls
+     Unix.shutdown on a descriptor number the kernel has recycled *)
+  locked t (fun () ->
+      t.conns <- List.filter (fun (id', _) -> id' <> id) t.conns;
+      let mine, rest = List.partition (fun (id', _) -> id' = id) t.sessions in
+      t.sessions <- rest;
+      t.reaped <- List.rev_append (List.map snd mine) t.reaped;
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
 
 (* ---- listener ---------------------------------------------------------- *)
 
@@ -232,12 +244,16 @@ let listener_loop t =
                   let id = t.next_conn in
                   t.next_conn <- id + 1;
                   t.conns <- (id, fd) :: t.conns;
-                  let d = Domain.spawn (fun () -> session t fd) in
-                  t.sessions <- d :: t.sessions;
+                  let d = Domain.spawn (fun () -> session t id fd) in
+                  t.sessions <- (id, d) :: t.sessions;
                   true
                 end)
           in
           if not accepted then Unix.close fd);
+        (* join finished sessions so a long-running server does not
+           accumulate dead domain handles *)
+        let finished = locked t (fun () -> let r = t.reaped in t.reaped <- []; r) in
+        List.iter Domain.join finished;
         loop ()
       end
   in
@@ -291,6 +307,7 @@ let start ?(port = 0) cfg store =
         conns = [];
         next_conn = 0;
         sessions = [];
+        reaped = [];
         listener = None;
         draining = false;
         pending = 0;
@@ -328,14 +345,23 @@ let shutdown t =
     while t.pending > 0 do
       Condition.wait t.settled t.lock
     done;
-    let conns = t.conns in
-    t.conns <- [];
     Mutex.unlock t.lock;
-    (* 4. unblock sessions parked in read_frame and join them *)
-    List.iter
-      (fun (_, fd) -> try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
-      conns;
-    let sessions = locked t (fun () -> let s = t.sessions in t.sessions <- []; s) in
+    (* 4. unblock sessions parked in read_frame and join them all.  The
+       fds are shut down under the lock: sessions remove and close their
+       own entry under the same lock, so we can never touch a descriptor
+       number the kernel has recycled. *)
+    let sessions, finished =
+      locked t (fun () ->
+          List.iter
+            (fun (_, fd) ->
+              try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+            t.conns;
+          let s = List.map snd t.sessions and r = t.reaped in
+          t.sessions <- [];
+          t.reaped <- [];
+          (s, r))
+    in
     List.iter Domain.join sessions;
+    List.iter Domain.join finished;
     Unix.close t.wake_r;
     Unix.close t.wake_w

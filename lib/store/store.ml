@@ -348,7 +348,11 @@ let encode_log_record ~seq ~rec_bytes ~width entries =
 
 (* Replay: complete checksummed records apply in order; a torn tail (a
    crash mid-append) is tolerated and ignored; a complete record with a
-   bad checksum or bad structure is a typed error. *)
+   bad checksum or bad structure is a typed error.  Returns the records
+   and the byte offset of the end of the valid prefix, so the caller can
+   truncate a torn tail before appending (the log fd is O_APPEND: a new
+   record written after surviving garbage would be unreachable on the
+   next replay). *)
 let replay_log ~file data ~gen ~m ~s ~width pub =
   let len = String.length data in
   if len < 4 then err (Truncated file);
@@ -392,7 +396,7 @@ let replay_log ~file data ~gen ~m ~s ~width pub =
       end
     end
   done;
-  List.rev !records
+  (List.rev !records, !pos)
 
 (* ---- handle ------------------------------------------------------------ *)
 
@@ -444,11 +448,18 @@ let open_index ?(cache_blocks = 64) ~dir pub =
   let segs = Array.init man.man_m (fun list -> open_segment ~dir man ~list) in
   let log_path = Filename.concat dir (log_name ~gen:man.man_gen) in
   let log_data = read_whole_file log_path in
-  let records =
+  let records, valid_end =
     replay_log ~file:log_path log_data ~gen:man.man_gen ~m:man.man_m ~s:man.man_s
       ~width:man.man_width pub
   in
   let log_fd = Unix.openfile log_path [ O_WRONLY; O_APPEND ] 0o644 in
+  (* drop any torn tail now, so appends land at the end of the valid
+     prefix instead of after garbage that would shadow them on replay *)
+  if valid_end < String.length log_data then begin
+    (try Unix.ftruncate log_fd valid_end
+     with e -> Unix.close log_fd; raise e);
+    Unix.fsync log_fd
+  end;
   let t =
     {
       dir;
@@ -643,6 +654,10 @@ let build ?(block_records = 16) ~dir pub er =
         man_seg_crcs = seg_crcs;
       }
   in
-  (* the commit point: everything above lands before the manifest rename *)
+  (* POSIX does not order rename durability, so persist the segment and
+     log renames before the manifest rename can possibly land — the
+     manifest must never point at files a crash could un-publish *)
+  fsync_dir dir;
+  (* the commit point: everything above is durable before this rename *)
   write_file_atomic ~dir manifest_name manifest;
   fsync_dir dir

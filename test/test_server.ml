@@ -251,6 +251,21 @@ let test_bad_token_is_typed_error () =
       Alcotest.(check int) "error counted" 1 st.Server.errors;
       Alcotest.(check int) "good query served" 1 st.Server.served)
 
+let test_malformed_frame_keeps_session () =
+  with_server (fun srv ->
+      let expected = expected_resp () in
+      with_client (Server.port srv) (fun fd ->
+          (* a frame that is not a client message at all: answered with
+             Server_error, and the session keeps serving *)
+          Wire.write_frame fd "\xff\xfenot a client message";
+          (match read_msg fd with
+          | Wire.Server_error _ -> ()
+          | _ -> Alcotest.fail "garbage frame must yield Server_error");
+          check_is_expected "query after garbage frame" expected (ask fd token));
+      let st = Server.stats srv in
+      Alcotest.(check int) "error counted" 1 st.Server.errors;
+      Alcotest.(check int) "good query served" 1 st.Server.served)
+
 let test_shutdown_closes_port () =
   let st = Store.open_index ~dir:(store_dir ()) pub in
   let srv = Server.start (cfg 2 8) st in
@@ -276,6 +291,8 @@ let suite =
         Alcotest.test_case "4 concurrent clients" `Slow test_concurrent_clients;
         Alcotest.test_case "overload -> Busy" `Slow test_overload_returns_busy;
         Alcotest.test_case "bad token -> Server_error" `Slow test_bad_token_is_typed_error;
+        Alcotest.test_case "malformed frame -> Server_error" `Slow
+          test_malformed_frame_keeps_session;
         Alcotest.test_case "shutdown closes port" `Slow test_shutdown_closes_port ] ) ]
 
 let () = Alcotest.run "server" suite

@@ -369,6 +369,23 @@ let test_append_row_replay () =
   let st = Store.open_index ~dir pub in
   Alcotest.(check int) "torn tail tolerated" 2 (Store.pending_updates st);
   check_against_expected "overlay after torn tail" st expected;
+  (* an append after recovery must land at the end of the valid prefix
+     (open truncates the torn bytes), so the acknowledged record is
+     still there on the next replay instead of hiding behind garbage *)
+  let row3 = [| (1, new_entry "o7" 6); (4, new_entry "o7" 2); (0, new_entry "o7" 13) |] in
+  Store.append_row st ~entries:row3;
+  Alcotest.(check int) "rows after post-recovery delta" 8 (Store.n_rows st);
+  Store.close st;
+  let st = Store.open_index ~dir pub in
+  Alcotest.(check int) "post-recovery append replays" 3 (Store.pending_updates st);
+  let expected3 =
+    Array.mapi
+      (fun l col ->
+        let p, e = row3.(l) in
+        splice col p e)
+      expected
+  in
+  check_against_expected "overlay after post-recovery append" st expected3;
   Store.close st
 
 let test_corrupt_log_record () =
