@@ -30,7 +30,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("sec11.3", "SecTopK vs secure-kNN baseline", Bench_knn.sec11_3);
     ("ext-rankjoin", "pre-sorted rank join vs cross-product join", Bench_join.ext_rankjoin);
     ("store", "durable index: build/publish, cold-open vs warm-cache query", Bench_store.run);
-    ("micro", "bechamel micro-benchmarks of the crypto substrate", Bench_micro.run);
+    ("micro", "micro-benchmarks of the crypto substrate", Bench_micro.run);
     ("ablation", "design-choice ablations (sort strategy, halting, blinding)", Bench_ablation.run)
   ]
 

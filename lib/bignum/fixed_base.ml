@@ -45,33 +45,85 @@ let create ctx ~base ~max_bits =
 let max_bits t = t.max_bits
 let modulus t = Montgomery.modulus t.ctx
 
-(* Combs are cached per (base, modulus): the system only ever combs a
-   handful of noise bases (h mod n^2, h2 mod n^3 per key pair). Guarded by
-   a mutex for the domain pool; a comb is immutable once built, so sharing
-   across domains is safe. *)
-let cache : (Nat.t * Nat.t, t) Hashtbl.t = Hashtbl.create 8
+(* Combs are cached per (base, modulus) with a bounded LRU policy: the
+   steady state only ever combs a handful of noise bases (h mod n^2,
+   h2 mod n^3 per key pair), but a long-lived server handling many
+   sessions would otherwise accumulate a comb per client key, and a comb
+   is large (~max_bits/4 * 15 residues). Each hit stamps the entry with
+   a monotonically increasing tick; insertion beyond [capacity] evicts
+   the least-recently used entry. Guarded by a mutex for the domain
+   pool; a comb is immutable once built, so sharing across domains is
+   safe. *)
+
+type entry = { fb : t; mutable tick : int }
+
+let cache : (Nat.t * Nat.t, entry) Hashtbl.t = Hashtbl.create 8
 
 let cache_lock = Mutex.create ()
+
+let clock = ref 0
+
+let capacity = ref 32
+
+let default_capacity = 32
+
+let evict_lru () =
+  (* called with the lock held; drop entries until within capacity *)
+  while Hashtbl.length cache > !capacity do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.tick <= e.tick -> acc
+          | _ -> Some (key, e))
+        cache None
+    in
+    match victim with
+    | Some (key, _) -> Hashtbl.remove cache key
+    | None -> ()
+  done
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Fixed_base.set_capacity";
+  Mutex.lock cache_lock;
+  capacity := n;
+  evict_lru ();
+  Mutex.unlock cache_lock
+
+let reset () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  capacity := default_capacity;
+  Mutex.unlock cache_lock
+
+let cached_count () =
+  Mutex.lock cache_lock;
+  let n = Hashtbl.length cache in
+  Mutex.unlock cache_lock;
+  n
 
 let cached ~base ~m ~max_bits:wanted =
   match Modular.mont_ctx m with
   | None -> None
   | Some ctx ->
     Mutex.lock cache_lock;
+    incr clock;
     let fb =
       match Hashtbl.find_opt cache (base, m) with
-      | Some fb when wanted <= fb.max_bits -> fb
+      | Some e when wanted <= e.fb.max_bits ->
+        e.tick <- !clock;
+        e.fb
       | _ ->
-        if Hashtbl.length cache > 32 then Hashtbl.reset cache;
         let fb = create ctx ~base ~max_bits:wanted in
-        Hashtbl.replace cache (base, m) fb;
+        Hashtbl.replace cache (base, m) { fb; tick = !clock };
+        evict_lru ();
         fb
     in
     Mutex.unlock cache_lock;
     Some fb
 
 let pow t e =
-  Obs.bump Obs.Metrics.Modexp;
+  Obs.bump Obs.Metrics.Modexp_fixed_base;
   if Nat.bit_length e > t.max_bits then
     invalid_arg "Fixed_base.pow: exponent exceeds the precomputed width";
   if Nat.is_zero e then Nat.rem Nat.one (Montgomery.modulus t.ctx)

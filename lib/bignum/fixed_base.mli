@@ -16,8 +16,25 @@ val create : Montgomery.ctx -> base:Nat.t -> max_bits:int -> t
 (** [cached ~base ~m ~max_bits] is the process-wide comb for [base]
     modulo [m], built on first use (and rebuilt if a wider [max_bits] is
     requested later). [None] when [m] has no Montgomery context (even
-    modulus). Domain-safe; combs are immutable once built. *)
+    modulus). Domain-safe; combs are immutable once built.
+
+    The cache holds at most {!set_capacity} combs (default 32) and
+    evicts the least-recently used one on overflow, so a long-lived
+    server cannot accumulate a comb per client key. *)
 val cached : base:Nat.t -> m:Nat.t -> max_bits:int -> t option
+
+(** Bound the comb cache to [n] entries (default 32), evicting
+    least-recently used combs immediately if over. Raises
+    [Invalid_argument] when [n < 1]. *)
+val set_capacity : int -> unit
+
+(** Number of combs currently cached. *)
+val cached_count : unit -> int
+
+(** Drop every cached comb and restore the default capacity. Tests and
+    long-running servers use this to release table memory; subsequent
+    {!cached} calls rebuild on demand. *)
+val reset : unit -> unit
 
 (** Widest supported exponent, in bits. *)
 val max_bits : t -> int

@@ -16,25 +16,46 @@ let pow_binary b e ~m =
   !r
 
 (* Montgomery contexts are cached per modulus: the whole system works with
-   a handful of moduli (n, n^2, n^3 for two key pairs). The mutex keeps
-   the cache safe under parallel protocol execution (Core.Pool). *)
+   a handful of moduli (n, n^2, n^3 for two key pairs). The shared table
+   is guarded by a mutex for parallel protocol execution (Core.Pool), but
+   taking a lock and hashing a limb array on every ciphertext add/modexp
+   is measurable, so each domain keeps a small local memo in front of it,
+   checked by physical equality first (the hot moduli are long-lived
+   values threaded everywhere by reference). *)
 let mont_cache : (Nat.t, Montgomery.ctx option) Hashtbl.t = Hashtbl.create 8
 
 let mont_lock = Mutex.create ()
 
+let mont_memo : (Nat.t * Montgomery.ctx option) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let mont_memo_max = 8
+
 let mont_ctx m =
-  Mutex.lock mont_lock;
-  let c =
-    match Hashtbl.find_opt mont_cache m with
-    | Some c -> c
-    | None ->
-      if Hashtbl.length mont_cache > 64 then Hashtbl.reset mont_cache;
-      let c = Montgomery.create m in
-      Hashtbl.add mont_cache m c;
-      c
+  let memo = Domain.DLS.get mont_memo in
+  let rec find = function
+    | [] -> None
+    | (m', c) :: _ when m' == m -> Some c
+    | (m', c) :: _ when Nat.equal m' m -> Some c
+    | _ :: tl -> find tl
   in
-  Mutex.unlock mont_lock;
-  c
+  match find !memo with
+  | Some c -> c
+  | None ->
+    Mutex.lock mont_lock;
+    let c =
+      match Hashtbl.find_opt mont_cache m with
+      | Some c -> c
+      | None ->
+        if Hashtbl.length mont_cache > 64 then Hashtbl.reset mont_cache;
+        let c = Montgomery.create m in
+        Hashtbl.add mont_cache m c;
+        c
+    in
+    Mutex.unlock mont_lock;
+    let keep = List.filteri (fun i _ -> i < mont_memo_max - 1) !memo in
+    memo := (m, c) :: keep;
+    c
 
 (* Ciphertext adds ([Paillier.add]) funnel through here on every depth of
    every protocol; the cached Montgomery context replaces the Knuth trial
@@ -50,6 +71,27 @@ let pow b e ~m =
     match mont_ctx m with
     | Some ctx when Nat.bit_length e > 8 -> Montgomery.pow ctx b e
     | _ -> pow_binary b e ~m
+  end
+
+(* Simultaneous multi-exponentiation: prod_i b_i^e_i mod m in one
+   interleaved-window pass, sharing the squaring chain across all bases
+   (see [Montgomery.multi_pow_resident]). Counts as a single modexp —
+   which it is, cost-wise. *)
+let multi_pow pairs ~m =
+  Obs.bump Obs.Metrics.Modexp;
+  if Nat.is_one m then Nat.zero
+  else begin
+    match mont_ctx m with
+    | Some ctx ->
+      pairs
+      |> List.map (fun (b, e) -> (Montgomery.to_mont ctx b, e))
+      |> Array.of_list
+      |> Montgomery.multi_pow_resident ctx
+      |> Montgomery.from_mont ctx
+    | None ->
+      List.fold_left
+        (fun acc (b, e) -> mul_plain acc (pow_binary b e ~m) ~m)
+        (Nat.rem Nat.one m) pairs
   end
 
 let rec gcd a b = if Nat.is_zero b then a else gcd b (Nat.rem a b)
@@ -74,6 +116,30 @@ let inv a ~m =
   let g, x, _ = egcd (Nat.rem a m) m in
   if not (Nat.is_one g) then failwith "Modular.inv: not invertible";
   Bigint.mod_nat x m
+
+(* Montgomery's batch-inversion trick: one egcd plus 3(n-1) modular
+   multiplications inverts n elements at once. Raises like [inv] if any
+   element is not invertible (the whole batch shares one gcd). *)
+let inv_many xs ~m =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ inv x ~m ]
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let pre = Array.make n Nat.one in
+    let acc = ref (Nat.rem Nat.one m) in
+    for i = 0 to n - 1 do
+      pre.(i) <- !acc;
+      acc := mul !acc arr.(i) ~m
+    done;
+    let inv_acc = ref (inv !acc ~m) in
+    let out = Array.make n Nat.zero in
+    for i = n - 1 downto 0 do
+      out.(i) <- mul !inv_acc pre.(i) ~m;
+      inv_acc := mul !inv_acc arr.(i) ~m
+    done;
+    Array.to_list out
 
 let crt2 (r1, m1) (r2, m2) =
   (* x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2) *)

@@ -1,27 +1,91 @@
-(* CIOS Montgomery multiplication in base 2^26.
+(* Product-scanning (Comba) Montgomery multiplication in base 2^52.
 
-   All limb products fit in 63-bit ints: a_i * b_j <= (2^26-1)^2 < 2^52,
-   and the running sums stay below 2^54. The working vector has k+2 limbs
-   as required by CIOS. *)
+   Limbs are 52-bit (matching [Nat]); a limb product is formed from four
+   26-bit half-limb products
 
-let base_bits = 26
+     a*b = ah*bh*2^52 + (ah*bl + al*bh)*2^26 + al*bl
+
+   as a double word (plo, phi) with plo < 2^53 and phi < 2^52 + 2^28.
+   Native int products wrap mod 2^63, but the low 52 bits extracted with
+   [land mask] are always exact.
+
+   The 11 headroom bits above a 52-bit limb are what make the
+   product-scanning shape fast: one output column accumulates every
+   partial product that lands on it into a plain two-int accumulator
+   (s0 for the plos, s1 for the phis) with NO per-product carry
+   propagation — the products of a column are mutually independent, so
+   the CPU pipelines them instead of stalling on a serial carry chain.
+   Only at the end of a column is s0 split into an output limb and a
+   carry folded into the next column. The column sums stay below 2^61
+   for any k <= 128 limbs (6656-bit moduli), far beyond every modulus in
+   the system; [create] enforces the bound.
+
+   Reduction is the separated product-scanning (SPS) form: the full
+   2k-limb product goes to a scratch vector, then a second column scan
+   derives the Montgomery quotient digits mu_i and accumulates mu*n.
+   One reduction implementation serves both [mont_mul] and the dedicated
+   [mont_sqr] (square columns compute each off-diagonal product once and
+   double it — ~25% fewer half-limb multiplies, and squarings are ~3/4
+   of every exponentiation).
+
+   Codegen notes (no flambda): each scan is a top-level tail-recursive
+   function whose parameters all fit the native-code argument registers,
+   so the column and product state (i, c, s0, s1, carry) never touches
+   the stack; a split is ONE interleaved array [l0; h0; l1; h1; ...] so
+   a scan keeps two array pointers live instead of four and each
+   product's halves share a cache line. *)
+
+let base_bits = 52
 let base = 1 lsl base_bits
 let mask = base - 1
+let hbits = 26
+let hmask = (1 lsl hbits) - 1
+
+(* Half-limb splits of a k-limb operand, interleaved: element 2i is the
+   low 26 bits of limb i, element 2i+1 the high 26. *)
+type split = int array
 
 type ctx = {
   m : Nat.t;
   n : int array; (* modulus limbs, length k *)
+  nsp : split; (* half-limb splits of n *)
   k : int;
-  n0' : int; (* -m^-1 mod 2^26 *)
+  n0' : int; (* -m^-1 mod 2^52 *)
   r2 : int array; (* R^2 mod m, padded to k limbs *)
+  r2sp : split;
   one_mont : int array; (* R mod m = to_mont 1 *)
-  one_plain : int array; (* the k-limb vector 1, for conversion out *)
+  onesp : split; (* splits of the k-limb vector 1, for conversion out *)
 }
 
 (* A value < m held in Montgomery form (a*R mod m) as a k+2-limb vector
-   whose top two limbs are zero — directly usable as a [mont_mul]
-   operand and target shape. Residues are tied to the ctx that made them. *)
+   whose top two limbs are zero. Residues are tied to the ctx that made
+   them. *)
 type residue = int array
+
+(* Per-call working state, reused across chained operations: the
+   2k+1-limb double-wide product, the splits of the scanned operand, and
+   the quotient-digit splits of the reduction pass. Not shared across
+   domains — each exponentiation allocates its own. *)
+type scratch = {
+  w : int array; (* 2k+1 limbs: the full product before reduction *)
+  xsp : int array; (* interleaved splits of the scanned (left) operand *)
+  qsp : int array; (* interleaved splits of the quotient digits mu_i *)
+}
+
+let make_scratch k =
+  { w = Array.make ((2 * k) + 1) 0; xsp = Array.make (2 * k) 0; qsp = Array.make (2 * k) 0 }
+
+let split_into k (a : int array) (sp : int array) =
+  for i = 0 to k - 1 do
+    let x = Array.unsafe_get a i in
+    Array.unsafe_set sp (2 * i) (x land hmask);
+    Array.unsafe_set sp ((2 * i) + 1) (x lsr hbits)
+  done
+
+let make_split k (a : int array) : split =
+  let sp = Array.make (2 * k) 0 in
+  split_into k a sp;
+  sp
 
 let pad k a =
   let r = Array.make k 0 in
@@ -33,37 +97,10 @@ let geq k x y =
   let rec go i = if i < 0 then true else if x.(i) <> y.(i) then x.(i) > y.(i) else go (i - 1) in
   go (k - 1)
 
-(* t <- mont(a, b) = a*b*R^-1 mod m; t, a, b are k-limb vectors (t distinct) *)
-let mont_mul ctx (t : int array) (a : int array) (b : int array) =
-  let k = ctx.k and n = ctx.n and n0' = ctx.n0' in
-  Array.fill t 0 (k + 2) 0;
-  for i = 0 to k - 1 do
-    let ai = a.(i) in
-    (* t += a_i * b *)
-    let c = ref 0 in
-    for j = 0 to k - 1 do
-      let s = t.(j) + (ai * b.(j)) + !c in
-      t.(j) <- s land mask;
-      c := s lsr base_bits
-    done;
-    let s = t.(k) + !c in
-    t.(k) <- s land mask;
-    t.(k + 1) <- t.(k + 1) + (s lsr base_bits);
-    (* reduce one limb *)
-    let mu = (t.(0) * n0') land mask in
-    let c = ref ((t.(0) + (mu * n.(0))) lsr base_bits) in
-    for j = 1 to k - 1 do
-      let s = t.(j) + (mu * n.(j)) + !c in
-      t.(j - 1) <- s land mask;
-      c := s lsr base_bits
-    done;
-    let s = t.(k) + !c in
-    t.(k - 1) <- s land mask;
-    t.(k) <- t.(k + 1) + (s lsr base_bits);
-    t.(k + 1) <- 0
-  done;
-  (* CIOS bounds give t < 2m with the overflow in t.(k); one conditional
-     subtraction of m (over k+1 limbs) normalizes *)
+(* conditional subtraction: the reduction bound gives t < 2m with the
+   overflow bit in t.(k); one subtraction of m normalizes *)
+let reduce_once ctx (t : int array) =
+  let k = ctx.k in
   if t.(k) <> 0 || geq k t ctx.n then begin
     let borrow = ref 0 in
     for i = 0 to k - 1 do
@@ -80,113 +117,349 @@ let mont_mul ctx (t : int array) (a : int array) (b : int array) =
     t.(k) <- t.(k) - !borrow
   end
 
+(* Column scan of x * b into w: i walks the products (i, c-i) of column
+   c, accumulating plos in s0 and phis in s1; at column end the limb is
+   emitted and the carry folds into the next column. All mutable state
+   rides in parameters (registers). *)
+let rec mul_scan xsp bsp w km1 cmax c i hi s0 s1 =
+  if i <= hi then begin
+    let al = Array.unsafe_get xsp (2 * i) and ah = Array.unsafe_get xsp ((2 * i) + 1) in
+    let j2 = 2 * (c - i) in
+    let bl = Array.unsafe_get bsp j2 and bh = Array.unsafe_get bsp (j2 + 1) in
+    let p0 = al * bl and p2 = ah * bh in
+    let pm = (al * bh) + (ah * bl) in
+    mul_scan xsp bsp w km1 cmax c (i + 1) hi
+      (s0 + p0 + ((pm land hmask) lsl hbits))
+      (s1 + p2 + (pm lsr hbits))
+  end
+  else begin
+    Array.unsafe_set w c (s0 land mask);
+    let carry = (s0 lsr base_bits) + s1 in
+    let c = c + 1 in
+    if c > cmax then carry
+    else begin
+      let lo = if c - km1 > 0 then c - km1 else 0 in
+      let hi = if c < km1 then c else km1 in
+      mul_scan xsp bsp w km1 cmax c lo hi carry 0
+    end
+  end
+
+(* sc.w <- a * b; [a]'s splits land in sc.xsp. *)
+let comba_mul ctx sc (a : int array) (b : split) =
+  let k = ctx.k in
+  let w = sc.w and xsp = sc.xsp in
+  split_into k a xsp;
+  let carry = mul_scan xsp b w (k - 1) ((2 * k) - 2) 0 0 0 0 0 in
+  w.((2 * k) - 1) <- carry land mask;
+  w.(2 * k) <- carry lsr base_bits
+
+(* sc.w <- x * b with [x] given directly by its splits — e.g. sc.xsp as
+   left there by the previous [comba_reduce] of a chained operation, or
+   a window-table entry. *)
+let comba_mul_sp ctx sc (x : split) (b : split) =
+  let k = ctx.k in
+  let w = sc.w in
+  let carry = mul_scan x b w (k - 1) ((2 * k) - 2) 0 0 0 0 0 in
+  w.((2 * k) - 1) <- carry land mask;
+  w.(2 * k) <- carry lsr base_bits
+
+(* Squaring scan: pairs (i, c-i) with i < c-i contribute twice, the
+   diagonal limb c/2 once on even columns (handled at column end, where
+   2*(c/2) = c indexes its split directly). *)
+let rec sqr_scan xsp w km1 cmax c i hi s0 s1 =
+  if i <= hi then begin
+    let al = Array.unsafe_get xsp (2 * i) and ah = Array.unsafe_get xsp ((2 * i) + 1) in
+    let j2 = 2 * (c - i) in
+    let bl = Array.unsafe_get xsp j2 and bh = Array.unsafe_get xsp (j2 + 1) in
+    let p0 = al * bl and p2 = ah * bh in
+    let pm = (al * bh) + (ah * bl) in
+    sqr_scan xsp w km1 cmax c (i + 1) hi
+      (s0 + (2 * (p0 + ((pm land hmask) lsl hbits))))
+      (s1 + (2 * (p2 + (pm lsr hbits))))
+  end
+  else begin
+    let s0, s1 =
+      if c land 1 = 0 then begin
+        let al = Array.unsafe_get xsp c and ah = Array.unsafe_get xsp (c + 1) in
+        let dm = 2 * (al * ah) in
+        (s0 + (al * al) + ((dm land hmask) lsl hbits), s1 + (ah * ah) + (dm lsr hbits))
+      end
+      else (s0, s1)
+    in
+    Array.unsafe_set w c (s0 land mask);
+    let carry = (s0 lsr base_bits) + s1 in
+    let c = c + 1 in
+    if c > cmax then carry
+    else begin
+      let lo = if c - km1 > 0 then c - km1 else 0 in
+      (* [asr] floors so c = 1 gives hi = 0 and c = 0 would give -1
+         (plain [/] truncates toward zero) *)
+      let hi = (c - 1) asr 1 in
+      sqr_scan xsp w km1 cmax c lo hi carry 0
+    end
+  end
+
+(* sc.w <- x * x with [x] given directly by its splits. *)
+let comba_sqr_sp ctx sc (x : split) =
+  let k = ctx.k in
+  let w = sc.w in
+  let carry = sqr_scan x w (k - 1) ((2 * k) - 2) 0 0 (-1) 0 0 in
+  w.((2 * k) - 1) <- carry land mask;
+  w.(2 * k) <- carry lsr base_bits
+
+(* Low-column reduction scan: column c accumulates w.(c) plus the mu*n
+   products of the already-derived quotient digits, then derives digit
+   mu_c and closes the column with mu_c * n_0 (zeroing the low 52 bits).
+   The carry is the only value crossing columns. *)
+let rec red_lo_scan qsp nsp w n0' kk c i s0 s1 =
+  if i < c then begin
+    let ml = Array.unsafe_get qsp (2 * i) and mh = Array.unsafe_get qsp ((2 * i) + 1) in
+    let j2 = 2 * (c - i) in
+    let nl = Array.unsafe_get nsp j2 and nh = Array.unsafe_get nsp (j2 + 1) in
+    let q0 = ml * nl and q2 = mh * nh in
+    let qm = (ml * nh) + (mh * nl) in
+    red_lo_scan qsp nsp w n0' kk c (i + 1)
+      (s0 + q0 + ((qm land hmask) lsl hbits))
+      (s1 + q2 + (qm lsr hbits))
+  end
+  else begin
+    let mu = s0 * n0' land mask in
+    let ml = mu land hmask and mh = mu lsr hbits in
+    Array.unsafe_set qsp (2 * c) ml;
+    Array.unsafe_set qsp ((2 * c) + 1) mh;
+    let nl = Array.unsafe_get nsp 0 and nh = Array.unsafe_get nsp 1 in
+    let q0 = ml * nl and q2 = mh * nh in
+    let qm = (ml * nh) + (mh * nl) in
+    let s0 = s0 + q0 + ((qm land hmask) lsl hbits) in
+    let s1 = s1 + q2 + (qm lsr hbits) in
+    (* the low 52 bits of s0 are zero by choice of mu *)
+    let carry = (s0 lsr base_bits) + s1 in
+    let c = c + 1 in
+    if c >= kk then carry
+    else red_lo_scan qsp nsp w n0' kk c 0 (carry + Array.unsafe_get w c) 0
+  end
+
+(* High-column reduction scan: emits result limb c-k per column, plus
+   the limb's half-splits straight into [xsp] so a chained follow-up
+   multiplication or squaring of the result can skip its own
+   [split_into] pass. *)
+let rec red_hi_scan qsp nsp w t xsp kk c i s0 s1 =
+  if i < kk then begin
+    let ml = Array.unsafe_get qsp (2 * i) and mh = Array.unsafe_get qsp ((2 * i) + 1) in
+    let j2 = 2 * (c - i) in
+    let nl = Array.unsafe_get nsp j2 and nh = Array.unsafe_get nsp (j2 + 1) in
+    let q0 = ml * nl and q2 = mh * nh in
+    let qm = (ml * nh) + (mh * nl) in
+    red_hi_scan qsp nsp w t xsp kk c (i + 1)
+      (s0 + q0 + ((qm land hmask) lsl hbits))
+      (s1 + q2 + (qm lsr hbits))
+  end
+  else begin
+    let limb = s0 land mask in
+    let c2 = 2 * (c - kk) in
+    Array.unsafe_set t (c - kk) limb;
+    Array.unsafe_set xsp c2 (limb land hmask);
+    Array.unsafe_set xsp (c2 + 1) (limb lsr hbits);
+    let carry = (s0 lsr base_bits) + s1 in
+    let c = c + 1 in
+    if c >= 2 * kk then carry
+    else red_hi_scan qsp nsp w t xsp kk c (c - kk + 1) (carry + Array.unsafe_get w c) 0
+  end
+
+(* t <- sc.w * R^-1 mod m: SPS Montgomery reduction of the double-wide
+   product. [t] has k+2 limbs and may alias the operand that produced
+   sc.w. *)
+let comba_reduce ctx sc (t : int array) =
+  let k = ctx.k in
+  let w = sc.w and qsp = sc.qsp in
+  let carry = red_lo_scan qsp ctx.nsp w ctx.n0' k 0 0 w.(0) 0 in
+  let carry = red_hi_scan qsp ctx.nsp w t sc.xsp k k 1 (carry + w.(k)) 0 in
+  t.(k) <- carry + w.(2 * k);
+  t.(k + 1) <- 0;
+  if t.(k) <> 0 || geq k t ctx.n then begin
+    (* rare conditional subtract invalidates the emitted splits *)
+    reduce_once ctx t;
+    split_into k t sc.xsp
+  end
+
+(* t <- mont(a, b) = a*b*R^-1 mod m; [a] and [t] are k(+2)-limb vectors
+   (t may alias a), [b] is given by its half-limb splits. *)
+let mont_mul ctx sc (t : int array) (a : int array) (b : split) =
+  comba_mul ctx sc a b;
+  comba_reduce ctx sc t
+
+(* Chained forms: the operand is whatever the last comba_reduce through
+   [sc] produced (its splits are still in sc.xsp), so the splitting pass
+   is skipped. Used by the exponentiation ladders, where every operation
+   feeds the next. [comba_reduce] writes sc.xsp only after the product
+   scan has consumed it, so aliasing x with sc.xsp is safe. *)
+let mont_mul_chained ctx sc (t : int array) (b : split) =
+  comba_mul_sp ctx sc sc.xsp b;
+  comba_reduce ctx sc t
+
+let mont_sqr_chained ctx sc (t : int array) =
+  comba_sqr_sp ctx sc sc.xsp;
+  comba_reduce ctx sc t
+
+(* Column accumulators hold up to k doubled plos (< 2^54 each) plus an
+   inter-column carry; k = 128 keeps everything below 2^61 < 2^62. *)
+let max_limbs = 128
+
 let create m =
   if Nat.is_zero m || Nat.is_even m || Nat.compare m (Nat.of_int 3) < 0 then None
   else begin
     let n = Nat.limbs m in
     let k = Array.length n in
-    (* n0' = -n^{-1} mod 2^26 by Newton-Hensel lifting *)
-    let n0 = n.(0) in
-    let inv = ref 1 in
-    for _ = 1 to 6 do
-      inv := !inv * (2 - (n0 * !inv)) land mask
-    done;
-    let n0' = base - (!inv land mask) land mask in
-    let n0' = n0' land mask in
-    let r2 = Nat.rem (Nat.shift_left Nat.one (2 * base_bits * k)) m in
-    let r1 = Nat.rem (Nat.shift_left Nat.one (base_bits * k)) m in
-    let one_plain = Array.make k 0 in
-    one_plain.(0) <- 1;
-    Some
-      {
-        m;
-        n;
-        k;
-        n0';
-        r2 = pad k (Nat.limbs r2);
-        one_mont = pad k (Nat.limbs r1);
-        one_plain;
-      }
+    if k > max_limbs then None
+    else begin
+      (* n0' = -n^{-1} mod 2^52 by Newton-Hensel lifting *)
+      let n0 = n.(0) in
+      let inv = ref 1 in
+      for _ = 1 to 6 do
+        inv := !inv * (2 - (n0 * !inv)) land mask
+      done;
+      let n0' = (base - !inv) land mask in
+      let r2 = Nat.rem (Nat.shift_left Nat.one (2 * base_bits * k)) m in
+      let r1 = Nat.rem (Nat.shift_left Nat.one (base_bits * k)) m in
+      let one_plain = Array.make k 0 in
+      one_plain.(0) <- 1;
+      let r2 = pad k (Nat.limbs r2) in
+      Some
+        {
+          m;
+          n;
+          nsp = make_split k n;
+          k;
+          n0';
+          r2;
+          r2sp = make_split k r2;
+          one_mont = pad k (Nat.limbs r1);
+          onesp = make_split k one_plain;
+        }
+    end
   end
 
 let modulus ctx = ctx.m
 
-(* First k limbs -> Nat; both sides use base-2^26 little-endian limbs. *)
+(* First k limbs -> Nat; both sides use base-2^52 little-endian limbs. *)
 let of_limbs k (t : int array) = Nat.of_limbs (Array.sub t 0 k)
 
 (* ---------------- Montgomery-resident operations ----------------
 
    Chained products and exponentiations convert once on the way in, once
-   on the way out, and pay exactly one [mont_mul] (no division, no
+   on the way out, and pay exactly one reduction pass (no division, no
    re-padding) per intermediate operation. *)
 
 let reduced ctx a = if Nat.compare a ctx.m < 0 then a else Nat.rem a ctx.m
 
 let to_mont ctx a =
   let t = Array.make (ctx.k + 2) 0 in
-  mont_mul ctx t (pad ctx.k (Nat.limbs (reduced ctx a))) ctx.r2;
+  mont_mul ctx (make_scratch ctx.k) t (pad ctx.k (Nat.limbs (reduced ctx a))) ctx.r2sp;
   t
 
 let from_mont ctx (r : residue) =
   let t = Array.make (ctx.k + 2) 0 in
-  mont_mul ctx t r ctx.one_plain;
+  mont_mul ctx (make_scratch ctx.k) t r ctx.onesp;
   of_limbs ctx.k t
 
 let one_mont ctx : residue = pad (ctx.k + 2) ctx.one_mont
 
 let mul_resident ctx (a : residue) (b : residue) : residue =
   let t = Array.make (ctx.k + 2) 0 in
-  mont_mul ctx t a b;
+  mont_mul ctx (make_scratch ctx.k) t a (make_split ctx.k b);
   t
+
+(* 4-bit window table b^1..b^15 with the splits the inner loop wants;
+   entry 0 is unused. Even entries are squarings of entry i/2 (cheaper
+   than a general multiply); every entry is captured straight from the
+   reduction's split output. *)
+let window_table ctx sc (b : residue) : split array =
+  let k = ctx.k in
+  let tbl = Array.make 16 ctx.onesp in
+  tbl.(1) <- make_split k b;
+  let t = Array.make (k + 2) 0 in
+  for i = 2 to 15 do
+    if i land 1 = 0 then comba_sqr_sp ctx sc tbl.(i / 2)
+    else comba_mul_sp ctx sc tbl.(i - 1) tbl.(1);
+    comba_reduce ctx sc t;
+    tbl.(i) <- Array.copy sc.xsp
+  done;
+  tbl
+
+(* 4-bit window digits read straight out of the exponent's limb vector:
+   52 is a multiple of 4, so a window never straddles a limb. *)
+let digit (el : int array) w =
+  let bit = 4 * w in
+  let limb = bit / base_bits in
+  if limb >= Array.length el then 0 else (el.(limb) lsr (bit - (limb * base_bits))) land 15
 
 let pow_resident ctx (b : residue) e : residue =
   let k = ctx.k in
   if Nat.is_zero e then one_mont ctx
   else begin
-    let scratch = Array.make (k + 2) 0 in
+    let sc = make_scratch k in
     let cur = Array.make (k + 2) 0 in
-    let swap_into dst src = Array.blit src 0 dst 0 k in
-    (* table of b^0..b^15 in Montgomery form *)
-    let table = Array.init 16 (fun _ -> Array.make (k + 2) 0) in
-    Array.blit ctx.one_mont 0 table.(0) 0 k;
-    Array.blit b 0 table.(1) 0 k;
-    for i = 2 to 15 do
-      mont_mul ctx scratch table.(i - 1) table.(1);
-      swap_into table.(i) scratch
-    done;
+    let table = window_table ctx sc b in
+    let el = Nat.limbs e in
     let nbits = Nat.bit_length e in
     let nwin = (nbits + 3) / 4 in
     Array.blit ctx.one_mont 0 cur 0 k;
+    split_into k ctx.one_mont sc.xsp;
     for w = nwin - 1 downto 0 do
-      (* four squarings *)
       if w <> nwin - 1 then
         for _ = 1 to 4 do
-          mont_mul ctx scratch cur cur;
-          swap_into cur scratch
+          mont_sqr_chained ctx sc cur
         done;
-      let idx =
-        let base_bit = 4 * w in
-        let bit i = if Nat.nth_bit e (base_bit + i) then 1 lsl i else 0 in
-        bit 0 lor bit 1 lor bit 2 lor bit 3
-      in
-      if idx <> 0 then begin
-        mont_mul ctx scratch cur table.(idx);
-        swap_into cur scratch
-      end
+      let idx = digit el w in
+      if idx <> 0 then mont_mul_chained ctx sc cur table.(idx)
     done;
     cur
   end
 
-(* a * b mod m in two mont_muls: mont(a, R^2) = aR, then mont(aR, b) = ab.
+(* Simultaneous multi-exponentiation (interleaved 4-bit windows): one
+   shared run of squarings for all bases, each base's window table
+   multiplied in at its own digits. For p bases of w windows this costs
+   4*w squarings (instead of p*4*w) plus the same table/window products
+   as separate exponentiations. *)
+let multi_pow_resident ctx (pairs : (residue * Nat.t) array) : residue =
+  let k = ctx.k in
+  let np = Array.length pairs in
+  let maxbits = Array.fold_left (fun acc (_, e) -> max acc (Nat.bit_length e)) 0 pairs in
+  if np = 0 || maxbits = 0 then one_mont ctx
+  else begin
+    let sc = make_scratch k in
+    let cur = Array.make (k + 2) 0 in
+    let tables =
+      Array.map (fun (b, e) -> if Nat.is_zero e then [||] else window_table ctx sc b) pairs
+    in
+    let els = Array.map (fun (_, e) -> Nat.limbs e) pairs in
+    let nwin = (maxbits + 3) / 4 in
+    Array.blit ctx.one_mont 0 cur 0 k;
+    split_into k ctx.one_mont sc.xsp;
+    for w = nwin - 1 downto 0 do
+      if w <> nwin - 1 then
+        for _ = 1 to 4 do
+          mont_sqr_chained ctx sc cur
+        done;
+      for p = 0 to np - 1 do
+        let idx = digit els.(p) w in
+        if idx <> 0 then mont_mul_chained ctx sc cur tables.(p).(idx)
+      done
+    done;
+    cur
+  end
+
+(* a * b mod m in two reductions: mont(a, R^2) = aR, then mont(aR, b) = ab.
    Operands already below m skip the trial division entirely. *)
 let mul ctx a b =
   let k = ctx.k in
+  let sc = make_scratch k in
   let a' = pad k (Nat.limbs (reduced ctx a)) in
   let b' = pad k (Nat.limbs (reduced ctx b)) in
-  let am = Array.make (k + 2) 0 and bm = Array.make (k + 2) 0 in
-  mont_mul ctx am a' ctx.r2;
-  mont_mul ctx bm am b';
-  of_limbs k bm
+  let am = Array.make (k + 2) 0 in
+  mont_mul ctx sc am a' ctx.r2sp;
+  mont_mul_chained ctx sc am (make_split k b');
+  of_limbs k am
 
 let pow ctx b e =
   if Nat.is_zero e then Nat.rem Nat.one ctx.m

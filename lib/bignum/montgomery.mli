@@ -41,6 +41,13 @@ val mul_resident : ctx -> residue -> residue -> residue
     all intermediates resident). *)
 val pow_resident : ctx -> residue -> Nat.t -> residue
 
+(** [multi_pow_resident ctx [|(b1, e1); ...|]] is the residue of
+    [b1^e1 * b2^e2 * ... mod m] as one interleaved-window simultaneous
+    exponentiation: all bases share a single run of squarings (the
+    dominant cost), so p factors cost little more than the widest single
+    exponent. Empty input (or all-zero exponents) yields 1. *)
+val multi_pow_resident : ctx -> (residue * Nat.t) array -> residue
+
 (** [pow ctx b e] is [b^e mod m]. *)
 val pow : ctx -> Nat.t -> Nat.t -> Nat.t
 

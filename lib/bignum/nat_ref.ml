@@ -1,41 +1,20 @@
-(* Arbitrary-precision naturals, base 2^52, little-endian limb arrays.
+(* Retained reference implementation: arbitrary-precision naturals at
+   base 2^26, little-endian limb arrays. This is the pre-wide-limb [Nat]
+   kept verbatim as the oracle for the randomized differential tests in
+   test_bignum (the production [Nat] now runs at base 2^52). Keep it
+   boring and obviously correct; never optimize it.
 
    Invariant: the array has no most-significant zero limb, so the
    representation of each value is unique and [compare] can go by length
-   first.
-
-   Base 2^52 packs twice as many bits per limb as the old base-2^26
-   representation (retained verbatim as [Nat_ref] for differential
-   testing), halving the limb count of every operand and with it the
-   loop/carry overhead of schoolbook multiplication and CIOS Montgomery
-   reduction. A 52x52-bit limb product no longer fits a 63-bit native
-   int, so products are formed from 26-bit half-limbs:
-
-     a = ah*2^26 + al,  b = bh*2^26 + bl
-     a*b = ah*bh*2^52 + ((ah+al)(bh+bl) - ah*bh - al*bl)*2^26 + al*bl
-
-   (three imuls per limb product via the Karatsuba identity). Every
-   partial term is < 2^54 and the double-word accumulators stay below
-   2^55, comfortably inside the 63-bit int. Native int products wrap
-   mod 2^63, so extracting the low 52 bits with [land mask] is always
-   exact even when an intermediate conceptually overflows.
-
-   Division is the one place 52-bit limbs don't fit: Knuth's qhat
-   estimate needs a two-limb-by-one-limb divide, which a native int only
-   offers at 26 bits. [divmod_big] therefore unpacks to half-limbs,
-   runs Algorithm D at base 2^26, and repacks — division is off the hot
-   path (keygen, CRT setup, decimal I/O), so the narrow base there costs
-   nothing that matters. *)
+   first. Base 2^26 keeps every intermediate of schoolbook multiplication
+   and Knuth division inside a 63-bit native int:
+     limb * limb <= (2^26-1)^2 < 2^52, plus carries < 2^53. *)
 
 type t = int array
 
-let base_bits = 52
+let base_bits = 26
 let base = 1 lsl base_bits
 let mask = base - 1
-
-(* half-limb granularity used by multiplication splits and division *)
-let hbits = 26
-let hmask = (1 lsl hbits) - 1
 
 let zero : t = [||]
 
@@ -117,10 +96,10 @@ let add (a : t) (b : t) : t =
   for i = 0 to lr - 1 do
     let s =
       !carry
-      + (if i < la then Array.unsafe_get a i else 0)
-      + (if i < lb then Array.unsafe_get b i else 0)
+      + (if i < la then a.(i) else 0)
+      + (if i < lb then b.(i) else 0)
     in
-    Array.unsafe_set r i (s land mask);
+    r.(i) <- s land mask;
     carry := s lsr base_bits
   done;
   normalize r
@@ -131,17 +110,9 @@ let sub (a : t) (b : t) : t =
   let r = Array.make la 0 in
   let borrow = ref 0 in
   for i = 0 to la - 1 do
-    let d =
-      Array.unsafe_get a i - (if i < lb then Array.unsafe_get b i else 0) - !borrow
-    in
-    if d < 0 then begin
-      Array.unsafe_set r i (d + base);
-      borrow := 1
-    end
-    else begin
-      Array.unsafe_set r i d;
-      borrow := 0
-    end
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
   done;
   normalize r
 
@@ -151,43 +122,25 @@ let pred x = sub x one
 let add_int (a : t) (n : int) =
   if n < 0 then invalid_arg "Nat.add_int: negative" else add a (of_int n)
 
-(* Schoolbook multiplication; used directly below the Karatsuba cutoff.
-   [b] is split into half-limbs once up front; each limb product is three
-   imuls via the Karatsuba identity (see the module comment for bounds). *)
+(* Schoolbook multiplication; used directly below the Karatsuba cutoff. *)
 let mul_school (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
   else begin
-    let bl = Array.make lb 0 and bh = Array.make lb 0 and bs = Array.make lb 0 in
-    for j = 0 to lb - 1 do
-      let x = Array.unsafe_get b j in
-      let lo = x land hmask and hi = x lsr hbits in
-      Array.unsafe_set bl j lo;
-      Array.unsafe_set bh j hi;
-      Array.unsafe_set bs j (lo + hi)
-    done;
     let r = Array.make (la + lb) 0 in
     for i = 0 to la - 1 do
-      let ai = Array.unsafe_get a i in
+      let ai = a.(i) in
       if ai <> 0 then begin
-        let al = ai land hmask in
-        let ah = ai lsr hbits in
-        let asum = al + ah in
         let carry = ref 0 in
         for j = 0 to lb - 1 do
-          let p0 = al * Array.unsafe_get bl j in
-          let p2 = ah * Array.unsafe_get bh j in
-          let pm = (asum * Array.unsafe_get bs j) - p0 - p2 in
-          let plo = p0 + ((pm land hmask) lsl hbits) in
-          let phi = p2 + (pm lsr hbits) in
-          let s = Array.unsafe_get r (i + j) + plo + !carry in
-          Array.unsafe_set r (i + j) (s land mask);
-          carry := phi + (s lsr base_bits)
+          let cur = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- cur land mask;
+          carry := cur lsr base_bits
         done;
         let k = ref (i + lb) in
         while !carry <> 0 do
-          let cur = Array.unsafe_get r !k + !carry in
-          Array.unsafe_set r !k (cur land mask);
+          let cur = r.(!k) + !carry in
+          r.(!k) <- cur land mask;
           carry := cur lsr base_bits;
           incr k
         done
@@ -196,7 +149,7 @@ let mul_school (a : t) (b : t) : t =
     normalize r
   end
 
-let karatsuba_cutoff = 12
+let karatsuba_cutoff = 24
 
 (* Split x into (low, high) at limb index k. *)
 let split_at (x : t) k : t * t =
@@ -228,19 +181,14 @@ let rec mul (a : t) (b : t) : t =
 let mul_int (a : t) (n : int) =
   if n < 0 then invalid_arg "Nat.mul_int: negative"
   else if n = 0 || is_zero a then zero
-  else if n <= hmask then begin
-    (* n fits a half-limb, so a_i * n splits into two sub-2^52 products *)
+  else if n < base then begin
     let la = Array.length a in
     let r = Array.make (la + 2) 0 in
     let carry = ref 0 in
     for i = 0 to la - 1 do
-      let ai = Array.unsafe_get a i in
-      let p0 = (ai land hmask) * n in
-      let p1 = (ai lsr hbits) * n in
-      let plo = p0 + ((p1 land hmask) lsl hbits) in
-      let cur = plo + !carry in
-      Array.unsafe_set r i (cur land mask);
-      carry := (p1 lsr hbits) + (cur lsr base_bits)
+      let cur = (a.(i) * n) + !carry in
+      r.(i) <- cur land mask;
+      carry := cur lsr base_bits
     done;
     let k = ref la in
     while !carry <> 0 do
@@ -268,12 +216,11 @@ let shift_left (x : t) s : t =
     let r = Array.make (n + limb_shift + 1) 0 in
     if bit_shift = 0 then Array.blit x 0 r limb_shift n
     else begin
-      (* take the outgoing high bits before the (wrapping) left shift *)
       let carry = ref 0 in
       for i = 0 to n - 1 do
-        let xi = x.(i) in
-        r.(i + limb_shift) <- ((xi lsl bit_shift) land mask) lor !carry;
-        carry := xi lsr (base_bits - bit_shift)
+        let v = (x.(i) lsl bit_shift) lor !carry in
+        r.(i + limb_shift) <- v land mask;
+        carry := v lsr base_bits
       done;
       r.(n + limb_shift) <- !carry
     end;
@@ -306,88 +253,25 @@ let shift_right (x : t) s : t =
   end
 
 let divmod_int (a : t) (d : int) : t * int =
-  if d <= 0 || d > hmask then invalid_arg "Nat.divmod_int: divisor out of range";
+  if d <= 0 || d >= base then invalid_arg "Nat.divmod_int: divisor out of range";
   let n = Array.length a in
   let q = Array.make n 0 in
   let r = ref 0 in
-  (* two half-limb division steps per limb; [r < d <= 2^26-1] keeps the
-     partial dividends below 2^52 *)
   for i = n - 1 downto 0 do
-    let xi = Array.unsafe_get a i in
-    let hi = (!r lsl hbits) lor (xi lsr hbits) in
-    let qh = hi / d in
-    let lo = ((hi mod d) lsl hbits) lor (xi land hmask) in
-    let ql = lo / d in
-    r := lo mod d;
-    Array.unsafe_set q i ((qh lsl hbits) lor ql)
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
   done;
   (normalize q, !r)
 
-(* ---- division at half-limb granularity ---- *)
-
-let hbase = 1 lsl hbits
-
-(* unpack to base-2^26 half-limbs, little-endian, high zeros allowed *)
-let to_half (x : t) : int array =
-  let n = Array.length x in
-  let a = Array.make (2 * n) 0 in
-  for i = 0 to n - 1 do
-    a.(2 * i) <- x.(i) land hmask;
-    a.(2 * i + 1) <- x.(i) lsr hbits
-  done;
-  a
-
-let of_half (a : int array) : t =
-  let n = Array.length a in
-  let r = Array.make ((n + 1) / 2) 0 in
-  for i = 0 to n - 1 do
-    if i land 1 = 0 then r.(i / 2) <- a.(i)
-    else r.(i / 2) <- r.(i / 2) lor (a.(i) lsl hbits)
-  done;
-  normalize r
-
-let strip_half (a : int array) : int array =
-  let n = ref (Array.length a) in
-  while !n > 0 && a.(!n - 1) = 0 do decr n done;
-  if !n = Array.length a then a else Array.sub a 0 !n
-
-(* shift a half-limb vector left by s < hbits bits, keeping an extra limb *)
-let shl_half (a : int array) s : int array =
-  let n = Array.length a in
-  let r = Array.make (n + 1) 0 in
-  let carry = ref 0 in
-  for i = 0 to n - 1 do
-    let v = (a.(i) lsl s) lor !carry in
-    r.(i) <- v land hmask;
-    carry := v lsr hbits
-  done;
-  r.(n) <- !carry;
-  r
-
-let shr_half (a : int array) s : int array =
-  if s = 0 then a
-  else begin
-    let n = Array.length a in
-    let r = Array.make n 0 in
-    for i = 0 to n - 1 do
-      let lo = a.(i) lsr s in
-      let hi = if i + 1 < n then (a.(i + 1) lsl (hbits - s)) land hmask else 0 in
-      r.(i) <- lo lor hi
-    done;
-    r
-  end
-
-(* Knuth TAOCP vol. 2, Algorithm D (4.3.1), run on base-2^26 half-limbs
-   (the qhat estimate needs a two-limb-by-one-limb divide, which only
-   fits a native int at 26 bits). The divisor is normalized by a left
-   shift so its top half-limb has its high bit set, which bounds the
-   qhat estimate error to at most 2 and makes the add-back branch rare. *)
+(* Knuth TAOCP vol. 2, Algorithm D (4.3.1). Divisor is normalized by a left
+   shift so its top limb has its high bit set, which bounds the qhat
+   estimate error to at most 2 and makes the add-back branch rare. *)
 let divmod_big (u0 : t) (v0 : t) : t * t =
-  let u = strip_half (to_half u0) and v = strip_half (to_half v0) in
-  let n = Array.length v in
-  let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
-  let shift = hbits - bits v.(n - 1) 0 in
-  let u = shl_half u shift and v = strip_half (shl_half v shift) in
+  let n = Array.length v0 in
+  let shift = base_bits - (bit_length v0 - (n - 1) * base_bits) in
+  let u = shift_left u0 shift and v = shift_left v0 shift in
+  let v = (v : int array) in
   let lu = Array.length u in
   let m = lu - n in
   (* working copy of u with one extra high limb *)
@@ -396,59 +280,51 @@ let divmod_big (u0 : t) (v0 : t) : t * t =
   let q = Array.make (m + 1) 0 in
   let vn1 = v.(n - 1) and vn2 = if n >= 2 then v.(n - 2) else 0 in
   for j = m downto 0 do
-    let top = (w.(j + n) lsl hbits) lor w.(j + n - 1) in
+    let top = (w.(j + n) lsl base_bits) lor w.(j + n - 1) in
     let qhat = ref (top / vn1) and rhat = ref (top mod vn1) in
-    if !qhat >= hbase then begin
-      rhat := !rhat + ((!qhat - (hbase - 1)) * vn1);
-      qhat := hbase - 1
+    if !qhat >= base then begin
+      rhat := !rhat + (!qhat - (base - 1)) * vn1;
+      qhat := base - 1
     end;
     let continue = ref true in
-    while !continue && !rhat < hbase do
+    while !continue && !rhat < base do
       let lhs = !qhat * vn2 in
-      let rhs = (!rhat lsl hbits) lor (if j + n - 2 >= 0 then w.(j + n - 2) else 0) in
-      if lhs > rhs then begin
-        decr qhat;
-        rhat := !rhat + vn1
-      end
+      let rhs = (!rhat lsl base_bits) lor (if j + n - 2 >= 0 then w.(j + n - 2) else 0) in
+      if lhs > rhs then begin decr qhat; rhat := !rhat + vn1 end
       else continue := false
     done;
     (* multiply and subtract: w[j..j+n] -= qhat * v *)
     let borrow = ref 0 and carry = ref 0 in
     for i = 0 to n - 1 do
-      let p = (!qhat * v.(i)) + !carry in
-      carry := p lsr hbits;
-      let d = w.(i + j) - (p land hmask) - !borrow in
-      if d < 0 then begin
-        w.(i + j) <- d + hbase;
-        borrow := 1
-      end
-      else begin
-        w.(i + j) <- d;
-        borrow := 0
-      end
+      let p = !qhat * v.(i) + !carry in
+      carry := p lsr base_bits;
+      let d = w.(i + j) - (p land mask) - !borrow in
+      if d < 0 then begin w.(i + j) <- d + base; borrow := 1 end
+      else begin w.(i + j) <- d; borrow := 0 end
     done;
     let d = w.(j + n) - !carry - !borrow in
     if d < 0 then begin
       (* qhat was one too large: add back *)
-      w.(j + n) <- d + hbase;
+      w.(j + n) <- d + base;
       decr qhat;
       let c = ref 0 in
       for i = 0 to n - 1 do
         let s = w.(i + j) + v.(i) + !c in
-        w.(i + j) <- s land hmask;
-        c := s lsr hbits
+        w.(i + j) <- s land mask;
+        c := s lsr base_bits
       done;
-      w.(j + n) <- (w.(j + n) + !c) land hmask
+      w.(j + n) <- (w.(j + n) + !c) land mask
     end
     else w.(j + n) <- d;
     q.(j) <- !qhat
   done;
-  (of_half q, of_half (shr_half (Array.sub w 0 n) shift))
+  let r = normalize (Array.sub w 0 n) in
+  (normalize q, shift_right r shift)
 
 let divmod (a : t) (b : t) : t * t =
   if is_zero b then raise Division_by_zero;
   if compare a b < 0 then (zero, a)
-  else if Array.length b = 1 && b.(0) <= hmask then begin
+  else if Array.length b = 1 then begin
     let q, r = divmod_int a b.(0) in
     (q, of_int r)
   end

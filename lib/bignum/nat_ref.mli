@@ -1,12 +1,10 @@
-(** Arbitrary-precision natural numbers.
+(** Reference implementation of arbitrary-precision natural numbers.
 
-    Values are immutable little-endian limb vectors in base [2^52]. Limb
-    products are formed from 26-bit half-limbs so that every intermediate
-    fits OCaml's 63-bit native [int], which lets every inner loop run on
-    unboxed integers (see nat.ml for the bounds; {!Nat_ref} retains the
-    old base-2^26 code as a differential-test oracle). All results are
-    normalized (no most-significant zero limbs); [zero] is the empty
-    vector. *)
+    Values are immutable little-endian limb vectors in base [2^26]. The base
+    is chosen so that a limb product plus carries fits in OCaml's 63-bit
+    native [int] ([2^52 + slack < 2^62]), which lets every inner loop run on
+    unboxed integers. All results are normalized (no most-significant zero
+    limbs); [zero] is the empty vector. *)
 
 type t
 
@@ -49,8 +47,7 @@ val divmod : t -> t -> t * t
 val div : t -> t -> t
 val rem : t -> t -> t
 
-(** [divmod_int a b] is division by a small positive divisor [b < 2^26]
-    (a half-limb, so each division step fits a native int). *)
+(** [divmod_int a b] is division by a small positive divisor [b < 2^26]. *)
 val divmod_int : t -> int -> t * int
 
 val shift_left : t -> int -> t
@@ -83,10 +80,10 @@ val pp : Format.formatter -> t -> unit
 (** Number of limbs (for cost accounting and tests). *)
 val limb_count : t -> int
 
-(** Base-2^52 limbs, least significant first (for white-box tests). *)
+(** Base-2^26 limb, least significant first (for white-box tests). *)
 val limbs : t -> int array
 
-(** [of_limbs a] builds a value from base-2^52 limbs, least significant
-    first. Trusts every element to be in [[0, 2^52)]; the fast
+(** [of_limbs a] builds a value from base-2^26 limbs, least significant
+    first. Trusts every element to be in [[0, 2^26)]; the fast
     Montgomery <-> Nat bridge (both sides share the limb format). *)
 val of_limbs : int array -> t

@@ -121,6 +121,18 @@ let scalar_mul pub c k =
 
 let scalar_mul_ct pub c inner = scalar_mul pub c (Paillier.to_nat inner)
 
+(* Enc2(sum k_i * x_i) from pairs (Enc2(x_i), k_i): one interleaved-window
+   multi-exponentiation over n^3 — the squaring chain is shared across all
+   pairs, so a fold of [scalar_mul] + [add] collapses to a fraction of the
+   modular multiplications. The product is exact (no rerandomization), so
+   the resulting ciphertext is identical to the unfused fold's. *)
+let scalar_mul_many pub pairs =
+  Obs.add Obs.Metrics.Dj_mul (List.length pairs);
+  Modular.multi_pow (List.map (fun (c, k) -> (c, Nat.rem k pub.n2)) pairs) ~m:pub.n3
+
+let scalar_mul_ct_many pub pairs =
+  scalar_mul_many pub (List.map (fun (c, inner) -> (c, Paillier.to_nat inner)) pairs)
+
 let neg pub c =
   Obs.bump Obs.Metrics.Dj_mul;
   Modular.pow c (Nat.pred pub.n2) ~m:pub.n3
@@ -135,6 +147,14 @@ let rerandomize rng pub c =
 let rerandomize_with pub ~noise c =
   Obs.bump Obs.Metrics.Dj_rerand;
   Modular.mul c noise ~m:pub.n3
+
+(* Counterpart of [Paillier.precompute] for the layer-2 key: Montgomery
+   context for n^3 plus the comb for h2 under shortened noise. *)
+let precompute pub =
+  ignore (Modular.mul Nat.one Nat.one ~m:pub.n3);
+  match pub.rand_bits with
+  | None -> ()
+  | Some b -> ignore (Fixed_base.cached ~base:pub.h2 ~m:pub.n3 ~max_bits:(b + 1))
 
 let to_nat c = c
 

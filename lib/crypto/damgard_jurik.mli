@@ -46,6 +46,15 @@ val scalar_mul : public -> ciphertext -> Nat.t -> ciphertext
     homomorphism with a Paillier ciphertext as scalar. *)
 val scalar_mul_ct : public -> ciphertext -> Paillier.ciphertext -> ciphertext
 
+(** [scalar_mul_many pub [(c_1, k_1); ...]] is [Enc2(sum k_i * x_i)] — the
+    fold of {!scalar_mul} and {!add} collapsed into one simultaneous
+    multi-exponentiation over [n^3] (shared squaring chain, same ciphertext
+    bytes as the fold). Counts one Dj_mul per pair. *)
+val scalar_mul_many : public -> (ciphertext * Nat.t) list -> ciphertext
+
+(** {!scalar_mul_many} with layered Paillier ciphertexts as scalars. *)
+val scalar_mul_ct_many : public -> (ciphertext * Paillier.ciphertext) list -> ciphertext
+
 val neg : public -> ciphertext -> ciphertext
 val sub : public -> ciphertext -> ciphertext -> ciphertext
 val rerandomize : Rng.t -> public -> ciphertext -> ciphertext
@@ -61,6 +70,12 @@ val rerandomize_with : public -> noise:Bignum.Nat.t -> ciphertext -> ciphertext
     constants whose value is blinded downstream; NOT semantically secure
     on its own. *)
 val trivial : public -> Bignum.Nat.t -> ciphertext
+
+(** Counterpart of {!Paillier.precompute} for the layer-2 key: the
+    Montgomery context for [n^3] plus the comb for [h2] under shortened
+    noise. Idempotent. *)
+val precompute : public -> unit
+
 val to_nat : ciphertext -> Nat.t
 val of_nat : public -> Nat.t -> ciphertext
 val ciphertext_bytes : public -> int

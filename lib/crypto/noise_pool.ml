@@ -5,13 +5,14 @@ open Bignum
    exponentiation of a re-randomization moves off the query path, leaving
    a single modular multiplication per call.
 
-   Determinism: value [i] is a pure function of the pool's root generator
-   — it is drawn from [Rng.fork root ~label:(string_of_int i)] — and
-   values are consumed strictly in index order, so the stream a protocol
-   run sees does not depend on whether (or how far ahead) the background
-   filler ran. Production is serialized by the [producing] flag: whoever
-   produces (filler domain or a starved consumer), forks happen in index
-   order under the lock and results enter the FIFO in index order.
+   Determinism: values are drawn sequentially from the pool's root
+   generator and produced strictly in index order (production is
+   serialized by the [producing] flag), so value [i] is a pure function
+   of the root seed and the stream a protocol run sees does not depend
+   on whether (or how far ahead) the background filler ran. Whoever
+   produces (filler domain or a starved consumer) owns the root
+   generator for the duration of its draw, and results enter the FIFO
+   in index order.
 
    The generator runs under a throwaway Obs collector: precomputation
    cost must not surface in a protocol's counters at a timing-dependent
@@ -29,7 +30,6 @@ type t = {
   mutex : Mutex.t;
   cond : Condition.t;
   values : Nat.t Queue.t;
-  mutable next : int; (* index of the next value to start producing *)
   mutable producing : bool;
   depth : int; (* filler keeps at least this many values banked *)
   mutable filler : unit Domain.t option;
@@ -43,21 +43,20 @@ let create ?(depth = 64) rng ~label gen =
     mutex = Mutex.create ();
     cond = Condition.create ();
     values = Queue.create ();
-    next = 0;
     producing = false;
     depth;
     filler = None;
     stop = false;
   }
 
-(* Requires the lock held and [producing = false]; computes value [next]
-   with the lock released, pushes it, returns with the lock held. *)
+(* Requires the lock held and [producing = false]; computes the next
+   value with the lock released, pushes it, returns with the lock held.
+   The [producing] flag gives the producer exclusive ownership of the
+   root generator while the lock is down. *)
 let produce_locked t =
   t.producing <- true;
-  let rng = Rng.fork t.root ~label:(string_of_int t.next) in
-  t.next <- t.next + 1;
   Mutex.unlock t.mutex;
-  let v = Obs.with_collector (Obs.Collector.create ()) (fun () -> t.gen rng) in
+  let v = Obs.with_collector (Obs.Collector.create ()) (fun () -> t.gen t.root) in
   Mutex.lock t.mutex;
   Queue.push v t.values;
   t.producing <- false;

@@ -7,8 +7,8 @@
     multiplication on the query path ({!Paillier.rerandomize_with},
     {!Damgard_jurik.rerandomize_with}).
 
-    Deterministic under a seeded generator: value [i] is drawn from
-    [Rng.fork root ~label:(string_of_int i)] and values are consumed
+    Deterministic under a seeded generator: values are drawn
+    sequentially from the pool's root generator, produced and consumed
     strictly in index order, so the stream is independent of filler
     scheduling (or of the filler existing at all). Generation runs under
     a throwaway Obs collector; each {!take} bumps

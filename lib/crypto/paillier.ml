@@ -115,6 +115,15 @@ let scalar_mul pub c k =
   Obs.bump Obs.Metrics.Paillier_mul;
   Modular.pow c (Nat.rem k pub.n) ~m:pub.n2
 
+(* prod_i c_i^(k_i mod n) — the homomorphic weighted sum
+   sum_i k_i * m_i — as one interleaved multi-exponentiation sharing a
+   single squaring chain across all bases. Counted as the scalar
+   multiplications it replaces so the closed-form cost model stays
+   exact. *)
+let scalar_mul_many pub pairs =
+  Obs.add Obs.Metrics.Paillier_mul (List.length pairs);
+  Modular.multi_pow (List.map (fun (c, k) -> (c, Nat.rem k pub.n)) pairs) ~m:pub.n2
+
 let neg pub c =
   Obs.bump Obs.Metrics.Paillier_mul;
   Modular.pow c (Nat.pred pub.n) ~m:pub.n2
@@ -131,6 +140,24 @@ let rerandomize_with pub ~noise c =
   Modular.mul c noise ~m:pub.n2
 
 let trivial pub m = Nat.rem (Nat.succ (Nat.mul (Nat.rem m pub.n) pub.n)) pub.n2
+
+(* Encryption from a precomputed noise factor: byte-identical to
+   [encrypt] when [noise] came from the same rng position, but costs one
+   modular multiplication. *)
+let encrypt_with pub ~noise m =
+  Obs.bump Obs.Metrics.Paillier_enc;
+  Modular.mul (trivial pub m) noise ~m:pub.n2
+
+(* Build the per-key tables before the first encryption: the Montgomery
+   contexts for n and n^2 and, under shortened noise, the fixed-base
+   comb for h. Servers call this at startup so no query pays the
+   one-time cost. *)
+let precompute pub =
+  ignore (Modular.mul Nat.one Nat.one ~m:pub.n);
+  ignore (Modular.mul Nat.one Nat.one ~m:pub.n2);
+  match pub.rand_bits with
+  | None -> ()
+  | Some b -> ignore (Fixed_base.cached ~base:pub.h ~m:pub.n2 ~max_bits:(b + 1))
 let to_nat c = c
 
 let of_nat pub c =

@@ -59,6 +59,13 @@ val add : public -> ciphertext -> ciphertext -> ciphertext
 (** Homomorphic scalar multiplication: ciphertext exponentiation. *)
 val scalar_mul : public -> ciphertext -> Nat.t -> ciphertext
 
+(** [scalar_mul_many pub [(c_1, k_1); ...]] is the homomorphic weighted
+    sum [enc (sum_i k_i * m_i)], computed as one interleaved
+    simultaneous multi-exponentiation (a single shared squaring chain
+    instead of one full ladder per term). Counts as [List.length pairs]
+    scalar multiplications. *)
+val scalar_mul_many : public -> (ciphertext * Nat.t) list -> ciphertext
+
 (** [neg pub c] encrypts the additive inverse ([c^(n-1)]). *)
 val neg : public -> ciphertext -> ciphertext
 
@@ -77,6 +84,17 @@ val noise : Rng.t -> public -> Bignum.Nat.t
 (** [rerandomize_with pub ~noise c] — re-randomize with a precomputed
     {!noise} factor: a single modular multiplication. *)
 val rerandomize_with : public -> noise:Bignum.Nat.t -> ciphertext -> ciphertext
+
+(** [encrypt_with pub ~noise m] encrypts with a precomputed {!noise}
+    factor — byte-identical to [encrypt] when the factor came from the
+    same rng position, at the cost of one modular multiplication. *)
+val encrypt_with : public -> noise:Bignum.Nat.t -> Nat.t -> ciphertext
+
+(** Build the per-key tables ahead of the first encryption: Montgomery
+    contexts for [n] and [n^2] and, under shortened noise, the
+    fixed-base comb for [h]. Idempotent; servers call it at startup so
+    no query pays the one-time cost. *)
+val precompute : public -> unit
 
 (** Deterministic trivial encryption with randomness 1 — only for tests and
     for homomorphic constants; NOT semantically secure. *)

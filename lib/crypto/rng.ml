@@ -1,8 +1,28 @@
 open Bignum
 
-type t = Drbg.t
+(* The generator consumes its DRBG in block units and hands bytes out of
+   an internal buffer. Protocol code draws mostly 6-12 byte
+   values (blinds, noise exponents); a per-draw [Drbg.generate] pays the
+   full HMAC-DRBG tax each time (one HMAC per 32 bytes plus the two-HMAC
+   key ratchet), which profiled as more expensive than the modexp the
+   bytes feed. Chunked consumption amortizes the ratchet ~10x, and the
+   delivered stream depends only on the seed and the cumulative byte
+   count — not on how draws are partitioned. *)
 
-let create ~seed = Drbg.create ~seed:("sectopk.rng:" ^ seed)
+type t = { d : Drbg.t; mutable buf : string; mutable pos : int; mutable chunk : int }
+
+(* The refill size starts small and doubles up to [max_chunk]: short-lived
+   forks (a pool value, a parallel sub-task) pay for the bytes they use,
+   while long-lived generators settle at the amortized-optimal size. The
+   schedule depends only on the refill count, so the stream is still a
+   pure function of the seed and cumulative byte count. *)
+let min_chunk = 32
+
+let max_chunk = 256
+
+let of_drbg d = { d; buf = ""; pos = 0; chunk = min_chunk }
+
+let create ~seed = of_drbg (Drbg.create ~seed:("sectopk.rng:" ^ seed))
 
 let system () =
   let entropy =
@@ -14,9 +34,23 @@ let system () =
     with _ ->
       Printf.sprintf "%d:%f:%d" (Unix.getpid ()) (Unix.gettimeofday ()) (Hashtbl.hash (Sys.getcwd ()))
   in
-  Drbg.create ~seed:entropy
+  of_drbg (Drbg.create ~seed:entropy)
 
-let bytes t n = Drbg.generate t n
+let bytes t n =
+  let out = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    if t.pos >= String.length t.buf then begin
+      t.buf <- Drbg.generate t.d t.chunk;
+      t.chunk <- min (2 * t.chunk) max_chunk;
+      t.pos <- 0
+    end;
+    let take = min (n - !off) (String.length t.buf - t.pos) in
+    Bytes.blit_string t.buf t.pos out !off take;
+    t.pos <- t.pos + take;
+    off := !off + take
+  done;
+  Bytes.unsafe_to_string out
 
 let nat_bits t bits =
   if bits <= 0 then Nat.zero
@@ -62,4 +96,4 @@ let shuffle t arr =
   done;
   perm
 
-let fork t ~label = Drbg.create ~seed:(bytes t 32 ^ "fork:" ^ label)
+let fork t ~label = of_drbg (Drbg.create ~seed:(bytes t 32 ^ "fork:" ^ label))

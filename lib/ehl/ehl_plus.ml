@@ -10,17 +10,24 @@ let encode rng pub ~keys id =
 
 let diff ?blind_bits rng pub (a : t) (b : t) =
   if Array.length a <> Array.length b then invalid_arg "Ehl_plus.diff: length mismatch";
+  let n = pub.Paillier.n in
   let blind () =
     match blind_bits with
-    | None -> Rng.unit_mod rng pub.Paillier.n
+    | None -> Rng.unit_mod rng n
     | Some bits -> Nat.succ (Rng.nat_bits rng bits)
   in
-  let acc = ref (Paillier.trivial pub Nat.zero) in
-  for i = 0 to Array.length a - 1 do
-    let d = Paillier.sub pub a.(i) b.(i) in
-    acc := Paillier.add pub !acc (Paillier.scalar_mul pub d (blind ()))
+  (* blinds drawn in index order, exactly like the per-cell loop this
+     replaces *)
+  let rhos = Array.map (fun _ -> blind ()) a in
+  (* prod_i a_i^rho_i * b_i^(n - rho_i) decrypts to
+     sum_i rho_i * (a_i - b_i) mod n: one simultaneous
+     multi-exponentiation over 2s bases instead of a ciphertext negation
+     plus scalar multiplication per cell. *)
+  let pairs = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    pairs := (a.(i), rhos.(i)) :: (b.(i), Nat.sub n rhos.(i)) :: !pairs
   done;
-  !acc
+  Paillier.scalar_mul_many pub !pairs
 
 let mask pub (e : t) encs =
   if Array.length e <> Array.length encs then invalid_arg "Ehl_plus.mask: length mismatch";

@@ -26,6 +26,7 @@ module Metrics = struct
     | Dj_mul
     | Dj_rerand
     | Modexp
+    | Modexp_fixed_base
     | Prf_eval
     | Rerand_pool
     | Bytes_sent
@@ -35,7 +36,7 @@ module Metrics = struct
     | Cache_hit
     | Cache_miss
 
-  let n_ops = 17
+  let n_ops = 18
 
   let index = function
     | Paillier_enc -> 0
@@ -55,11 +56,12 @@ module Metrics = struct
     | Store_read_bytes -> 14
     | Cache_hit -> 15
     | Cache_miss -> 16
+    | Modexp_fixed_base -> 17
 
   let all =
     [ Paillier_enc; Paillier_dec; Paillier_mul; Paillier_rerand;
       Dj_enc; Dj_dec; Dj_mul; Dj_rerand;
-      Modexp; Prf_eval; Rerand_pool; Bytes_sent; Msgs; Rounds;
+      Modexp; Modexp_fixed_base; Prf_eval; Rerand_pool; Bytes_sent; Msgs; Rounds;
       Store_read_bytes; Cache_hit; Cache_miss ]
 
   let name = function
@@ -72,6 +74,7 @@ module Metrics = struct
     | Dj_mul -> "dj_scalar_mul"
     | Dj_rerand -> "dj_rerand"
     | Modexp -> "modexp"
+    | Modexp_fixed_base -> "modexp_fixed_base"
     | Prf_eval -> "prf"
     | Rerand_pool -> "rerand_pool"
     | Bytes_sent -> "bytes"

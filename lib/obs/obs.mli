@@ -17,6 +17,7 @@ module Metrics : sig
     | Dj_mul
     | Dj_rerand
     | Modexp
+    | Modexp_fixed_base  (** modexps answered from a precomputed comb table *)
     | Prf_eval
     | Rerand_pool  (** noise values taken from a precomputed pool *)
     | Bytes_sent

@@ -33,7 +33,22 @@ let of_keys ?blind_bits ?(domains = 1) ?mode ?rtt_us rng pub sk =
   let mode = match mode with Some m -> m | None -> default_mode () in
   let djpub, djsk_opt = Damgard_jurik.of_paillier pub (Some sk) in
   let s1_rng = Rng.fork rng ~label:"s1" in
-  let own_pub, own_sk = Paillier.keygen s1_rng ~bits:(pub.Paillier.key_bits + 16) in
+  (* S1's personal key inherits the noise policy of the main key so the
+     escrow-pack encryptions also run off a fixed-base comb; keygen's
+     draw sequence does not depend on [rand_bits], and
+     [S2_server.of_hello] applies the same policy when it replays this
+     derivation. *)
+  let own_pub, own_sk =
+    Paillier.keygen ?rand_bits:pub.Paillier.rand_bits s1_rng
+      ~bits:(pub.Paillier.key_bits + 16)
+  in
+  (* Build every long-lived table (Montgomery contexts, fixed-base
+     combs) before the first query; under a collector this shows up as
+     one startup span. *)
+  Obs.span "comb_warmup" (fun () ->
+      Paillier.precompute pub;
+      Damgard_jurik.precompute djpub;
+      Paillier.precompute own_pub);
   let s2_rng = Rng.fork rng ~label:"s2" in
   let keys = Wire.keys_of ~pub ~djpub ~own_pub in
   let transport =

@@ -65,9 +65,46 @@ let recover_enc_many (ctx : Ctx.t) ~protocol e2cs =
       | _ -> failwith "Gadgets.recover_enc_many: unexpected response")
     blinded resps
 
+(* Batched RecoverEnc over multi-exponentiation specs. Each spec is the
+   pair list of one E2 accumulator [sum_i k_i * x_i]; since the RecoverEnc
+   blinding is itself an exponentiation, [(prod c_i^{k_i})^e =
+   prod c_i^{k_i * e}], it folds into the same simultaneous pass and the
+   blinding costs no extra modexp. Blinding draws happen in list order
+   (the same draws {!recover_enc_many} makes). *)
+let recover_enc_specs (ctx : Ctx.t) ~protocol specs =
+  let s1 = ctx.Ctx.s1 in
+  let blinded =
+    List.map
+      (fun pairs ->
+        let r = Rng.nat_below s1.rng s1.pub.Paillier.n in
+        let enc_r = Paillier.encrypt s1.rng s1.pub r in
+        let e = Paillier.to_nat enc_r in
+        (* account for the blinding exponentiation the fold absorbs *)
+        Obs.bump Obs.Metrics.Dj_mul;
+        ( enc_r,
+          Damgard_jurik.scalar_mul_many s1.djpub
+            (List.map (fun (c, k) -> (c, Nat.mul (Paillier.to_nat k) e)) pairs) ))
+      specs
+  in
+  let resps =
+    Ctx.rpc_batch ctx ~label:protocol (List.map (fun (_, b) -> Wire.Recover b) blinded)
+  in
+  List.map2
+    (fun (enc_r, _) resp ->
+      match resp with
+      | Wire.Ct inner -> Paillier.sub s1.pub inner enc_r
+      | _ -> failwith "Gadgets.recover_enc_specs: unexpected response")
+    blinded resps
+
 let select_recover_many (ctx : Ctx.t) ~protocol choices =
-  recover_enc_many ctx ~protocol
-    (List.map (fun (t, if_one, if_zero) -> select ctx.Ctx.s1 ~t ~if_one ~if_zero) choices)
+  let dj = ctx.Ctx.s1.djpub in
+  recover_enc_specs ctx ~protocol
+    (List.map
+       (fun (t, if_one, if_zero) ->
+         let e2_one = Damgard_jurik.trivial dj Nat.one in
+         let one_minus_t = Damgard_jurik.sub dj e2_one t in
+         [ (t, if_one); (one_minus_t, if_zero) ])
+       choices)
 
 let lift (ctx : Ctx.t) ~protocol cts =
   let s1 = ctx.Ctx.s1 in

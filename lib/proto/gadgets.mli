@@ -58,6 +58,19 @@ val select_recover :
 val recover_enc_many :
   Ctx.t -> protocol:string -> Damgard_jurik.ciphertext list -> Paillier.ciphertext list
 
+(** Batched RecoverEnc over multi-exponentiation specs: each spec is the
+    pair list of one E2 accumulator [Enc2(sum_i k_i * x_i)] (layered
+    Paillier scalars), evaluated together with the RecoverEnc blinding in
+    a single simultaneous exponentiation per spec —
+    [(prod c_i^{k_i})^e = prod c_i^{k_i * e}], so the blinding is free.
+    One Dj_mul is counted per pair plus one for the absorbed blinding,
+    matching the unfused accumulate-then-recover op count. *)
+val recover_enc_specs :
+  Ctx.t ->
+  protocol:string ->
+  (Damgard_jurik.ciphertext * Paillier.ciphertext) list list ->
+  Paillier.ciphertext list
+
 (** Batched {!select_recover} over [(t, if_one, if_zero)] choices. *)
 val select_recover_many :
   Ctx.t ->

@@ -46,5 +46,8 @@ val noise_pool : t -> Noise_pool.t
 
 (** Serve one connection: expects a [Hello] control frame, then answers
     request/control frames until EOF or [Shutdown]. Runs the daemon side
-    of the Socket transport. *)
-val serve_fd : Unix.file_descr -> unit
+    of the Socket transport. [on_ready] (if given) is called once after
+    provisioning with the setup wall time in seconds — key replay plus
+    Montgomery-context and fixed-base-comb warmup — so a daemon can log
+    what its first client paid before the first request was served. *)
+val serve_fd : ?on_ready:(float -> unit) -> Unix.file_descr -> unit

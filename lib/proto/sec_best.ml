@@ -26,29 +26,26 @@ let fold_list (s1 : Ctx.s1) (permuted, bottom, _) reply =
     | Wire.Bits2 ts -> ts
     | _ -> failwith "Sec_best.run: unexpected response"
   in
-  (* E2(sum t_e * Enc(x_e)): at most one t_e is 1 within a list *)
-  let matched =
-    List.fold_left2
-      (fun acc t (e : Enc_item.entry) ->
-        let term = Damgard_jurik.scalar_mul_ct dj t e.Enc_item.score in
-        match acc with None -> Some term | Some a -> Some (Damgard_jurik.add dj a term))
-      None ts permuted
-  in
-  (* E2(1 - sum t_e) selects the bottom score when the object is unseen *)
+  (* E2(sum t_e * Enc(x_e)): at most one t_e is 1 within a list. The
+     selection is assembled as a multi-exponentiation spec — matched
+     terms plus the unseen-selected bottom — and evaluated inside
+     RecoverEnc's fused simultaneous pass. *)
   let sum_t =
     List.fold_left
       (fun acc t -> match acc with None -> Some t | Some a -> Some (Damgard_jurik.add dj a t))
       None ts
   in
-  match (matched, sum_t) with
-  | None, None ->
+  match sum_t with
+  | None ->
     (* empty list prefix: the bottom value is the only contribution *)
     `Score bottom
-  | Some matched, Some sum_t ->
+  | Some sum_t ->
+    (* E2(1 - sum t_e) selects the bottom score when the object is unseen *)
     let e2_one = Damgard_jurik.trivial dj Bignum.Nat.one in
     let unseen = Damgard_jurik.sub dj e2_one sum_t in
-    `Recover (Damgard_jurik.add dj matched (Damgard_jurik.scalar_mul_ct dj unseen bottom))
-  | _ -> assert false
+    `Recover
+      (List.map2 (fun t (e : Enc_item.entry) -> (t, e.Enc_item.score)) ts permuted
+      @ [ (unseen, bottom) ])
 
 (* All instances of one phase share the two rounds: every query's per-list
    equality tests travel in one batch, then every pending accumulator in
@@ -66,8 +63,8 @@ let run_many (ctx : Ctx.t) queries =
   in
   let pending = List.map2 (fold_list s1) all_lists replies in
   let recovered =
-    Gadgets.recover_enc_many ctx ~protocol
-      (List.filter_map (function `Recover acc -> Some acc | `Score _ -> None) pending)
+    Gadgets.recover_enc_specs ctx ~protocol
+      (List.filter_map (function `Recover spec -> Some spec | `Score _ -> None) pending)
   in
   let per_list_scores =
     let rec stitch pending recovered =

@@ -46,36 +46,21 @@ let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
           let sum_t = e2_sum dj col in
           let e2_one = Damgard_jurik.trivial dj Nat.one in
           let no_match = Damgard_jurik.sub dj e2_one sum_t in
-          let w_terms =
-            List.init n_new (fun i ->
-                Damgard_jurik.scalar_mul_ct dj (t_of i j) news.(i).Enc_item.worst)
+          (* each selection is sum_i t_ij * x_i (+ no_match * default): the
+             multi-exponentiation spec is handed to RecoverEnc, which folds
+             its blinding into the same simultaneous pass *)
+          let select default xs =
+            (no_match, default) :: List.init n_new (fun i -> (t_of i j, xs i))
           in
-          let w_sel =
-            List.fold_left (Damgard_jurik.add dj)
-              (Damgard_jurik.scalar_mul_ct dj no_match zero)
-              w_terms
-          in
+          let w_sel = select zero (fun i -> news.(i).Enc_item.worst) in
           (* seen-vector merge: u'_{j,l} = u_{j,l} + sum_i t_ij * u_{i,l}
              (at most one i matches, so the inner selection is exclusive) *)
           let seen_sels =
             Array.mapi
-              (fun l _ ->
-                List.fold_left (Damgard_jurik.add dj)
-                  (Damgard_jurik.scalar_mul_ct dj no_match zero)
-                  (List.init n_new (fun i ->
-                       Damgard_jurik.scalar_mul_ct dj (t_of i j)
-                         news.(i).Enc_item.seen.(l))))
+              (fun l _ -> select zero (fun i -> news.(i).Enc_item.seen.(l)))
               old.Enc_item.seen
           in
-          let b_terms =
-            List.init n_new (fun i ->
-                Damgard_jurik.scalar_mul_ct dj (t_of i j) news.(i).Enc_item.best)
-          in
-          let b_sel =
-            List.fold_left (Damgard_jurik.add dj)
-              (Damgard_jurik.scalar_mul_ct dj no_match old.Enc_item.best)
-              b_terms
-          in
+          let b_sel = select old.Enc_item.best (fun i -> news.(i).Enc_item.best) in
           (w_sel, seen_sels, b_sel))
         olds
     in
@@ -83,7 +68,7 @@ let run (ctx : Ctx.t) ~mode ~t_list ~gamma =
       Array.to_list selections
       |> List.concat_map (fun (w, seens, b) -> (w :: Array.to_list seens) @ [ b ])
     in
-    let recovered = Array.of_list (Gadgets.recover_enc_many ctx ~protocol flat) in
+    let recovered = Array.of_list (Gadgets.recover_enc_specs ctx ~protocol flat) in
     let m_seen = match t_list with it :: _ -> Array.length it.Enc_item.seen | [] -> 0 in
     let stride = m_seen + 2 in
     let updated_olds =

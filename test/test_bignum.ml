@@ -386,6 +386,153 @@ let prop_fixed_base =
           Nat.equal (Fixed_base.pow fb e) (Modular.pow g e ~m)
       end)
 
+(* ---------------- Nat vs Nat_ref differential ----------------
+
+   [Nat_ref] is the retained base-2^26 schoolbook implementation, kept
+   verbatim as an oracle for the base-2^52 rewrite. Widths deliberately
+   straddle both limb sizes' boundaries (26 and 52 bits and multiples),
+   where carry and normalization bugs live. *)
+
+let awkward_widths = [ 1; 25; 26; 27; 51; 52; 53; 103; 104; 105; 155; 156; 157; 311; 312; 313 ]
+
+let ref_of_nat a = Nat_ref.of_bytes (Nat.to_bytes a)
+let ref_eq a r = String.equal (Nat.to_string a) (Nat_ref.to_string r)
+
+let test_differential_ops () =
+  let rng = splitmix 2026 in
+  List.iter
+    (fun wa ->
+      List.iter
+        (fun wb ->
+          for _ = 1 to 2 do
+            let a = gen_nat_of_bits rng wa and b = gen_nat_of_bits rng wb in
+            let ra = ref_of_nat a and rb = ref_of_nat b in
+            let chk name x rx =
+              Alcotest.(check bool)
+                (Printf.sprintf "%s at %dx%d bits" name wa wb)
+                true (ref_eq x rx)
+            in
+            chk "add" (Nat.add a b) (Nat_ref.add ra rb);
+            chk "mul" (Nat.mul a b) (Nat_ref.mul ra rb);
+            if Nat.compare a b >= 0 then chk "sub" (Nat.sub a b) (Nat_ref.sub ra rb)
+            else chk "sub" (Nat.sub b a) (Nat_ref.sub rb ra);
+            if not (Nat.is_zero b) then begin
+              let q, r = Nat.divmod a b and rq, rr = Nat_ref.divmod ra rb in
+              chk "div" q rq;
+              chk "rem" r rr
+            end;
+            let sh = wb land 63 in
+            chk "shl" (Nat.shift_left a sh) (Nat_ref.shift_left ra sh);
+            chk "shr" (Nat.shift_right a sh) (Nat_ref.shift_right ra sh)
+          done)
+        awkward_widths)
+    awkward_widths
+
+let test_differential_divisors () =
+  (* divisors just past a base-2^26 limb and with the top bit set: the
+     divmod normalization paths *)
+  let rng = splitmix 31337 in
+  let divisors =
+    List.map Nat.of_string
+      [ "67108864" (* 2^26 *); "67108865"; "1099511627777" (* 2^40+1 *);
+        "4503599627370496" (* 2^52 *); "4503599627370497";
+        "170141183460469231731687303715884105727" (* 2^127-1 *) ]
+  in
+  List.iter
+    (fun d ->
+      let rd = ref_of_nat d in
+      List.iter
+        (fun wa ->
+          let a = gen_nat_of_bits rng wa in
+          (* force the top bit so the width is exact *)
+          let a = Nat.add a (Nat.shift_left Nat.one (wa - 1)) in
+          let ra = ref_of_nat a in
+          let q, r = Nat.divmod a d and rq, rr = Nat_ref.divmod ra rd in
+          Alcotest.(check bool) "q" true (ref_eq q rq);
+          Alcotest.(check bool) "r" true (ref_eq r rr))
+        [ 53; 104; 157; 313 ])
+    divisors
+
+let test_differential_pow () =
+  let rng = splitmix 99 in
+  List.iter
+    (fun w ->
+      let a = gen_nat_of_bits rng w in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pow %d^%d" w k)
+            true
+            (ref_eq (Nat.pow a k) (Nat_ref.pow (ref_of_nat a) k)))
+        [ 0; 1; 2; 3; 7 ])
+    [ 1; 26; 52; 53; 104 ]
+
+(* ---------------- multi_pow / inv_many properties ---------------- *)
+
+let prop_multi_pow =
+  qtest ~count:80 "multi_pow = product of pows" arb_bits_pair
+    (fun (seed, bm, be) ->
+      let rng = splitmix seed in
+      let m = gen_nat_of_bits rng (max 4 bm) in
+      let m = if Nat.is_even m then Nat.succ m else m in
+      if Nat.compare m (Nat.of_int 3) < 0 then QCheck.assume_fail ()
+      else begin
+        let nb = 1 + (seed mod 4) in
+        let pairs =
+          List.init nb (fun i ->
+              ( Nat.rem (gen_nat_of_bits rng (max 1 bm)) m,
+                gen_nat_of_bits rng (max 1 ((be / 2) + (17 * i))) ))
+        in
+        let expect =
+          List.fold_left
+            (fun acc (b, e) -> Modular.mul acc (Modular.pow b e ~m) ~m)
+            (Nat.rem Nat.one m) pairs
+        in
+        Nat.equal (Modular.multi_pow pairs ~m) expect
+      end)
+
+let prop_inv_many =
+  qtest ~count:80 "inv_many = pointwise inv" arb_bits_pair
+    (fun (seed, bm, _) ->
+      let rng = splitmix seed in
+      (* prime modulus: everything nonzero is invertible *)
+      let m = Nat.of_string "170141183460469231731687303715884105727" in
+      let nb = seed mod 6 in
+      let xs =
+        List.init nb (fun _ ->
+            let x = Nat.rem (gen_nat_of_bits rng (max 1 bm)) m in
+            if Nat.is_zero x then Nat.one else x)
+      in
+      List.equal Nat.equal
+        (Modular.inv_many xs ~m)
+        (List.map (fun x -> Modular.inv x ~m) xs))
+
+(* ---------------- Fixed_base comb cache (LRU) ---------------- *)
+
+let test_fixed_base_cache () =
+  let m = Nat.of_string "1000000007" in
+  Fixed_base.reset ();
+  Fixed_base.set_capacity 4;
+  Fun.protect ~finally:Fixed_base.reset (fun () ->
+      for i = 2 to 11 do
+        ignore (Fixed_base.cached ~base:(Nat.of_int i) ~m ~max_bits:16)
+      done;
+      Alcotest.(check int) "bounded at capacity" 4 (Fixed_base.cached_count ());
+      (* an evicted base is rebuilt on demand and still correct *)
+      (match Fixed_base.cached ~base:(Nat.of_int 2) ~m ~max_bits:16 with
+      | None -> Alcotest.fail "comb expected for odd modulus"
+      | Some fb ->
+        let e = Nat.of_int 54321 in
+        Alcotest.check nat "rebuilt comb correct"
+          (Modular.pow (Nat.of_int 2) e ~m)
+          (Fixed_base.pow fb e));
+      Alcotest.(check bool) "even modulus has no ctx" true
+        (Fixed_base.cached ~base:(Nat.of_int 3) ~m:(Nat.of_int 100) ~max_bits:8 = None);
+      Alcotest.check_raises "capacity must be positive"
+        (Invalid_argument "Fixed_base.set_capacity") (fun () ->
+          Fixed_base.set_capacity 0));
+  Alcotest.(check int) "reset empties" 0 (Fixed_base.cached_count ())
+
 let test_montgomery_edges () =
   let m = Nat.of_int 2145386377 (* odd *) in
   let ctx = Option.get (Montgomery.create m) in
@@ -488,7 +635,15 @@ let suite =
     ( "montgomery",
       [ prop_montgomery_pow; prop_montgomery_mul; prop_residue_chain; prop_of_limbs;
         prop_fixed_base;
-        Alcotest.test_case "edge cases" `Quick test_montgomery_edges
+        prop_multi_pow;
+        prop_inv_many;
+        Alcotest.test_case "edge cases" `Quick test_montgomery_edges;
+        Alcotest.test_case "fixed-base comb cache" `Quick test_fixed_base_cache
+      ] );
+    ( "nat-differential",
+      [ Alcotest.test_case "ops vs base-2^26 reference" `Quick test_differential_ops;
+        Alcotest.test_case "awkward divisors" `Quick test_differential_divisors;
+        Alcotest.test_case "pow" `Quick test_differential_pow
       ] );
     ( "prime",
       [ Alcotest.test_case "small primes" `Quick test_small_primes;

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Wall-clock perf smoke: fail if the fig12 query sweep regresses past a
+# generous budget.
+#
+#   sh tools/check_perf.sh [BENCH_fig12.json] [budget_seconds]
+#
+# The budget (default 3.0 s for the sum of the twelve fig12 queries) is
+# deliberately loose — CI runners differ in clock speed and neighbors —
+# so only a gross regression trips it: an accidental fallback off the
+# Montgomery path, a comb cache that stopped hitting, a protocol loop
+# gone quadratic. The committed BENCH_fig12.json sums to well under a
+# second on the reference machine; tighten the budget only with a
+# same-machine baseline in hand. Regenerate with
+#   dune exec bench/main.exe -- --only fig12 --json .
+set -eu
+
+file=${1:-BENCH_fig12.json}
+budget=${2:-3.0}
+
+if ! [ -f "$file" ]; then
+  echo "check_perf: $file not found" >&2
+  exit 2
+fi
+
+total=$(jq '[.results[].seconds] | add' "$file")
+
+if [ "$total" = "null" ] || [ -z "$total" ]; then
+  echo "check_perf: $file has no .results[].seconds" >&2
+  exit 2
+fi
+
+echo "fig12 wall-clock sum=${total}s (budget ${budget}s)"
+over=$(printf '%s %s' "$total" "$budget" | awk '{ print ($1 > $2) ? 1 : 0 }')
+if [ "$over" = "1" ]; then
+  echo "check_perf: FAIL — fig12 sum ${total}s exceeds the ${budget}s budget" >&2
+  echo "  (likely an accidental fallback off the Montgomery/comb fast path;" >&2
+  echo "   compare per-query seconds against the committed BENCH_fig12.json)" >&2
+  exit 1
+fi
+echo "check_perf: OK"

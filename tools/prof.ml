@@ -1,4 +1,4 @@
-(* Quick wall-clock profiler for the crypto substrate; the bechamel
+(* Quick wall-clock profiler for the crypto substrate; the min-of-trials
    micro-bench (bench/main.exe -- --only micro) is the rigorous version.
    Each primitive runs in an Obs span, so the closing report shows the
    op/modexp counts behind every wall time. *)
