@@ -23,6 +23,7 @@ let scoring_of m = Scoring.sum_of (List.init m Fun.id)
 
 let vary_k ~variant ~label =
   header label;
+  let hist = Obs.Hist.create () in
   row "%12s" "k";
   List.iter (fun k -> row "%11d " k) [ 2; 5; 10; 20 ];
   row "@.";
@@ -32,15 +33,17 @@ let vary_k ~variant ~label =
       List.iter
         (fun k ->
           let per_depth, _, _, _ =
-            run_query ~variant ~max_depth:depth_cap rel (scoring_of 3) ~k ()
+            run_query ~variant ~max_depth:depth_cap ~hist rel (scoring_of 3) ~k ()
           in
           row "%10.3fs " per_depth)
         [ 2; 5; 10; 20 ];
       row "@.")
-    (datasets ())
+    (datasets ());
+  quantile_line "per-depth latency" hist
 
 let vary_m ~variant ~label =
   header label;
+  let hist = Obs.Hist.create () in
   row "%12s" "m";
   List.iter (fun m -> row "%11d " m) [ 2; 3; 4; 6; 8 ];
   row "@.";
@@ -51,12 +54,13 @@ let vary_m ~variant ~label =
         (fun m ->
           let m = min m (Relation.n_attrs rel) in
           let per_depth, _, _, _ =
-            run_query ~variant ~max_depth:depth_cap rel (scoring_of m) ~k:5 ()
+            run_query ~variant ~max_depth:depth_cap ~hist rel (scoring_of m) ~k:5 ()
           in
           row "%10.3fs " per_depth)
         [ 2; 3; 4; 6; 8 ];
       row "@.")
-    (datasets ())
+    (datasets ());
+  quantile_line "per-depth latency" hist
 
 let fig9a () = vary_k ~variant:Sectopk.Query.Full ~label:"fig9a: Qry_F time/depth varying k (m=3)"
 let fig9b () = vary_m ~variant:Sectopk.Query.Full ~label:"fig9b: Qry_F time/depth varying m (k=5)"
@@ -71,6 +75,7 @@ let fig11b () =
 
 let fig11c () =
   header "fig11c: Qry_Ba time/depth varying the batching parameter p (k=5, m=3)";
+  let hist = Obs.Hist.create () in
   row "%12s" "p";
   List.iter (fun p -> row "%11d " p) [ 5; 8; 10; 15; 20; 25 ];
   row "@.";
@@ -80,13 +85,14 @@ let fig11c () =
       List.iter
         (fun p ->
           let per_depth, _, _, _ =
-            run_query ~variant:(Sectopk.Query.Batched p) ~max_depth:depth_cap rel (scoring_of 3)
-              ~k:5 ()
+            run_query ~variant:(Sectopk.Query.Batched p) ~max_depth:depth_cap ~hist rel
+              (scoring_of 3) ~k:5 ()
           in
           row "%10.3fs " per_depth)
         [ 5; 8; 10; 15; 20; 25 ];
       row "@.")
-    (datasets ())
+    (datasets ());
+  quantile_line "per-depth latency" hist
 
 let fig12 () =
   (* the [7]-style sorting network is the costly EncSort the paper batches;
@@ -95,12 +101,14 @@ let fig12 () =
   header "fig12: variant comparison, time/depth (k=5, m=2, p=10, network EncSort)";
   row "%12s %12s %12s %12s@." "dataset" "Qry_Ba" "Qry_E" "Qry_F";
   let json_rows = ref [] in
+  let hists = [ ("qry_ba", Obs.Hist.create ()); ("qry_e", Obs.Hist.create ());
+                ("qry_f", Obs.Hist.create ()) ] in
   List.iter
     (fun rel ->
       let go tag variant =
         let t, _, bytes, _ =
-          run_query ~sort:Proto.Enc_sort.Network ~variant ~max_depth:depth_cap rel (scoring_of 2)
-            ~k:5 ()
+          run_query ~sort:Proto.Enc_sort.Network ~variant ~max_depth:depth_cap
+            ~hist:(List.assoc tag hists) rel (scoring_of 2) ~k:5 ()
         in
         json_rows := (Relation.name rel ^ "/" ^ tag, t, bytes) :: !json_rows;
         t
@@ -110,4 +118,5 @@ let fig12 () =
       let f = go "qry_f" Sectopk.Query.Full in
       row "%12s %11.3fs %11.3fs %11.3fs@." (Relation.name rel) ba e f)
     (datasets ());
-  emit_json ~id:"fig12" (List.rev !json_rows)
+  List.iter (fun (tag, h) -> quantile_line (tag ^ " per-depth") h) hists;
+  emit_json ~quantiles:hists ~id:"fig12" (List.rev !json_rows)

@@ -78,8 +78,12 @@ let ops_since_mark () = Obs.Metrics.sub (Obs.Collector.metrics collector) !last_
    DIR/BENCH_<id>.json for machine comparison across commits. *)
 let json_dir : string option ref = ref None
 
-(* rows: (name, seconds, bytes) — bytes 0 when not applicable *)
-let emit_json ~id rows =
+(* rows: (name, seconds, bytes) — bytes 0 when not applicable.
+   [quantiles] names latency histograms (microsecond samples) emitted as
+   a "latency_quantiles" block next to the min/mean-style "results"; the
+   two answer different questions (throughput estimate vs distribution)
+   and the historical estimator stays untouched. *)
+let emit_json ?(quantiles = []) ~id rows =
   match !json_dir with
   | None -> ()
   | Some dir ->
@@ -97,7 +101,26 @@ let emit_json ~id rows =
         Buffer.add_string buf
           (Printf.sprintf "%s \"%s\": %d" (if i = 0 then "" else ",") (Obs.Metrics.name op) v))
       (Obs.Metrics.to_alist ops);
-    Buffer.add_string buf " },\n  \"results\": [\n";
+    Buffer.add_string buf " },\n";
+    (match List.filter (fun (_, h) -> not (Obs.Hist.is_empty h)) quantiles with
+    | [] -> ()
+    | qs ->
+      Buffer.add_string buf "  \"latency_quantiles\": {\n";
+      List.iteri
+        (fun i (name, h) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    \"%s\": { \"count\": %d, \"p50_us\": %d, \"p95_us\": %d, \"p99_us\": %d, \
+                \"max_us\": %d }%s\n"
+               name (Obs.Hist.count h)
+               (Obs.Hist.quantile h 0.5)
+               (Obs.Hist.quantile h 0.95)
+               (Obs.Hist.quantile h 0.99)
+               (Obs.Hist.max_value h)
+               (if i = List.length qs - 1 then "" else ",")))
+        qs;
+      Buffer.add_string buf "  },\n");
+    Buffer.add_string buf "  \"results\": [\n";
     List.iteri
       (fun i (name, seconds, bytes) ->
         Buffer.add_string buf
@@ -119,8 +142,10 @@ let header title = Format.printf "@.=== %s ===@." title
 
 let row fmt = Format.printf fmt
 
-(* run one secure query and report (avg s/depth, halting depth, bytes) *)
-let run_query ?(sort = Proto.Enc_sort.Blinded) ?max_depth ~variant rel scoring ~k () =
+(* run one secure query and report (avg s/depth, halting depth, bytes);
+   [hist] additionally collects every per-depth wall time as a sample,
+   for quantile reporting over whole figure sweeps *)
+let run_query ?(sort = Proto.Enc_sort.Blinded) ?max_depth ?hist ~variant rel scoring ~k () =
   let ctx = fresh_ctx () in
   let er, key = Sectopk.Scheme.encrypt ~s:ehl_s (Rng.fork rng ~label:"enc") pub rel in
   let tk = Sectopk.Scheme.token key ~m_total:(Relation.n_attrs rel) scoring ~k in
@@ -128,7 +153,20 @@ let run_query ?(sort = Proto.Enc_sort.Blinded) ?max_depth ~variant rel scoring ~
     { Sectopk.Query.default_options with variant; sort; max_depth; domains = !domains }
   in
   let res = Sectopk.Query.run ctx er tk options in
+  Option.iter
+    (fun h -> Array.iter (Obs.Hist.record_seconds h) res.Sectopk.Query.depth_seconds)
+    hist;
   let per_depth = mean res.Sectopk.Query.depth_seconds in
   let bytes = Proto.Channel.bytes_total (Proto.Ctx.channel ctx) in
   let rounds = Proto.Channel.rounds_total (Proto.Ctx.channel ctx) in
   (per_depth, res.Sectopk.Query.halting_depth, bytes, rounds)
+
+(* one-line per-depth latency distribution under a figure's table *)
+let quantile_line label h =
+  if not (Obs.Hist.is_empty h) then
+    row "%s: p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  (%d samples)@." label
+      (float_of_int (Obs.Hist.quantile h 0.5) /. 1000.)
+      (float_of_int (Obs.Hist.quantile h 0.95) /. 1000.)
+      (float_of_int (Obs.Hist.quantile h 0.99) /. 1000.)
+      (float_of_int (Obs.Hist.max_value h) /. 1000.)
+      (Obs.Hist.count h)

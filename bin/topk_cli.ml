@@ -165,6 +165,12 @@ let serve_s2 port once =
   let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigterm on_signal;
   Sys.set_signal Sys.sigint on_signal;
+  (* daemon-level telemetry, scrapeable with a bare Stats_req as the first
+     frame on a fresh connection ('topk_cli stats') *)
+  let reg = Obs.Registry.create () in
+  let connections_c = Obs.Registry.counter reg "connections" in
+  let warmup_g = Obs.Registry.gauge reg "comb_warmup_seconds" in
+  let combs_g = Obs.Registry.gauge reg "combs_built" in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -178,10 +184,16 @@ let serve_s2 port once =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop () (* re-check the flag *)
       | fd, _peer ->
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Obs.Registry.inc connections_c;
         Format.printf "S2: connection accepted@.%!";
         (try
-           Proto.S2_server.serve_fd fd
+           Proto.S2_server.serve_fd fd ~registry:reg
              ~on_ready:(fun dt ->
+               (* warm-up is scrapeable, not just a line lost in stdout:
+                  latest duration + cumulative comb-table count (pub,
+                  djpub, own_pub per provisioning) *)
+               Obs.Registry.set warmup_g dt;
+               Obs.Registry.add_gauge combs_g 3.;
                Format.printf "S2: keys provisioned, combs warmed in %.0f ms@.%!"
                  (dt *. 1000.))
          with e -> Format.eprintf "S2: connection failed: %s@." (Printexc.to_string e));
@@ -288,9 +300,15 @@ let build_index_cmd =
     Term.(const build_index $ rows_arg $ attrs_arg $ seed_arg $ bits_arg $ dist_arg $ csv_arg
           $ store_arg $ key_out_arg $ block_records_arg)
 
-let serve_s1 store_dir port seed bits variant workers queue_depth s2_addr metrics =
+let serve_s1 store_dir port seed bits variant workers queue_depth s2_addr metrics log_json
+    slow_query_ms trace_sample trace_dir =
   or_file_error (fun () ->
-      if metrics then Obs.set_enabled true;
+      let qlog =
+        { Server.Qlog.log_json; slow_query_ms; trace_sample; trace_dir }
+      in
+      (* slow-query span reports and sampled traces render per-query
+         collectors, which only fill when Obs is on *)
+      if metrics || Server.Qlog.needs_spans qlog then Obs.set_enabled true;
       let pub, _, _, _ = Proto.Ctx.provision ~seed ~key_bits:bits ~rand_bits:96 () in
       (* pay the one-time table builds now, not inside the first query *)
       let (), warm_s =
@@ -312,9 +330,14 @@ let serve_s1 store_dir port seed bits variant workers queue_depth s2_addr metric
           s2 = (match s2_addr with
                | Some a -> Server.Tcp (parse_addr a)
                | None -> Server.Local);
+          qlog;
         }
       in
       let t = Server.start ~port cfg store in
+      (* warm-up onto the scrapeable registry, not just stdout *)
+      let reg = Server.registry t in
+      Obs.Registry.set (Obs.Registry.gauge reg "comb_warmup_seconds") warm_s;
+      Obs.Registry.set (Obs.Registry.gauge reg "combs_built") 2.;
       Format.printf "S1 serving %d x %d (generation %d) on 127.0.0.1:%d@.%!"
         (Store.n_rows store) (Store.n_attrs store) (Store.generation store) (Server.port t);
       let stop = ref false in
@@ -341,6 +364,30 @@ let queue_depth_arg =
        & info [ "queue-depth" ]
            ~doc:"Admitted-but-waiting bound beyond free workers; overflow answers Busy.")
 
+let log_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-json" ] ~docv:"FILE"
+           ~doc:"Append one JSON line per query (token shape, outcome, rounds, \
+                 bytes, queue/exec latency) to $(docv).")
+
+let slow_query_ms_arg =
+  Arg.(value & opt (some float) None
+       & info [ "slow-query-ms" ] ~docv:"MS"
+           ~doc:"Also log a full span report for queries whose execution wall \
+                 time exceeds $(docv) milliseconds.")
+
+let trace_sample_arg =
+  Arg.(value & opt (some int) None
+       & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Capture every $(docv)th query's Chrome trace into a rotating \
+                 directory (see --trace-dir).")
+
+let trace_dir_arg =
+  Arg.(value & opt string Server.Qlog.default_config.Server.Qlog.trace_dir
+       & info [ "trace-dir" ] ~docv:"DIR"
+           ~doc:"Directory for sampled traces (rotates over a fixed number of \
+                 slots).")
+
 let serve_s1_cmd =
   Cmd.v
     (Cmd.info "serve-s1"
@@ -348,7 +395,8 @@ let serve_s1_cmd =
              Pair with 'serve-s2' via --s2 HOST:PORT for the full two-cloud split; \
              SIGTERM drains gracefully.")
     Term.(const serve_s1 $ store_arg $ port_arg $ seed_arg $ bits_arg $ variant_arg
-          $ workers_arg $ queue_depth_arg $ s2_arg $ metrics_arg)
+          $ workers_arg $ queue_depth_arg $ s2_arg $ metrics_arg $ log_json_arg
+          $ slow_query_ms_arg $ trace_sample_arg $ trace_dir_arg)
 
 let query_client s1_addr key_file k m seed bits =
   or_file_error (fun () ->
@@ -418,6 +466,56 @@ let query_cmd =
        ~doc:"Issue a top-k query to a serve-s1 front-end and decrypt the results \
              (the client step).")
     Term.(const query_client $ s1_arg $ key_file_arg $ k_arg $ m_arg $ seed_arg $ bits_arg)
+
+(* ---------------- stats ---------------- *)
+
+let render_stats_human snap =
+  if snap = [] then Format.printf "(empty registry)@."
+  else begin
+    let q hd p = Obs.Registry.hist_quantile hd p in
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | Obs.Registry.Counter v -> Format.printf "%-24s %d@." name v
+        | Obs.Registry.Gauge v -> Format.printf "%-24s %.6g@." name v
+        | Obs.Registry.Histogram hd ->
+          if hd.Obs.Registry.hcount = 0 then Format.printf "%-24s (empty)@." name
+          else
+            Format.printf
+              "%-24s count %d  mean %.1f  p50 %d  p95 %d  p99 %d  max %d@." name
+              hd.Obs.Registry.hcount
+              (Obs.Registry.hist_mean hd)
+              (q hd 0.5) (q hd 0.95) (q hd 0.99) hd.Obs.Registry.hmax)
+      snap
+  end
+
+let stats_client addr prom json =
+  or_file_error (fun () ->
+      let snap = Proto.Transport.scrape_stats (parse_addr addr) in
+      if prom then print_string (Obs.Registry.to_prometheus snap)
+      else if json then print_endline (Obs.Registry.to_json snap)
+      else render_stats_human snap)
+
+let stats_addr_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"HOST:PORT"
+           ~doc:"Address of a running serve-s1 or serve-s2 daemon.")
+
+let prom_arg =
+  Arg.(value & flag
+       & info [ "prom" ] ~doc:"Emit Prometheus text exposition instead of the summary.")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit the JSON snapshot instead of the summary.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Scrape live telemetry from a running daemon: counters, load gauges, \
+             and latency/size histograms (summarised as count/mean/p50/p95/p99/max; \
+             histogram values are microseconds for *_us series).")
+    Term.(const stats_client $ stats_addr_arg $ prom_arg $ json_arg)
 
 let index_info store_dir seed bits verify =
   or_file_error (fun () ->
@@ -507,5 +605,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; serve_s2_cmd; build_index_cmd; serve_s1_cmd; query_cmd; index_info_cmd;
-            nra_cmd; join_cmd; keysize_cmd ]))
+          [ demo_cmd; serve_s2_cmd; build_index_cmd; serve_s1_cmd; query_cmd; stats_cmd;
+            index_info_cmd; nra_cmd; join_cmd; keysize_cmd ]))

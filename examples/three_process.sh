@@ -8,9 +8,15 @@
 #
 # All parties derive key material from the same seed, so the served
 # results must be byte-for-byte the lines the in-process demo prints —
-# this script asserts exactly that, then drains both daemons with
-# SIGTERM. Also exercises the corruption path: a flipped byte in the
-# published index must be rejected with a typed error (exit 4).
+# this script asserts exactly that, scrapes live telemetry from both
+# daemons mid-run (asserting `served` equals the queries issued), then
+# drains both daemons with SIGTERM. Also exercises the corruption path:
+# a flipped byte in the published index must be rejected with a typed
+# error (exit 4).
+#
+# Telemetry outputs (Prometheus exposition, JSON snapshot, the query
+# log, one sampled Chrome trace) are copied into ./artifacts when that
+# directory exists — CI uploads it wholesale.
 #
 # Usage: sh examples/three_process.sh
 # (used by CI as the three-process e2e + store-corruption smoke test)
@@ -60,9 +66,10 @@ s2_pid=$!
 s2_port=$(wait_for_port "$work/s2.log")
 echo "S2 on port $s2_port (pid $s2_pid)"
 
-echo "== 3. storage cloud: serve-s1 =="
+echo "== 3. storage cloud: serve-s1 (query log + every query traced) =="
 dune exec bin/topk_cli.exe -- serve-s1 --store "$work/index" --seed $seed --port 0 \
-  --s2 "127.0.0.1:$s2_port" >"$work/s1.log" 2>&1 &
+  --s2 "127.0.0.1:$s2_port" --log-json "$work/queries.jsonl" \
+  --trace-sample 1 --trace-dir "$work/traces" >"$work/s1.log" 2>&1 &
 s1_pid=$!
 s1_port=$(wait_for_port "$work/s1.log")
 echo "S1 on port $s1_port (pid $s1_pid)"
@@ -70,6 +77,28 @@ echo "S1 on port $s1_port (pid $s1_pid)"
 echo "== 4. client: query =="
 dune exec bin/topk_cli.exe -- query --s1 "127.0.0.1:$s1_port" --key "$work/client.key" \
   -k 3 -m $attrs --seed $seed | tee "$work/query.out"
+
+echo "== 4b. live telemetry scrape (both daemons) =="
+dune exec bin/topk_cli.exe -- stats "127.0.0.1:$s1_port" --prom >"$work/stats-s1.prom"
+dune exec bin/topk_cli.exe -- stats "127.0.0.1:$s1_port" --json >"$work/stats-s1.json"
+dune exec bin/topk_cli.exe -- stats "127.0.0.1:$s2_port" --prom >"$work/stats-s2.prom"
+dune exec bin/topk_cli.exe -- stats "127.0.0.1:$s1_port"
+sh tools/check_stats.sh "$work/stats-s1.prom"
+sh tools/check_stats.sh "$work/stats-s2.prom" connections comb_warmup_seconds combs_built
+
+served=$(awk '$1 == "served" { print $2 }' "$work/stats-s1.prom")
+[ "$served" = "1" ] || { echo "expected served=1 in the scrape, got '$served'" >&2; exit 1; }
+execs=$(awk '$1 == "exec_us_count" { print $2 }' "$work/stats-s1.prom")
+[ "$execs" = "1" ] || { echo "expected exec_us_count=1, got '$execs'" >&2; exit 1; }
+grep -q '"outcome":"ok"' "$work/queries.jsonl"
+[ -f "$work/traces/trace-0.json" ] || { echo "sampled trace missing" >&2; exit 1; }
+echo "== scrape: served matches the 1 query issued; log + trace written =="
+
+if [ -d artifacts ]; then
+  cp "$work/stats-s1.prom" "$work/stats-s1.json" "$work/stats-s2.prom" \
+     "$work/queries.jsonl" artifacts/
+  cp "$work/traces/trace-0.json" artifacts/sampled-trace.json
+fi
 
 echo "== 5. reference: in-process demo, same seed =="
 dune exec bin/topk_cli.exe -- demo --rows $rows --attrs $attrs -k 3 -m $attrs \

@@ -164,6 +164,123 @@ module Collector = struct
     Metrics.is_zero t.metrics && t.rev_roots = [] && t.stack = []
 end
 
+(* ---- log-scale latency/size histograms --------------------------------- *)
+
+(* Fixed-bucket base-2 histogram with 8 sub-buckets per octave (a
+   log-linear scheme): values 0..7 get exact buckets, every larger octave
+   [2^e, 2^(e+1)) is split into 8 equal sub-buckets, so a bucket's width
+   never exceeds 1/8 of its lower bound and any quantile read off the
+   bucket boundaries carries a relative error of at most 12.5% (the
+   property test pins this against a sorted-sample oracle).  The layout
+   is a plain int array: recording is one index computation and one
+   increment (no allocation), merging is element-wise addition
+   (associative and commutative), and the bucket scheme is a constant of
+   the format — histograms recorded on different domains or machines
+   merge exactly. *)
+module Hist = struct
+  (* 8 exact buckets + 8 per octave for exponents 3..62 *)
+  let n_buckets = 8 + (8 * 60)
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable vmin : int;
+    mutable vmax : int;
+  }
+
+  let create () =
+    { counts = Array.make n_buckets 0; count = 0; sum = 0; vmin = max_int; vmax = 0 }
+
+  let clear t =
+    Array.fill t.counts 0 n_buckets 0;
+    t.count <- 0;
+    t.sum <- 0;
+    t.vmin <- max_int;
+    t.vmax <- 0
+
+  (* position of the highest set bit; [v] >= 8 here *)
+  let rec msb_from v acc = if v <= 1 then acc else msb_from (v lsr 1) (acc + 1)
+
+  let bucket_index v =
+    if v < 8 then v
+    else
+      let e = msb_from v 0 in
+      (8 * (e - 2)) + ((v lsr (e - 3)) land 7)
+
+  (* largest value the bucket covers (its inclusive upper bound) *)
+  let bucket_upper idx =
+    if idx < 8 then idx
+    else
+      let e = (idx lsr 3) + 2 and s = idx land 7 in
+      ((8 + s + 1) lsl (e - 3)) - 1
+
+  let record t v =
+    let v = if v < 0 then 0 else v in
+    t.counts.(bucket_index v) <- t.counts.(bucket_index v) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  (* seconds are recorded as integer microseconds: integer buckets keep
+     merges exact and snapshots byte-identical across domains *)
+  let record_seconds t s = record t (int_of_float ((s *. 1e6) +. 0.5))
+
+  let count t = t.count
+  let sum t = t.sum
+  let min_value t = if t.count = 0 then 0 else t.vmin
+  let max_value t = if t.count = 0 then 0 else t.vmax
+  let is_empty t = t.count = 0
+
+  let merge_into src ~into =
+    for i = 0 to n_buckets - 1 do
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum + src.sum;
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
+
+  let snapshot t =
+    {
+      counts = Array.copy t.counts;
+      count = t.count;
+      sum = t.sum;
+      vmin = t.vmin;
+      vmax = t.vmax;
+    }
+
+  (* (inclusive upper bound, count) for every non-empty bucket, ascending *)
+  let buckets t =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (bucket_upper i, t.counts.(i)) :: !acc
+    done;
+    !acc
+
+  (* Upper bound of the bucket holding the ceil(q*count)-th smallest
+     value, clamped to the recorded max: always >= the true quantile and
+     at most 12.5% + 1 above it. *)
+  let quantile t q =
+    if t.count = 0 then 0
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let rank = max 1 (min t.count (int_of_float (ceil (q *. float_of_int t.count)))) in
+      let rec walk i seen =
+        if i >= n_buckets then t.vmax
+        else
+          let seen = seen + t.counts.(i) in
+          if seen >= rank then min (bucket_upper i) t.vmax else walk (i + 1) seen
+      in
+      max (walk 0 0) (min_value t)
+    end
+
+  let quantile_seconds t q = float_of_int (quantile t q) /. 1e6
+
+  let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+end
+
 (* ---- global switch and current collector ------------------------------- *)
 
 let enabled =
@@ -376,6 +493,416 @@ module Chrome = struct
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (to_string c))
+end
+
+(* ---- named metric registry --------------------------------------------- *)
+
+(* A process-wide (or per-server) registry of named counters, gauges and
+   histograms, designed to be scraped while worker domains are mutating
+   it: every mutation and the snapshot hold the registry mutex, so a
+   scrape never observes a torn histogram (count drifted from buckets).
+   The critical sections are a handful of integer writes — contention is
+   negligible next to a query's crypto work.  Snapshots are plain data
+   ([(string * metric) list], sorted by name) so the wire codec and the
+   JSON/Prometheus emitters need no access to live registries. *)
+module Registry = struct
+  type histdata = {
+    hcount : int;
+    hsum : int;
+    hmin : int;  (* 0 when empty *)
+    hmax : int;
+    (* (inclusive upper bound, count) per non-empty bucket, ascending *)
+    hbuckets : (int * int) list;
+  }
+
+  type metric = Counter of int | Gauge of float | Histogram of histdata
+  type snapshot = (string * metric) list
+
+  type cell = C of int ref | G of float ref | H of Hist.t
+
+  type t = { lock : Mutex.t; cells : (string, cell) Hashtbl.t }
+
+  let create () = { lock = Mutex.create (); cells = Hashtbl.create 32 }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  type counter = { creg : t; c : int ref }
+  type gauge = { greg : t; g : float ref }
+  type histogram = { hreg : t; h : Hist.t }
+
+  let cell_kind = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+  let find t name ~kind make =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cells name with
+        | Some cell -> cell
+        | None ->
+          let cell = make () in
+          Hashtbl.add t.cells name cell;
+          cell)
+    |> fun cell ->
+    match cell with
+    | c when cell_kind c = kind -> c
+    | c ->
+      invalid_arg
+        (Printf.sprintf "Obs.Registry: %S already registered as a %s" name
+           (cell_kind c))
+
+  let counter t name =
+    match find t name ~kind:"counter" (fun () -> C (ref 0)) with
+    | C c -> { creg = t; c }
+    | _ -> assert false
+
+  let gauge t name =
+    match find t name ~kind:"gauge" (fun () -> G (ref 0.)) with
+    | G g -> { greg = t; g }
+    | _ -> assert false
+
+  let histogram t name =
+    match find t name ~kind:"histogram" (fun () -> H (Hist.create ())) with
+    | H h -> { hreg = t; h }
+    | _ -> assert false
+
+  let add c n = locked c.creg (fun () -> c.c := !(c.c) + n)
+  let inc c = add c 1
+  let counter_value c = locked c.creg (fun () -> !(c.c))
+  let set g v = locked g.greg (fun () -> g.g := v)
+  let add_gauge g v = locked g.greg (fun () -> g.g := !(g.g) +. v)
+  let gauge_value g = locked g.greg (fun () -> !(g.g))
+  let observe h v = locked h.hreg (fun () -> Hist.record h.h v)
+  let observe_seconds h s = locked h.hreg (fun () -> Hist.record_seconds h.h s)
+  let hist_count h = locked h.hreg (fun () -> Hist.count h.h)
+
+  let histdata_of_hist h =
+    {
+      hcount = Hist.count h;
+      hsum = Hist.sum h;
+      hmin = Hist.min_value h;
+      hmax = Hist.max_value h;
+      hbuckets = Hist.buckets h;
+    }
+
+  let snapshot t : snapshot =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name cell acc ->
+            let m =
+              match cell with
+              | C c -> Counter !c
+              | G g -> Gauge !g
+              | H h -> Histogram (histdata_of_hist h)
+            in
+            (name, m) :: acc)
+          t.cells [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* Op counters folded into snapshot form, for scrape paths that also
+     expose a [Metrics.t] (the S2 daemon's per-connection collectors). *)
+  let metrics_counters ?(prefix = "op_") (m : Metrics.t) : snapshot =
+    List.map (fun (op, v) -> (prefix ^ Metrics.name op, Counter v)) (Metrics.to_alist m)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let union (a : snapshot) (b : snapshot) : snapshot =
+    List.sort (fun (x, _) (y, _) -> String.compare x y) (a @ b)
+
+  (* Same estimator as [Hist.quantile], off snapshot data. *)
+  let hist_quantile d q =
+    if d.hcount = 0 then 0
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let rank =
+        max 1 (min d.hcount (int_of_float (ceil (q *. float_of_int d.hcount))))
+      in
+      let rec walk seen = function
+        | [] -> d.hmax
+        | (upper, n) :: rest ->
+          let seen = seen + n in
+          if seen >= rank then min upper d.hmax else walk seen rest
+      in
+      max (walk 0 d.hbuckets) d.hmin
+    end
+
+  let hist_mean d = if d.hcount = 0 then 0. else float_of_int d.hsum /. float_of_int d.hcount
+
+  (* Shortest float rendering that parses back exactly. *)
+  let float_str f =
+    let short = Printf.sprintf "%g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+  (* ---- Prometheus text exposition ---- *)
+
+  let to_prometheus (s : snapshot) =
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | Counter v ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v)
+        | Gauge v ->
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name (float_str v))
+        | Histogram d ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+          let cum = ref 0 in
+          List.iter
+            (fun (upper, n) ->
+              cum := !cum + n;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name upper !cum))
+            d.hbuckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name d.hcount);
+          Buffer.add_string b (Printf.sprintf "%s_sum %d\n" name d.hsum);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" name d.hcount))
+      s;
+    Buffer.contents b
+
+  (* ---- JSON snapshot codec ---- *)
+
+  let json_escape = Chrome.escape
+
+  let to_json (s : snapshot) =
+    let b = Buffer.create 1024 in
+    let sect kind keep emit =
+      let first = ref true in
+      Buffer.add_string b (Printf.sprintf "\"%s\":{" kind);
+      List.iter
+        (fun (name, m) ->
+          match keep m with
+          | None -> ()
+          | Some v ->
+            if !first then first := false else Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "\"%s\":" (json_escape name));
+            emit v)
+        s;
+      Buffer.add_char b '}'
+    in
+    Buffer.add_char b '{';
+    sect "counters"
+      (function Counter v -> Some v | _ -> None)
+      (fun v -> Buffer.add_string b (string_of_int v));
+    Buffer.add_char b ',';
+    sect "gauges"
+      (function Gauge v -> Some v | _ -> None)
+      (fun v -> Buffer.add_string b (float_str v));
+    Buffer.add_char b ',';
+    sect "histograms"
+      (function Histogram d -> Some d | _ -> None)
+      (fun d ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":["
+             d.hcount d.hsum d.hmin d.hmax);
+        List.iteri
+          (fun i (upper, n) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "[%d,%d]" upper n))
+          d.hbuckets;
+        Buffer.add_string b "]}");
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+  (* Strict recursive-descent parser for the machine-generated grammar
+     above; any deviation raises [Invalid_argument].  Kept private to the
+     snapshot codec — it is not a general JSON library. *)
+  type jv =
+    | Jobj of (string * jv) list
+    | Jarr of jv list
+    | Jstr of string
+    | Jint of int
+    | Jfloat of float
+
+  let of_json text =
+    let pos = ref 0 in
+    let len = String.length text in
+    let fail msg = invalid_arg ("Obs.Registry.of_json: " ^ msg) in
+    let peek () = if !pos < len then Some text.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect ch =
+      skip_ws ();
+      match peek () with
+      | Some c when c = ch -> advance ()
+      | Some c -> fail (Printf.sprintf "expected %C, found %C" ch c)
+      | None -> fail (Printf.sprintf "expected %C, found end of input" ch)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated string";
+        let c = text.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          (if !pos >= len then fail "unterminated escape";
+           let e = text.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'n' -> Buffer.add_char b '\n'
+           | 't' -> Buffer.add_char b '\t'
+           | 'r' -> Buffer.add_char b '\r'
+           | 'u' ->
+             if !pos + 4 > len then fail "truncated \\u escape";
+             let hex = String.sub text !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+             in
+             if code > 0xff then fail "\\u escape beyond latin-1"
+             else Buffer.add_char b (Char.chr code)
+           | _ -> fail "unknown escape");
+          go ()
+        | c when Char.code c < 0x20 -> fail "control character in string"
+        | c ->
+          Buffer.add_char b c;
+          go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+        | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !pos = start then fail "expected a number";
+      let s = String.sub text start (!pos - start) in
+      if !is_float then
+        Jfloat (try float_of_string s with _ -> fail "malformed float")
+      else Jint (try int_of_string s with _ -> fail "malformed integer")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Jobj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}' in object"
+          in
+          Jobj (members [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Jarr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']' in array"
+          in
+          Jarr (elements [])
+        end
+      | Some '"' -> Jstr (parse_string ())
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let root = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage after snapshot";
+    let as_int = function
+      | Jint v -> v
+      | _ -> fail "expected an integer"
+    in
+    let as_float = function
+      | Jint v -> float_of_int v
+      | Jfloat v -> v
+      | _ -> fail "expected a number"
+    in
+    let field obj k =
+      match List.assoc_opt k obj with
+      | Some v -> v
+      | None -> fail (Printf.sprintf "missing field %S" k)
+    in
+    match root with
+    | Jobj sections ->
+      let take kind conv =
+        match List.assoc_opt kind sections with
+        | Some (Jobj entries) -> List.map (fun (name, v) -> (name, conv v)) entries
+        | Some _ -> fail (Printf.sprintf "%S is not an object" kind)
+        | None -> fail (Printf.sprintf "missing section %S" kind)
+      in
+      let hist v =
+        match v with
+        | Jobj fields ->
+          let buckets =
+            match field fields "buckets" with
+            | Jarr pairs ->
+              List.map
+                (function
+                  | Jarr [ u; n ] -> (as_int u, as_int n)
+                  | _ -> fail "bucket entries must be [upper, count] pairs")
+                pairs
+            | _ -> fail "\"buckets\" is not an array"
+          in
+          let d =
+            {
+              hcount = as_int (field fields "count");
+              hsum = as_int (field fields "sum");
+              hmin = as_int (field fields "min");
+              hmax = as_int (field fields "max");
+              hbuckets = buckets;
+            }
+          in
+          if d.hcount < 0 || d.hsum < 0 then fail "negative histogram totals";
+          if d.hcount <> List.fold_left (fun acc (_, n) -> acc + n) 0 buckets then
+            fail "histogram count disagrees with bucket counts";
+          Histogram d
+        | _ -> fail "histogram entries must be objects"
+      in
+      union
+        (take "counters" (fun v -> Counter (as_int v)))
+        (union
+           (take "gauges" (fun v -> Gauge (as_float v)))
+           (take "histograms" hist))
+    | _ -> fail "snapshot must be a JSON object"
 end
 
 (* ---- closed-form cost model -------------------------------------------- *)

@@ -70,6 +70,132 @@ module Collector : sig
   val is_empty : t -> bool
 end
 
+(** Fixed-bucket log-scale histogram for latencies and sizes.
+
+    Values 0..7 get exact buckets; every octave [2^e, 2^(e+1)) above is
+    split into 8 equal sub-buckets, so any quantile read off the bucket
+    upper bounds over-estimates the true sample quantile by at most
+    12.5% (+1 for integer rounding).  Recording is allocation-free
+    (one index computation, one increment); merging is element-wise
+    addition, hence associative, commutative, and byte-identical across
+    [--domains] widths.  A [t] is not itself thread-safe — share one via
+    {!Registry} or merge per-domain instances. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+
+  (** Record a non-negative integer observation (negatives clamp to 0). *)
+  val record : t -> int -> unit
+
+  (** Record a duration as integer microseconds. *)
+  val record_seconds : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> int
+  val min_value : t -> int
+  val max_value : t -> int
+  val is_empty : t -> bool
+  val mean : t -> float
+
+  val merge_into : t -> into:t -> unit
+  val snapshot : t -> t
+
+  (** [(inclusive upper bound, count)] for every non-empty bucket,
+      ascending. *)
+  val buckets : t -> (int * int) list
+
+  (** Upper bound of the bucket holding the [ceil (q * count)]-th
+      smallest observation, clamped to the recorded extremes; [0] when
+      empty. *)
+  val quantile : t -> float -> int
+
+  (** {!quantile} scaled back from microseconds to seconds, for
+      histograms filled with {!record_seconds}. *)
+  val quantile_seconds : t -> float -> float
+
+  (** Bucket index / inclusive upper bound of the scheme — exposed for
+      property tests. *)
+  val bucket_index : int -> int
+
+  val bucket_upper : int -> int
+  val n_buckets : int
+end
+
+(** A named registry of counters, gauges and histograms with a
+    Prometheus-style text exposition and a JSON snapshot codec.
+
+    All mutations and {!Registry.snapshot} synchronise on one mutex, so
+    a scrape taken while worker domains are recording never observes a
+    torn histogram.  Registration is idempotent: asking for an existing
+    name returns a handle to the same metric (re-registering a name as a
+    different kind raises [Invalid_argument]). *)
+module Registry : sig
+  type histdata = {
+    hcount : int;
+    hsum : int;
+    hmin : int;  (** 0 when empty *)
+    hmax : int;
+    hbuckets : (int * int) list;
+        (** [(inclusive upper bound, count)], ascending, non-empty
+            buckets only *)
+  }
+
+  type metric = Counter of int | Gauge of float | Histogram of histdata
+
+  (** Sorted by metric name. *)
+  type snapshot = (string * metric) list
+
+  type t
+  type counter
+  type gauge
+  type histogram
+
+  val create : unit -> t
+  val counter : t -> string -> counter
+  val gauge : t -> string -> gauge
+  val histogram : t -> string -> histogram
+
+  val inc : counter -> unit
+  val add : counter -> int -> unit
+  val counter_value : counter -> int
+
+  val set : gauge -> float -> unit
+  val add_gauge : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val observe : histogram -> int -> unit
+  val observe_seconds : histogram -> float -> unit
+  val hist_count : histogram -> int
+
+  val snapshot : t -> snapshot
+
+  (** Op counters as snapshot entries ([prefix ^ Metrics.name op],
+      default prefix ["op_"]), for scrape paths that also expose a
+      {!Metrics.t}. *)
+  val metrics_counters : ?prefix:string -> Metrics.t -> snapshot
+
+  (** Concatenate and re-sort two snapshots. *)
+  val union : snapshot -> snapshot -> snapshot
+
+  (** {!Hist.quantile} computed from snapshot data. *)
+  val hist_quantile : histdata -> float -> int
+
+  val hist_mean : histdata -> float
+
+  (** Prometheus text exposition: [# TYPE] lines, cumulative
+      [_bucket{le="..."}] series plus [_sum]/[_count] per histogram. *)
+  val to_prometheus : snapshot -> string
+
+  val to_json : snapshot -> string
+
+  (** Strict parser for {!to_json} output; raises [Invalid_argument] on
+      any malformed input (including histogram bucket counts that do not
+      sum to [count]). *)
+  val of_json : string -> snapshot
+end
+
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
 

@@ -339,7 +339,18 @@ let rec handle t ~label (req : Wire.request) : Wire.response =
    Fork/Join control frames in the exact order the client forks its own
    halves, so both parties' randomness streams stay aligned. *)
 
-let serve_loop fd root collector =
+(* Live scrape: the daemon's registry (startup gauges, per-daemon
+   telemetry) plus the connection collector's op counters, folded in as
+   [op_*] counter series so one Stats_req frame carries the whole
+   picture. *)
+let scrape_snapshot registry collector =
+  let reg_part =
+    match registry with Some r -> Obs.Registry.snapshot r | None -> []
+  in
+  Obs.Registry.union reg_part
+    (Obs.Registry.metrics_counters (Obs.Collector.metrics collector))
+
+let serve_loop ?registry fd root collector =
   let sessions : (int, t) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.replace sessions 0 root;
   let session_of id =
@@ -376,6 +387,7 @@ let serve_loop fd root collector =
               (List.map
                  (fun (op, v) -> (Obs.Metrics.name op, v))
                  (Obs.Metrics.to_alist m))
+          | Wire.Stats_req -> Wire.Stats_resp (scrape_snapshot registry collector)
           | Wire.Shutdown ->
             running := false;
             Wire.Ok_ctl
@@ -384,7 +396,7 @@ let serve_loop fd root collector =
       | _ -> invalid_arg "S2_server: unexpected frame kind")
   done
 
-let serve_fd ?on_ready fd =
+let serve_fd ?on_ready ?registry fd =
   match Wire.read_frame fd with
   | None -> ()
   | Some first -> (
@@ -399,5 +411,13 @@ let serve_fd ?on_ready fd =
       Noise_pool.start_filler root.pnoise;
       Fun.protect
         ~finally:(fun () -> Noise_pool.quiesce root.pnoise)
-        (fun () -> Obs.with_collector collector (fun () -> serve_loop fd root collector))
+        (fun () ->
+          Obs.with_collector collector (fun () -> serve_loop ?registry fd root collector))
+    | Wire.Stats_req ->
+      (* monitoring connection: no key material, no provisioning — answer
+         the daemon-level snapshot and hang up *)
+      let snap =
+        match registry with Some r -> Obs.Registry.snapshot r | None -> []
+      in
+      Wire.write_frame fd (Wire.encode_control_reply (Wire.Stats_resp snap))
     | _ -> invalid_arg "S2_server: expected Hello")

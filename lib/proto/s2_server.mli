@@ -49,5 +49,12 @@ val noise_pool : t -> Noise_pool.t
     of the Socket transport. [on_ready] (if given) is called once after
     provisioning with the setup wall time in seconds — key replay plus
     Montgomery-context and fixed-base-comb warmup — so a daemon can log
-    what its first client paid before the first request was served. *)
-val serve_fd : ?on_ready:(float -> unit) -> Unix.file_descr -> unit
+    what its first client paid before the first request was served.
+
+    [registry] (if given) makes the connection scrapeable: a [Stats_req]
+    control frame — mid-session, or as the very first frame from a
+    key-less monitoring client — answers with [Stats_resp] carrying the
+    registry snapshot (mid-session scrapes also fold in the connection's
+    op counters as [op_*] counter series). *)
+val serve_fd :
+  ?on_ready:(float -> unit) -> ?registry:Obs.Registry.t -> Unix.file_descr -> unit

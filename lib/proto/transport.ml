@@ -151,6 +151,32 @@ let remote_stats t =
     | Wire.Stats stats -> stats
     | _ -> failwith "Transport: unexpected control reply")
 
+(* Key-less monitoring scrape against a listening daemon (serve-s1 or
+   serve-s2): dial, ship one Stats_req, and wait for the Stats_resp —
+   skipping any server-kind frames on the way (serve-s1 greets every
+   connection with a Server_hello, which only key holders can decode;
+   the kind byte is enough to step over it). *)
+let scrape_stats addr =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Wire.write_frame fd (Wire.encode_control Wire.Stats_req);
+      let rec await () =
+        match Wire.read_frame fd with
+        | None -> failwith "Transport: connection closed during stats scrape"
+        | Some frame -> (
+          match Wire.frame_kind frame with
+          | Some 'V' -> await ()
+          | _ -> (
+            match Wire.decode_control_reply frame with
+            | Wire.Stats_resp snap -> snap
+            | _ -> failwith "Transport: unexpected control reply"))
+      in
+      await ())
+
 let shutdown t =
   match t.kind with
   | Inproc _ | Loopback _ -> ()

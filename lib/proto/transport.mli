@@ -66,6 +66,13 @@ val trace_events : t -> Trace.event list
     in socket mode. *)
 val remote_stats : t -> (string * int) list
 
+(** Key-less live-telemetry scrape: connect to a listening [serve-s1] or
+    [serve-s2] daemon, send one [Stats_req], and return the registry
+    snapshot from its [Stats_resp] — skipping (by kind byte, without
+    decoding) the [Server_hello] frame serve-s1 greets connections with.
+    Needs no key material, so any monitoring client can call it. *)
+val scrape_stats : Unix.sockaddr -> Obs.Registry.snapshot
+
 (** Politely stop a socket daemon (no-op for local transports). *)
 val shutdown : t -> unit
 

@@ -75,12 +75,14 @@ type control =
   | Join of { parent : int; child : int }
   | Get_trace
   | Get_stats
+  | Stats_req
   | Shutdown
 
 type control_reply =
   | Ok_ctl
   | Trace_events of Trace.event list
   | Stats of (string * int) list
+  | Stats_resp of Obs.Registry.snapshot
 
 (* ---------------- pairwise index order for SecDedup ---------------- *)
 
@@ -105,6 +107,23 @@ let put_int buf v =
 let put_string buf s =
   put_int buf (String.length s);
   Buffer.add_string buf s
+
+(* Telemetry fields (histogram sums, counter totals) outgrow [put_int]'s
+   30-bit cap on a long-lived server, so stats frames carry 8-byte
+   big-endian non-negative integers instead. *)
+let put_i64 buf v =
+  if v < 0 then invalid_arg "Wire: negative int64 field";
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (56 - (8 * i))) land 0xff))
+  done
+
+let put_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (56 - (8 * i))) 0xffL)))
+  done
 
 let put_nat_fixed buf ~width n =
   let b = Bignum.Nat.to_bytes n in
@@ -143,6 +162,29 @@ let get_string r =
   let s = String.sub r.data r.pos len in
   r.pos <- r.pos + len;
   s
+
+let get_i64 r =
+  need r 8;
+  if Char.code r.data.[r.pos] land 0x80 <> 0 then
+    invalid_arg "Wire: int64 field out of range";
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code r.data.[r.pos + i]
+  done;
+  r.pos <- r.pos + 8;
+  if !v < 0 then invalid_arg "Wire: int64 field out of range";
+  !v
+
+let get_f64 r =
+  need r 8;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code r.data.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  let v = Int64.float_of_bits !bits in
+  if Float.is_nan v then invalid_arg "Wire: NaN float field";
+  v
 
 let get_nat_fixed r ~width =
   need r width;
@@ -690,6 +732,7 @@ let encode_control ctl =
     | Get_trace -> 4
     | Get_stats -> 5
     | Shutdown -> 6
+    | Stats_req -> 7
   in
   put_header buf ~kind:kind_control ~tag ~session:0;
   (match ctl with
@@ -709,7 +752,7 @@ let encode_control ctl =
   | Join { parent; child } ->
     put_int buf parent;
     put_int buf child
-  | Get_trace | Get_stats | Shutdown -> ());
+  | Get_trace | Get_stats | Stats_req | Shutdown -> ());
   Buffer.contents buf
 
 let decode_control data =
@@ -735,6 +778,7 @@ let decode_control data =
     | 4 -> Get_trace
     | 5 -> Get_stats
     | 6 -> Shutdown
+    | 7 -> Stats_req
     | _ -> invalid_arg "Wire: unknown control tag"
   in
   finish r "control";
@@ -799,9 +843,74 @@ let get_trace_event r : Trace.event =
     Trace.Count { protocol; value = get_int r }
   | _ -> invalid_arg "Wire: unknown trace event"
 
+(* Registry snapshot payload: count-prefixed entries of
+   name | kind byte | kind-specific fields, with 8-byte integer fields
+   ([put_i64]) since histogram sums outgrow [put_int]'s 30-bit cap. *)
+let put_metric buf (m : Obs.Registry.metric) =
+  match m with
+  | Obs.Registry.Counter v ->
+    Buffer.add_char buf '\001';
+    put_i64 buf v
+  | Obs.Registry.Gauge v ->
+    Buffer.add_char buf '\002';
+    put_f64 buf v
+  | Obs.Registry.Histogram d ->
+    Buffer.add_char buf '\003';
+    put_i64 buf d.Obs.Registry.hcount;
+    put_i64 buf d.hsum;
+    put_i64 buf d.hmin;
+    put_i64 buf d.hmax;
+    put_int buf (List.length d.hbuckets);
+    List.iter
+      (fun (upper, n) ->
+        put_i64 buf upper;
+        put_i64 buf n)
+      d.hbuckets
+
+let get_metric r : Obs.Registry.metric =
+  match get_byte r with
+  | 1 -> Obs.Registry.Counter (get_i64 r)
+  | 2 -> Obs.Registry.Gauge (get_f64 r)
+  | 3 ->
+    let hcount = get_i64 r in
+    let hsum = get_i64 r in
+    let hmin = get_i64 r in
+    let hmax = get_i64 r in
+    let hbuckets =
+      read_list r ~item_width:16 (fun r ->
+          let upper = get_i64 r in
+          let n = get_i64 r in
+          (upper, n))
+    in
+    if hcount > 0 && hmin > hmax then invalid_arg "Wire: histogram min above max";
+    if hcount <> List.fold_left (fun acc (_, n) -> acc + n) 0 hbuckets then
+      invalid_arg "Wire: histogram count disagrees with buckets";
+    Obs.Registry.Histogram { hcount; hsum; hmin; hmax; hbuckets }
+  | _ -> invalid_arg "Wire: unknown metric kind"
+
+let put_snapshot buf (snap : Obs.Registry.snapshot) =
+  put_int buf (List.length snap);
+  List.iter
+    (fun (name, m) ->
+      put_string buf name;
+      put_metric buf m)
+    snap
+
+let get_snapshot r : Obs.Registry.snapshot =
+  read_list r ~item_width:13 (fun r ->
+      let name = get_string r in
+      let m = get_metric r in
+      (name, m))
+
 let encode_control_reply reply =
   let buf = Buffer.create 64 in
-  let tag = match reply with Ok_ctl -> 1 | Trace_events _ -> 2 | Stats _ -> 3 in
+  let tag =
+    match reply with
+    | Ok_ctl -> 1
+    | Trace_events _ -> 2
+    | Stats _ -> 3
+    | Stats_resp _ -> 4
+  in
   put_header buf ~kind:kind_control_reply ~tag ~session:0;
   (match reply with
   | Ok_ctl -> ()
@@ -814,7 +923,8 @@ let encode_control_reply reply =
       (fun (name, v) ->
         put_string buf name;
         put_int buf v)
-      pairs);
+      pairs
+  | Stats_resp snap -> put_snapshot buf snap);
   Buffer.contents buf
 
 let decode_control_reply data =
@@ -830,6 +940,7 @@ let decode_control_reply data =
              let name = get_string r in
              let v = get_int r in
              (name, v)))
+    | 4 -> Stats_resp (get_snapshot r)
     | _ -> invalid_arg "Wire: unknown control reply tag"
   in
   finish r "control reply";

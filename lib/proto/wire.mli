@@ -109,13 +109,22 @@ type control =
   | Fork of { parent : int; child : int; label : string }
   | Join of { parent : int; child : int }
   | Get_trace
-  | Get_stats
+  | Get_stats  (** legacy op-counter totals ({!Stats}); kept for [remote_stats] *)
+  | Stats_req
+      (** live-telemetry scrape: answered with a full registry snapshot
+          ({!Stats_resp}).  Decoding needs no key material, so any
+          monitoring client can speak it. *)
   | Shutdown
 
 type control_reply =
   | Ok_ctl
   | Trace_events of Trace.event list
   | Stats of (string * int) list
+  | Stats_resp of Obs.Registry.snapshot
+      (** registry snapshot; integer fields travel as 8 bytes (histogram
+          sums outgrow the 30-bit collection-length cap), gauges as IEEE
+          doubles.  The decoder re-checks histogram internal consistency
+          (bucket counts sum to [hcount], [hmin <= hmax]). *)
 
 (** The (i, j) pair order of SecDedup's pairwise matrix: for [l] items, all
     [i < j] pairs with [i] ascending, then [j] ascending. *)

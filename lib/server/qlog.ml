@@ -1,0 +1,150 @@
+(* Per-query structured logging for the live server: one JSON line per
+   query, an optional full span report for queries past a slow-query
+   threshold, and an every-Nth-query Chrome trace sampled into a small
+   rotating directory.  All sinks are mutex-guarded — session and worker
+   domains log concurrently — and everything here is off the query's
+   execution path (logging happens after the response is computed). *)
+
+type config = {
+  log_json : string option;  (* one JSON object per line, appended *)
+  slow_query_ms : float option;  (* log a span report past this wall time *)
+  trace_sample : int option;  (* capture every Nth query's Chrome trace *)
+  trace_dir : string;  (* rotating directory for sampled traces *)
+}
+
+let default_config =
+  { log_json = None; slow_query_ms = None; trace_sample = None; trace_dir = "traces" }
+
+(* Sampled traces rotate over this many slots: slot k holds the k-th most
+   recent sample modulo the window, so a long-lived server keeps a bounded
+   directory of recent traces instead of an unbounded spool. *)
+let trace_slots = 8
+
+type outcome = Ok of { depth : int; halted : bool } | Busy | Error of string
+
+type entry = {
+  seq : int;  (* server-wide query sequence number *)
+  conn : int;  (* connection id the query arrived on *)
+  k : int;  (* token shape: requested k ... *)
+  attrs : int;  (* ... and number of predicate attributes *)
+  rounds : int;
+  bytes : int;
+  queue_us : int;  (* admission-to-start *)
+  exec_us : int;  (* start-to-response *)
+  outcome : outcome;
+}
+
+type t = { cfg : config; lock : Mutex.t; oc : out_channel option }
+
+(* [needs_spans] tells the embedding (topk_cli serve-s1) that this config
+   only works with Obs enabled: slow-query reports and sampled traces are
+   rendered from per-query span collectors. *)
+let needs_spans cfg = cfg.slow_query_ms <> None || cfg.trace_sample <> None
+
+let create cfg =
+  (match cfg.trace_sample with
+  | Some n when n <= 0 -> invalid_arg "Qlog: trace sample period must be positive"
+  | _ -> ());
+  let oc =
+    match cfg.log_json with
+    | None -> None
+    | Some file ->
+      Some (open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file)
+  in
+  (match cfg.trace_sample with
+  | Some _ -> ( try Unix.mkdir cfg.trace_dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ())
+  | None -> ());
+  { cfg; lock = Mutex.create (); oc }
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> Option.iter close_out t.oc)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_line t line =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.oc with
+      | Some oc ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      | None -> ())
+
+let entry_line e =
+  let b = Buffer.create 192 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"ts\":%.6f,\"seq\":%d,\"conn\":%d,\"k\":%d,\"attrs\":%d,\"outcome\":\"%s\""
+       (Unix.gettimeofday ()) e.seq e.conn e.k e.attrs
+       (match e.outcome with Ok _ -> "ok" | Busy -> "busy" | Error _ -> "error"));
+  (match e.outcome with
+  | Ok { depth; halted } ->
+    Buffer.add_string b (Printf.sprintf ",\"depth\":%d,\"halted\":%b" depth halted)
+  | Busy -> ()
+  | Error msg -> Buffer.add_string b (Printf.sprintf ",\"error\":\"%s\"" (escape msg)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"rounds\":%d,\"bytes\":%d,\"queue_us\":%d,\"exec_us\":%d}"
+       e.rounds e.bytes e.queue_us e.exec_us);
+  Buffer.contents b
+
+let log t e = if t.oc <> None then emit_line t (entry_line e)
+
+(* ---- slow queries ---- *)
+
+let is_slow t ~exec_us =
+  match t.cfg.slow_query_ms with
+  | Some ms -> float_of_int exec_us >= ms *. 1000.
+  | None -> false
+
+(* A full span report for an outlier, as one JSON line (the multi-line
+   table rides in a string field).  Falls back to stderr when no JSON log
+   is configured, so `--slow-query-ms` alone is still actionable. *)
+let log_slow t ~seq ~exec_us collector =
+  let report = Obs.Report.render ~times:true collector in
+  match t.oc with
+  | Some _ ->
+    emit_line t
+      (Printf.sprintf
+         "{\"ts\":%.6f,\"seq\":%d,\"slow_query\":true,\"exec_us\":%d,\"report\":\"%s\"}"
+         (Unix.gettimeofday ()) seq exec_us (escape report))
+  | None ->
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        Printf.eprintf "slow query seq=%d exec=%.1fms\n%s%!" seq
+          (float_of_int exec_us /. 1000.)
+          report)
+
+(* ---- sampled traces ---- *)
+
+let sample_path t ~seq =
+  match t.cfg.trace_sample with
+  | Some n when seq mod n = 0 ->
+    let slot = seq / n mod trace_slots in
+    Some (Filename.concat t.cfg.trace_dir (Printf.sprintf "trace-%d.json" slot))
+  | _ -> None
+
+let maybe_trace t ~seq collector =
+  match sample_path t ~seq with
+  | None -> ()
+  | Some path -> (
+    try Obs.Chrome.write collector ~file:path with Sys_error _ -> ())

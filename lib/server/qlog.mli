@@ -1,0 +1,68 @@
+(** Per-query structured logging for the live server.
+
+    Three sinks, all optional and all off the query execution path:
+
+    - [log_json]: one JSON object per line per query — token shape
+      ([k]/[attrs]), outcome, depth reached, rounds, bytes, queue and
+      execution latency in microseconds;
+    - [slow_query_ms]: queries whose execution exceeds the threshold also
+      log a full span report (rendered from the query's collector);
+    - [trace_sample]: every Nth query's Chrome trace is written to
+      [trace_dir], rotating over a fixed number of slots so the
+      directory stays bounded on a long-lived server.
+
+    Span reports and traces need per-query collectors, i.e. [Obs]
+    enabled — {!needs_spans} tells the embedding when that is the case.
+    All sinks are mutex-guarded; sessions and workers log concurrently. *)
+
+type config = {
+  log_json : string option;
+  slow_query_ms : float option;
+  trace_sample : int option;
+  trace_dir : string;
+}
+
+(** Everything off: no file, no threshold, no sampling. *)
+val default_config : config
+
+(** Sampled traces rotate over this many files ([trace-0.json] ..). *)
+val trace_slots : int
+
+type outcome = Ok of { depth : int; halted : bool } | Busy | Error of string
+
+type entry = {
+  seq : int;
+  conn : int;
+  k : int;
+  attrs : int;
+  rounds : int;
+  bytes : int;
+  queue_us : int;
+  exec_us : int;
+  outcome : outcome;
+}
+
+type t
+
+(** Opens the log file (append) and creates the trace directory if the
+    config asks for them. Raises [Invalid_argument] on a non-positive
+    sample period. *)
+val create : config -> t
+
+val close : t -> unit
+
+(** True when the config needs per-query span collectors (slow-query
+    reports or trace sampling configured). *)
+val needs_spans : config -> bool
+
+(** Append one query record (no-op without [log_json]). *)
+val log : t -> entry -> unit
+
+val is_slow : t -> exec_us:int -> bool
+
+(** Log a span report for a slow query — into the JSON log when present,
+    to stderr otherwise. *)
+val log_slow : t -> seq:int -> exec_us:int -> Obs.Collector.t -> unit
+
+(** Write the query's Chrome trace if [seq] falls on the sample grid. *)
+val maybe_trace : t -> seq:int -> Obs.Collector.t -> unit

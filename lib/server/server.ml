@@ -11,6 +11,7 @@
    shutting their sockets down. *)
 
 open Proto
+module Qlog = Qlog
 
 type s2_mode = Local | Tcp of Unix.sockaddr
 
@@ -23,6 +24,7 @@ type config = {
   queue_depth : int;
   options : Sectopk.Query.options;
   s2 : s2_mode;
+  qlog : Qlog.config;
 }
 
 let default_config =
@@ -35,6 +37,7 @@ let default_config =
     queue_depth = 8;
     options = Sectopk.Query.default_options;
     s2 = Local;
+    qlog = Qlog.default_config;
   }
 
 type stats = {
@@ -44,6 +47,46 @@ type stats = {
   queue_seconds : float;
   query_seconds : float;
 }
+
+(* Live telemetry.  The registry is per-server (tests run several servers
+   in one process; a process global would bleed counts between them) and
+   its own mutex guards every mutation, so a scrape never sees a torn
+   histogram even while worker domains are recording.  Histograms are
+   recorded unconditionally — they are integer bucket increments, cheap
+   enough to leave on when [Obs] is off. *)
+type telemetry = {
+  reg : Obs.Registry.t;
+  served_c : Obs.Registry.counter;
+  busy_c : Obs.Registry.counter;
+  errors_c : Obs.Registry.counter;
+  queue_depth_g : Obs.Registry.gauge;  (* admitted, not yet running *)
+  in_flight_g : Obs.Registry.gauge;  (* running on a worker domain *)
+  open_sessions_g : Obs.Registry.gauge;
+  worker_util_g : Obs.Registry.gauge;  (* in-flight / workers *)
+  queue_wait_h : Obs.Registry.histogram;  (* admission-to-start, µs *)
+  exec_h : Obs.Registry.histogram;  (* start-to-response, µs *)
+  rounds_h : Obs.Registry.histogram;  (* S1<->S2 rounds per query *)
+  bytes_h : Obs.Registry.histogram;  (* S1<->S2 bytes per query *)
+  depth_h : Obs.Registry.histogram;  (* halting depth per query *)
+}
+
+let make_telemetry () =
+  let reg = Obs.Registry.create () in
+  {
+    reg;
+    served_c = Obs.Registry.counter reg "served";
+    busy_c = Obs.Registry.counter reg "busy";
+    errors_c = Obs.Registry.counter reg "errors";
+    queue_depth_g = Obs.Registry.gauge reg "queue_depth";
+    in_flight_g = Obs.Registry.gauge reg "in_flight_queries";
+    open_sessions_g = Obs.Registry.gauge reg "open_sessions";
+    worker_util_g = Obs.Registry.gauge reg "worker_utilization";
+    queue_wait_h = Obs.Registry.histogram reg "queue_wait_us";
+    exec_h = Obs.Registry.histogram reg "exec_us";
+    rounds_h = Obs.Registry.histogram reg "query_rounds";
+    bytes_h = Obs.Registry.histogram reg "query_bytes";
+    depth_h = Obs.Registry.histogram reg "query_depth";
+  }
 
 (* A write-once cell: the session parks on it while its query runs on a
    worker domain. *)
@@ -79,6 +122,8 @@ type t = {
   wake_w : Unix.file_descr;
   service : Core.Service.t;
   collector : Obs.Collector.t;
+  tel : telemetry;
+  qlog : Qlog.t;
   lock : Mutex.t;
   settled : Condition.t;  (* signalled when pending responses hit zero *)
   mutable conns : (int * Unix.file_descr) list;
@@ -88,16 +133,33 @@ type t = {
   mutable listener : unit Domain.t option;
   mutable draining : bool;
   mutable pending : int;  (* accepted queries whose response is not yet written *)
-  mutable st : stats;
+  mutable running : int;  (* queries executing on a worker domain *)
+  mutable next_seq : int;  (* query sequence numbers, admitted and busy *)
 }
 
 let port t = t.lport
+let registry t = t.tel.reg
 
+(* The historical scalar record, derived from the registry: counters read
+   directly, the float second totals recovered from the microsecond
+   histogram sums.  One snapshot, so the view is internally consistent. *)
 let stats t =
-  Mutex.lock t.lock;
-  let s = t.st in
-  Mutex.unlock t.lock;
-  s
+  let snap = Obs.Registry.snapshot t.tel.reg in
+  let cnt name =
+    match List.assoc_opt name snap with Some (Obs.Registry.Counter v) -> v | _ -> 0
+  in
+  let hist_sum_seconds name =
+    match List.assoc_opt name snap with
+    | Some (Obs.Registry.Histogram d) -> float_of_int d.Obs.Registry.hsum /. 1e6
+    | _ -> 0.
+  in
+  {
+    served = cnt "served";
+    busy = cnt "busy";
+    errors = cnt "errors";
+    queue_seconds = hist_sum_seconds "queue_wait_us";
+    query_seconds = hist_sum_seconds "exec_us";
+  }
 
 let obs t = t.collector
 
@@ -105,7 +167,17 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Call under [t.lock]; the registry has its own (inner) mutex. *)
+let update_load_gauges t =
+  Obs.Registry.set t.tel.queue_depth_g (float_of_int (max 0 (t.pending - t.running)));
+  Obs.Registry.set t.tel.in_flight_g (float_of_int t.running);
+  Obs.Registry.set t.tel.worker_util_g
+    (float_of_int t.running /. float_of_int t.cfg.workers)
+
 (* ---- per-query execution (worker domain) ------------------------------- *)
+
+(* Per-query channel totals: what this query shipped to and from S2. *)
+type query_meta = { depth : int; halted : bool; rounds : int; bytes : int }
 
 let run_query t tk =
   let pub, sk, ctx_rng, _data_rng =
@@ -125,40 +197,81 @@ let run_query t tk =
   Fun.protect ~finally:cleanup (fun () ->
       let qctx = Ctx.of_keys ~blind_bits:t.cfg.blind_bits ~mode ctx_rng pub sk in
       let res = Sectopk.Query.run qctx t.er tk t.cfg.options in
-      Wire.Query_resp
-        {
-          top = res.Sectopk.Query.top;
-          halting_depth = res.Sectopk.Query.halting_depth;
-          halted = res.Sectopk.Query.halted;
-        })
+      let ch = Ctx.channel qctx in
+      ( Wire.Query_resp
+          {
+            top = res.Sectopk.Query.top;
+            halting_depth = res.Sectopk.Query.halting_depth;
+            halted = res.Sectopk.Query.halted;
+          },
+        Some
+          {
+            depth = res.Sectopk.Query.halting_depth;
+            halted = res.Sectopk.Query.halted;
+            rounds = Channel.rounds_total ch;
+            bytes = Channel.bytes_total ch;
+          } ))
 
-let job t tk ~submitted cell =
+let usec s = int_of_float ((s *. 1e6) +. 0.5)
+
+let job t tk ~conn ~seq ~submitted cell =
   let t0 = Unix.gettimeofday () in
-  let resp =
+  locked t (fun () ->
+      t.running <- t.running + 1;
+      update_load_gauges t);
+  (* per-query collector when Obs is on: feeds the merged server
+     collector, slow-query reports and sampled traces *)
+  let col = if Obs.is_enabled () then Some (Obs.Collector.create ()) else None in
+  let resp, meta =
     try
-      if Obs.is_enabled () then begin
-        let c = Obs.Collector.create () in
-        let r = Obs.with_collector c (fun () -> Obs.span "serve:query" (fun () -> run_query t tk)) in
-        locked t (fun () -> Obs.Collector.merge_into c ~into:t.collector);
-        r
-      end
-      else run_query t tk
+      match col with
+      | Some c ->
+        Obs.with_collector c (fun () -> Obs.span "serve:query" (fun () -> run_query t tk))
+      | None -> run_query t tk
     with
-    | Store.Error e -> Wire.Server_error (Store.error_message e)
-    | Invalid_argument msg -> Wire.Server_error msg
-    | e -> Wire.Server_error (Printexc.to_string e)
+    | Store.Error e -> (Wire.Server_error (Store.error_message e), None)
+    | Invalid_argument msg -> (Wire.Server_error msg, None)
+    | e -> (Wire.Server_error (Printexc.to_string e), None)
   in
   let t1 = Unix.gettimeofday () in
+  let queue_us = usec (t0 -. submitted) and exec_us = usec (t1 -. t0) in
+  let tel = t.tel in
+  (match resp with
+  | Wire.Server_error _ -> Obs.Registry.inc tel.errors_c
+  | _ -> Obs.Registry.inc tel.served_c);
+  Obs.Registry.observe tel.queue_wait_h queue_us;
+  Obs.Registry.observe tel.exec_h exec_us;
+  (match meta with
+  | Some m ->
+    Obs.Registry.observe tel.rounds_h m.rounds;
+    Obs.Registry.observe tel.bytes_h m.bytes;
+    Obs.Registry.observe tel.depth_h m.depth
+  | None -> ());
+  (match col with
+  | Some c ->
+    Qlog.maybe_trace t.qlog ~seq c;
+    if Qlog.is_slow t.qlog ~exec_us then Qlog.log_slow t.qlog ~seq ~exec_us c;
+    locked t (fun () -> Obs.Collector.merge_into c ~into:t.collector)
+  | None -> ());
+  Qlog.log t.qlog
+    {
+      Qlog.seq;
+      conn;
+      k = tk.Sectopk.Scheme.k;
+      attrs = List.length tk.Sectopk.Scheme.attrs;
+      rounds = (match meta with Some m -> m.rounds | None -> 0);
+      bytes = (match meta with Some m -> m.bytes | None -> 0);
+      queue_us;
+      exec_us;
+      outcome =
+        (match (resp, meta) with
+        | Wire.Server_error msg, _ -> Qlog.Error msg
+        | _, Some m -> Qlog.Ok { depth = m.depth; halted = m.halted }
+        | _, None -> Qlog.Ok { depth = 0; halted = false });
+    };
   locked t (fun () ->
-      let ok = match resp with Wire.Server_error _ -> false | _ -> true in
-      t.st <-
-        {
-          served = (t.st.served + if ok then 1 else 0);
-          busy = t.st.busy;
-          errors = (t.st.errors + if ok then 0 else 1);
-          queue_seconds = t.st.queue_seconds +. (t0 -. submitted);
-          query_seconds = t.st.query_seconds +. (t1 -. t0);
-        });
+      t.running <- t.running - 1;
+      update_load_gauges t);
   Ivar.fill cell resp
 
 (* ---- sessions (one domain per connection) ------------------------------ *)
@@ -166,6 +279,7 @@ let job t tk ~submitted cell =
 let settle t =
   locked t (fun () ->
       t.pending <- t.pending - 1;
+      update_load_gauges t;
       if t.pending = 0 then Condition.broadcast t.settled)
 
 let session t id fd =
@@ -177,40 +291,91 @@ let session t id fd =
        | None -> ()
        | Some frame -> (
          let reject msg =
-           locked t (fun () -> t.st <- { t.st with errors = t.st.errors + 1 });
+           Obs.Registry.inc t.tel.errors_c;
            write (Wire.Server_error msg)
          in
-         match Wire.decode_client_msg frame with
-         | exception Invalid_argument msg ->
-           (* a malformed frame is answered, not fatal: keep serving *)
-           reject msg;
+         match Wire.frame_kind frame with
+         | Some 'C' ->
+           (* live-telemetry scrape: any connection may ask; the reply
+              carries the full registry snapshot and needs no keys *)
+           (match Wire.decode_control frame with
+           | Wire.Stats_req ->
+             Wire.write_frame fd
+               (Wire.encode_control_reply
+                  (Wire.Stats_resp (Obs.Registry.snapshot t.tel.reg)))
+           | _ | (exception Invalid_argument _) ->
+             reject "unsupported control frame");
            loop ()
-         | Wire.Query_req { token } -> (
-           match Sectopk.Codec.decode_token token with
+         | _ -> (
+           match Wire.decode_client_msg frame with
            | exception Invalid_argument msg ->
+             (* a malformed frame is answered, not fatal: keep serving *)
              reject msg;
              loop ()
-           | tk ->
-             let cell = Ivar.create () in
-             let submitted = Unix.gettimeofday () in
-             let admitted =
-               locked t (fun () ->
-                   if t.draining then `Busy
-                   else
-                     match Core.Service.submit t.service (fun () -> job t tk ~submitted cell) with
-                     | `Accepted ->
-                       t.pending <- t.pending + 1;
-                       `Accepted
-                     | `Busy -> `Busy)
-             in
-             (match admitted with
-             | `Busy ->
-               locked t (fun () -> t.st <- { t.st with busy = t.st.busy + 1 });
-               write Wire.Busy
-             | `Accepted ->
-               let resp = Ivar.read cell in
-               Fun.protect ~finally:(fun () -> settle t) (fun () -> write resp));
-             if not t.draining then loop ()))
+           | Wire.Query_req { token } -> (
+             match Sectopk.Codec.decode_token token with
+             | exception Invalid_argument msg ->
+               (* still a query: it gets a sequence number and a log
+                  entry, with zero token shape (it never decoded) *)
+               let seq =
+                 locked t (fun () ->
+                     let seq = t.next_seq in
+                     t.next_seq <- seq + 1;
+                     seq)
+               in
+               Qlog.log t.qlog
+                 {
+                   Qlog.seq;
+                   conn = id;
+                   k = 0;
+                   attrs = 0;
+                   rounds = 0;
+                   bytes = 0;
+                   queue_us = 0;
+                   exec_us = 0;
+                   outcome = Qlog.Error msg;
+                 };
+               reject msg;
+               loop ()
+             | tk ->
+               let cell = Ivar.create () in
+               let submitted = Unix.gettimeofday () in
+               let admitted =
+                 locked t (fun () ->
+                     let seq = t.next_seq in
+                     t.next_seq <- seq + 1;
+                     if t.draining then `Busy seq
+                     else
+                       match
+                         Core.Service.submit t.service (fun () ->
+                             job t tk ~conn:id ~seq ~submitted cell)
+                       with
+                       | `Accepted ->
+                         t.pending <- t.pending + 1;
+                         update_load_gauges t;
+                         `Accepted
+                       | `Busy -> `Busy seq)
+               in
+               (match admitted with
+               | `Busy seq ->
+                 Obs.Registry.inc t.tel.busy_c;
+                 Qlog.log t.qlog
+                   {
+                     Qlog.seq;
+                     conn = id;
+                     k = tk.Sectopk.Scheme.k;
+                     attrs = List.length tk.Sectopk.Scheme.attrs;
+                     rounds = 0;
+                     bytes = 0;
+                     queue_us = 0;
+                     exec_us = 0;
+                     outcome = Qlog.Busy;
+                   };
+                 write Wire.Busy
+               | `Accepted ->
+                 let resp = Ivar.read cell in
+                 Fun.protect ~finally:(fun () -> settle t) (fun () -> write resp));
+               if not t.draining then loop ())))
      in
      loop ()
    with
@@ -220,6 +385,7 @@ let session t id fd =
      Unix.shutdown on a descriptor number the kernel has recycled *)
   locked t (fun () ->
       t.conns <- List.filter (fun (id', _) -> id' <> id) t.conns;
+      Obs.Registry.set t.tel.open_sessions_g (float_of_int (List.length t.conns));
       let mine, rest = List.partition (fun (id', _) -> id' = id) t.sessions in
       t.sessions <- rest;
       t.reaped <- List.rev_append (List.map snd mine) t.reaped;
@@ -244,6 +410,8 @@ let listener_loop t =
                   let id = t.next_conn in
                   t.next_conn <- id + 1;
                   t.conns <- (id, fd) :: t.conns;
+                  Obs.Registry.set t.tel.open_sessions_g
+                    (float_of_int (List.length t.conns));
                   let d = Domain.spawn (fun () -> session t id fd) in
                   t.sessions <- (id, d) :: t.sessions;
                   true
@@ -302,6 +470,8 @@ let start ?(port = 0) cfg store =
         wake_w;
         service = Core.Service.create ~domains:cfg.workers ~queue_depth:cfg.queue_depth;
         collector = Obs.Collector.create ();
+        tel = make_telemetry ();
+        qlog = Qlog.create cfg.qlog;
         lock = Mutex.create ();
         settled = Condition.create ();
         conns = [];
@@ -311,7 +481,8 @@ let start ?(port = 0) cfg store =
         listener = None;
         draining = false;
         pending = 0;
-        st = { served = 0; busy = 0; errors = 0; queue_seconds = 0.; query_seconds = 0. };
+        running = 0;
+        next_seq = 0;
       }
     with e ->
       Unix.close lsock;
@@ -363,5 +534,6 @@ let shutdown t =
     in
     List.iter Domain.join sessions;
     List.iter Domain.join finished;
+    Qlog.close t.qlog;
     Unix.close t.wake_r;
     Unix.close t.wake_w

@@ -17,6 +17,10 @@
     transport); [Tcp addr] dials a serve-s2 daemon once per query and
     replays provisioning through the Hello handshake. *)
 
+(** Structured query logging configuration (re-exported — the library's
+    main module hides its siblings from the outside). *)
+module Qlog = Qlog
+
 type s2_mode = Local | Tcp of Unix.sockaddr
 
 type config = {
@@ -28,10 +32,14 @@ type config = {
   queue_depth : int;  (** admitted-but-waiting bound beyond free workers *)
   options : Sectopk.Query.options;
   s2 : s2_mode;
+  qlog : Qlog.config;  (** structured query log / slow-query / trace sampling *)
 }
 
 val default_config : config
 
+(** Historical scalar record, now a view derived from the registry
+    ({!registry}): counters read directly, the second totals recovered
+    from the microsecond histogram sums. *)
 type stats = {
   served : int;  (** queries answered with results *)
   busy : int;  (** connections bounced with [Busy] *)
@@ -49,6 +57,16 @@ val start : ?port:int -> config -> Store.t -> t
 
 val port : t -> int
 val stats : t -> stats
+
+(** Live telemetry: counters ([served]/[busy]/[errors]), load gauges
+    ([queue_depth], [in_flight_queries], [open_sessions],
+    [worker_utilization]) and per-query histograms ([queue_wait_us],
+    [exec_us], [query_rounds], [query_bytes], [query_depth]).
+    Histograms record on every query whether or not {!Obs} is enabled;
+    the registry's mutex makes concurrent scrapes torn-read-free.  Any
+    client connection can fetch a snapshot live with a [Wire.Stats_req]
+    control frame ({!Proto.Transport.scrape_stats}). *)
+val registry : t -> Obs.Registry.t
 
 (** Per-query observability collectors merged in completion order
     (meaningful only when {!Obs.is_enabled}). *)

@@ -166,6 +166,177 @@ let test_noop_mode () =
   Alcotest.(check bool) "enabled collector non-empty" false
     (Obs.Collector.is_empty ctx_on.Ctx.obs)
 
+(* ---------------- Hist properties ---------------- *)
+
+let hist_of values =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.record h) values;
+  h
+
+(* canonical rendering of everything a snapshot exposes *)
+let hist_fingerprint h =
+  Printf.sprintf "c=%d s=%d min=%d max=%d b=[%s]" (Obs.Hist.count h) (Obs.Hist.sum h)
+    (Obs.Hist.min_value h) (Obs.Hist.max_value h)
+    (String.concat ";"
+       (List.map (fun (ub, n) -> Printf.sprintf "%d:%d" ub n) (Obs.Hist.buckets h)))
+
+let sample_gen =
+  (* mix of magnitudes so both the exact (<8) and log-linear regimes and
+     several octaves get exercised *)
+  QCheck.Gen.(
+    frequency
+      [ (2, int_bound 7); (4, int_bound 1000); (3, int_bound 1_000_000);
+        (1, map (fun v -> v * 1_000_003) (int_bound 1_000_000)) ])
+
+let samples_arb = QCheck.make ~print:QCheck.Print.(list int) QCheck.Gen.(list_size (int_range 1 200) sample_gen)
+
+let prop_bucket_scheme =
+  QCheck.Test.make ~name:"bucket bounds and relative width" ~count:2000
+    (QCheck.make sample_gen) (fun v ->
+      let idx = Obs.Hist.bucket_index v in
+      let ub = Obs.Hist.bucket_upper idx in
+      let lb = if idx = 0 then 0 else Obs.Hist.bucket_upper (idx - 1) + 1 in
+      idx >= 0 && idx < Obs.Hist.n_buckets && lb <= v && v <= ub
+      (* bucket width bounds the quantile over-estimate: ub <= v + v/8 + 1 *)
+      && ub - v <= (v / 8) + 1)
+
+let prop_merge_comm =
+  QCheck.Test.make ~name:"merge commutative" ~count:200
+    (QCheck.pair samples_arb samples_arb) (fun (xs, ys) ->
+      let ab = hist_of xs and ba = hist_of ys in
+      Obs.Hist.merge_into (hist_of ys) ~into:ab;
+      Obs.Hist.merge_into (hist_of xs) ~into:ba;
+      hist_fingerprint ab = hist_fingerprint ba)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~name:"merge associative" ~count:200
+    (QCheck.triple samples_arb samples_arb samples_arb) (fun (xs, ys, zs) ->
+      let left = hist_of xs in
+      Obs.Hist.merge_into (hist_of ys) ~into:left;
+      Obs.Hist.merge_into (hist_of zs) ~into:left;
+      let yz = hist_of ys in
+      Obs.Hist.merge_into (hist_of zs) ~into:yz;
+      let right = hist_of xs in
+      Obs.Hist.merge_into yz ~into:right;
+      hist_fingerprint left = hist_fingerprint right)
+
+let prop_quantile_error =
+  (* the estimate brackets the sorted-sample oracle: never below it, and
+     above by at most one bucket width (12.5% + 1) *)
+  QCheck.Test.make ~name:"quantile vs sorted oracle" ~count:300
+    (QCheck.pair samples_arb (QCheck.float_range 0.01 1.)) (fun (xs, q) ->
+      let h = hist_of xs in
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let oracle = List.nth sorted (min (n - 1) (rank - 1)) in
+      let est = Obs.Hist.quantile h q in
+      oracle <= est && est <= oracle + (oracle / 8) + 1)
+
+let prop_sharded_deterministic =
+  (* the --domains determinism argument: shard the sample stream over
+     any number of per-domain histograms, merge, and the result is
+     identical to single-stream recording — merges are exact *)
+  QCheck.Test.make ~name:"sharded record+merge = sequential" ~count:200
+    (QCheck.pair samples_arb (QCheck.int_range 1 8)) (fun (xs, shards) ->
+      let parts = Array.init shards (fun _ -> Obs.Hist.create ()) in
+      List.iteri (fun i v -> Obs.Hist.record parts.(i mod shards) v) xs;
+      let merged = Obs.Hist.create () in
+      Array.iter (fun p -> Obs.Hist.merge_into p ~into:merged) parts;
+      hist_fingerprint merged = hist_fingerprint (hist_of xs))
+
+let test_hist_parallel_domains () =
+  (* per-domain shards recorded by real parallel domains, merged on the
+     spawning domain: byte-identical to the sequential fingerprint *)
+  let values = List.init 5000 (fun i -> (i * 7919) mod 2_000_000) in
+  let shards = 4 in
+  let doms =
+    List.init shards (fun d ->
+        Domain.spawn (fun () ->
+            let h = Obs.Hist.create () in
+            List.iteri (fun i v -> if i mod shards = d then Obs.Hist.record h v) values;
+            h))
+  in
+  let merged = Obs.Hist.create () in
+  List.iter (fun d -> Obs.Hist.merge_into (Domain.join d) ~into:merged) doms;
+  Alcotest.(check string) "parallel fingerprint" (hist_fingerprint (hist_of values))
+    (hist_fingerprint merged)
+
+let test_hist_basics () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check bool) "fresh empty" true (Obs.Hist.is_empty h);
+  Alcotest.(check int) "empty quantile" 0 (Obs.Hist.quantile h 0.5);
+  Obs.Hist.record h (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (Obs.Hist.max_value h);
+  Obs.Hist.clear h;
+  Obs.Hist.record_seconds h 0.001234;
+  Alcotest.(check int) "record_seconds rounds to us" 1234 (Obs.Hist.sum h);
+  Alcotest.(check (float 1e-9) "quantile_seconds inverse" )
+    (float_of_int (Obs.Hist.quantile h 0.5) /. 1e6)
+    (Obs.Hist.quantile_seconds h 0.5)
+
+(* ---------------- Registry ---------------- *)
+
+let test_registry_roundtrip () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "served" in
+  Obs.Registry.add c 41;
+  Obs.Registry.inc c;
+  Obs.Registry.set (Obs.Registry.gauge r "queue_depth") 3.5;
+  let h = Obs.Registry.histogram r "exec_us" in
+  List.iter (Obs.Registry.observe h) [ 5; 90; 1700; 42_000 ];
+  let snap = Obs.Registry.snapshot r in
+  Alcotest.(check bool) "sorted names" true
+    (let names = List.map fst snap in
+     names = List.sort compare names);
+  let json = Obs.Registry.to_json snap in
+  Alcotest.(check bool) "json roundtrip" true (Obs.Registry.of_json json = snap);
+  (match List.assoc "served" snap with
+  | Obs.Registry.Counter v -> Alcotest.(check int) "counter" 42 v
+  | _ -> Alcotest.fail "served not a counter");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let prom = Obs.Registry.to_prometheus snap in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prom contains " ^ needle) true (contains prom needle))
+    [ "# TYPE served counter"; "# TYPE queue_depth gauge"; "# TYPE exec_us histogram";
+      "exec_us_count 4"; "le=\"+Inf\"" ]
+
+let test_registry_handle_reuse () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.inc (Obs.Registry.counter r "x");
+  Obs.Registry.inc (Obs.Registry.counter r "x");
+  Alcotest.(check int) "same cell" 2
+    (Obs.Registry.counter_value (Obs.Registry.counter r "x"));
+  (match Obs.Registry.gauge r "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted")
+
+let test_registry_json_rejects () =
+  let reject s =
+    match Obs.Registry.of_json s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted malformed %S" s
+  in
+  reject "";
+  reject "[]";
+  reject "{\"a\": true}";
+  (* missing sections *)
+  reject "{\"counters\":{}}";
+  (* trailing garbage *)
+  reject "{\"counters\":{},\"gauges\":{},\"histograms\":{}} x";
+  (* histogram whose bucket counts do not sum to count *)
+  reject
+    "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":3,\"sum\":10,\"min\":1,\
+     \"max\":5,\"buckets\":[[5,1]]}}}";
+  (* and the well-formed empty snapshot is accepted *)
+  Alcotest.(check bool) "empty snapshot accepted" true
+    (Obs.Registry.of_json "{\"counters\":{},\"gauges\":{},\"histograms\":{}}" = [])
+
 let suite =
   [ ( "cost-model",
       [ Alcotest.test_case "enc_compare" `Quick test_model_enc_compare;
@@ -173,6 +344,18 @@ let suite =
         Alcotest.test_case "sec_best" `Quick test_model_sec_best;
         Alcotest.test_case "sec_dedup" `Quick test_model_sec_dedup;
         Alcotest.test_case "enc_sort" `Quick test_model_enc_sort ] );
+    ( "hist",
+      [ QCheck_alcotest.to_alcotest prop_bucket_scheme;
+        QCheck_alcotest.to_alcotest prop_merge_comm;
+        QCheck_alcotest.to_alcotest prop_merge_assoc;
+        QCheck_alcotest.to_alcotest prop_quantile_error;
+        QCheck_alcotest.to_alcotest prop_sharded_deterministic;
+        Alcotest.test_case "parallel domains" `Quick test_hist_parallel_domains;
+        Alcotest.test_case "basics" `Quick test_hist_basics ] );
+    ( "registry",
+      [ Alcotest.test_case "roundtrip + prometheus" `Quick test_registry_roundtrip;
+        Alcotest.test_case "handle reuse" `Quick test_registry_handle_reuse;
+        Alcotest.test_case "json rejects malformed" `Quick test_registry_json_rejects ] );
     ( "determinism",
       [ Alcotest.test_case "domains 1 vs 4" `Slow test_domains_deterministic;
         Alcotest.test_case "no-op mode" `Slow test_noop_mode ] ) ]

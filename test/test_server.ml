@@ -266,6 +266,141 @@ let test_malformed_frame_keeps_session () =
       Alcotest.(check int) "error counted" 1 st.Server.errors;
       Alcotest.(check int) "good query served" 1 st.Server.served)
 
+(* ---------------- live telemetry ---------------- *)
+
+let snap_counter snap name =
+  match List.assoc_opt name snap with
+  | Some (Obs.Registry.Counter v) -> v
+  | _ -> Alcotest.failf "no counter %s in snapshot" name
+
+let snap_hist snap name =
+  match List.assoc_opt name snap with
+  | Some (Obs.Registry.Histogram d) -> d
+  | _ -> Alcotest.failf "no histogram %s in snapshot" name
+
+let scrape port =
+  Transport.scrape_stats (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let test_live_scrape () =
+  (* scrape over the wire while 4 clients are mid-query, then again after
+     they finish: the final counts must equal ground truth exactly *)
+  with_server ~workers:2 ~queue_depth:8 (fun srv ->
+      let expected = expected_resp () in
+      let port = Server.port srv in
+      let clients =
+        List.init 4 (fun i ->
+            Domain.spawn (fun () -> with_client port (fun fd -> (i, ask fd token))))
+      in
+      (* mid-load scrape: a fresh key-less connection, served while query
+         sessions are running; counts are a consistent prefix *)
+      let mid = scrape port in
+      let mid_served = snap_counter mid "served" in
+      Alcotest.(check bool) "mid-load served in range" true (mid_served >= 0 && mid_served <= 4);
+      Alcotest.(check bool) "mid-load snapshot torn-read-free" true
+        ((snap_hist mid "exec_us").Obs.Registry.hcount
+         = mid_served + snap_counter mid "errors");
+      List.iter
+        (fun d ->
+          let i, resp = Domain.join d in
+          check_is_expected (Printf.sprintf "client %d" i) expected resp)
+        clients;
+      let snap = scrape port in
+      Alcotest.(check int) "served equals ground truth" 4 (snap_counter snap "served");
+      Alcotest.(check int) "no busy" 0 (snap_counter snap "busy");
+      Alcotest.(check int) "no errors" 0 (snap_counter snap "errors");
+      let exec = snap_hist snap "exec_us" and qwait = snap_hist snap "queue_wait_us" in
+      Alcotest.(check int) "exec histogram count" 4 exec.Obs.Registry.hcount;
+      Alcotest.(check int) "queue-wait histogram count" 4 qwait.Obs.Registry.hcount;
+      Alcotest.(check bool) "exec histogram non-zero" true (exec.Obs.Registry.hsum > 0);
+      Alcotest.(check int) "rounds histogram count" 4
+        (snap_hist snap "query_rounds").Obs.Registry.hcount;
+      Alcotest.(check bool) "bytes recorded" true
+        ((snap_hist snap "query_bytes").Obs.Registry.hsum > 0);
+      (* the scraped snapshot matches the in-process registry and the
+         derived legacy stats view *)
+      let st = Server.stats srv in
+      Alcotest.(check int) "derived view served" (snap_counter snap "served") st.Server.served;
+      Alcotest.(check bool) "derived seconds from histograms" true
+        (st.Server.query_seconds >= float_of_int exec.Obs.Registry.hsum /. 1e6 -. 1e-9);
+      (* and it survives the JSON + Prometheus codecs *)
+      Alcotest.(check bool) "json roundtrip" true
+        (Obs.Registry.of_json (Obs.Registry.to_json snap) = snap);
+      Alcotest.(check bool) "prometheus non-empty" true
+        (String.length (Obs.Registry.to_prometheus snap) > 0))
+
+let test_query_log_and_traces () =
+  let tmp = Filename.temp_file "test_server_qlog" ".jsonl" in
+  let tdir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "test_server_traces_%d" (Unix.getpid ()))
+  in
+  let prev_obs = Obs.is_enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled prev_obs;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat tdir f) with Sys_error _ -> ())
+        (try Sys.readdir tdir with Sys_error _ -> [||]);
+      try Unix.rmdir tdir with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      let st = Store.open_index ~dir:(store_dir ()) pub in
+      let srv =
+        Server.start
+          { (cfg 2 8) with
+            Server.qlog =
+              { Server.Qlog.log_json = Some tmp;
+                slow_query_ms = Some 0. (* every query is an outlier *);
+                trace_sample = Some 1;
+                trace_dir = tdir } }
+          st
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.shutdown srv;
+          Store.close st)
+        (fun () ->
+          with_client (Server.port srv) (fun fd ->
+              ignore (ask fd token);
+              (match ask fd "not a token" with
+              | Wire.Server_error _ -> ()
+              | _ -> Alcotest.fail "expected Server_error");
+              ignore (ask fd token)));
+      (* shutdown flushed and closed the log; parse it back *)
+      let ic = open_in tmp in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      let count needle =
+        List.length
+          (List.filter
+             (fun l ->
+               let nl = String.length l and nn = String.length needle in
+               let rec go i = i + nn <= nl && (String.sub l i nn = needle || go (i + 1)) in
+               go 0)
+             lines)
+      in
+      Alcotest.(check int) "two ok entries" 2 (count "\"outcome\":\"ok\"");
+      Alcotest.(check int) "one error entry" 1 (count "\"outcome\":\"error\"");
+      Alcotest.(check bool) "slow-query reports logged" true (count "\"slow_query\":true" >= 2);
+      Alcotest.(check bool) "entries carry latency fields" true (count "\"exec_us\":" >= 3);
+      (* every query sampled: at least one rotating trace slot written,
+         and it is a loadable Chrome trace object *)
+      let traces = try Sys.readdir tdir with Sys_error _ -> [||] in
+      Alcotest.(check bool) "sampled trace written" true (Array.length traces >= 1);
+      let tic = open_in (Filename.concat tdir traces.(0)) in
+      let first = input_line tic in
+      close_in tic;
+      let prefix = "{\"traceEvents\":[" in
+      Alcotest.(check bool) "trace is a Chrome trace object" true
+        (String.length first >= String.length prefix
+        && String.sub first 0 (String.length prefix) = prefix))
+
 let test_shutdown_closes_port () =
   let st = Store.open_index ~dir:(store_dir ()) pub in
   let srv = Server.start (cfg 2 8) st in
@@ -293,6 +428,8 @@ let suite =
         Alcotest.test_case "bad token -> Server_error" `Slow test_bad_token_is_typed_error;
         Alcotest.test_case "malformed frame -> Server_error" `Slow
           test_malformed_frame_keeps_session;
+        Alcotest.test_case "live scrape mid-load" `Slow test_live_scrape;
+        Alcotest.test_case "query log + sampled traces" `Slow test_query_log_and_traces;
         Alcotest.test_case "shutdown closes port" `Slow test_shutdown_closes_port ] ) ]
 
 let () = Alcotest.run "server" suite

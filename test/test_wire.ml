@@ -113,7 +113,22 @@ let control_samples : Wire.control list =
     Wire.Join { parent = 0; child = 7 };
     Wire.Get_trace;
     Wire.Get_stats;
+    Wire.Stats_req;
     Wire.Shutdown ]
+
+(* a registry snapshot with every metric kind, including fields past
+   put_int's 30-bit cap (counter totals and histogram sums on a
+   long-lived server legitimately exceed it) *)
+let snapshot_sample : Obs.Registry.snapshot =
+  [ ("exec_us",
+     Obs.Registry.Histogram
+       { Obs.Registry.hcount = 3; hsum = 5_000_000_123; hmin = 12; hmax = 4_999_999_999;
+         hbuckets = [ (15, 2); (5_368_709_119, 1) ] });
+    ("queue_depth", Obs.Registry.Gauge 2.5);
+    ("served", Obs.Registry.Counter 7_000_000_000);
+    ("worker_utilization", Obs.Registry.Gauge 0.);
+    ("zeros", Obs.Registry.Histogram
+       { Obs.Registry.hcount = 0; hsum = 0; hmin = 0; hmax = 0; hbuckets = [] }) ]
 
 let client_samples : Wire.client_msg list =
   [ Wire.Query_req { token = "opaque token bytes" }; Wire.Query_req { token = "" } ]
@@ -135,7 +150,9 @@ let control_reply_samples : Wire.control_reply list =
         Trace.Comparison { protocol = "EncCompare"; ordering = -1 };
         Trace.Count { protocol = "SecFilter"; value = 4 } ];
     Wire.Trace_events [];
-    Wire.Stats [ ("paillier_decrypt", 12); ("dj_decrypt", 3) ] ]
+    Wire.Stats [ ("paillier_decrypt", 12); ("dj_decrypt", 3) ];
+    Wire.Stats_resp snapshot_sample;
+    Wire.Stats_resp [] ]
 
 (* ---------------- round trips + closed-form sizes ---------------- *)
 
@@ -299,6 +316,52 @@ let test_nested_batch () =
   expect_invalid "decode nested batch resp" (fun () ->
       ignore (Wire.decode_response keys (corrupt r (Wire.response_header_bytes + 4) '\x0e')))
 
+(* stats frames: truncation sweep plus targeted field corruptions — the
+   decoder re-validates what the registry guarantees (non-negative 8-byte
+   integers, non-NaN gauges, histogram bucket counts summing to count) *)
+let test_stats_malformed () =
+  let frame = Wire.encode_control_reply (Wire.Stats_resp snapshot_sample) in
+  let n = String.length frame in
+  for cut = 0 to n - 1 do
+    expect_invalid (Printf.sprintf "stats cut %d" cut) (fun () ->
+        ignore (Wire.decode_control_reply (String.sub frame 0 cut)))
+  done;
+  expect_invalid "stats trailing byte" (fun () ->
+      ignore (Wire.decode_control_reply (frame ^ "\x00")));
+  (* locate a field by its unique encoded bytes, then corrupt in place *)
+  let find needle =
+    let nn = String.length needle in
+    let rec go i =
+      if i + nn > n then Alcotest.failf "pattern not found in stats frame"
+      else if String.sub frame i nn = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let i64 v =
+    String.init 8 (fun i -> Char.chr ((v lsr (56 - (8 * i))) land 0xff))
+  in
+  (* counter 7e9 with its sign bit set -> out of range *)
+  let cpos = find (i64 7_000_000_000) in
+  expect_invalid "negative i64 field" (fun () ->
+      ignore (Wire.decode_control_reply (corrupt frame cpos '\x80')));
+  (* gauge 2.5 patched to a NaN bit pattern *)
+  let gpos = find "\x40\x04\x00\x00\x00\x00\x00\x00" in
+  let nan_frame =
+    String.sub frame 0 gpos ^ "\x7f\xf8\x00\x00\x00\x00\x00\x00"
+    ^ String.sub frame (gpos + 8) (n - gpos - 8)
+  in
+  expect_invalid "NaN gauge" (fun () -> ignore (Wire.decode_control_reply nan_frame));
+  (* exec_us histogram count 3 -> 4: disagrees with its bucket counts *)
+  let hpos = find (i64 3 ^ i64 5_000_000_123) in
+  expect_invalid "histogram count mismatch" (fun () ->
+      ignore (Wire.decode_control_reply (corrupt frame (hpos + 7) '\x04')));
+  (* hmin above hmax *)
+  let mpos = find (i64 12 ^ i64 4_999_999_999) in
+  (* byte 2 of hmin: lifts it to ~2^40, far above hmax *)
+  expect_invalid "histogram min above max" (fun () ->
+      ignore (Wire.decode_control_reply (corrupt frame (mpos + 2) '\xff')))
+
 (* QCheck: single-byte mutations anywhere in any frame either raise
    [Invalid_argument] or decode to *something* — no other exception ever
    escapes (payload-byte mutations legitimately decode to different
@@ -343,6 +406,7 @@ let suite =
         Alcotest.test_case "overlong" `Quick test_overlong;
         Alcotest.test_case "bad header" `Quick test_bad_header;
         Alcotest.test_case "nested batch" `Quick test_nested_batch;
+        Alcotest.test_case "stats frames" `Quick test_stats_malformed;
         QCheck_alcotest.to_alcotest test_mutation_safety;
         QCheck_alcotest.to_alcotest test_garbage_safety ] ) ]
 
