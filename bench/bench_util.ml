@@ -34,6 +34,14 @@ let rtt_us : int option ref = ref None
    the --rtt sweep can price the round collapse as wall-clock. *)
 let batching = ref true
 
+(* --clients N: top of the concurrency sweep axis — the "concurrency"
+   experiment runs 1, 2, 4, ... up to N concurrent query clients. *)
+let clients = ref 8
+
+(* --no-coalescing: run the concurrency sweep over dedicated per-client
+   transports instead of the shared round scheduler (the N x baseline). *)
+let coalescing = ref true
+
 let fresh_ctx () =
   Proto.Ctx.with_batching
     (Proto.Ctx.of_keys ~blind_bits ~mode:!transport ?rtt_us:!rtt_us

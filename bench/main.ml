@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --transport T - inproc (default) | loopback
      dune exec bench/main.exe -- --rtt MICROS - per-round latency on the loopback transport
      dune exec bench/main.exe -- --no-batching - one frame per request (historical framing)
+     dune exec bench/main.exe -- --clients N   - top of the concurrency sweep axis
+     dune exec bench/main.exe -- --no-coalescing - concurrency sweep without the round scheduler
 
    Paper-vs-measured commentary lives in EXPERIMENTS.md. *)
 
@@ -29,6 +31,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig14", "secure top-k join time varying m", Bench_join.fig14);
     ("sec11.3", "SecTopK vs secure-kNN baseline", Bench_knn.sec11_3);
     ("ext-rankjoin", "pre-sorted rank join vs cross-product join", Bench_join.ext_rankjoin);
+    ("concurrency", "S2 round trips & latency vs concurrent clients (round scheduler)", Bench_concurrency.run);
     ("store", "durable index: build/publish, cold-open vs warm-cache query", Bench_store.run);
     ("micro", "micro-benchmarks of the crypto substrate", Bench_micro.run);
     ("ablation", "design-choice ablations (sort strategy, halting, blinding)", Bench_ablation.run)
@@ -77,6 +80,16 @@ let () =
     end
     | None -> ());
     if List.mem "--no-batching" args then Bench_util.batching := false;
+    (match flag "--clients" with
+    | Some n -> begin
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Bench_util.clients := n
+      | _ ->
+        Format.eprintf "--clients expects a positive integer, got %S@." n;
+        exit 2
+    end
+    | None -> ());
+    if List.mem "--no-coalescing" args then Bench_util.coalescing := false;
     (match flag "--json" with
     | Some dir ->
       (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755

@@ -159,7 +159,13 @@ let demo_cmd =
 (* SIGINT/SIGTERM request a graceful drain: the flag flips, the blocking
    accept returns with EINTR, and the loop exits — but an in-flight
    connection always runs to completion first (Wire frame I/O restarts on
-   EINTR, so a signal never tears a frame mid-read). *)
+   EINTR, so a signal never tears a frame mid-read).
+
+   Each connection gets its own domain: a coalescing serve-s1 holds one
+   scheduler connection open for its whole lifetime, so a sequential
+   accept loop would lock out every later client (a second S1, a stats
+   scrape). Responder state stays per-connection; the registry is the
+   only thing shared, and it locks internally. *)
 let serve_s2 port once =
   let stop = ref false in
   let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
@@ -178,6 +184,23 @@ let serve_s2 port once =
   (match Unix.getsockname sock with
   | Unix.ADDR_INET (_, p) -> Format.printf "S2 daemon listening on 127.0.0.1:%d@.%!" p
   | _ -> ());
+  let doms = ref [] in
+  let doms_lock = Mutex.create () in
+  let serve_conn fd =
+    (try
+       Proto.S2_server.serve_fd fd ~registry:reg
+         ~on_ready:(fun dt ->
+           (* warm-up is scrapeable, not just a line lost in stdout:
+              latest duration + cumulative comb-table count (pub,
+              djpub, own_pub per provisioning) *)
+           Obs.Registry.set warmup_g dt;
+           Obs.Registry.add_gauge combs_g 3.;
+           Format.printf "S2: keys provisioned, combs warmed in %.0f ms@.%!"
+             (dt *. 1000.))
+     with e -> Format.eprintf "S2: connection failed: %s@." (Printexc.to_string e));
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Format.printf "S2: connection closed@.%!"
+  in
   let rec loop () =
     if not !stop then
       match Unix.accept sock with
@@ -186,22 +209,22 @@ let serve_s2 port once =
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
         Obs.Registry.inc connections_c;
         Format.printf "S2: connection accepted@.%!";
-        (try
-           Proto.S2_server.serve_fd fd ~registry:reg
-             ~on_ready:(fun dt ->
-               (* warm-up is scrapeable, not just a line lost in stdout:
-                  latest duration + cumulative comb-table count (pub,
-                  djpub, own_pub per provisioning) *)
-               Obs.Registry.set warmup_g dt;
-               Obs.Registry.add_gauge combs_g 3.;
-               Format.printf "S2: keys provisioned, combs warmed in %.0f ms@.%!"
-                 (dt *. 1000.))
-         with e -> Format.eprintf "S2: connection failed: %s@." (Printexc.to_string e));
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        Format.printf "S2: connection closed@.%!";
+        let d = Domain.spawn (fun () -> serve_conn fd) in
+        Mutex.lock doms_lock;
+        doms := d :: !doms;
+        Mutex.unlock doms_lock;
         if not once then loop ()
   in
   loop ();
+  (* drain: every accepted connection still runs to completion *)
+  let ds =
+    Mutex.lock doms_lock;
+    let ds = !doms in
+    doms := [];
+    Mutex.unlock doms_lock;
+    ds
+  in
+  List.iter Domain.join ds;
   Unix.close sock;
   if !stop then Format.printf "S2: drained, listener closed@.%!"
 
@@ -301,7 +324,7 @@ let build_index_cmd =
           $ store_arg $ key_out_arg $ block_records_arg)
 
 let serve_s1 store_dir port seed bits variant workers queue_depth s2_addr metrics log_json
-    slow_query_ms trace_sample trace_dir =
+    slow_query_ms trace_sample trace_dir coalesce_window_us =
   or_file_error (fun () ->
       let qlog =
         { Server.Qlog.log_json; slow_query_ms; trace_sample; trace_dir }
@@ -331,6 +354,7 @@ let serve_s1 store_dir port seed bits variant workers queue_depth s2_addr metric
                | Some a -> Server.Tcp (parse_addr a)
                | None -> Server.Local);
           qlog;
+          coalesce_window_us;
         }
       in
       let t = Server.start ~port cfg store in
@@ -388,6 +412,14 @@ let trace_dir_arg =
            ~doc:"Directory for sampled traces (rotates over a fixed number of \
                  slots).")
 
+let coalesce_window_arg =
+  Arg.(value & opt int Server.default_config.Server.coalesce_window_us
+       & info [ "coalesce-window-us" ] ~docv:"US"
+           ~doc:"Round-coalescing window in microseconds: concurrent queries' \
+                 S2 round trips parked within it merge into one frame (a trip \
+                 also ships as soon as every in-flight query is parked). 0 \
+                 disables coalescing — each query owns a private S2 transport.")
+
 let serve_s1_cmd =
   Cmd.v
     (Cmd.info "serve-s1"
@@ -396,7 +428,7 @@ let serve_s1_cmd =
              SIGTERM drains gracefully.")
     Term.(const serve_s1 $ store_arg $ port_arg $ seed_arg $ bits_arg $ variant_arg
           $ workers_arg $ queue_depth_arg $ s2_arg $ metrics_arg $ log_json_arg
-          $ slow_query_ms_arg $ trace_sample_arg $ trace_dir_arg)
+          $ slow_query_ms_arg $ trace_sample_arg $ trace_dir_arg $ coalesce_window_arg)
 
 let query_client s1_addr key_file k m seed bits =
   or_file_error (fun () ->

@@ -69,6 +69,7 @@ echo "S2 on port $s2_port (pid $s2_pid)"
 echo "== 3. storage cloud: serve-s1 (query log + every query traced) =="
 dune exec bin/topk_cli.exe -- serve-s1 --store "$work/index" --seed $seed --port 0 \
   --s2 "127.0.0.1:$s2_port" --log-json "$work/queries.jsonl" \
+  --coalesce-window-us 20000 \
   --trace-sample 1 --trace-dir "$work/traces" >"$work/s1.log" 2>&1 &
 s1_pid=$!
 s1_port=$(wait_for_port "$work/s1.log")
@@ -100,16 +101,42 @@ if [ -d artifacts ]; then
   cp "$work/traces/trace-0.json" artifacts/sampled-trace.json
 fi
 
-echo "== 5. reference: in-process demo, same seed =="
+echo "== 5. four concurrent clients through the round scheduler =="
+# dune exec takes the build lock, so concurrent clients run the binary
+# directly; their S2 rounds coalesce into shared mux trips on S1.
+cli=$(pwd)/_build/default/bin/topk_cli.exe
+pids=""
+for i in 1 2 3 4; do
+  "$cli" query --s1 "127.0.0.1:$s1_port" --key "$work/client.key" \
+    -k 3 -m $attrs --seed $seed >"$work/query-conc$i.out" 2>&1 &
+  pids="$pids $!"
+done
+for p in $pids; do wait "$p"; done
+
+dune exec bin/topk_cli.exe -- stats "127.0.0.1:$s1_port" --prom >"$work/stats-s1-conc.prom"
+served=$(awk '$1 == "served" { print $2 }' "$work/stats-s1-conc.prom")
+[ "$served" = "5" ] || { echo "expected served=5 after the concurrent leg, got '$served'" >&2; exit 1; }
+coalesced=$(awk '$1 == "coalesced_rounds" { print $2 }' "$work/stats-s1-conc.prom")
+[ -n "$coalesced" ] && [ "$coalesced" -gt 0 ] ||
+  { echo "expected a positive coalesced_rounds gauge, got '$coalesced'" >&2; exit 1; }
+grep -q '^parked_queries ' "$work/stats-s1-conc.prom" ||
+  { echo "parked_queries gauge missing from the scrape" >&2; exit 1; }
+echo "== scrape: served=5, $coalesced coalesced trips shipped =="
+
+echo "== 6. reference: in-process demo, same seed =="
 dune exec bin/topk_cli.exe -- demo --rows $rows --attrs $attrs -k 3 -m $attrs \
   --seed $seed | tee "$work/demo.out"
 
 grep "score in" "$work/query.out" >"$work/query.scores"
 grep "score in" "$work/demo.out" >"$work/demo.scores"
 diff "$work/query.scores" "$work/demo.scores"
-echo "== served results are byte-identical to the in-process demo =="
+for i in 1 2 3 4; do
+  grep "score in" "$work/query-conc$i.out" >"$work/query-conc$i.scores"
+  diff "$work/query-conc$i.scores" "$work/demo.scores"
+done
+echo "== served results (sequential and concurrent) are byte-identical to the in-process demo =="
 
-echo "== 6. graceful drain (SIGTERM) =="
+echo "== 7. graceful drain (SIGTERM) =="
 kill -TERM "$s1_pid"
 wait "$s1_pid"
 s1_pid=""
@@ -120,7 +147,7 @@ grep "S1: drained" "$work/s1.log"
 grep "drained" "$work/s2.log"
 cat "$work/s1.log" "$work/s2.log"
 
-echo "== 7. corruption smoke: a flipped byte must be a typed rejection =="
+echo "== 8. corruption smoke: a flipped byte must be a typed rejection =="
 flip_byte() {
   # $1: file; $2: offset (negative counts from the end)
   python3 - "$1" "$2" <<'EOF'

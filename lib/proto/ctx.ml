@@ -21,7 +21,11 @@ type t = {
   batching : bool;
 }
 
-type mode = Inproc | Loopback | Socket_fd of Unix.file_descr
+type mode =
+  | Inproc
+  | Loopback
+  | Socket_fd of Unix.file_descr
+  | Mux of Sched.t * int (* shared round scheduler + this query's session id *)
 
 let default_mode () =
   match Sys.getenv_opt "TRANSPORT" with
@@ -54,6 +58,11 @@ let of_keys ?blind_bits ?(domains = 1) ?mode ?rtt_us rng pub sk =
   let transport =
     match mode with
     | Socket_fd fd -> Transport.socket keys fd
+    | Mux (sched, session) ->
+      (* [s2_rng] was forked above regardless — the S1 stream must not
+         depend on who runs S2 — and the scheduler's backend provisions
+         the byte-identical responder on the other side of the frame *)
+      Transport.mux keys sched ~session
     | Inproc | Loopback ->
       let server =
         S2_server.create ~pub ~djpub ~sk ~djsk:(Option.get djsk_opt) ~own_pub ~rng:s2_rng
@@ -61,7 +70,7 @@ let of_keys ?blind_bits ?(domains = 1) ?mode ?rtt_us rng pub sk =
       (match mode with
       | Inproc -> Transport.inproc keys server
       | Loopback -> Transport.loopback ?rtt_us keys server
-      | Socket_fd _ -> assert false)
+      | Socket_fd _ | Mux _ -> assert false)
   in
   {
     s1 =
@@ -112,8 +121,12 @@ let rpc_batch t ~label reqs =
   | reqs -> (
     match rpc t ~label (Wire.Batch reqs) with
     | Wire.Batch_resp resps when List.length resps = List.length reqs -> resps
-    | Wire.Batch_resp _ -> failwith "Ctx.rpc_batch: response count mismatch"
-    | _ -> failwith "Ctx.rpc_batch: expected batch response")
+    | Wire.Batch_resp resps ->
+      (* typed desync: a hostile or broken S2 answers [Server_error], it
+         does not kill the session domain *)
+      Proto_error.fail "Ctx.rpc_batch: %d responses to %d requests under %s"
+        (List.length resps) (List.length reqs) label
+    | _ -> Proto_error.fail "Ctx.rpc_batch: expected batch response under %s" label)
 
 (* Double-buffered batching: while chunk [i] is in flight on a helper
    domain, the caller's domain prepares chunk [i+1]. [prepare] runs

@@ -51,8 +51,16 @@ type t = {
 (** Transport selection. When omitted, the [TRANSPORT] environment
     variable picks between [inproc] (default) and [loopback] — this is
     how CI reruns the whole suite through the codec. [Socket_fd] wraps a
-    connection whose [Hello] handshake already happened. *)
-type mode = Inproc | Loopback | Socket_fd of Unix.file_descr
+    connection whose [Hello] handshake already happened. [Mux] parks
+    this query's rounds at a shared {!Sched} under a session id from
+    [Sched.open_query], so concurrent queries' trips coalesce; results,
+    traces and per-query op counters stay byte-identical to the
+    dedicated-transport baseline. *)
+type mode =
+  | Inproc
+  | Loopback
+  | Socket_fd of Unix.file_descr
+  | Mux of Sched.t * int
 
 (** [create rng ~bits] generates a fresh key pair of modulus width [bits]
     and builds both party halves. [domains] (default 1) sets the
@@ -99,7 +107,9 @@ val rpc : t -> label:string -> Wire.request -> Wire.response
     delegates to {!rpc}, so singleton fan-outs keep their historical
     framing. S2 handles batch elements in order — exactly the
     decryptions, trace events and randomness draws of singleton
-    execution. *)
+    execution. A response of the wrong arity or kind raises
+    {!Proto_error.Proto_error} (typed desync, mapped to a
+    [Server_error] by the serving front-end). *)
 val rpc_batch : t -> label:string -> Wire.request list -> Wire.response list
 
 (** [rpc_pipeline t ~label ~prepare n] evaluates [prepare i] for [i] in

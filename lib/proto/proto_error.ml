@@ -1,0 +1,16 @@
+(* A typed protocol-desync error. Raised when the other party answers
+   with a frame that is well-formed at the codec level but wrong at the
+   protocol level (a batch response of the wrong arity, a mux reply list
+   that does not match the shipped ops, a control reply where a response
+   was due). Distinct from [Invalid_argument] — which every codec raises
+   on malformed bytes — so servers can map it to a typed [Server_error]
+   instead of letting a hostile or desynced S2 kill a session domain. *)
+
+exception Proto_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Proto_error s)) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Proto_error msg -> Some ("Proto_error: " ^ msg)
+    | _ -> None)

@@ -1,0 +1,13 @@
+(** Typed protocol-desync failure.
+
+    [Invalid_argument] means the bytes were malformed; [Proto_error]
+    means the bytes decoded fine but the peer broke the protocol
+    contract (wrong batch arity, mismatched mux reply list, unexpected
+    reply kind). The serving front-end maps it to a typed
+    [Wire.Server_error] so a hostile or desynced S2 degrades one query,
+    not the whole session domain. *)
+
+exception Proto_error of string
+
+(** [fail fmt ...] raises {!Proto_error} with a formatted message. *)
+val fail : ('a, unit, string, 'b) format4 -> 'a

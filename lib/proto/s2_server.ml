@@ -332,6 +332,60 @@ let rec handle t ~label (req : Wire.request) : Wire.response =
       cs;
     Wire.Slot !slot
 
+(* ---------------- multiplexed frames ----------------
+
+   A mux frame interleaves ops from many concurrent client queries, each
+   tagged with its session. Sessions provisioned by Mux_open are keyed
+   in their own table: [make ~session] builds the responder exactly as a
+   dedicated connection would (the daemon replays [of_hello]; an
+   in-process scheduler backend replays the baseline [create]), so each
+   session's randomness stream is byte-identical to the uncoalesced
+   path. Ops execute strictly in frame order — the scheduler preserved
+   each query's program order, and sessions never share rng state, so
+   interleaving across sessions cannot perturb any single stream. *)
+
+type mux_state = {
+  make : session:int -> t;
+  sessions : (int, t) Hashtbl.t;
+}
+
+let mux_state ~make = { make; sessions = Hashtbl.create 8 }
+
+let mux_session st id =
+  match Hashtbl.find_opt st.sessions id with
+  | Some s -> s
+  | None -> invalid_arg "S2_server: unknown mux session"
+
+let under col f =
+  match col with Some c -> Obs.with_collector c f | None -> f ()
+
+let handle_mux_ops st ops =
+  List.map
+    (fun (op, col) ->
+      under col (fun () ->
+          match op with
+          | Wire.Mux_open { session } ->
+            if Hashtbl.mem st.sessions session then
+              invalid_arg "S2_server: duplicate mux session";
+            Hashtbl.replace st.sessions session (st.make ~session);
+            Wire.Mux_ok
+          | Wire.Mux_close { session } ->
+            ignore (mux_session st session);
+            Hashtbl.remove st.sessions session;
+            Wire.Mux_ok
+          | Wire.Mux_fork { parent; child; label } ->
+            if Hashtbl.mem st.sessions child then
+              invalid_arg "S2_server: duplicate mux session";
+            Hashtbl.replace st.sessions child (fork (mux_session st parent) ~label);
+            Wire.Mux_ok
+          | Wire.Mux_join { parent; child } ->
+            join (mux_session st child) ~into:(mux_session st parent);
+            Hashtbl.remove st.sessions child;
+            Wire.Mux_ok
+          | Wire.Mux_req { session; label; req } ->
+            Wire.Mux_answer (handle (mux_session st session) ~label req)))
+    ops
+
 (* ---------------- request loop over a file descriptor ----------------
 
    One connection serves one client context and all its parallel forks:
@@ -350,7 +404,7 @@ let scrape_snapshot registry collector =
   Obs.Registry.union reg_part
     (Obs.Registry.metrics_counters (Obs.Collector.metrics collector))
 
-let serve_loop ?registry fd root collector =
+let serve_loop ?registry ?mux fd root collector =
   let sessions : (int, t) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.replace sessions 0 root;
   let session_of id =
@@ -369,6 +423,16 @@ let serve_loop ?registry fd root collector =
         let session, label, req = Wire.decode_request keys frame in
         let resp = handle (session_of session) ~label req in
         Wire.write_frame fd (Wire.encode_response keys resp)
+      | Some k when k = 'M' -> (
+        match mux with
+        | None -> invalid_arg "S2_server: mux not enabled on this connection"
+        | Some st ->
+          let keys = Wire.keys_of ~pub:root.pub ~djpub:root.djpub ~own_pub:root.own_pub in
+          let ops = Wire.decode_mux keys frame in
+          (* daemon side: ops count under the ambient connection
+             collector, same as dedicated-connection traffic *)
+          let replies = handle_mux_ops st (List.map (fun op -> (op, None)) ops) in
+          Wire.write_frame fd (Wire.encode_mux_replies keys replies))
       | Some k when k = 'C' ->
         let reply =
           match Wire.decode_control frame with
@@ -412,7 +476,11 @@ let serve_fd ?on_ready ?registry fd =
       Fun.protect
         ~finally:(fun () -> Noise_pool.quiesce root.pnoise)
         (fun () ->
-          Obs.with_collector collector (fun () -> serve_loop ?registry fd root collector))
+          (* mux sessions replay the client's provisioning per open —
+             the byte-identical twin of a per-query dedicated connection *)
+          let mux = mux_state ~make:(fun ~session:_ -> of_hello h) in
+          Obs.with_collector collector (fun () ->
+              serve_loop ?registry ~mux fd root collector))
     | Wire.Stats_req ->
       (* monitoring connection: no key material, no provisioning — answer
          the daemon-level snapshot and hang up *)

@@ -44,9 +44,30 @@ val secret_key : t -> Paillier.secret
     can [Noise_pool.prefill] or [start_filler]/[quiesce] it. *)
 val noise_pool : t -> Noise_pool.t
 
+(** {2 Multiplexed sessions}
+
+    State behind one coalescing scheduler ({!Sched}): sessions opened by
+    [Mux_open] ops, keyed by their correlation tag. [make ~session]
+    provisions a fresh responder exactly as a dedicated connection would
+    — the daemon passes [of_hello]'s replay, an in-process backend the
+    baseline [create] — so every session's randomness stream matches the
+    uncoalesced path byte for byte. *)
+type mux_state
+
+val mux_state : make:(session:int -> t) -> mux_state
+
+(** Answer one merged frame of ops, element-wise in frame order. Each
+    op's optional collector is installed around it so S2-side crypto
+    counts in the owning query's report (in-process backends). Unknown
+    or duplicate sessions raise [Invalid_argument], matching the codec's
+    treatment of malformed frames. *)
+val handle_mux_ops :
+  mux_state -> (Wire.mux_op * Obs.Collector.t option) list -> Wire.mux_reply list
+
 (** Serve one connection: expects a [Hello] control frame, then answers
-    request/control frames until EOF or [Shutdown]. Runs the daemon side
-    of the Socket transport. [on_ready] (if given) is called once after
+    request/control/mux frames until EOF or [Shutdown]. Runs the daemon
+    side of the Socket transport; mux frames ([Sched.socket_backend])
+    demultiplex into per-session responders provisioned by [of_hello]. [on_ready] (if given) is called once after
     provisioning with the setup wall time in seconds — key replay plus
     Montgomery-context and fixed-base-comb warmup — so a daemon can log
     what its first client paid before the first request was served.

@@ -1,0 +1,251 @@
+(* The cross-query round scheduler: queries park at their phase barriers
+   and a single shipper domain merges everything parked into one
+   multiplexed S2 trip. See sched.mli for the contract and DESIGN.md
+   section 4h for the design discussion.
+
+   Concurrency shape: callers (worker domains) enqueue one op at a time
+   under [lock] and block on a write-once cell; the shipper domain is
+   the only thread that dequeues, the only one that touches the backend,
+   and therefore the only writer on a socket backend's fd. OCaml's
+   stdlib [Condition] has no timed wait, so the window timer is a
+   self-pipe + [Unix.select]: submissions write a wake byte, the shipper
+   selects with the remaining-window timeout. *)
+
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let v = Option.get t.v in
+    Mutex.unlock t.m;
+    v
+end
+
+(* Each parked entry remembers the collector that was current on the
+   submitting domain: a local (in-process) backend installs it around
+   the op so S2-side crypto ops land in the query's own report, exactly
+   as they would on the Inproc transport. Socket backends ignore it (S2
+   counts daemon-side there, coalescing or not). *)
+type backend = (Wire.mux_op * Obs.Collector.t option) list -> Wire.mux_reply list
+
+type entry = {
+  op : Wire.mux_op;
+  col : Obs.Collector.t option;
+  cell : (Wire.mux_reply, exn) result Ivar.t;
+  at : float; (* submission time, drives the window timer *)
+}
+
+type t = {
+  backend : backend;
+  window_us : int;
+  rtt_us : int;
+  lock : Mutex.t;
+  q : entry Queue.t;
+  mutable registered : int; (* queries opened and not yet closed *)
+  mutable next_session : int;
+  mutable stopping : bool;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  parked_g : Obs.Registry.gauge;
+  trips_c : Obs.Registry.counter;
+  saved_c : Obs.Registry.counter;
+  mutable shipper : unit Domain.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* call under [t.lock]; the registry has its own inner mutex *)
+let update_parked t = Obs.Registry.set t.parked_g (float_of_int (Queue.length t.q))
+
+let wake t = try ignore (Unix.write_substring t.wake_w "w" 0 1) with Unix.Unix_error _ -> ()
+
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  match Unix.read t.wake_r buf 0 64 with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let await_wake t timeout =
+  match Unix.select [ t.wake_r ] [] [] timeout with
+  | [], _, _ -> ()
+  | _ready, _, _ -> drain_wake t
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+
+let is_req (op, _) = match op with Wire.Mux_req _ -> true | _ -> false
+
+(* One merged trip. A backend failure (desynced daemon, closed socket)
+   answers every parked caller with the exception instead of killing the
+   shipper: subsequent submissions keep getting a typed answer. *)
+let ship t batch =
+  let replies =
+    try Ok (t.backend (List.map (fun e -> (e.op, e.col)) batch)) with e -> Error e
+  in
+  if t.rtt_us > 0 then Unix.sleepf (float_of_int t.rtt_us *. 1e-6);
+  Obs.Registry.inc t.trips_c;
+  Obs.Registry.add t.saved_c (max 0 (List.length (List.filter is_req (List.map (fun e -> (e.op, e.col)) batch)) - 1));
+  match replies with
+  | Ok rs when List.length rs = List.length batch ->
+    List.iter2 (fun e r -> Ivar.fill e.cell (Ok r)) batch rs
+  | Ok _ ->
+    let e = Proto_error.Proto_error "Sched: mux reply count mismatch" in
+    List.iter (fun en -> Ivar.fill en.cell (Error e)) batch
+  | Error e -> List.iter (fun en -> Ivar.fill en.cell (Error e)) batch
+
+(* Ship policy: immediately once every registered query is parked (one
+   outstanding op per query, so queue length >= registered means nobody
+   is still computing), else when the oldest parked entry has waited the
+   window out. [window_us = 0] degrades to ship-whatever-is-parked on
+   every wake — still coalescing whatever arrives between trips. *)
+let rec shipper_loop t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.q in
+  if t.stopping && n = 0 then Mutex.unlock t.lock
+  else begin
+    let now = Unix.gettimeofday () in
+    let ready =
+      n > 0
+      && (t.stopping || n >= t.registered || t.window_us = 0
+         || (now -. (Queue.peek t.q).at) *. 1e6 >= float_of_int t.window_us)
+    in
+    if ready then begin
+      let batch = List.of_seq (Queue.to_seq t.q) in
+      Queue.clear t.q;
+      update_parked t;
+      Mutex.unlock t.lock;
+      ship t batch;
+      shipper_loop t
+    end
+    else begin
+      let timeout =
+        if n = 0 then -1.
+        else
+          max 20e-6
+            ((float_of_int t.window_us *. 1e-6) -. (now -. (Queue.peek t.q).at))
+      in
+      Mutex.unlock t.lock;
+      await_wake t timeout;
+      shipper_loop t
+    end
+  end
+
+let create ?(window_us = 150) ?(rtt_us = 0) ?registry ~backend () =
+  let reg = match registry with Some r -> r | None -> Obs.Registry.create () in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      backend;
+      window_us = max 0 window_us;
+      rtt_us = max 0 rtt_us;
+      lock = Mutex.create ();
+      q = Queue.create ();
+      registered = 0;
+      next_session = 0;
+      stopping = false;
+      wake_r;
+      wake_w;
+      parked_g = Obs.Registry.gauge reg "parked_queries";
+      trips_c = Obs.Registry.counter reg "coalesced_rounds";
+      saved_c = Obs.Registry.counter reg "rounds_saved";
+      shipper = None;
+    }
+  in
+  t.shipper <- Some (Domain.spawn (fun () -> shipper_loop t));
+  t
+
+let enqueue t op =
+  let cell = Ivar.create () in
+  let col = Obs.current () in
+  locked t (fun () ->
+      if t.stopping then raise (Proto_error.Proto_error "Sched: scheduler stopped");
+      Queue.add { op; col; cell; at = Unix.gettimeofday () } t.q;
+      update_parked t;
+      wake t);
+  cell
+
+let await cell = match Ivar.read cell with Ok r -> r | Error e -> raise e
+
+let submit t op = await (enqueue t op)
+
+let expect_ok = function
+  | Wire.Mux_ok -> ()
+  | Wire.Mux_answer _ -> raise (Proto_error.Proto_error "Sched: unexpected mux answer")
+
+let alloc_session t =
+  locked t (fun () ->
+      t.next_session <- t.next_session + 1;
+      t.next_session)
+
+(* Registration and the open op land in one critical section, so the
+   all-parked check can never see the new query registered but its open
+   not yet parked (or vice versa). *)
+let open_query t =
+  let cell = Ivar.create () in
+  let col = Obs.current () in
+  let session =
+    locked t (fun () ->
+        if t.stopping then raise (Proto_error.Proto_error "Sched: scheduler stopped");
+        t.next_session <- t.next_session + 1;
+        let session = t.next_session in
+        t.registered <- t.registered + 1;
+        Queue.add
+          { op = Wire.Mux_open { session }; col; cell; at = Unix.gettimeofday () }
+          t.q;
+        update_parked t;
+        wake t;
+        session)
+  in
+  expect_ok (await cell);
+  session
+
+let close_query t session =
+  let cell = Ivar.create () in
+  let col = Obs.current () in
+  locked t (fun () ->
+      t.registered <- max 0 (t.registered - 1);
+      Queue.add
+        { op = Wire.Mux_close { session }; col; cell; at = Unix.gettimeofday () }
+        t.q;
+      update_parked t;
+      wake t);
+  expect_ok (await cell)
+
+let stop t =
+  let shipper =
+    locked t (fun () ->
+        t.stopping <- true;
+        wake t;
+        let s = t.shipper in
+        t.shipper <- None;
+        s)
+  in
+  match shipper with
+  | None -> ()
+  | Some d ->
+    Domain.join d;
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ())
+
+(* The socket backend: one merged frame out, one merged frame back. The
+   shipper is the only thread touching [fd]. *)
+let socket_backend keys fd ops =
+  Wire.write_frame fd (Wire.encode_mux keys (List.map fst ops));
+  match Wire.read_frame fd with
+  | None -> raise (Proto_error.Proto_error "Sched: S2 closed the connection")
+  | Some frame ->
+    let replies = Wire.decode_mux_replies keys frame in
+    if List.length replies <> List.length ops then
+      raise (Proto_error.Proto_error "Sched: mux reply count mismatch");
+    replies

@@ -8,6 +8,8 @@ type kind =
   | Inproc of S2_server.t
   | Loopback of S2_server.t
   | Socket of sock
+  | Mux of { sched : Sched.t; session : int }
+      (* parked at a shared round scheduler: many queries, one S2 trip *)
 
 type t = {
   keys : Wire.keys;
@@ -30,17 +32,27 @@ let socket keys fd =
     rtt_us = 0;
   }
 
+let mux keys sched ~session =
+  { keys; chan = Channel.create (); kind = Mux { sched; session }; rtt_us = 0 }
+
 let channel t = t.chan
 let keys t = t.keys
 
 (* The socket transport multiplexes every session over one ordered byte
    stream: concurrent domains would interleave frames, so Ctx.parallel
    degrades to sequential execution (results are width-independent by
-   construction, only wall time changes). *)
-let concurrent t = match t.kind with Socket _ -> false | Inproc _ | Loopback _ -> true
+   construction, only wall time changes). Mux keeps the scheduler's
+   one-outstanding-op-per-query invariant — the all-parked ship condition
+   counts queries, not forks — so it degrades the same way. *)
+let concurrent t =
+  match t.kind with Socket _ | Mux _ -> false | Inproc _ | Loopback _ -> true
 
 let mode_name t =
-  match t.kind with Inproc _ -> "inproc" | Loopback _ -> "loopback" | Socket _ -> "socket"
+  match t.kind with
+  | Inproc _ -> "inproc"
+  | Loopback _ -> "loopback"
+  | Socket _ -> "socket"
+  | Mux _ -> "mux"
 
 (* ---------------- request/response round trip ----------------
 
@@ -78,6 +90,20 @@ let rpc t ~label req =
       Channel.send t.chan ~dir:Channel.S2_to_s1 ~label ~bytes:(String.length resp_frame);
       Channel.round_trip t.chan;
       Wire.decode_response t.keys resp_frame)
+  | Mux { sched; session } -> (
+    (* per-query accounting charges the closed forms (what a dedicated
+       connection would carry), keeping bytes/messages/rounds identical
+       to the uncoalesced baseline; the shared mux frame's framing
+       savings show up in the scheduler's trip counters instead *)
+    Channel.send t.chan ~dir:Channel.S1_to_s2 ~label
+      ~bytes:(Wire.request_bytes t.keys ~label req);
+    match Sched.submit sched (Wire.Mux_req { session; label; req }) with
+    | Wire.Mux_answer resp ->
+      Channel.send t.chan ~dir:Channel.S2_to_s1 ~label
+        ~bytes:(Wire.response_bytes t.keys resp);
+      Channel.round_trip t.chan;
+      resp
+    | Wire.Mux_ok -> raise (Proto_error.Proto_error "Transport: unexpected mux reply"))
 
 (* Control frames (fork/join/trace/stats) are orchestration, not protocol
    traffic: they bypass the channel accounting entirely. *)
@@ -104,6 +130,13 @@ let fork t ~label =
     let child = !(s.counter) in
     expect_ok (control_rpc s.fd (Wire.Fork { parent = s.session; child; label }));
     { t with chan = Channel.create (); kind = Socket { s with session = child } }
+  | Mux { sched; session } ->
+    let child = Sched.alloc_session sched in
+    (match Sched.submit sched (Wire.Mux_fork { parent = session; child; label }) with
+    | Wire.Mux_ok -> ()
+    | Wire.Mux_answer _ ->
+      raise (Proto_error.Proto_error "Transport: unexpected mux reply to fork"));
+    { t with chan = Channel.create (); kind = Mux { sched; session = child } }
 
 let join_sub sub ~into =
   Channel.merge_into sub.chan ~into:into.chan;
@@ -113,6 +146,14 @@ let join_sub sub ~into =
   | Socket child, Socket parent ->
     expect_ok
       (control_rpc parent.fd (Wire.Join { parent = parent.session; child = child.session }))
+  | Mux child, Mux parent -> (
+    match
+      Sched.submit child.sched
+        (Wire.Mux_join { parent = parent.session; child = child.session })
+    with
+    | Wire.Mux_ok -> ()
+    | Wire.Mux_answer _ ->
+      raise (Proto_error.Proto_error "Transport: unexpected mux reply to join"))
   | _ -> invalid_arg "Transport.join_sub: mismatched transports"
 
 (* ---------------- S2-side introspection ---------------- *)
@@ -120,7 +161,7 @@ let join_sub sub ~into =
 let local_server t =
   match t.kind with
   | Inproc server | Loopback server -> Some server
-  | Socket _ -> None
+  | Socket _ | Mux _ -> None
 
 let trace t =
   match local_server t with
@@ -134,6 +175,11 @@ let trace_events t =
     match control_rpc s.fd Wire.Get_trace with
     | Wire.Trace_events events -> events
     | _ -> failwith "Transport: unexpected control reply")
+  | Mux _ ->
+    (* the scheduler's backend owns the per-session responders; an
+       embedding that needs traces keeps its own handle on them (the
+       coalescing tests do exactly that) *)
+    invalid_arg "Transport.trace_events: mux transport (ask the scheduler backend)"
 
 let secret_key t =
   match local_server t with
@@ -146,6 +192,8 @@ let secret_key t =
 let remote_stats t =
   match t.kind with
   | Inproc _ | Loopback _ -> []
+  | Mux _ -> [] (* in-process backends count into the query collector;
+                   daemon backends count daemon-side, scraped separately *)
   | Socket s -> (
     match control_rpc s.fd Wire.Get_stats with
     | Wire.Stats stats -> stats
@@ -180,6 +228,7 @@ let scrape_stats addr =
 let shutdown t =
   match t.kind with
   | Inproc _ | Loopback _ -> ()
+  | Mux _ -> () (* the scheduler outlives any one query; its owner stops it *)
   | Socket s ->
     expect_ok (control_rpc s.fd Wire.Shutdown);
     Unix.close s.fd

@@ -1,6 +1,6 @@
 (** Transport between the S1 driver code and the S2 responder.
 
-    Three implementations of one rpc interface:
+    Four implementations of one rpc interface:
 
     - [Inproc]: S2 runs in-process and requests are dispatched without
       materialising frames; the channel is charged {!Wire}'s closed-form
@@ -11,9 +11,15 @@
       protocol survives serialization, and measures real frame lengths.
     - [Socket]: frames travel over a file descriptor to an S2 daemon in
       another process (socketpair or TCP). True two-process mode.
+    - [Mux]: requests park at a shared round scheduler ({!Sched}) which
+      merges every concurrent query's next op into one multiplexed S2
+      trip. The per-query channel is charged the same closed forms as
+      [Inproc] — what a dedicated connection would carry — so per-query
+      accounting stays baseline-identical while the shared trip count
+      drops.
 
     A seeded query produces byte-identical results, traces and operation
-    counters on all three (socket-mode S2 ops are counted daemon-side;
+    counters on all of them (socket-mode S2 ops are counted daemon-side;
     fetch them with {!remote_stats}). *)
 
 type t
@@ -29,11 +35,18 @@ val loopback : ?rtt_us:int -> Wire.keys -> S2_server.t -> t
     ({!spawn_daemon} / {!connect_tcp}). *)
 val socket : Wire.keys -> Unix.file_descr -> t
 
+(** Park this query's rpcs at a shared {!Sched} under the given mux
+    session id (obtained from [Sched.open_query]). Forking allocates
+    child sessions from the same scheduler. *)
+val mux : Wire.keys -> Sched.t -> session:int -> t
+
 val channel : t -> Channel.t
 val keys : t -> Wire.keys
 
-(** False for [Socket]: one ordered byte stream cannot interleave
-    concurrent sessions, so [Ctx.parallel] runs sequentially on it. *)
+(** False for [Socket] (one ordered byte stream cannot interleave
+    concurrent sessions) and for [Mux] (the scheduler's ship condition
+    assumes one outstanding op per query): [Ctx.parallel] runs
+    sequentially on both. *)
 val concurrent : t -> bool
 
 val mode_name : t -> string

@@ -67,6 +67,19 @@ type response =
   | Slot of int option
   | Batch_resp of response list
 
+(* One element of a multiplexed frame: the round scheduler coalesces ops
+   from many concurrent queries into a single [encode_mux] frame, each op
+   tagged with the session it belongs to, so one socket carries
+   interleaved slices of many queries (DESIGN.md section 4h). *)
+type mux_op =
+  | Mux_open of { session : int }
+  | Mux_close of { session : int }
+  | Mux_fork of { parent : int; child : int; label : string }
+  | Mux_join of { parent : int; child : int }
+  | Mux_req of { session : int; label : string; req : request }
+
+type mux_reply = Mux_ok | Mux_answer of response
+
 type hello = { seed : string; key_bits : int; rand_bits : int option; obs : bool }
 
 type control =
@@ -319,6 +332,8 @@ let kind_request = 'Q'
 let kind_response = 'P'
 let kind_control = 'C'
 let kind_control_reply = 'D'
+let kind_mux = 'M'
+let kind_mux_reply = 'N'
 
 let header_size = 11
 let request_header_bytes ~label = header_size + 4 + String.length label
@@ -646,6 +661,126 @@ let decode_response keys data =
   in
   finish r "response";
   resp
+
+(* ---------------- multiplex codec ----------------
+
+   One frame carrying correlation-tagged ops from many concurrent
+   queries (the round scheduler's merged trip), answered by one frame of
+   element-wise replies in op order. The header session field is unused
+   (each op carries its own session); op/reply tags, counts and payloads
+   are validated exactly like every other codec path, and the reply
+   decoder re-applies the nested-batch rule. *)
+
+let mux_op_tag = function
+  | Mux_open _ -> 1
+  | Mux_close _ -> 2
+  | Mux_fork _ -> 3
+  | Mux_join _ -> 4
+  | Mux_req _ -> 5
+
+(* smallest op: 1 tag byte + a 4-byte session *)
+let mux_op_min = 5
+
+let encode_mux keys ops =
+  let buf = Buffer.create 1024 in
+  put_header buf ~kind:kind_mux ~tag:1 ~session:0;
+  put_int buf (List.length ops);
+  List.iter
+    (fun op ->
+      Buffer.add_char buf (Char.chr (mux_op_tag op));
+      match op with
+      | Mux_open { session } | Mux_close { session } -> put_int buf session
+      | Mux_fork { parent; child; label } ->
+        put_int buf parent;
+        put_int buf child;
+        put_string buf label
+      | Mux_join { parent; child } ->
+        put_int buf parent;
+        put_int buf child
+      | Mux_req { session; label; req } ->
+        put_int buf session;
+        put_string buf label;
+        Buffer.add_char buf (Char.chr (request_tag req));
+        put_request_payload keys buf req)
+    ops;
+  Buffer.contents buf
+
+let decode_mux keys data =
+  let r = { data; pos = 0 } in
+  let tag, _session = get_header r ~kind:kind_mux in
+  if tag <> 1 then invalid_arg "Wire: unknown mux tag";
+  let ops =
+    read_list r ~item_width:mux_op_min (fun r ->
+        match get_byte r with
+        | 1 -> Mux_open { session = get_int r }
+        | 2 -> Mux_close { session = get_int r }
+        | 3 ->
+          let parent = get_int r in
+          let child = get_int r in
+          let label = get_string r in
+          Mux_fork { parent; child; label }
+        | 4 ->
+          let parent = get_int r in
+          let child = get_int r in
+          Mux_join { parent; child }
+        | 5 ->
+          let session = get_int r in
+          let label = get_string r in
+          let t = get_byte r in
+          let req =
+            if t = batch_request_tag then
+              Batch
+                (read_list r ~item_width:batch_item_min (fun r ->
+                     let t = get_byte r in
+                     if t = batch_request_tag then invalid_arg "Wire: nested batch";
+                     get_request_payload keys r ~tag:t))
+            else get_request_payload keys r ~tag:t
+          in
+          Mux_req { session; label; req }
+        | _ -> invalid_arg "Wire: unknown mux op tag")
+  in
+  finish r "mux frame";
+  ops
+
+let encode_mux_replies keys replies =
+  let buf = Buffer.create 1024 in
+  put_header buf ~kind:kind_mux_reply ~tag:1 ~session:0;
+  put_int buf (List.length replies);
+  List.iter
+    (fun reply ->
+      match reply with
+      | Mux_ok -> Buffer.add_char buf '\001'
+      | Mux_answer resp ->
+        Buffer.add_char buf '\002';
+        Buffer.add_char buf (Char.chr (response_tag resp));
+        put_response_payload keys buf resp)
+    replies;
+  Buffer.contents buf
+
+let decode_mux_replies keys data =
+  let r = { data; pos = 0 } in
+  let tag, _session = get_header r ~kind:kind_mux_reply in
+  if tag <> 1 then invalid_arg "Wire: unknown mux reply tag";
+  let replies =
+    read_list r ~item_width:1 (fun r ->
+        match get_byte r with
+        | 1 -> Mux_ok
+        | 2 ->
+          let t = get_byte r in
+          let resp =
+            if t = batch_response_tag then
+              Batch_resp
+                (read_list r ~item_width:batch_resp_item_min (fun r ->
+                     let t = get_byte r in
+                     if t = batch_response_tag then invalid_arg "Wire: nested batch";
+                     get_response_payload keys r ~tag:t))
+            else get_response_payload keys r ~tag:t
+          in
+          Mux_answer resp
+        | _ -> invalid_arg "Wire: unknown mux reply kind")
+  in
+  finish r "mux replies";
+  replies
 
 (* ---------------- closed-form frame sizes ----------------
 

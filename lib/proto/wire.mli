@@ -99,6 +99,26 @@ type response =
       (** element-wise responses to a [Batch], in request order; nesting
           rejected like [Batch] *)
 
+(** One element of a multiplexed frame (kind byte ['M']): the round
+    scheduler ({!Sched}) coalesces ops parked by many concurrent queries
+    into a single frame, each op tagged with the session it belongs to.
+    [Mux_open] makes S2 provision a fresh responder for the session (the
+    same [of_hello] replay a dedicated connection would get);
+    [Mux_close] retires it; [Mux_fork]/[Mux_join] mirror the control
+    frames of {!control} inside the merged trip; [Mux_req] is one
+    ordinary request routed to its session. *)
+type mux_op =
+  | Mux_open of { session : int }
+  | Mux_close of { session : int }
+  | Mux_fork of { parent : int; child : int; label : string }
+  | Mux_join of { parent : int; child : int }
+  | Mux_req of { session : int; label : string; req : request }
+
+(** Element-wise replies to a mux frame (kind byte ['N']), in op order:
+    [Mux_ok] answers the session-management ops, [Mux_answer] a
+    [Mux_req]. *)
+type mux_reply = Mux_ok | Mux_answer of response
+
 (** Provisioning parameters replayed by the daemon to rebuild the exact key
     material and randomness streams of the client's context (see
     [Ctx.provision]). *)
@@ -138,6 +158,17 @@ val encode_control : control -> string
 val decode_control : string -> control
 val encode_control_reply : control_reply -> string
 val decode_control_reply : string -> control_reply
+
+(** Multiplex envelope codec: one frame of correlation-tagged ops from
+    many queries, one frame of element-wise replies. Malformed input —
+    bad tags, truncated payloads, trailing bytes, a nested batch inside
+    a [Mux_req] — raises [Invalid_argument] like every other codec
+    path. *)
+val encode_mux : keys -> mux_op list -> string
+
+val decode_mux : keys -> string -> mux_op list
+val encode_mux_replies : keys -> mux_reply list -> string
+val decode_mux_replies : keys -> string -> mux_reply list
 
 (** {2 Client <-> S1 front-end frames}
 

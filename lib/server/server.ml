@@ -25,6 +25,9 @@ type config = {
   options : Sectopk.Query.options;
   s2 : s2_mode;
   qlog : Qlog.config;
+  coalesce_window_us : int;
+      (* round-coalescing window; 0 = coalescing off (each query owns its
+         transport, the pre-scheduler baseline) *)
 }
 
 let default_config =
@@ -38,6 +41,7 @@ let default_config =
     options = Sectopk.Query.default_options;
     s2 = Local;
     qlog = Qlog.default_config;
+    coalesce_window_us = 150;
   }
 
 type stats = {
@@ -121,6 +125,8 @@ type t = {
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   service : Core.Service.t;
+  sched : Sched.t option;  (* shared round scheduler (coalescing on) *)
+  sched_fd : Unix.file_descr option;  (* its S2 connection (Tcp mode) *)
   collector : Obs.Collector.t;
   tel : telemetry;
   qlog : Qlog.t;
@@ -184,9 +190,17 @@ let run_query t tk =
     Ctx.provision ~seed:t.cfg.seed ~key_bits:t.cfg.key_bits ?rand_bits:t.cfg.rand_bits ()
   in
   let mode, cleanup =
-    match t.cfg.s2 with
-    | Local -> (Ctx.Inproc, fun () -> ())
-    | Tcp addr ->
+    match (t.sched, t.cfg.s2) with
+    | Some sched, _ ->
+      (* coalescing: park this query's rounds at the shared scheduler.
+         The Mux_open makes S2 provision the same per-query responder a
+         dedicated connection would, so results and traces stay
+         byte-identical to the uncoalesced paths below. *)
+      let session = Sched.open_query sched in
+      ( Ctx.Mux (sched, session),
+        fun () -> (try Sched.close_query sched session with _ -> ()) )
+    | None, Local -> (Ctx.Inproc, fun () -> ())
+    | None, Tcp addr ->
       let hello =
         { Wire.seed = t.cfg.seed; key_bits = t.cfg.key_bits; rand_bits = t.cfg.rand_bits;
           obs = false }
@@ -231,6 +245,9 @@ let job t tk ~conn ~seq ~submitted cell =
     with
     | Store.Error e -> (Wire.Server_error (Store.error_message e), None)
     | Invalid_argument msg -> (Wire.Server_error msg, None)
+    (* typed protocol desync (hostile/desynced S2, wrong batch or mux
+       arity): degrade this query, keep the session domain alive *)
+    | Proto_error.Proto_error msg -> (Wire.Server_error msg, None)
     | e -> (Wire.Server_error (Printexc.to_string e), None)
   in
   let t1 = Unix.gettimeofday () in
@@ -440,6 +457,32 @@ let start ?(port = 0) cfg store =
   in
   let kctx = Ctx.of_keys ~blind_bits:cfg.blind_bits ~mode:Ctx.Inproc ctx_rng pub sk in
   let wkeys = Transport.keys kctx.Ctx.transport in
+  let tel = make_telemetry () in
+  (* The shared round scheduler (coalescing on): one per S2 connection.
+     Local mode demultiplexes in-process; Tcp mode opens the single
+     connection every merged frame travels on. *)
+  let sched, sched_fd =
+    if cfg.coalesce_window_us <= 0 then (None, None)
+    else begin
+      let hello =
+        { Wire.seed = cfg.seed; key_bits = cfg.key_bits; rand_bits = cfg.rand_bits;
+          obs = false }
+      in
+      match cfg.s2 with
+      | Local ->
+        let st = S2_server.mux_state ~make:(fun ~session:_ -> S2_server.of_hello hello) in
+        ( Some
+            (Sched.create ~window_us:cfg.coalesce_window_us ~registry:tel.reg
+               ~backend:(S2_server.handle_mux_ops st) ()),
+          None )
+      | Tcp addr ->
+        let fd = Transport.connect_tcp addr hello in
+        ( Some
+            (Sched.create ~window_us:cfg.coalesce_window_us ~registry:tel.reg
+               ~backend:(Sched.socket_backend wkeys fd) ()),
+          Some fd )
+    end
+  in
   let lsock = Unix.socket PF_INET SOCK_STREAM 0 in
   let t =
     try
@@ -469,8 +512,10 @@ let start ?(port = 0) cfg store =
         wake_r;
         wake_w;
         service = Core.Service.create ~domains:cfg.workers ~queue_depth:cfg.queue_depth;
+        sched;
+        sched_fd;
         collector = Obs.Collector.create ();
-        tel = make_telemetry ();
+        tel;
         qlog = Qlog.create cfg.qlog;
         lock = Mutex.create ();
         settled = Condition.create ();
@@ -486,6 +531,10 @@ let start ?(port = 0) cfg store =
       }
     with e ->
       Unix.close lsock;
+      Option.iter Sched.stop sched;
+      (match sched_fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      | None -> ());
       raise e
   in
   t.listener <- Some (Domain.spawn (fun () -> listener_loop t));
@@ -517,7 +566,13 @@ let shutdown t =
       Condition.wait t.settled t.lock
     done;
     Mutex.unlock t.lock;
-    (* 4. unblock sessions parked in read_frame and join them all.  The
+    (* 4. no query is parked any more: retire the round scheduler and its
+       S2 connection *)
+    Option.iter Sched.stop t.sched;
+    (match t.sched_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    | None -> ());
+    (* 5. unblock sessions parked in read_frame and join them all.  The
        fds are shut down under the lock: sessions remove and close their
        own entry under the same lock, so we can never touch a descriptor
        number the kernel has recycled. *)

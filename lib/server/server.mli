@@ -15,7 +15,18 @@
 
     S2 placement: [Local] runs the key-holder in-process (the Inproc
     transport); [Tcp addr] dials a serve-s2 daemon once per query and
-    replays provisioning through the Hello handshake. *)
+    replays provisioning through the Hello handshake.
+
+    Round coalescing: with [coalesce_window_us > 0] (the default)
+    queries do not own private transports — they park each round at a
+    shared {!Proto.Sched} whose shipper merges every concurrent query's
+    next op into one multiplexed S2 trip ([Local] demultiplexes
+    in-process; [Tcp] ships mux frames over a single daemon
+    connection). Per-query results, traces and op counters are
+    byte-identical to the uncoalesced baseline ([coalesce_window_us =
+    0]); only the shared trip count drops — with [q] concurrent queries
+    in lockstep, toward 1/q of the uncoalesced total. The registry
+    gains [parked_queries], [coalesced_rounds] and [rounds_saved]. *)
 
 (** Structured query logging configuration (re-exported — the library's
     main module hides its siblings from the outside). *)
@@ -33,6 +44,12 @@ type config = {
   options : Sectopk.Query.options;
   s2 : s2_mode;
   qlog : Qlog.config;  (** structured query log / slow-query / trace sampling *)
+  coalesce_window_us : int;
+      (** how long the round scheduler's oldest parked op waits for
+          stragglers before a merged trip ships anyway (it ships
+          immediately once every in-flight query is parked); [0]
+          disables coalescing — every query owns a private transport,
+          the pre-scheduler baseline. Default 150. *)
 }
 
 val default_config : config

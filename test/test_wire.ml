@@ -316,6 +316,105 @@ let test_nested_batch () =
   expect_invalid "decode nested batch resp" (fun () ->
       ignore (Wire.decode_response keys (corrupt r (Wire.response_header_bytes + 4) '\x0e')))
 
+(* ---------------- multiplex frames ---------------- *)
+
+let mux_op_samples : Wire.mux_op list =
+  [ Wire.Mux_open { session = 1 };
+    Wire.Mux_req { session = 1; label = "EncCompare"; req = Wire.Sign_of (ct 9) };
+    Wire.Mux_open { session = 2 };
+    Wire.Mux_fork { parent = 1; child = 3; label = "par:0" };
+    Wire.Mux_req
+      {
+        session = 2;
+        label = "EncSort";
+        req = Wire.Batch [ Wire.Zero_test (ct 4); Wire.Equality [ ct 5; ct 6 ] ];
+      };
+    Wire.Mux_req { session = 3; label = "DGK"; req = Wire.Zero_any [ ct 7 ] };
+    Wire.Mux_join { parent = 1; child = 3 };
+    Wire.Mux_close { session = 2 };
+    Wire.Mux_close { session = 1 } ]
+
+let mux_reply_samples : Wire.mux_reply list =
+  [ Wire.Mux_ok;
+    Wire.Mux_answer (Wire.Sign (-1));
+    Wire.Mux_ok;
+    Wire.Mux_ok;
+    Wire.Mux_answer (Wire.Batch_resp [ Wire.Bit false; Wire.Bits2 [ dj 1; dj 0 ] ]);
+    Wire.Mux_answer (Wire.Bit true);
+    Wire.Mux_ok;
+    Wire.Mux_ok;
+    Wire.Mux_ok ]
+
+let test_mux_roundtrip () =
+  let frame = Wire.encode_mux keys mux_op_samples in
+  Alcotest.(check bool) "mux ops round trip" true (Wire.decode_mux keys frame = mux_op_samples);
+  Alcotest.(check (option char)) "mux kind" (Some 'M') (Wire.frame_kind frame);
+  let reply = Wire.encode_mux_replies keys mux_reply_samples in
+  Alcotest.(check bool) "mux replies round trip" true
+    (Wire.decode_mux_replies keys reply = mux_reply_samples);
+  Alcotest.(check (option char)) "mux reply kind" (Some 'N') (Wire.frame_kind reply);
+  (* empty frames are legal (a trip of pure session management has no
+     requests; its reply frame echoes element-wise) *)
+  Alcotest.(check bool) "empty mux" true (Wire.decode_mux keys (Wire.encode_mux keys []) = []);
+  Alcotest.(check bool) "empty replies" true
+    (Wire.decode_mux_replies keys (Wire.encode_mux_replies keys []) = [])
+
+let test_mux_malformed () =
+  let frame = Wire.encode_mux keys mux_op_samples in
+  let reply = Wire.encode_mux_replies keys mux_reply_samples in
+  (* truncation sweep: every strict prefix rejected *)
+  let n = String.length frame in
+  let cuts = List.init (min n 48) Fun.id @ List.init (min n 48) (fun j -> n - 1 - j) in
+  List.iter
+    (fun cut ->
+      if cut >= 0 && cut < n then
+        expect_invalid (Printf.sprintf "mux cut %d" cut) (fun () ->
+            ignore (Wire.decode_mux keys (String.sub frame 0 cut))))
+    cuts;
+  let m = String.length reply in
+  for cut = 0 to m - 1 do
+    expect_invalid (Printf.sprintf "mux reply cut %d" cut) (fun () ->
+        ignore (Wire.decode_mux_replies keys (String.sub reply 0 cut)))
+  done;
+  expect_invalid "mux trailing byte" (fun () ->
+      ignore (Wire.decode_mux keys (frame ^ "\x00")));
+  expect_invalid "mux reply trailing byte" (fun () ->
+      ignore (Wire.decode_mux_replies keys (reply ^ "\x00")));
+  (* kind confusion: mux frames are not requests/responses and vice versa *)
+  expect_invalid "mux as request" (fun () -> ignore (Wire.decode_request keys frame));
+  expect_invalid "mux as reply" (fun () -> ignore (Wire.decode_mux_replies keys frame));
+  expect_invalid "reply as mux" (fun () -> ignore (Wire.decode_mux keys reply));
+  expect_invalid "request as mux" (fun () ->
+      ignore
+        (Wire.decode_mux keys
+           (Wire.encode_request keys ~session:0 ~label:"EncCompare" (Wire.Sign_of (ct 1)))));
+  (* unknown op tag *)
+  let hdr = 11 + 4 in
+  expect_invalid "unknown mux op tag" (fun () ->
+      ignore (Wire.decode_mux keys (corrupt frame hdr '\xfe')));
+  expect_invalid "unknown mux reply tag" (fun () ->
+      ignore (Wire.decode_mux_replies keys (corrupt reply hdr '\xfe')));
+  (* nested batch inside a Mux_req: the encoder refuses to produce it and
+     the decoder refuses a hand-patched one *)
+  expect_invalid "encode nested batch in mux" (fun () ->
+      ignore
+        (Wire.encode_mux keys
+           [ Wire.Mux_req
+               {
+                 session = 1;
+                 label = "EncSort";
+                 req = Wire.Batch [ Wire.Batch [ Wire.Zero_test (ct 1) ] ];
+               } ]));
+  let single =
+    Wire.encode_mux keys
+      [ Wire.Mux_req
+          { session = 1; label = "EncSort"; req = Wire.Batch [ Wire.Zero_test (ct 6) ] } ]
+  in
+  (* op tag, session, label("EncSort"), batch tag, count, inner tag *)
+  let inner_tag_pos = hdr + 1 + 4 + (4 + 7) + 1 + 4 in
+  expect_invalid "decode nested batch in mux" (fun () ->
+      ignore (Wire.decode_mux keys (corrupt single inner_tag_pos '\x13')))
+
 (* stats frames: truncation sweep plus targeted field corruptions — the
    decoder re-validates what the registry guarantees (non-negative 8-byte
    integers, non-NaN gauges, histogram bucket counts summing to count) *)
@@ -400,12 +499,14 @@ let suite =
         Alcotest.test_case "responses" `Quick test_response_roundtrip;
         Alcotest.test_case "controls" `Quick test_control_roundtrip;
         Alcotest.test_case "client/server msgs" `Quick test_client_server_roundtrip;
+        Alcotest.test_case "mux frames" `Quick test_mux_roundtrip;
         Alcotest.test_case "header constants" `Quick test_header_bytes ] );
     ( "malformed",
       [ Alcotest.test_case "truncated" `Quick test_truncated;
         Alcotest.test_case "overlong" `Quick test_overlong;
         Alcotest.test_case "bad header" `Quick test_bad_header;
         Alcotest.test_case "nested batch" `Quick test_nested_batch;
+        Alcotest.test_case "mux frames" `Quick test_mux_malformed;
         Alcotest.test_case "stats frames" `Quick test_stats_malformed;
         QCheck_alcotest.to_alcotest test_mutation_safety;
         QCheck_alcotest.to_alcotest test_garbage_safety ] ) ]

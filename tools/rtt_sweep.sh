@@ -10,6 +10,12 @@
 # simulator-scale crypto the speedup crosses 2x around 1 ms RTT; at the
 # paper's GMP-backed crypto speeds the crossover sits well below 0.5 ms
 # (see EXPERIMENTS.md).
+#
+# A second leg sweeps the cross-query round scheduler: 4 concurrent
+# clients with coalescing on vs off at 1 / 10 / 40 ms RTT (override with
+# CONC_RTTS), writing BENCH_concurrency_rtt<US>{,_nocoal}.json and a
+# trips/p50 comparison column into the same summary. Coalesced trips
+# stay flat as clients join; dedicated transports pay trips x clients.
 set -eu
 
 outdir=${1:-artifacts}
@@ -49,5 +55,27 @@ for rtt in $rtts; do
       "$(jq '.ops.rounds' "$outdir/BENCH_fig12_rtt$rtt.json")"
   } >>"$summary"
 done
+
+conc_rtts=${CONC_RTTS:-"1000 10000 40000"}
+{
+  echo "=== coalescing: 4 concurrent clients, scheduler on vs off ==="
+  printf '%-10s %10s %10s %12s %12s\n' rtt_ms trips_on trips_off "p50_on(ms)" "p50_off(ms)"
+} >>"$summary"
+for rtt in $conc_rtts; do
+  dune exec bench/main.exe -- --only concurrency --clients 4 --rtt "$rtt" \
+    --json "$tmp" >/dev/null
+  mv "$tmp/BENCH_concurrency.json" "$outdir/BENCH_concurrency_rtt$rtt.json"
+  dune exec bench/main.exe -- --only concurrency --clients 4 --rtt "$rtt" \
+    --no-coalescing --json "$tmp" >/dev/null
+  mv "$tmp/BENCH_concurrency.json" "$outdir/BENCH_concurrency_rtt${rtt}_nocoal.json"
+
+  row4() { jq -r "[.results[] | select(.clients == 4)] | first | \"\(.trips) \(.p50_us)\"" "$1"; }
+  on=$(row4 "$outdir/BENCH_concurrency_rtt$rtt.json")
+  off=$(row4 "$outdir/BENCH_concurrency_rtt${rtt}_nocoal.json")
+  echo "$rtt $on $off" |
+    awk '{ printf "%-10.1f %10d %10d %12.1f %12.1f\n", $1 / 1000, $2, $4, $3 / 1000, $5 / 1000 }' \
+      >>"$summary"
+done
+echo >>"$summary"
 
 cat "$summary"
