@@ -184,9 +184,17 @@ let serve_s2 port once =
   (match Unix.getsockname sock with
   | Unix.ADDR_INET (_, p) -> Format.printf "S2 daemon listening on 127.0.0.1:%d@.%!" p
   | _ -> ());
-  let doms = ref [] in
+  (* Live connection domains plus a finished-awaiting-join list, reaped
+     on each accept: a long-lived daemon taking periodic stats scrapes
+     must not accumulate one dead handle per connection for the process
+     lifetime. Spawning happens under the lock, and a finishing domain
+     retires its own entry under the same lock, so the retire can never
+     miss an entry the spawner has not inserted yet. *)
+  let conns = ref [] in
+  let reaped = ref [] in
   let doms_lock = Mutex.create () in
-  let serve_conn fd =
+  let next_id = ref 0 in
+  let serve_conn id fd =
     (try
        Proto.S2_server.serve_fd fd ~registry:reg
          ~on_ready:(fun dt ->
@@ -199,7 +207,12 @@ let serve_s2 port once =
              (dt *. 1000.))
      with e -> Format.eprintf "S2: connection failed: %s@." (Printexc.to_string e));
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    Format.printf "S2: connection closed@.%!"
+    Format.printf "S2: connection closed@.%!";
+    Mutex.lock doms_lock;
+    let mine, rest = List.partition (fun (id', _) -> id' = id) !conns in
+    conns := rest;
+    reaped := List.rev_append (List.map snd mine) !reaped;
+    Mutex.unlock doms_lock
   in
   let rec loop () =
     if not !stop then
@@ -209,18 +222,29 @@ let serve_s2 port once =
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
         Obs.Registry.inc connections_c;
         Format.printf "S2: connection accepted@.%!";
-        let d = Domain.spawn (fun () -> serve_conn fd) in
         Mutex.lock doms_lock;
-        doms := d :: !doms;
+        let id = !next_id in
+        incr next_id;
+        let d = Domain.spawn (fun () -> serve_conn id fd) in
+        conns := (id, d) :: !conns;
         Mutex.unlock doms_lock;
+        let finished =
+          Mutex.lock doms_lock;
+          let r = !reaped in
+          reaped := [];
+          Mutex.unlock doms_lock;
+          r
+        in
+        List.iter Domain.join finished;
         if not once then loop ()
   in
   loop ();
   (* drain: every accepted connection still runs to completion *)
   let ds =
     Mutex.lock doms_lock;
-    let ds = !doms in
-    doms := [];
+    let ds = List.rev_append (List.map snd !conns) !reaped in
+    conns := [];
+    reaped := [];
     Mutex.unlock doms_lock;
     ds
   in

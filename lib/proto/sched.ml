@@ -46,6 +46,8 @@ type entry = {
   at : float; (* submission time, drives the window timer *)
 }
 
+exception Backend_lost of string
+
 type t = {
   backend : backend;
   window_us : int;
@@ -57,6 +59,11 @@ type t = {
   mutable stopping : bool;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
+  live : (int, unit) Hashtbl.t;
+      (* sessions opened on the current backend connection; shipper-only.
+         Reset when the backend reports [Backend_lost]: the replacement
+         connection has never heard of those sessions, so their remaining
+         ops are answered locally instead of shipped. *)
   parked_g : Obs.Registry.gauge;
   trips_c : Obs.Registry.counter;
   saved_c : Obs.Registry.counter;
@@ -70,13 +77,21 @@ let locked t f =
 (* call under [t.lock]; the registry has its own inner mutex *)
 let update_parked t = Obs.Registry.set t.parked_g (float_of_int (Queue.length t.q))
 
+(* Both pipe ends are non-blocking: a full pipe makes this write fail
+   with EAGAIN (harmless — a byte is already in there, so the shipper's
+   select fires) instead of blocking under [t.lock], which would
+   deadlock the shipper against every submitter. *)
 let wake t = try ignore (Unix.write_substring t.wake_w "w" 0 1) with Unix.Unix_error _ -> ()
 
 let drain_wake t =
-  let buf = Bytes.create 64 in
-  match Unix.read t.wake_r buf 0 64 with
-  | _ -> ()
-  | exception Unix.Unix_error _ -> ()
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 256 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error _ -> () (* EAGAIN: drained *)
+  in
+  go ()
 
 let await_wake t timeout =
   match Unix.select [ t.wake_r ] [] [] timeout with
@@ -84,25 +99,66 @@ let await_wake t timeout =
   | _ready, _, _ -> drain_wake t
   | exception Unix.Unix_error (EINTR, _, _) -> ()
 
-let is_req (op, _) = match op with Wire.Mux_req _ -> true | _ -> false
+let is_req op = match op with Wire.Mux_req _ -> true | _ -> false
+
+(* Sessions an op refers to that must already be live on the backend
+   connection (created sessions — an open's id, a fork's child — are
+   deliberately absent: they work on any connection, old or fresh). *)
+let op_uses = function
+  | Wire.Mux_open _ -> []
+  | Wire.Mux_close { session } | Wire.Mux_req { session; _ } -> [ session ]
+  | Wire.Mux_fork { parent; _ } -> [ parent ]
+  | Wire.Mux_join { parent; child } -> [ parent; child ]
+
+let op_opens = function
+  | Wire.Mux_open { session } | Wire.Mux_fork { child = session; _ } -> Some session
+  | _ -> None
+
+let op_retires = function
+  | Wire.Mux_close { session } | Wire.Mux_join { child = session; _ } -> Some session
+  | _ -> None
 
 (* One merged trip. A backend failure (desynced daemon, closed socket)
    answers every parked caller with the exception instead of killing the
-   shipper: subsequent submissions keep getting a typed answer. *)
+   shipper: subsequent submissions keep getting a typed answer. A
+   [Backend_lost] failure additionally retires every live session — the
+   backend's next call runs on a fresh connection that has never heard
+   of them, so their remaining ops (a straggler's next round, cleanup
+   closes) are answered locally with a typed error instead of shipped,
+   where they would desync the replacement connection too. *)
+let stale_error =
+  Proto_error.Proto_error "Sched: session lost (S2 connection was re-established)"
+
 let ship t batch =
-  let replies =
-    try Ok (t.backend (List.map (fun e -> (e.op, e.col)) batch)) with e -> Error e
+  let fresh, stale =
+    List.partition (fun e -> List.for_all (Hashtbl.mem t.live) (op_uses e.op)) batch
   in
-  if t.rtt_us > 0 then Unix.sleepf (float_of_int t.rtt_us *. 1e-6);
-  Obs.Registry.inc t.trips_c;
-  Obs.Registry.add t.saved_c (max 0 (List.length (List.filter is_req (List.map (fun e -> (e.op, e.col)) batch)) - 1));
-  match replies with
-  | Ok rs when List.length rs = List.length batch ->
-    List.iter2 (fun e r -> Ivar.fill e.cell (Ok r)) batch rs
-  | Ok _ ->
-    let e = Proto_error.Proto_error "Sched: mux reply count mismatch" in
-    List.iter (fun en -> Ivar.fill en.cell (Error e)) batch
-  | Error e -> List.iter (fun en -> Ivar.fill en.cell (Error e)) batch
+  List.iter (fun e -> Ivar.fill e.cell (Error stale_error)) stale;
+  if fresh <> [] then begin
+    let replies =
+      try Ok (t.backend (List.map (fun e -> (e.op, e.col)) fresh)) with e -> Error e
+    in
+    if t.rtt_us > 0 then Unix.sleepf (float_of_int t.rtt_us *. 1e-6);
+    Obs.Registry.inc t.trips_c;
+    Obs.Registry.add t.saved_c
+      (max 0 (List.length (List.filter (fun e -> is_req e.op) fresh) - 1));
+    match replies with
+    | Ok rs when List.length rs = List.length fresh ->
+      List.iter
+        (fun e ->
+          (match op_opens e.op with Some s -> Hashtbl.replace t.live s () | None -> ());
+          match op_retires e.op with Some s -> Hashtbl.remove t.live s | None -> ())
+        fresh;
+      List.iter2 (fun e r -> Ivar.fill e.cell (Ok r)) fresh rs
+    | Ok _ ->
+      let e = Proto_error.Proto_error "Sched: mux reply count mismatch" in
+      List.iter (fun en -> Ivar.fill en.cell (Error e)) fresh
+    | Error (Backend_lost reason) ->
+      Hashtbl.reset t.live;
+      let e = Proto_error.Proto_error ("Sched: S2 connection lost: " ^ reason) in
+      List.iter (fun en -> Ivar.fill en.cell (Error e)) fresh
+    | Error e -> List.iter (fun en -> Ivar.fill en.cell (Error e)) fresh
+  end
 
 (* Ship policy: immediately once every registered query is parked (one
    outstanding op per query, so queue length >= registered means nobody
@@ -144,6 +200,8 @@ let rec shipper_loop t =
 let create ?(window_us = 150) ?(rtt_us = 0) ?registry ~backend () =
   let reg = match registry with Some r -> r | None -> Obs.Registry.create () in
   let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     {
       backend;
@@ -156,6 +214,7 @@ let create ?(window_us = 150) ?(rtt_us = 0) ?registry ~backend () =
       stopping = false;
       wake_r;
       wake_w;
+      live = Hashtbl.create 16;
       parked_g = Obs.Registry.gauge reg "parked_queries";
       trips_c = Obs.Registry.counter reg "coalesced_rounds";
       saved_c = Obs.Registry.counter reg "rounds_saved";
@@ -207,13 +266,19 @@ let open_query t =
         wake t;
         session)
   in
-  expect_ok (await cell);
+  (* on a failed open nothing will ever close this session: undo the
+     registration so the all-parked fast path keeps firing *)
+  (try expect_ok (await cell)
+   with e ->
+     locked t (fun () -> t.registered <- max 0 (t.registered - 1));
+     raise e);
   session
 
 let close_query t session =
   let cell = Ivar.create () in
   let col = Obs.current () in
   locked t (fun () ->
+      if t.stopping then raise (Proto_error.Proto_error "Sched: scheduler stopped");
       t.registered <- max 0 (t.registered - 1);
       Queue.add
         { op = Wire.Mux_close { session }; col; cell; at = Unix.gettimeofday () }

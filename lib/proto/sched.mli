@@ -26,7 +26,14 @@
     {b Failure.} A backend failure (socket closed, reply-count mismatch,
     decode error) resumes {e every} parked caller with the exception —
     typically {!Proto_error.Proto_error} — instead of killing the
-    shipper, so the serving layer degrades queries one at a time. *)
+    shipper, so the serving layer degrades queries one at a time. A
+    backend that re-dials its connection after a failure reports the
+    loss by raising {!Backend_lost}: the scheduler then retires every
+    session opened on the dead connection, answering their remaining
+    ops (a straggler's next round, cleanup closes) locally with a typed
+    [Proto_error] rather than shipping ids the replacement connection
+    has never provisioned — new queries open fresh sessions and are
+    served immediately. *)
 
 (** Answers one merged frame of ops. Each op carries the collector that
     was ambient on the submitting domain ([Obs.current ()] at park
@@ -34,6 +41,15 @@
     crypto ops land in the owning query's report, as they would on the
     Inproc transport. Socket backends ignore it. *)
 type backend = (Wire.mux_op * Obs.Collector.t option) list -> Wire.mux_reply list
+
+(** Raised by a {e reconnecting} backend when the trip failed because
+    its connection died and the next call will run on a fresh one (the
+    payload describes the loss). S2-side mux state is per-connection,
+    so the scheduler reacts by invalidating every session opened so
+    far; a backend whose state survives its failures (in-process, or a
+    non-reconnecting socket) must let the original exception propagate
+    instead. *)
+exception Backend_lost of string
 
 type t
 

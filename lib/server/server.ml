@@ -126,7 +126,9 @@ type t = {
   wake_w : Unix.file_descr;
   service : Core.Service.t;
   sched : Sched.t option;  (* shared round scheduler (coalescing on) *)
-  sched_fd : Unix.file_descr option;  (* its S2 connection (Tcp mode) *)
+  sched_fd : Unix.file_descr option ref;
+      (* its current S2 connection (Tcp mode); the backend swaps it on
+         reconnect, [shutdown] closes whatever is live after Sched.stop *)
   collector : Obs.Collector.t;
   tel : telemetry;
   qlog : Qlog.t;
@@ -462,7 +464,7 @@ let start ?(port = 0) cfg store =
      Local mode demultiplexes in-process; Tcp mode opens the single
      connection every merged frame travels on. *)
   let sched, sched_fd =
-    if cfg.coalesce_window_us <= 0 then (None, None)
+    if cfg.coalesce_window_us <= 0 then (None, ref None)
     else begin
       let hello =
         { Wire.seed = cfg.seed; key_bits = cfg.key_bits; rand_bits = cfg.rand_bits;
@@ -474,13 +476,38 @@ let start ?(port = 0) cfg store =
         ( Some
             (Sched.create ~window_us:cfg.coalesce_window_us ~registry:tel.reg
                ~backend:(S2_server.handle_mux_ops st) ()),
-          None )
+          ref None )
       | Tcp addr ->
-        let fd = Transport.connect_tcp addr hello in
+        (* Self-healing shared connection: dial eagerly so startup still
+           fails fast when S2 is down, re-dial (fresh Hello handshake) on
+           the trip after a failure. Raising [Sched.Backend_lost] makes
+           the scheduler fail only the sessions that lived on the dead
+           connection — new queries open fresh sessions on the new one —
+           and the scrapeable [s2_reconnects] counter surfaces every
+           loss. Only the shipper domain calls the backend, so the cell
+           needs no lock. *)
+        let fd_cell = ref (Some (Transport.connect_tcp addr hello)) in
+        let reconnects_c = Obs.Registry.counter tel.reg "s2_reconnects" in
+        let backend ops =
+          let fd =
+            match !fd_cell with
+            | Some fd -> fd
+            | None ->
+              let fd = Transport.connect_tcp addr hello in
+              fd_cell := Some fd;
+              fd
+          in
+          try Sched.socket_backend wkeys fd ops
+          with e ->
+            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+            fd_cell := None;
+            Obs.Registry.inc reconnects_c;
+            raise (Sched.Backend_lost (Printexc.to_string e))
+        in
         ( Some
             (Sched.create ~window_us:cfg.coalesce_window_us ~registry:tel.reg
-               ~backend:(Sched.socket_backend wkeys fd) ()),
-          Some fd )
+               ~backend ()),
+          fd_cell )
     end
   in
   let lsock = Unix.socket PF_INET SOCK_STREAM 0 in
@@ -532,7 +559,7 @@ let start ?(port = 0) cfg store =
     with e ->
       Unix.close lsock;
       Option.iter Sched.stop sched;
-      (match sched_fd with
+      (match !sched_fd with
       | Some fd -> ( try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
       | None -> ());
       raise e
@@ -569,7 +596,7 @@ let shutdown t =
     (* 4. no query is parked any more: retire the round scheduler and its
        S2 connection *)
     Option.iter Sched.stop t.sched;
-    (match t.sched_fd with
+    (match !(t.sched_fd) with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
     | None -> ());
     (* 5. unblock sessions parked in read_frame and join them all.  The

@@ -265,6 +265,36 @@ let prop_random_orderings =
       Sched.stop sched;
       Array.for_all Fun.id ok)
 
+(* Sustained window-0 load writes far more wake bytes than the self-pipe
+   holds. The pipe is non-blocking on both ends, so overflow drops the
+   byte (one is already in there to fire the select); a blocking pipe
+   would deadlock every query once it filled — a submitter stuck in
+   write holding the scheduler lock, the shipper stuck on the lock,
+   nobody reading. *)
+let test_wake_pipe_flood () =
+  let sched = Sched.create ~window_us:0 ~backend:(echo slot_value) () in
+  let nq = 5 and nops = 20_000 in
+  let ok = Array.make nq true in
+  let doms =
+    Array.init nq (fun q ->
+        Domain.spawn (fun () ->
+            let session = Sched.open_query sched in
+            for j = 0 to nops - 1 do
+              let label = string_of_int j in
+              match
+                Sched.submit sched
+                  (Wire.Mux_req { session; label; req = Wire.Zero_slot [] })
+              with
+              | Wire.Mux_answer (Wire.Slot (Some v)) when v = slot_value session label -> ()
+              | _ -> ok.(q) <- false
+            done;
+            Sched.close_query sched session))
+  in
+  Array.iter Domain.join doms;
+  Sched.stop sched;
+  Alcotest.(check bool) "all queries completed with correct slices" true
+    (Array.for_all Fun.id ok)
+
 (* Forks allocate child sessions and route by them too. *)
 let test_fork_routing () =
   let sched = Sched.create ~window_us:0 ~backend:(echo slot_value) () in
@@ -317,6 +347,66 @@ let test_reply_count_mismatch () =
   expect_proto_error "arity mismatch is typed" (fun () -> Sched.open_query sched);
   Sched.stop sched
 
+(* A reconnecting backend reports connection loss as Backend_lost: the
+   sessions that lived on the dead connection fail with a typed error
+   and their cleanup ops are answered locally (never shipped, where
+   they would desync the fresh connection), while new queries open new
+   sessions and are served immediately. *)
+let test_backend_lost_recovery () =
+  let lose = ref false in
+  let shipped = ref 0 in (* ops the backend actually saw *)
+  let backend ops =
+    if !lose then begin
+      lose := false;
+      raise (Sched.Backend_lost "eof")
+    end;
+    shipped := !shipped + List.length ops;
+    echo slot_value ops
+  in
+  let sched = Sched.create ~window_us:0 ~backend () in
+  let a = Sched.open_query sched in
+  lose := true;
+  expect_proto_error "req on lost connection" (fun () ->
+      Sched.submit sched (Wire.Mux_req { session = a; label = "x"; req = Wire.Zero_slot [] }));
+  let before = !shipped in
+  expect_proto_error "stale close is a typed error" (fun () -> Sched.close_query sched a);
+  Alcotest.(check int) "stale close answered locally, not shipped" before !shipped;
+  let b = Sched.open_query sched in
+  (match
+     Sched.submit sched (Wire.Mux_req { session = b; label = "y"; req = Wire.Zero_slot [] })
+   with
+  | Wire.Mux_answer (Wire.Slot (Some v)) ->
+    Alcotest.(check int) "new session served on new connection" (slot_value b "y") v
+  | _ -> Alcotest.fail "new session not served");
+  Sched.close_query sched b;
+  Sched.stop sched
+
+(* close_query racing past stop must raise, not park an entry no shipper
+   will ever drain (the caller would hang in Ivar.read forever). *)
+let test_close_after_stop () =
+  let sched = Sched.create ~window_us:0 ~backend:(echo slot_value) () in
+  let session = Sched.open_query sched in
+  Sched.stop sched;
+  expect_proto_error "close after stop" (fun () -> Sched.close_query sched session)
+
+(* A failed open must not leak its registration: with a big window, a
+   leaked count would disable the all-parked fast path and make every
+   later lone op wait the window out. *)
+let test_open_failure_no_leak () =
+  let boom = ref true in
+  let backend ops = if !boom then failwith "boom" else echo slot_value ops in
+  let sched = Sched.create ~window_us:500_000 ~backend () in
+  (try ignore (Sched.open_query sched) with Failure _ -> ());
+  boom := false;
+  let t0 = Unix.gettimeofday () in
+  let session = Sched.open_query sched in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "all-parked fast path still fires (%.0f ms < window)" (dt *. 1000.))
+    true (dt < 0.4);
+  Sched.close_query sched session;
+  Sched.stop sched
+
 (* A desynced S2 answering a Batch with the wrong arity must surface as
    Proto_error from Ctx.rpc_batch (the serving layer maps it to
    Server_error), not as a domain-killing Failure. *)
@@ -347,10 +437,14 @@ let suite =
         Alcotest.test_case "single query" `Slow test_single_query ] );
     ( "scheduler",
       [ QCheck_alcotest.to_alcotest prop_random_orderings;
+        Alcotest.test_case "wake pipe flood" `Slow test_wake_pipe_flood;
         Alcotest.test_case "fork routing" `Quick test_fork_routing ] );
     ( "failures",
       [ Alcotest.test_case "backend crash" `Quick test_backend_failure;
         Alcotest.test_case "reply arity" `Quick test_reply_count_mismatch;
+        Alcotest.test_case "connection loss recovery" `Quick test_backend_lost_recovery;
+        Alcotest.test_case "close after stop" `Quick test_close_after_stop;
+        Alcotest.test_case "open failure leak" `Quick test_open_failure_no_leak;
         Alcotest.test_case "rpc_batch desync" `Quick test_rpc_batch_desync ] ) ]
 
 let () = Alcotest.run "sched" suite
